@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! * **Optimizer**: exact branch-and-bound vs. the greedy+local-search
+//!   heuristic — the latency a production broker buys with its optimality
+//!   gap (the gap itself is bounded by tests in `vdx-solver`).
+//! * **Matching rule**: the paper's 2×-of-best candidate rule vs. wider
+//!   and narrower ratios — how the rule's cutoff changes matching cost.
+//! * **Protocol faults**: a full Share→Announce round-trip message
+//!   exchange on a clean link vs. the smoltcp-style adverse link —
+//!   what retransmission costs the Decision Protocol.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vdx_bench::bench_scenario;
+use vdx_broker::{optimize, CpPolicy, OptimizeMode};
+use vdx_cdn::{candidate_clusters, CdnId, MatchingConfig};
+use vdx_core::Design;
+use vdx_proto::reliable::{ReliableChannel, ReliableConfig};
+use vdx_proto::{FaultConfig, Link, LinkEnd, SimTime};
+use vdx_sim::Scenario;
+use vdx_solver::MilpConfig;
+
+fn scenario() -> &'static Scenario {
+    static S: std::sync::OnceLock<Scenario> = std::sync::OnceLock::new();
+    S.get_or_init(bench_scenario)
+}
+
+/// Exact vs. heuristic broker optimizer on a truncated problem (the exact
+/// solver is exponential; 40 groups keeps it honest but finite).
+fn ablation_optimizer(c: &mut Criterion) {
+    let s = scenario();
+    let full = s.run(Design::Marketplace, CpPolicy::balanced());
+    let problem = vdx_broker::BrokerProblem {
+        groups: full.problem.groups[..40].to_vec(),
+        options: full.problem.options[..40].to_vec(),
+    };
+    let mut group = c.benchmark_group("ablation_optimizer");
+    group.sample_size(10);
+    group.bench_function("heuristic_40_groups", |b| {
+        b.iter(|| black_box(optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic)))
+    });
+    group.bench_function("exact_40_groups", |b| {
+        b.iter(|| {
+            black_box(optimize(
+                &problem,
+                &CpPolicy::balanced(),
+                &OptimizeMode::Exact(MilpConfig { node_limit: 2_000 }),
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// The candidate-rule cutoff: tighter ratios mean fewer, better-performing
+/// candidates; wider ratios expose more of the cost distribution.
+fn ablation_matching_rule(c: &mut Criterion) {
+    let s = scenario();
+    let client = s.groups[0].city;
+    let mut group = c.benchmark_group("ablation_matching_rule");
+    for ratio in [1.25, 2.0, 4.0, f64::INFINITY] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("ratio_{ratio}")),
+            &ratio,
+            |b, &ratio| {
+                let cfg = MatchingConfig { score_ratio: ratio, max_candidates: 100 };
+                b.iter(|| {
+                    black_box(candidate_clusters(
+                        &s.fleet,
+                        CdnId(0),
+                        |site| s.score_of(client, site),
+                        &cfg,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// One reliable round-trip under increasing fault pressure.
+fn ablation_protocol_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_protocol_faults");
+    group.sample_size(10);
+    for (name, faults) in [
+        ("lossless", FaultConfig::lossless()),
+        ("drop5_corrupt2", FaultConfig {
+            drop_chance: 0.05,
+            corrupt_chance: 0.02,
+            delay_ms: 5,
+            jitter_ms: 5,
+            rate_limit_bytes_per_ms: None,
+        }),
+        ("adverse15", FaultConfig::adverse()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut link = Link::new(faults.clone(), 99);
+                let mut a = ReliableChannel::new(LinkEnd::A, ReliableConfig::default());
+                let mut bch = ReliableChannel::new(LinkEnd::B, ReliableConfig::default());
+                for i in 0..10u32 {
+                    a.send(vec![i as u8; 256]);
+                }
+                let mut got = 0;
+                let mut ms = 0u64;
+                while got < 10 && ms < 60_000 {
+                    a.poll(SimTime(ms), &mut link);
+                    bch.poll(SimTime(ms), &mut link);
+                    while bch.recv().is_some() {
+                        got += 1;
+                    }
+                    ms += 1;
+                }
+                assert_eq!(got, 10, "exchange must complete");
+                black_box(ms)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_optimizer,
+    ablation_matching_rule,
+    ablation_protocol_faults
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! # vdx-bench — benchmark support
+//!
+//! The benches live in `benches/`:
+//!
+//! * `experiments` — one Criterion group per paper table/figure, each
+//!   regenerating that artefact on a bench-scale scenario (the `repro`
+//!   binary produces the full-scale numbers; these benches measure the
+//!   cost of regenerating each one and keep them exercised by CI).
+//! * `micro` — hot-path microbenchmarks: simplex, assignment heuristic,
+//!   matching rule, frame codec, reliable channel, full decision rounds.
+//! * `ablations` — the design-choice ablations called out in DESIGN.md:
+//!   exact vs. heuristic optimizer, matching candidate rule variants,
+//!   protocol behaviour under faults.
+//!
+//! This library crate only hosts the shared scenario constructor so every
+//! bench measures against identical inputs.
+
+use vdx_geo::WorldConfig;
+use vdx_sim::{Scenario, ScenarioConfig};
+use vdx_trace::BrokerTraceConfig;
+
+/// A bench-scale scenario: small enough that a Decision Protocol round is
+/// milliseconds, large enough that every code path (all deployment models,
+/// background traffic, capacity planning) is exercised.
+pub fn bench_scenario() -> Scenario {
+    let mut config = ScenarioConfig::small();
+    config.world = WorldConfig { countries: 12, cities: 50, ..Default::default() };
+    config.trace = BrokerTraceConfig { sessions: 1_200, videos: 200, ..Default::default() };
+    Scenario::build(config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_scenario_builds() {
+        let s = bench_scenario();
+        assert!(!s.groups.is_empty());
+        assert_eq!(s.fleet.cdns.len(), 7);
+    }
+}

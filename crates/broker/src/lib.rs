@@ -1,0 +1,31 @@
+//! # vdx-broker — the broker actor model for VDX
+//!
+//! Brokers (Conviva/Cedexis-style, §2.2 of the paper) measure QoE inside
+//! client players, aggregate clients, and decide which CDN (cluster) every
+//! client uses — re-deciding periodically and even mid-stream. This crate
+//! models that actor:
+//!
+//! * [`gather`] — the Decision Protocol's *Gather* step: aggregate client
+//!   sessions into client groups (by city), the unit the broker shares with
+//!   CDNs and optimizes over; includes the 3× background-traffic synthesis
+//!   of §5.1.
+//! * [`policy`] — content-provider goals: the `wp` / `wc` weights of the
+//!   paper's Fig 9 objective, with the value function used to score a
+//!   candidate matching.
+//! * [`optimize`](mod@optimize) — the *Optimize* step: the Fig 9 ILP, built on
+//!   `vdx-solver` (exact MILP at small scale, regret-greedy + local search
+//!   at CDN scale, exactly the trade a production broker makes).
+//! * [`qoe`] — a score → QoE mapping (average bitrate, buffering ratio,
+//!   join time, the metrics of §2.1) used for reporting and examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gather;
+pub mod optimize;
+pub mod policy;
+pub mod qoe;
+
+pub use gather::{gather_groups, synth_background, ClientGroup, GroupId};
+pub use optimize::{optimize, BrokerAssignment, BrokerProblem, GroupOption, OptimizeMode};
+pub use policy::CpPolicy;

@@ -1,0 +1,251 @@
+//! The Optimize step: the paper's Fig 9 ILP.
+//!
+//! ```text
+//! max  wp·Σ Performance(m)·U[r,m]  −  wc·Σ Cost(m)·Bitrate(r)·U[r,m]
+//! s.t. Σ_m U[r,m] = 1            for every client group r
+//!      Σ Bitrate(r)·U[r,m] ≤ Capacity(l)   for every cluster l
+//!      U ∈ {0,1}
+//! ```
+//!
+//! Capacities here are what the CDNs *announced* (the designs differ in how
+//! truthful that is); real-capacity congestion is a downstream metric. The
+//! broker must place every group, so when the believed capacities simply
+//! cannot host the demand the heuristic overloads minimally rather than
+//! failing — brokers cannot drop clients on the floor.
+
+use crate::gather::ClientGroup;
+use crate::policy::CpPolicy;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vdx_cdn::{CdnId, ClusterId};
+use vdx_netsim::Score;
+use vdx_solver::{AssignmentProblem, CandidateOption, MilpConfig};
+
+/// One candidate (from one CDN's Announce) for one client group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupOption {
+    /// The bidding CDN.
+    pub cdn: CdnId,
+    /// The candidate cluster.
+    pub cluster: ClusterId,
+    /// Announced performance score (lower is better).
+    pub score: Score,
+    /// Announced price per megabit (contract price in flat-rate designs,
+    /// bid price in dynamic ones).
+    pub price_per_mb: f64,
+    /// The capacity the broker believes this cluster has, in kbit/s.
+    pub believed_capacity_kbps: f64,
+}
+
+/// The broker's optimization input for one Decision Protocol round.
+#[derive(Debug, Clone, Default)]
+pub struct BrokerProblem {
+    /// The client groups.
+    pub groups: Vec<ClientGroup>,
+    /// Candidate options per group (same order as `groups`); every group
+    /// needs at least one option.
+    pub options: Vec<Vec<GroupOption>>,
+}
+
+/// How to solve the assignment.
+#[derive(Debug, Clone)]
+pub enum OptimizeMode {
+    /// Regret-greedy + local search (CDN-scale default).
+    Heuristic,
+    /// Exact branch-and-bound (small scenarios, validation).
+    Exact(MilpConfig),
+}
+
+/// The broker's decision for a round.
+#[derive(Debug, Clone)]
+pub struct BrokerAssignment {
+    /// For each group, the chosen index into its option list.
+    pub choice: Vec<usize>,
+    /// Objective value achieved (Fig 9 units).
+    pub objective: f64,
+    /// Load placed on each distinct cluster, kbit/s.
+    pub cluster_load_kbps: HashMap<ClusterId, f64>,
+}
+
+impl BrokerAssignment {
+    /// The option chosen for a group.
+    pub fn chosen<'p>(&self, problem: &'p BrokerProblem, group: usize) -> &'p GroupOption {
+        &problem.options[group][self.choice[group]]
+    }
+}
+
+/// Solves the Fig 9 problem.
+///
+/// # Panics
+/// Panics if a group has no options, or `options` is misaligned with
+/// `groups`.
+pub fn optimize(
+    problem: &BrokerProblem,
+    policy: &CpPolicy,
+    mode: &OptimizeMode,
+) -> BrokerAssignment {
+    assert_eq!(problem.groups.len(), problem.options.len(), "options misaligned");
+
+    // Map distinct clusters to capacity buckets. The believed capacity of a
+    // cluster must be consistent across options; the first mention wins and
+    // disagreements are clamped to the minimum announced (conservative).
+    let mut bucket_of: HashMap<ClusterId, usize> = HashMap::new();
+    let mut capacities: Vec<f64> = Vec::new();
+    let mut cluster_of_bucket: Vec<ClusterId> = Vec::new();
+    for opts in &problem.options {
+        for o in opts {
+            match bucket_of.get(&o.cluster) {
+                Some(&b) => {
+                    capacities[b] = capacities[b].min(o.believed_capacity_kbps);
+                }
+                None => {
+                    bucket_of.insert(o.cluster, capacities.len());
+                    capacities.push(o.believed_capacity_kbps);
+                    cluster_of_bucket.push(o.cluster);
+                }
+            }
+        }
+    }
+
+    let mut gap = AssignmentProblem::new(capacities);
+    for (g, opts) in problem.options.iter().enumerate() {
+        assert!(!opts.is_empty(), "group {g} has no options");
+        let demand = problem.groups[g].demand_kbps;
+        let sessions = problem.groups[g].sessions;
+        let candidates: Vec<CandidateOption> = opts
+            .iter()
+            .map(|o| CandidateOption {
+                bucket: bucket_of[&o.cluster],
+                value: policy.value(o.score, o.price_per_mb, demand, sessions),
+                load: demand,
+            })
+            .collect();
+        gap.add_client(candidates);
+    }
+
+    let assignment = match mode {
+        OptimizeMode::Heuristic => gap.solve_heuristic(),
+        OptimizeMode::Exact(cfg) => gap
+            .solve_exact(cfg)
+            // Believed capacities can be infeasible (they are estimates);
+            // fall back to the heuristic, which always places everyone.
+            .unwrap_or_else(|| gap.solve_heuristic()),
+    };
+
+    let mut cluster_load_kbps: HashMap<ClusterId, f64> = HashMap::new();
+    for (g, &c) in assignment.choice.iter().enumerate() {
+        let o = &problem.options[g][c];
+        *cluster_load_kbps.entry(o.cluster).or_insert(0.0) +=
+            problem.groups[g].demand_kbps;
+    }
+
+    BrokerAssignment { choice: assignment.choice, objective: assignment.objective, cluster_load_kbps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gather::GroupId;
+    use vdx_geo::CityId;
+
+    fn group(i: u32, demand: f64) -> ClientGroup {
+        ClientGroup {
+            id: GroupId(i),
+            city: CityId(i),
+            bitrate_kbps: demand as u32,
+            demand_kbps: demand,
+            sessions: 1,
+        }
+    }
+
+    fn opt(cluster: u32, score: f64, price: f64, cap: f64) -> GroupOption {
+        GroupOption {
+            cdn: CdnId(0),
+            cluster: ClusterId(cluster),
+            score: Score(score),
+            price_per_mb: price,
+            believed_capacity_kbps: cap,
+        }
+    }
+
+    #[test]
+    fn picks_best_value_option() {
+        let problem = BrokerProblem {
+            groups: vec![group(0, 1_000.0)],
+            options: vec![vec![opt(0, 100.0, 1.0, 1e9), opt(1, 40.0, 1.0, 1e9)]],
+        };
+        let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
+        assert_eq!(a.choice, vec![1]);
+        assert_eq!(a.cluster_load_kbps[&ClusterId(1)], 1_000.0);
+    }
+
+    #[test]
+    fn capacity_forces_spreading() {
+        // Two groups both prefer cluster 0 but it only fits one.
+        let problem = BrokerProblem {
+            groups: vec![group(0, 1_000.0), group(1, 1_000.0)],
+            options: vec![
+                vec![opt(0, 40.0, 1.0, 1_000.0), opt(1, 60.0, 1.0, 10_000.0)],
+                vec![opt(0, 40.0, 1.0, 1_000.0), opt(1, 60.0, 1.0, 10_000.0)],
+            ],
+        };
+        let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
+        let load0 = a.cluster_load_kbps.get(&ClusterId(0)).copied().unwrap_or(0.0);
+        assert!(load0 <= 1_000.0 + 1e-9, "cluster 0 overloaded: {load0}");
+        let total: f64 = a.cluster_load_kbps.values().sum();
+        assert!((total - 2_000.0).abs() < 1e-9, "everyone placed");
+    }
+
+    #[test]
+    fn exact_matches_heuristic_on_small_instances() {
+        let problem = BrokerProblem {
+            groups: vec![group(0, 500.0), group(1, 800.0), group(2, 300.0)],
+            options: vec![
+                vec![opt(0, 50.0, 2.0, 1_000.0), opt(1, 70.0, 0.5, 2_000.0)],
+                vec![opt(0, 45.0, 2.0, 1_000.0), opt(2, 90.0, 0.2, 2_000.0)],
+                vec![opt(1, 60.0, 0.5, 2_000.0), opt(2, 80.0, 0.2, 2_000.0)],
+            ],
+        };
+        let h = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
+        let e = optimize(
+            &problem,
+            &CpPolicy::balanced(),
+            &OptimizeMode::Exact(MilpConfig::default()),
+        );
+        assert!(h.objective <= e.objective + 1e-6, "heuristic {} exact {}", h.objective, e.objective);
+        // On this instance they should actually coincide.
+        assert!((h.objective - e.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn conflicting_capacity_beliefs_are_clamped_to_min() {
+        let problem = BrokerProblem {
+            groups: vec![group(0, 900.0), group(1, 900.0)],
+            options: vec![
+                vec![opt(0, 40.0, 1.0, 2_000.0), opt(1, 100.0, 1.0, 1e9)],
+                // Same cluster announced with less capacity here.
+                vec![opt(0, 40.0, 1.0, 1_000.0), opt(1, 100.0, 1.0, 1e9)],
+            ],
+        };
+        let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
+        let load0 = a.cluster_load_kbps.get(&ClusterId(0)).copied().unwrap_or(0.0);
+        assert!(load0 <= 1_000.0 + 1e-9, "min capacity belief enforced, got {load0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no options")]
+    fn empty_option_list_panics() {
+        let problem = BrokerProblem { groups: vec![group(0, 1.0)], options: vec![vec![]] };
+        optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
+    }
+
+    #[test]
+    fn chosen_accessor_returns_selected_option() {
+        let problem = BrokerProblem {
+            groups: vec![group(0, 100.0)],
+            options: vec![vec![opt(3, 10.0, 1.0, 1e9)]],
+        };
+        let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
+        assert_eq!(a.chosen(&problem, 0).cluster, ClusterId(3));
+    }
+}

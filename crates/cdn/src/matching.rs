@@ -1,0 +1,253 @@
+//! The CDN matching algorithm (§5.1 of the paper):
+//!
+//! > "For each client, a CDN selects a set of candidate clusters with
+//! > scores at most 2× worse than the best score. If there is no other
+//! > cluster with a score within 2× the best, the second best scoring
+//! > cluster is selected. Candidate clusters are sorted from lowest to
+//! > highest cost, with the matchings prioritized in that order."
+//!
+//! The same routine, truncated to one candidate, is also the CDN's
+//! traditional single-cluster server selection ("Brokered" design), and its
+//! length is the bid count swept in the paper's Fig 18.
+
+use crate::cluster::{CdnId, Cluster, ClusterId};
+use crate::deploy::Fleet;
+use serde::{Deserialize, Serialize};
+use vdx_geo::CityId;
+use vdx_netsim::Score;
+
+/// Matching-rule parameters.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MatchingConfig {
+    /// Candidate cutoff: clusters scoring within `score_ratio ×` the best
+    /// are candidates (paper: 2.0).
+    pub score_ratio: f64,
+    /// Maximum number of candidates returned (the "bid count"; paper
+    /// default for Marketplace is 100).
+    pub max_candidates: usize,
+}
+
+impl Default for MatchingConfig {
+    fn default() -> Self {
+        MatchingConfig { score_ratio: 2.0, max_candidates: 100 }
+    }
+}
+
+/// One candidate cluster for one client group.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Matching {
+    /// The candidate cluster.
+    pub cluster: ClusterId,
+    /// Estimated performance score for this client (lower is better).
+    pub score: Score,
+    /// The cluster's internal cost per megabit.
+    pub cost_per_mb: f64,
+    /// The cluster's provisioned capacity in kbit/s.
+    pub capacity_kbps: f64,
+}
+
+/// Computes a CDN's candidate clusters for a client city, per the rule in
+/// the module docs. `score_of(site_city)` estimates the client→site score.
+/// Returns an empty vector only if the CDN has no clusters.
+pub fn candidate_clusters(
+    fleet: &Fleet,
+    cdn: CdnId,
+    score_of: impl Fn(CityId) -> Score,
+    config: &MatchingConfig,
+) -> Vec<Matching> {
+    let mut scored: Vec<(&Cluster, Score)> = fleet
+        .clusters_of(cdn)
+        .map(|cl| (cl, score_of(cl.city)))
+        .collect();
+    if scored.is_empty() {
+        return Vec::new();
+    }
+    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
+    let best = scored[0].1;
+
+    let mut candidates: Vec<(&Cluster, Score)> = scored
+        .iter()
+        .copied()
+        .filter(|(_, s)| s.value() <= best.value() * config.score_ratio)
+        .collect();
+    // "If there is no other cluster with a score within 2× the best, the
+    // second best scoring cluster is selected."
+    if candidates.len() == 1 && scored.len() >= 2 {
+        candidates.push(scored[1]);
+    }
+
+    // Cheapest first; ties broken by score then id for determinism.
+    candidates.sort_by(|a, b| {
+        a.0.cost_per_mb()
+            .partial_cmp(&b.0.cost_per_mb())
+            .expect("costs are finite")
+            .then(a.1.total_cmp(&b.1))
+            .then(a.0.id.cmp(&b.0.id))
+    });
+    candidates.truncate(config.max_candidates.max(1));
+    candidates
+        .into_iter()
+        .map(|(cl, score)| Matching {
+            cluster: cl.id,
+            score,
+            cost_per_mb: cl.cost_per_mb(),
+            capacity_kbps: cl.capacity_kbps,
+        })
+        .collect()
+}
+
+/// The cluster the CDN's matching algorithm *prefers* for this client: the
+/// first candidate of [`candidate_clusters`] under the default rule, i.e.
+/// the cheapest cluster scoring within 2× of the best. This is the cluster
+/// a single-matching design serves from, and therefore also the cluster
+/// solo-workload capacity planning and contract negotiation must use — the
+/// paper applies one matching algorithm consistently (§5.1).
+pub fn preferred_cluster(
+    fleet: &Fleet,
+    cdn: CdnId,
+    score_of: impl Fn(CityId) -> Score,
+) -> Option<ClusterId> {
+    candidate_clusters(fleet, cdn, score_of, &MatchingConfig { score_ratio: 2.0, max_candidates: 1 })
+        .first()
+        .map(|m| m.cluster)
+}
+
+/// The cluster a CDN's *network measurements* rank first: the best-scoring
+/// one (Akamai-style selection, §2.1), ignoring cost entirely.
+pub fn best_cluster(
+    fleet: &Fleet,
+    cdn: CdnId,
+    score_of: impl Fn(CityId) -> Score,
+) -> Option<ClusterId> {
+    fleet
+        .clusters_of(cdn)
+        .map(|cl| (cl.id, score_of(cl.city)))
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .map(|(id, _)| id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::Cluster;
+    use crate::deploy::{Cdn, DeploymentModel, Fleet};
+
+    /// Builds a single-CDN fleet with the given (cost, capacity) clusters;
+    /// cluster index == city index so tests can score by city id.
+    fn fleet(specs: &[(f64, f64)]) -> Fleet {
+        let clusters: Vec<Cluster> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(cost, cap))| Cluster {
+                id: ClusterId(i as u32),
+                cdn: CdnId(0),
+                city: CityId(i as u32),
+                bandwidth_cost: cost,
+                colo_cost: 0.0,
+                capacity_kbps: cap,
+            })
+            .collect();
+        Fleet {
+            cdns: vec![Cdn {
+                id: CdnId(0),
+                model: DeploymentModel::Centralized { sites: specs.len() },
+                clusters: clusters.iter().map(|c| c.id).collect(),
+            }],
+            clusters,
+        }
+    }
+
+    /// Score table keyed by city index.
+    fn scorer(scores: &'static [f64]) -> impl Fn(CityId) -> Score {
+        move |city| Score(scores[city.0 as usize])
+    }
+
+    #[test]
+    fn within_ratio_clusters_are_candidates() {
+        let f = fleet(&[(3.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        // Scores: 100 (best), 150, 250. Ratio 2 => 100, 150 qualify.
+        let m = candidate_clusters(
+            &f,
+            CdnId(0),
+            scorer(&[100.0, 150.0, 250.0]),
+            &MatchingConfig::default(),
+        );
+        assert_eq!(m.len(), 2);
+        // Sorted by cost: cluster 1 (cost 1) before cluster 0 (cost 3).
+        assert_eq!(m[0].cluster, ClusterId(1));
+        assert_eq!(m[1].cluster, ClusterId(0));
+    }
+
+    #[test]
+    fn second_best_added_when_no_alternatives() {
+        let f = fleet(&[(3.0, 1.0), (1.0, 1.0)]);
+        // Scores: 100, 900 — nothing within 2x, so second best is added.
+        let m = candidate_clusters(
+            &f,
+            CdnId(0),
+            scorer(&[100.0, 900.0]),
+            &MatchingConfig::default(),
+        );
+        assert_eq!(m.len(), 2);
+        assert!(m.iter().any(|x| x.cluster == ClusterId(1)));
+    }
+
+    #[test]
+    fn single_cluster_cdn_returns_one() {
+        let f = fleet(&[(1.0, 1.0)]);
+        let m = candidate_clusters(&f, CdnId(0), scorer(&[42.0]), &MatchingConfig::default());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].score, Score(42.0));
+    }
+
+    #[test]
+    fn truncation_keeps_cheapest() {
+        let f = fleet(&[(5.0, 1.0), (1.0, 1.0), (3.0, 1.0), (2.0, 1.0)]);
+        let cfg = MatchingConfig { score_ratio: 10.0, max_candidates: 2 };
+        let m = candidate_clusters(&f, CdnId(0), scorer(&[100.0, 110.0, 120.0, 130.0]), &cfg);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0].cluster, ClusterId(1)); // cost 1
+        assert_eq!(m[1].cluster, ClusterId(3)); // cost 2
+    }
+
+    #[test]
+    fn matchings_carry_cost_and_capacity() {
+        let f = fleet(&[(2.5, 777.0)]);
+        let m = candidate_clusters(&f, CdnId(0), scorer(&[10.0]), &MatchingConfig::default());
+        assert_eq!(m[0].cost_per_mb, 2.5);
+        assert_eq!(m[0].capacity_kbps, 777.0);
+    }
+
+    #[test]
+    fn best_cluster_is_lowest_score() {
+        let f = fleet(&[(1.0, 1.0), (1.0, 1.0), (1.0, 1.0)]);
+        let best = best_cluster(&f, CdnId(0), scorer(&[30.0, 10.0, 20.0]));
+        assert_eq!(best, Some(ClusterId(1)));
+    }
+
+    #[test]
+    fn preferred_cluster_is_cheapest_within_ratio() {
+        let f = fleet(&[(3.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        // Scores 100/150/900: candidates are clusters 0 and 1; cheapest is 1.
+        let preferred = preferred_cluster(&f, CdnId(0), scorer(&[100.0, 150.0, 900.0]));
+        assert_eq!(preferred, Some(ClusterId(1)));
+        // best_cluster ignores cost and picks the score winner.
+        assert_eq!(best_cluster(&f, CdnId(0), scorer(&[100.0, 150.0, 900.0])), Some(ClusterId(0)));
+    }
+
+    #[test]
+    fn empty_cdn_yields_nothing() {
+        let f = Fleet {
+            cdns: vec![Cdn {
+                id: CdnId(0),
+                model: DeploymentModel::Centralized { sites: 0 },
+                clusters: vec![],
+            }],
+            clusters: vec![],
+        };
+        assert!(candidate_clusters(&f, CdnId(0), |_| Score(1.0), &MatchingConfig::default())
+            .is_empty());
+        assert_eq!(best_cluster(&f, CdnId(0), |_| Score(1.0)), None);
+        assert_eq!(preferred_cluster(&f, CdnId(0), |_| Score(1.0)), None);
+    }
+}

@@ -1,0 +1,487 @@
+//! The seven-step Decision Protocol (§4.1) as a pure function.
+//!
+//! One call to [`run_decision_round`] executes Estimate → Gather → Share →
+//! Matching → Announce → Optimize → Accept for a given [`Design`] over an
+//! ecosystem snapshot, producing the client-group→cluster assignment the
+//! Delivery Protocol then serves from. "Time dynamics are less important as
+//! the Decision Protocol runs periodically over all clients" (§5.1) — the
+//! paper's evaluation, and ours, is exactly one round per design.
+//!
+//! Where the designs differ (Table 2) is encoded declaratively on
+//! [`Design`] and applied here:
+//!
+//! * **Matching width** — how many candidate clusters a CDN may offer.
+//! * **Price** — flat contract price vs. per-cluster dynamic price
+//!   (`margin × internal cost`; the margin comes from bid shading and
+//!   defaults to the paper's 1.2 markup). Omniscient sees raw cost.
+//! * **Capacity belief** — per-CDN median estimate (§5.1) for blind
+//!   designs; gross true capacity for BestLookup (which cannot see other
+//!   traffic sources, hence overbooking); residual capacity (net of
+//!   background commitments) for Marketplace-class designs.
+
+use crate::design::Design;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vdx_broker::{
+    optimize, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy, GroupOption, OptimizeMode,
+};
+use vdx_cdn::{
+    candidate_clusters, median_capacity, total_capacity, CdnId, ClusterId, Contract, Fleet,
+    MatchingConfig,
+};
+use vdx_geo::{CityId, World};
+use vdx_netsim::Score;
+
+/// Everything a Decision Protocol round needs to see.
+pub struct RoundInputs<'a> {
+    /// The world geometry.
+    pub world: &'a World,
+    /// The CDN fleet (clusters must have planned capacities).
+    pub fleet: &'a Fleet,
+    /// Flat-rate contracts, indexed by [`CdnId`].
+    pub contracts: &'a [Contract],
+    /// The broker's client groups (the Gather output).
+    pub groups: &'a [ClientGroup],
+    /// True background load per cluster, kbit/s (from
+    /// [`assign_background`]).
+    pub background_load_kbps: &'a [f64],
+    /// The content provider's goals.
+    pub policy: CpPolicy,
+    /// Solver choice.
+    pub mode: OptimizeMode,
+    /// Override for the marketplace bid count (Fig 18); `None` uses the
+    /// design's default.
+    pub bid_count: Option<usize>,
+    /// Per-cluster price margins from bid shading; `None` means the flat
+    /// 1.2 markup everywhere.
+    pub margins: Option<&'a [f64]>,
+}
+
+/// The result of one Decision Protocol round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// The design that ran.
+    pub design: Design,
+    /// The full option sets announced to the broker.
+    pub problem: BrokerProblem,
+    /// The broker's Optimize output.
+    pub assignment: BrokerAssignment,
+}
+
+impl RoundOutcome {
+    /// The Accept step's content: every announced option with whether the
+    /// broker used it — including losing bids, so CDNs can learn (§6.1).
+    pub fn accept_entries(&self) -> Vec<(usize, GroupOption, bool)> {
+        let mut entries = Vec::new();
+        for (g, opts) in self.problem.options.iter().enumerate() {
+            for (i, o) in opts.iter().enumerate() {
+                entries.push((g, *o, self.assignment.choice[g] == i));
+            }
+        }
+        entries
+    }
+
+    /// The chosen option for each group.
+    pub fn chosen(&self) -> Vec<&GroupOption> {
+        (0..self.problem.groups.len())
+            .map(|g| self.assignment.chosen(&self.problem, g))
+            .collect()
+    }
+}
+
+/// Runs one round of the Decision Protocol for `design`.
+///
+/// `score_of(client_city, site_city)` provides the Estimate step's
+/// performance scores (both parties are assumed to estimate consistently;
+/// see DESIGN.md on this simplification, which the paper shares).
+pub fn run_decision_round(
+    design: Design,
+    inputs: &RoundInputs<'_>,
+    score_of: impl Fn(CityId, CityId) -> Score,
+) -> RoundOutcome {
+    let fleet = inputs.fleet;
+    let matching_config = MatchingConfig {
+        score_ratio: if design == Design::Omniscient { f64::INFINITY } else { 2.0 },
+        max_candidates: inputs.bid_count.unwrap_or(design.max_candidates()),
+    };
+
+    // Per-CDN median capacity estimates for capacity-blind designs.
+    let medians: Vec<f64> = fleet
+        .cdns
+        .iter()
+        .map(|cdn| median_capacity(fleet, cdn.id))
+        .collect();
+
+    let mut options: Vec<Vec<GroupOption>> = Vec::with_capacity(inputs.groups.len());
+    for group in inputs.groups {
+        let mut group_options = Vec::new();
+        for cdn in &fleet.cdns {
+            // Steps 3–5: Share (implicit — the matchings below are built
+            // per group, which for Marketplace-class designs is licensed by
+            // the Share step), Matching, Announce.
+            let matchings = candidate_clusters(
+                fleet,
+                cdn.id,
+                |site| score_of(group.city, site),
+                &matching_config,
+            );
+            for m in matchings {
+                let price_per_mb = announced_price(design, inputs, cdn.id, m.cluster, m.cost_per_mb);
+                let believed_capacity_kbps =
+                    believed_capacity(design, inputs, cdn.id, m.cluster, &medians);
+                group_options.push(GroupOption {
+                    cdn: cdn.id,
+                    cluster: m.cluster,
+                    score: m.score,
+                    price_per_mb,
+                    believed_capacity_kbps,
+                });
+            }
+        }
+        options.push(group_options);
+    }
+
+    let problem = BrokerProblem { groups: inputs.groups.to_vec(), options };
+    let assignment = optimize(&problem, &inputs.policy, &inputs.mode);
+    RoundOutcome { design, problem, assignment }
+}
+
+fn announced_price(
+    design: Design,
+    inputs: &RoundInputs<'_>,
+    cdn: CdnId,
+    cluster: ClusterId,
+    cost_per_mb: f64,
+) -> f64 {
+    if design == Design::Omniscient {
+        // The upper bound differs from Marketplace only in its unrestricted
+        // candidate set; prices keep the same markup so the optimization is
+        // comparable (otherwise the wc scale would silently change).
+        return cost_per_mb * vdx_cdn::DEFAULT_MARKUP;
+    }
+    if design.announces_cost() {
+        let margin = inputs
+            .margins
+            .map(|m| m[cluster.index()])
+            .unwrap_or(vdx_cdn::DEFAULT_MARKUP);
+        cost_per_mb * margin
+    } else {
+        inputs.contracts[cdn.index()].billed_price_per_mb()
+    }
+}
+
+fn believed_capacity(
+    design: Design,
+    inputs: &RoundInputs<'_>,
+    cdn: CdnId,
+    cluster: ClusterId,
+    medians: &[f64],
+) -> f64 {
+    if !design.announces_capacity() {
+        return medians[cdn.index()];
+    }
+    let gross = inputs.fleet.clusters[cluster.index()].capacity_kbps;
+    if design.capacity_is_residual() {
+        (gross - inputs.background_load_kbps[cluster.index()]).max(0.0)
+    } else {
+        gross
+    }
+}
+
+/// Places the §5.1 background traffic (non-broker / other-broker clients):
+/// each group's background demand is split across two CDNs drawn with
+/// probability proportional to total CDN capacity, then served from each
+/// CDN's best-scoring cluster — i.e. traditional delivery, no broker
+/// optimization. Returns per-cluster load in kbit/s.
+pub fn assign_background(
+    world: &World,
+    fleet: &Fleet,
+    groups: &[ClientGroup],
+    background_kbps: &[f64],
+    seed: u64,
+    score_of: impl Fn(CityId, CityId) -> Score,
+) -> Vec<f64> {
+    let _ = world;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xB6_0000);
+    let weights: Vec<f64> = fleet
+        .cdns
+        .iter()
+        .map(|c| total_capacity(fleet, c.id).max(1e-9))
+        .collect();
+    let total_w: f64 = weights.iter().sum();
+    let mut load = vec![0.0f64; fleet.clusters.len()];
+    for (i, group) in groups.iter().enumerate() {
+        let demand = background_kbps.get(i).copied().unwrap_or(0.0);
+        if demand <= 0.0 {
+            continue;
+        }
+        for half in 0..2 {
+            let mut pick: f64 = rng.gen_range(0.0..total_w);
+            let mut cdn = fleet.cdns.len() - 1;
+            for (j, w) in weights.iter().enumerate() {
+                if pick < *w {
+                    cdn = j;
+                    break;
+                }
+                pick -= w;
+            }
+            let cdn = CdnId(cdn as u32);
+            if let Some(preferred) =
+                vdx_cdn::preferred_cluster(fleet, cdn, |site| score_of(group.city, site))
+            {
+                let _ = half;
+                load[preferred.index()] += demand / 2.0;
+            }
+        }
+    }
+    load
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use vdx_broker::{gather_groups, synth_background};
+    use vdx_cdn::{build_fleet, negotiate_contract, plan_capacities, FleetConfig, DEFAULT_MARKUP};
+    use vdx_geo::WorldConfig;
+    use vdx_netsim::{NetModel, NetModelConfig};
+    use vdx_trace::{BrokerTrace, BrokerTraceConfig};
+
+    /// A small but complete ecosystem for decision-round tests.
+    pub(crate) struct TestEco {
+        pub world: World,
+        pub fleet: Fleet,
+        pub contracts: Vec<Contract>,
+        pub groups: Vec<ClientGroup>,
+        pub background: Vec<f64>,
+        pub net: NetModel,
+    }
+
+    pub(crate) fn build_eco(seed: u64) -> TestEco {
+        let world = World::generate(
+            &WorldConfig { countries: 15, cities: 80, ..Default::default() },
+            seed,
+        );
+        let net = NetModel::new(NetModelConfig::default(), seed);
+        let trace = BrokerTrace::generate(
+            &world,
+            &BrokerTraceConfig { sessions: 1_500, videos: 200, ..Default::default() },
+            seed,
+        );
+        let groups = gather_groups(trace.sessions());
+        let bg = synth_background(&groups, 3.0, seed);
+        let demand = vdx_broker::gather::demand_points(&groups, &bg);
+        let mut fleet = build_fleet(
+            &world,
+            &FleetConfig {
+                distributed_sites: 30,
+                medium: (2, 8..12),
+                centralized: (2, 3..5),
+                regional: (2, 4..7),
+                ..Default::default()
+            },
+            seed,
+        );
+        plan_capacities(&world, &mut fleet, &demand, |a, b| net.score(&world, a, b));
+        let contracts: Vec<Contract> = fleet
+            .cdns
+            .iter()
+            .map(|c| negotiate_contract(&fleet, c.id, DEFAULT_MARKUP))
+            .collect();
+        let background = assign_background(&world, &fleet, &groups, &bg, seed, |a, b| {
+            net.score(&world, a, b)
+        });
+        TestEco { world, fleet, contracts, groups, background, net }
+    }
+
+    fn run(eco: &TestEco, design: Design) -> RoundOutcome {
+        let inputs = RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        };
+        run_decision_round(design, &inputs, |a, b| eco.net.score(&eco.world, a, b))
+    }
+
+    #[test]
+    fn every_group_is_assigned_in_every_design() {
+        let eco = build_eco(11);
+        for design in Design::TABLE3 {
+            let out = run(&eco, design);
+            assert_eq!(out.assignment.choice.len(), eco.groups.len(), "{design}");
+            let placed: f64 = out.assignment.cluster_load_kbps.values().sum();
+            let demand: f64 = eco.groups.iter().map(|g| g.demand_kbps).sum();
+            assert!((placed - demand).abs() < 1e-6, "{design}: {placed} vs {demand}");
+        }
+    }
+
+    #[test]
+    fn brokered_offers_one_option_per_cdn() {
+        let eco = build_eco(11);
+        let out = run(&eco, Design::Brokered);
+        for opts in &out.problem.options {
+            assert_eq!(opts.len(), eco.fleet.cdns.len());
+            // All options of one CDN share the flat contract price.
+            for o in opts {
+                let expect = eco.contracts[o.cdn.index()].billed_price_per_mb();
+                assert_eq!(o.price_per_mb, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn multicluster_offers_more_options_than_brokered() {
+        let eco = build_eco(11);
+        let brokered = run(&eco, Design::Brokered);
+        let multi = run(&eco, Design::Multicluster(100));
+        let count = |o: &RoundOutcome| -> usize { o.problem.options.iter().map(Vec::len).sum() };
+        assert!(count(&multi) > count(&brokered));
+    }
+
+    #[test]
+    fn dynamic_designs_announce_per_cluster_prices() {
+        let eco = build_eco(11);
+        let out = run(&eco, Design::Marketplace);
+        for opts in &out.problem.options {
+            for o in opts {
+                let cost = eco.fleet.clusters[o.cluster.index()].cost_per_mb();
+                assert!((o.price_per_mb - cost * DEFAULT_MARKUP).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn omniscient_prices_like_marketplace_but_sees_everything() {
+        let eco = build_eco(11);
+        let out = run(&eco, Design::Omniscient);
+        let market = run(&eco, Design::Marketplace);
+        for opts in &out.problem.options {
+            for o in opts {
+                let cost = eco.fleet.clusters[o.cluster.index()].cost_per_mb();
+                assert!((o.price_per_mb - cost * DEFAULT_MARKUP).abs() < 1e-9);
+            }
+        }
+        // Strictly more options than any restricted design.
+        let count = |o: &RoundOutcome| -> usize { o.problem.options.iter().map(Vec::len).sum() };
+        assert!(count(&out) >= count(&market));
+    }
+
+    #[test]
+    fn capacity_beliefs_follow_the_design() {
+        let eco = build_eco(11);
+        let blind = run(&eco, Design::DynamicMulticluster);
+        for opts in &blind.problem.options {
+            for o in opts {
+                assert_eq!(
+                    o.believed_capacity_kbps,
+                    median_capacity(&eco.fleet, o.cdn),
+                    "blind designs use the per-CDN median"
+                );
+            }
+        }
+        let bestlookup = run(&eco, Design::BestLookup);
+        for opts in &bestlookup.problem.options {
+            for o in opts {
+                assert_eq!(
+                    o.believed_capacity_kbps,
+                    eco.fleet.clusters[o.cluster.index()].capacity_kbps,
+                    "BestLookup sees gross capacity"
+                );
+            }
+        }
+        let marketplace = run(&eco, Design::Marketplace);
+        for opts in &marketplace.problem.options {
+            for o in opts {
+                let gross = eco.fleet.clusters[o.cluster.index()].capacity_kbps;
+                let residual =
+                    (gross - eco.background[o.cluster.index()]).max(0.0);
+                assert_eq!(o.believed_capacity_kbps, residual, "Marketplace sees residual");
+            }
+        }
+    }
+
+    #[test]
+    fn bid_count_override_limits_options() {
+        let eco = build_eco(11);
+        let inputs = RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: Some(1),
+            margins: None,
+        };
+        let out = run_decision_round(Design::Marketplace, &inputs, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        for opts in &out.problem.options {
+            assert_eq!(opts.len(), eco.fleet.cdns.len(), "one bid per CDN");
+        }
+    }
+
+    #[test]
+    fn accept_entries_cover_all_bids_with_one_winner_per_group() {
+        let eco = build_eco(11);
+        let out = run(&eco, Design::Marketplace);
+        let entries = out.accept_entries();
+        let total_bids: usize = out.problem.options.iter().map(Vec::len).sum();
+        assert_eq!(entries.len(), total_bids);
+        for g in 0..eco.groups.len() {
+            let winners = entries.iter().filter(|(gg, _, won)| *gg == g && *won).count();
+            assert_eq!(winners, 1, "exactly one accepted bid per group");
+        }
+    }
+
+    #[test]
+    fn background_assignment_conserves_demand() {
+        let eco = build_eco(13);
+        let bg_kbps: Vec<f64> = eco.groups.iter().map(|g| g.demand_kbps * 3.0).collect();
+        let load = assign_background(&eco.world, &eco.fleet, &eco.groups, &bg_kbps, 5, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        let placed: f64 = load.iter().sum();
+        let expect: f64 = bg_kbps.iter().sum();
+        assert!((placed - expect).abs() < 1e-6);
+        // Deterministic.
+        let load2 = assign_background(&eco.world, &eco.fleet, &eco.groups, &bg_kbps, 5, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        assert_eq!(load, load2);
+    }
+
+    #[test]
+    fn marketplace_congests_less_than_blind_multicluster() {
+        // The Table 3 headline mechanism: accurate (residual) capacity info
+        // avoids overloading clusters.
+        let eco = build_eco(17);
+        let congested = |out: &RoundOutcome| -> f64 {
+            let mut overloaded_sessions = 0u64;
+            let mut total_sessions = 0u64;
+            for (g, &choice) in out.assignment.choice.iter().enumerate() {
+                let o = &out.problem.options[g][choice];
+                let cl = &eco.fleet.clusters[o.cluster.index()];
+                let load = out.assignment.cluster_load_kbps[&o.cluster]
+                    + eco.background[o.cluster.index()];
+                total_sessions += out.problem.groups[g].sessions as u64;
+                if load > cl.capacity_kbps {
+                    overloaded_sessions += out.problem.groups[g].sessions as u64;
+                }
+            }
+            overloaded_sessions as f64 / total_sessions.max(1) as f64
+        };
+        let multi = congested(&run(&eco, Design::Multicluster(100)));
+        let market = congested(&run(&eco, Design::Marketplace));
+        assert!(
+            market <= multi + 1e-9,
+            "marketplace congestion {market} should not exceed blind multicluster {multi}"
+        );
+    }
+}

@@ -1,0 +1,148 @@
+//! The Delivery Protocol (§4.1): Query → Result → Request → Delivery.
+//!
+//! "Note that the most recent Decision Protocol results are used, and thus
+//! decision making does not slow down delivery." The [`DeliveryDirectory`]
+//! is that cached result: a city → (cluster, alternatives) map built from a
+//! [`RoundOutcome`], answering client queries in O(log n) with failover to
+//! the round's next-best alternative when a cluster is marked failed
+//! (§6.3: "Failures or poor performance in the Delivery Protocol are
+//! handled using a variety of recovery mechanisms … as is done today").
+
+use crate::decision::RoundOutcome;
+use std::collections::{BTreeMap, HashSet};
+use vdx_cdn::ClusterId;
+use vdx_geo::CityId;
+
+/// The broker-side lookup table clients query. Routes are keyed by
+/// `(city, bitrate rung)` — the granularity the Decision Protocol groups
+/// clients at.
+#[derive(Debug, Clone)]
+pub struct DeliveryDirectory {
+    /// Per (city, bitrate): the chosen cluster followed by fallback
+    /// candidates in decreasing preference.
+    routes: BTreeMap<(CityId, u32), Vec<ClusterId>>,
+    failed: HashSet<ClusterId>,
+}
+
+impl DeliveryDirectory {
+    /// Builds the directory from a finished decision round. Fallbacks are
+    /// the group's other announced options ordered by score.
+    pub fn from_round(outcome: &RoundOutcome) -> DeliveryDirectory {
+        let mut routes = BTreeMap::new();
+        for (g, group) in outcome.problem.groups.iter().enumerate() {
+            let chosen = outcome.assignment.chosen(&outcome.problem, g);
+            let mut alternatives: Vec<_> = outcome.problem.options[g]
+                .iter()
+                .filter(|o| o.cluster != chosen.cluster)
+                .collect();
+            alternatives.sort_by(|a, b| a.score.total_cmp(&b.score));
+            let mut route = vec![chosen.cluster];
+            route.extend(alternatives.iter().map(|o| o.cluster));
+            routes.insert((group.city, group.bitrate_kbps), route);
+        }
+        DeliveryDirectory { routes, failed: HashSet::new() }
+    }
+
+    /// Marks a cluster as failed; subsequent queries fail over past it.
+    pub fn mark_failed(&mut self, cluster: ClusterId) {
+        self.failed.insert(cluster);
+    }
+
+    /// Clears a failure (the cluster recovered).
+    pub fn mark_recovered(&mut self, cluster: ClusterId) {
+        self.failed.remove(&cluster);
+    }
+
+    /// Step 1+2 of the Delivery Protocol: a client in `city` requesting
+    /// `bitrate_kbps` asks which cluster to fetch from. Falls back to any
+    /// bitrate rung known for the city if the exact rung is absent (a
+    /// client may request a rate the last round never saw). Returns `None`
+    /// if the city is unknown or all candidates have failed.
+    pub fn query(&self, city: CityId, bitrate_kbps: u32) -> Option<ClusterId> {
+        let route = self.routes.get(&(city, bitrate_kbps)).or_else(|| {
+            self.routes
+                .range((city, 0)..=(city, u32::MAX))
+                .next()
+                .map(|(_, route)| route)
+        })?;
+        route.iter().find(|c| !self.failed.contains(c)).copied()
+    }
+
+    /// Number of (city, bitrate) routes the directory can answer for.
+    pub fn num_routes(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::tests::build_eco;
+    use crate::decision::{run_decision_round, RoundInputs};
+    use crate::design::Design;
+    use vdx_broker::{CpPolicy, OptimizeMode};
+
+    fn directory() -> (DeliveryDirectory, RoundOutcome) {
+        let eco = build_eco(29);
+        let inputs = RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        };
+        let out = run_decision_round(Design::Marketplace, &inputs, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        (DeliveryDirectory::from_round(&out), out)
+    }
+
+    #[test]
+    fn every_group_is_answerable() {
+        let (dir, out) = directory();
+        assert_eq!(dir.num_routes(), out.problem.groups.len());
+        for g in &out.problem.groups {
+            assert!(dir.query(g.city, g.bitrate_kbps).is_some());
+        }
+    }
+
+    #[test]
+    fn query_returns_the_chosen_cluster() {
+        let (dir, out) = directory();
+        for (g, group) in out.problem.groups.iter().enumerate() {
+            let chosen = out.assignment.chosen(&out.problem, g);
+            assert_eq!(dir.query(group.city, group.bitrate_kbps), Some(chosen.cluster));
+        }
+    }
+
+    #[test]
+    fn unknown_bitrate_falls_back_to_city_route() {
+        let (dir, out) = directory();
+        let g = &out.problem.groups[0];
+        assert!(dir.query(g.city, 123_456).is_some(), "falls back to any rung");
+    }
+
+    #[test]
+    fn failover_skips_failed_clusters() {
+        let (mut dir, out) = directory();
+        let g = &out.problem.groups[0];
+        let primary = dir.query(g.city, g.bitrate_kbps).expect("has route");
+        dir.mark_failed(primary);
+        let fallback = dir.query(g.city, g.bitrate_kbps);
+        if let Some(fb) = fallback {
+            assert_ne!(fb, primary, "failover picks a different cluster");
+        }
+        dir.mark_recovered(primary);
+        assert_eq!(dir.query(g.city, g.bitrate_kbps), Some(primary));
+    }
+
+    #[test]
+    fn unknown_city_returns_none() {
+        let (dir, _) = directory();
+        assert_eq!(dir.query(vdx_geo::CityId(9_999), 235), None);
+    }
+}

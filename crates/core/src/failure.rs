@@ -1,0 +1,131 @@
+//! Failure handling (§6.3).
+//!
+//! > "If a CDN has a failure, the rest of the system still continues to
+//! > work. … As brokers solely exist to optimize performance, when a
+//! > broker fails, CP software can always fail gracefully to ignoring the
+//! > broker and request content from a given CDN directly."
+//!
+//! Two mechanisms, matching those two sentences:
+//!
+//! * [`exclude_cdns`] — remove a failed CDN's options from a round's
+//!   problem before (re-)optimizing; the Decision Protocol proceeds with
+//!   everyone else.
+//! * [`direct_fallback`] — the broker-failure path: every client group
+//!   goes straight to a designated default CDN's best-scoring cluster,
+//!   exactly what an un-brokered client would do.
+
+use vdx_broker::{BrokerProblem, ClientGroup};
+use vdx_cdn::{best_cluster, CdnId, ClusterId, Fleet};
+use vdx_geo::CityId;
+use vdx_netsim::Score;
+
+/// Removes all options of the given CDNs from a problem. Groups left with
+/// no options are reported in the error so the caller can fall back.
+///
+/// Returns the filtered problem, or `Err(group_indices)` naming the groups
+/// that became unservable.
+pub fn exclude_cdns(
+    problem: &BrokerProblem,
+    failed: &[CdnId],
+) -> Result<BrokerProblem, Vec<usize>> {
+    let mut options = Vec::with_capacity(problem.options.len());
+    let mut orphaned = Vec::new();
+    for (g, opts) in problem.options.iter().enumerate() {
+        let kept: Vec<_> =
+            opts.iter().filter(|o| !failed.contains(&o.cdn)).copied().collect();
+        if kept.is_empty() {
+            orphaned.push(g);
+        }
+        options.push(kept);
+    }
+    if orphaned.is_empty() {
+        Ok(BrokerProblem { groups: problem.groups.clone(), options })
+    } else {
+        Err(orphaned)
+    }
+}
+
+/// Broker-failure fallback: routes every group to `default_cdn`'s
+/// best-scoring cluster (traditional, un-brokered delivery). Returns
+/// per-group clusters; `None` entries mean the default CDN has no clusters.
+pub fn direct_fallback(
+    fleet: &Fleet,
+    groups: &[ClientGroup],
+    default_cdn: CdnId,
+    score_of: impl Fn(CityId, CityId) -> Score,
+) -> Vec<Option<ClusterId>> {
+    groups
+        .iter()
+        .map(|g| best_cluster(fleet, default_cdn, |site| score_of(g.city, site)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::tests::build_eco;
+    use crate::decision::{run_decision_round, RoundInputs};
+    use crate::design::Design;
+    use vdx_broker::{optimize, CpPolicy, OptimizeMode};
+
+    #[test]
+    fn round_survives_a_cdn_failure() {
+        let eco = build_eco(31);
+        let inputs = RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        };
+        let out = run_decision_round(Design::Marketplace, &inputs, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        // Fail the biggest CDN; everything should still be servable.
+        let filtered = exclude_cdns(&out.problem, &[CdnId(0)]).expect("others can serve");
+        let assignment = optimize(&filtered, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
+        assert_eq!(assignment.choice.len(), eco.groups.len());
+        for (g, &c) in assignment.choice.iter().enumerate() {
+            assert_ne!(filtered.options[g][c].cdn, CdnId(0), "failed CDN unused");
+        }
+    }
+
+    #[test]
+    fn excluding_every_cdn_reports_orphans() {
+        let eco = build_eco(31);
+        let inputs = RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        };
+        let out = run_decision_round(Design::Marketplace, &inputs, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        let all: Vec<CdnId> = eco.fleet.cdns.iter().map(|c| c.id).collect();
+        let err = exclude_cdns(&out.problem, &all).unwrap_err();
+        assert_eq!(err.len(), eco.groups.len(), "every group orphaned");
+    }
+
+    #[test]
+    fn direct_fallback_serves_every_group() {
+        let eco = build_eco(31);
+        let routes = direct_fallback(&eco.fleet, &eco.groups, CdnId(0), |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        assert_eq!(routes.len(), eco.groups.len());
+        for r in &routes {
+            let cluster = r.expect("distributed CDN covers everyone");
+            assert_eq!(eco.fleet.owner(cluster), CdnId(0));
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # vdx-core — the CDN–broker decision interface and the VDX marketplace
+//!
+//! This crate is the paper's primary contribution, built on the substrate
+//! crates (`vdx-geo`, `vdx-netsim`, `vdx-trace`, `vdx-solver`, `vdx-cdn`,
+//! `vdx-broker`, `vdx-proto`):
+//!
+//! * [`design`] — the design space of §4 / Table 2: **Brokered** (today),
+//!   **Multicluster**, **DynamicPricing**, **DynamicMulticluster**,
+//!   **BestLookup**, **Marketplace** (VDX), **Transactions**, plus the
+//!   **Omniscient** upper bound of §5 — each described by what it Shares,
+//!   how it Matches, and what it Announces.
+//! * [`decision`] — the seven-step Decision Protocol of §4.1 (Estimate,
+//!   Gather, Share, Matching, Announce, Optimize, Accept) as a pure
+//!   function from an ecosystem snapshot to a client→cluster assignment;
+//!   this is the engine every experiment runs.
+//! * [`accounting`] — who pays whom: revenue under flat-rate contracts vs.
+//!   per-cluster marketplace prices, internal cost, profit, and the
+//!   price-to-cost ratios of Figs 10–15.
+//! * [`exchange`] — VDX as an actual protocol: a broker endpoint and CDN
+//!   endpoints exchanging Share/Announce/Accept messages over (lossy)
+//!   `vdx-proto` links, with bid-shading CDN agents learning from Accept
+//!   feedback across rounds.
+//! * [`delivery`] — the Delivery Protocol of §4.1: the directory clients
+//!   query, with cluster-failure failover (§6.3).
+//! * [`reputation`] — the §6.3 fraud defence: CDNs whose announcements
+//!   repeatedly disagree with measurements get their bids deprioritised.
+//! * [`failure`] — §6.3 failure handling: dropping a failed CDN from a
+//!   round, and broker-bypass fallback.
+//! * [`transactions`] — the Transactions design's multi-round commit loop
+//!   (§4.2), including the obstinate-veto failure mode that makes the
+//!   paper call it impractical.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accounting;
+pub mod decision;
+pub mod delivery;
+pub mod design;
+pub mod exchange;
+pub mod failure;
+pub mod reputation;
+pub mod transactions;
+
+pub use accounting::{settle, CdnLedger, Settlement};
+pub use decision::{assign_background, run_decision_round, RoundInputs, RoundOutcome};
+pub use design::Design;
+pub use exchange::{CdnAgent, ExchangeBroker, ExchangeConfig};
+pub use reputation::ReputationSystem;
+pub use transactions::{run_transactions, CommitPolicy, HonestCommit, TransactionOutcome};

@@ -1,0 +1,142 @@
+//! Fraud handling (§6.3): a reputation system over CDN announcements.
+//!
+//! > "CDNs that consistently send fraudulent bids (or fail often) can be
+//! > marked as 'bad' using a reputation system. Their bids can be handled
+//! > at lower priority in the brokers' decision process."
+//!
+//! The broker compares what a CDN *announced* (performance, capacity)
+//! against what its clients *measured*, keeps an exponentially weighted
+//! honesty estimate per CDN, and exposes a bid-value penalty that the
+//! Optimize step can fold in. CDNs below a trust threshold are flagged.
+
+use serde::{Deserialize, Serialize};
+use vdx_cdn::CdnId;
+
+/// How far an announcement may deviate (fractionally) before it counts as
+/// dishonest. Estimates are noisy; 30 % slack avoids punishing honest noise.
+pub const HONESTY_SLACK: f64 = 0.30;
+
+/// EWMA weight of each new observation.
+const ALPHA: f64 = 0.1;
+
+/// Trust level below which a CDN is flagged as bad.
+pub const BAD_THRESHOLD: f64 = 0.5;
+
+/// Per-CDN reputation state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReputationSystem {
+    /// Trust in `[0, 1]` per CDN, starting at 1 (innocent until measured).
+    trust: Vec<f64>,
+    observations: Vec<u64>,
+}
+
+impl ReputationSystem {
+    /// Creates state for `num_cdns` CDNs, all fully trusted.
+    pub fn new(num_cdns: usize) -> ReputationSystem {
+        ReputationSystem { trust: vec![1.0; num_cdns], observations: vec![0; num_cdns] }
+    }
+
+    /// Records a comparison of an announced value against a measurement
+    /// (same units; e.g. announced vs. measured score, or announced vs.
+    /// observed capacity). Announcements *better* than reality (lower
+    /// score / higher capacity than measured) beyond the slack are the
+    /// fraud signal; pessimistic announcements are honest conservatism.
+    pub fn record(&mut self, cdn: CdnId, announced_score: f64, measured_score: f64) {
+        let honest = announced_score >= measured_score * (1.0 - HONESTY_SLACK);
+        let sample = if honest { 1.0 } else { 0.0 };
+        let t = &mut self.trust[cdn.index()];
+        *t = (1.0 - ALPHA) * *t + ALPHA * sample;
+        self.observations[cdn.index()] += 1;
+    }
+
+    /// Current trust in `[0, 1]`.
+    pub fn trust(&self, cdn: CdnId) -> f64 {
+        self.trust[cdn.index()]
+    }
+
+    /// Whether the CDN is currently flagged as bad.
+    pub fn is_bad(&self, cdn: CdnId) -> bool {
+        self.trust[cdn.index()] < BAD_THRESHOLD
+    }
+
+    /// Multiplier for bid *values* in the Optimize step: fully trusted bids
+    /// keep their value, distrusted bids are deprioritised smoothly. Values
+    /// in the broker objective are negative (penalties), so the multiplier
+    /// is applied as `value - penalty_offset` by callers; this returns the
+    /// additive penalty per unit of distrust.
+    pub fn value_penalty(&self, cdn: CdnId, value_scale: f64) -> f64 {
+        (1.0 - self.trust[cdn.index()]) * value_scale
+    }
+
+    /// Number of observations recorded for a CDN.
+    pub fn observations(&self, cdn: CdnId) -> u64 {
+        self.observations[cdn.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_fully_trusted() {
+        let r = ReputationSystem::new(3);
+        assert_eq!(r.trust(CdnId(0)), 1.0);
+        assert!(!r.is_bad(CdnId(0)));
+        assert_eq!(r.value_penalty(CdnId(0), 100.0), 0.0);
+    }
+
+    #[test]
+    fn consistent_fraud_degrades_trust_below_threshold() {
+        let mut r = ReputationSystem::new(1);
+        // Announcing a score of 10 when clients measure 100: fraud.
+        for _ in 0..20 {
+            r.record(CdnId(0), 10.0, 100.0);
+        }
+        assert!(r.is_bad(CdnId(0)), "trust {}", r.trust(CdnId(0)));
+        assert!(r.value_penalty(CdnId(0), 100.0) > 50.0);
+    }
+
+    #[test]
+    fn honest_announcements_keep_trust() {
+        let mut r = ReputationSystem::new(1);
+        for _ in 0..50 {
+            r.record(CdnId(0), 100.0, 95.0); // slightly pessimistic: honest
+        }
+        assert!((r.trust(CdnId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_within_slack_is_tolerated() {
+        let mut r = ReputationSystem::new(1);
+        for _ in 0..50 {
+            r.record(CdnId(0), 80.0, 100.0); // 20% optimistic: within slack
+        }
+        assert!(!r.is_bad(CdnId(0)));
+    }
+
+    #[test]
+    fn trust_recovers_after_reform() {
+        let mut r = ReputationSystem::new(1);
+        for _ in 0..20 {
+            r.record(CdnId(0), 10.0, 100.0);
+        }
+        assert!(r.is_bad(CdnId(0)));
+        for _ in 0..30 {
+            r.record(CdnId(0), 100.0, 100.0);
+        }
+        assert!(!r.is_bad(CdnId(0)), "trust {}", r.trust(CdnId(0)));
+    }
+
+    #[test]
+    fn per_cdn_isolation() {
+        let mut r = ReputationSystem::new(2);
+        for _ in 0..20 {
+            r.record(CdnId(0), 10.0, 100.0);
+        }
+        assert!(r.is_bad(CdnId(0)));
+        assert!(!r.is_bad(CdnId(1)));
+        assert_eq!(r.observations(CdnId(0)), 20);
+        assert_eq!(r.observations(CdnId(1)), 0);
+    }
+}

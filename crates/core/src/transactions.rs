@@ -1,0 +1,262 @@
+//! The Transactions design (§4.2): multi-round all-CDN commit.
+//!
+//! > "After Optimize, the broker requests CDNs to commit the resources for
+//! > the chosen client-to-cluster mapping. If any CDN disapproves the
+//! > mapping, the mapping is withdrawn from all CDNs and a new mapping is
+//! > computed. This provides stronger Traffic Predictability guarantees
+//! > than Marketplace by making the process transaction-like, however, it
+//! > is unrealistic, as CDNs may never all approve the mapping."
+//!
+//! This module implements exactly that loop so the impracticality claim is
+//! *demonstrable* rather than asserted: a [`CommitPolicy`] decides whether
+//! a CDN approves a proposed mapping (the honest policy checks its own
+//! true capacities; an obstinate policy can veto anything), the engine
+//! withdraws vetoed mappings, removes the vetoed options, re-optimizes,
+//! and either converges or gives up after `max_rounds`.
+
+use crate::decision::{RoundInputs, RoundOutcome};
+use crate::design::Design;
+use vdx_broker::{optimize, BrokerProblem};
+use vdx_cdn::CdnId;
+use vdx_geo::CityId;
+use vdx_netsim::Score;
+use std::collections::HashMap;
+
+/// How a CDN decides whether to commit to a proposed mapping.
+pub trait CommitPolicy {
+    /// `loads` is the per-cluster load (kbit/s) the proposal puts on this
+    /// CDN's clusters (true background included). Return `false` to veto.
+    fn approves(&mut self, cdn: CdnId, loads: &HashMap<vdx_cdn::ClusterId, f64>) -> bool;
+}
+
+/// The honest policy: approve iff no own cluster exceeds true capacity.
+pub struct HonestCommit<'a> {
+    /// The fleet whose capacities are checked.
+    pub fleet: &'a vdx_cdn::Fleet,
+    /// Background load per cluster, kbit/s.
+    pub background: &'a [f64],
+}
+
+impl CommitPolicy for HonestCommit<'_> {
+    fn approves(&mut self, cdn: CdnId, loads: &HashMap<vdx_cdn::ClusterId, f64>) -> bool {
+        loads.iter().all(|(cluster, load)| {
+            let cl = &self.fleet.clusters[cluster.index()];
+            cl.cdn != cdn || load + self.background[cluster.index()] <= cl.capacity_kbps
+        })
+    }
+}
+
+/// A policy that vetoes the first `vetoes` proposals regardless of content
+/// — models the "CDNs may never all approve" failure mode.
+pub struct ObstinateCommit {
+    /// Remaining vetoes to cast.
+    pub vetoes: usize,
+}
+
+impl CommitPolicy for ObstinateCommit {
+    fn approves(&mut self, _cdn: CdnId, _loads: &HashMap<vdx_cdn::ClusterId, f64>) -> bool {
+        if self.vetoes > 0 {
+            self.vetoes -= 1;
+            false
+        } else {
+            true
+        }
+    }
+}
+
+/// Outcome of the transactional loop.
+#[derive(Debug)]
+pub enum TransactionOutcome {
+    /// All CDNs approved after this many proposal rounds (≥ 1).
+    Committed {
+        /// Number of proposal rounds used.
+        rounds: usize,
+        /// The committed mapping.
+        outcome: RoundOutcome,
+    },
+    /// `max_rounds` proposals were all vetoed; the last (uncommitted)
+    /// proposal is returned for inspection.
+    Abandoned {
+        /// The vetoing CDNs of the final round.
+        last_vetoes: Vec<CdnId>,
+        /// The final, uncommitted proposal.
+        proposal: RoundOutcome,
+    },
+}
+
+/// Runs the Transactions design: Marketplace-style rounds plus the commit
+/// loop. On veto, every option on a vetoing CDN's overloaded clusters is
+/// withdrawn and the broker re-optimizes.
+pub fn run_transactions(
+    inputs: &RoundInputs<'_>,
+    score_of: impl Fn(CityId, CityId) -> Score,
+    policy: &mut dyn CommitPolicy,
+    max_rounds: usize,
+) -> TransactionOutcome {
+    let mut outcome =
+        crate::decision::run_decision_round(Design::Transactions, inputs, &score_of);
+    for round in 1..=max_rounds {
+        // Per-CDN view of the proposal.
+        let mut per_cdn_loads: Vec<HashMap<vdx_cdn::ClusterId, f64>> =
+            vec![HashMap::new(); inputs.fleet.cdns.len()];
+        for (g, &choice) in outcome.assignment.choice.iter().enumerate() {
+            let o = &outcome.problem.options[g][choice];
+            *per_cdn_loads[o.cdn.index()].entry(o.cluster).or_insert(0.0) +=
+                outcome.problem.groups[g].demand_kbps;
+        }
+        let vetoes: Vec<CdnId> = inputs
+            .fleet
+            .cdns
+            .iter()
+            .filter(|cdn| {
+                !per_cdn_loads[cdn.id.index()].is_empty()
+                    && !policy.approves(cdn.id, &per_cdn_loads[cdn.id.index()])
+            })
+            .map(|cdn| cdn.id)
+            .collect();
+        if vetoes.is_empty() {
+            return TransactionOutcome::Committed { rounds: round, outcome };
+        }
+        if round == max_rounds {
+            return TransactionOutcome::Abandoned { last_vetoes: vetoes, proposal: outcome };
+        }
+        // Withdraw: drop every *chosen* option on a vetoing CDN (keep its
+        // other bids — the veto was about this mapping, not the CDN), then
+        // re-optimize. Groups that would lose all options keep them.
+        let chosen: Vec<(usize, vdx_cdn::ClusterId, CdnId)> = outcome
+            .assignment
+            .choice
+            .iter()
+            .enumerate()
+            .map(|(g, &c)| {
+                let o = &outcome.problem.options[g][c];
+                (g, o.cluster, o.cdn)
+            })
+            .collect();
+        let mut options = outcome.problem.options.clone();
+        for (g, cluster, cdn) in chosen {
+            if vetoes.contains(&cdn) && options[g].len() > 1 {
+                options[g].retain(|o| o.cluster != cluster);
+            }
+        }
+        let problem = BrokerProblem { groups: outcome.problem.groups.clone(), options };
+        let assignment = optimize(&problem, &inputs.policy, &inputs.mode);
+        outcome = RoundOutcome { design: Design::Transactions, problem, assignment };
+    }
+    unreachable!("loop returns from within");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::tests::build_eco;
+    use vdx_broker::{CpPolicy, OptimizeMode};
+
+    fn inputs(eco: &crate::decision::tests::TestEco) -> RoundInputs<'_> {
+        RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        }
+    }
+
+    #[test]
+    fn honest_cdns_commit_quickly() {
+        let eco = build_eco(41);
+        let mut policy = HonestCommit { fleet: &eco.fleet, background: &eco.background };
+        let result = run_transactions(
+            &inputs(&eco),
+            |a, b| eco.net.score(&eco.world, a, b),
+            &mut policy,
+            10,
+        );
+        match result {
+            TransactionOutcome::Committed { rounds, outcome } => {
+                // Residual-capacity-aware proposals shouldn't overload, so
+                // honest CDNs approve the first (or an early) proposal.
+                assert!(rounds <= 3, "took {rounds} rounds");
+                assert_eq!(outcome.assignment.choice.len(), eco.groups.len());
+            }
+            TransactionOutcome::Abandoned { last_vetoes, .. } => {
+                panic!("honest commit abandoned; vetoes from {last_vetoes:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn obstinate_cdns_stall_the_transaction() {
+        // The paper's impracticality claim, demonstrated: a single CDN that
+        // keeps vetoing exhausts the round budget.
+        let eco = build_eco(41);
+        let mut policy = ObstinateCommit { vetoes: usize::MAX };
+        let result = run_transactions(
+            &inputs(&eco),
+            |a, b| eco.net.score(&eco.world, a, b),
+            &mut policy,
+            5,
+        );
+        match result {
+            TransactionOutcome::Abandoned { last_vetoes, proposal } => {
+                assert!(!last_vetoes.is_empty());
+                assert_eq!(proposal.assignment.choice.len(), eco.groups.len());
+            }
+            TransactionOutcome::Committed { rounds, .. } => {
+                panic!("obstinate veto should not commit (committed in {rounds})")
+            }
+        }
+    }
+
+    #[test]
+    fn limited_vetoes_eventually_commit() {
+        let eco = build_eco(41);
+        let mut policy = ObstinateCommit { vetoes: 3 };
+        let result = run_transactions(
+            &inputs(&eco),
+            |a, b| eco.net.score(&eco.world, a, b),
+            &mut policy,
+            10,
+        );
+        match result {
+            TransactionOutcome::Committed { rounds, .. } => {
+                assert!(rounds >= 2, "vetoes must have forced extra rounds: {rounds}");
+            }
+            TransactionOutcome::Abandoned { .. } => panic!("should commit after vetoes run out"),
+        }
+    }
+
+    #[test]
+    fn withdrawal_changes_the_mapping() {
+        let eco = build_eco(41);
+        // Veto once, then approve: the committed mapping must avoid the
+        // clusters chosen in round 1 where alternatives existed.
+        let first =
+            crate::decision::run_decision_round(Design::Transactions, &inputs(&eco), |a, b| {
+                eco.net.score(&eco.world, a, b)
+            });
+        let mut policy = ObstinateCommit { vetoes: eco.fleet.cdns.len() };
+        let result = run_transactions(
+            &inputs(&eco),
+            |a, b| eco.net.score(&eco.world, a, b),
+            &mut policy,
+            10,
+        );
+        if let TransactionOutcome::Committed { outcome, .. } = result {
+            let changed = outcome
+                .assignment
+                .choice
+                .iter()
+                .zip(&first.assignment.choice)
+                .filter(|(a, b)| a != b)
+                .count();
+            assert!(changed > 0, "withdrawn mapping must differ somewhere");
+        } else {
+            panic!("should commit once vetoes are spent");
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Framing: `magic(2) | version(1) | flags(1) | length(4) | payload | crc32(4)`.
+//!
+//! * `length` covers the payload only; frames above [`MAX_PAYLOAD`] are
+//!   rejected at both ends (a malicious or corrupted length cannot make the
+//!   decoder allocate unbounded memory).
+//! * `crc32` (IEEE, reflected) covers header **and** payload, so corrupted
+//!   lengths are detected too — unless the corruption hits the length field
+//!   *and* keeps the frame parseable, in which case the CRC still fails
+//!   when the (wrong) number of bytes has arrived.
+//! * The decoder is incremental: feed it arbitrary chunks (as a transport
+//!   would deliver them) and it yields complete frames. After an error it
+//!   resynchronises by scanning for the next magic byte.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Frame magic: "VX".
+pub const MAGIC: [u8; 2] = [0x56, 0x58];
+
+/// Current protocol version.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Maximum payload size accepted (1 MiB) — a Share/Announce round for tens
+/// of thousands of client groups fits comfortably.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Header length in bytes (magic + version + flags + length).
+pub const HEADER_LEN: usize = 8;
+
+/// Trailer (CRC) length in bytes.
+pub const TRAILER_LEN: usize = 4;
+
+/// A decoded frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Protocol version from the header.
+    pub version: u8,
+    /// Flags byte (reserved; must currently be zero).
+    pub flags: u8,
+    /// The payload.
+    pub payload: Bytes,
+}
+
+/// Framing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// Header magic did not match.
+    BadMagic,
+    /// Unsupported protocol version.
+    BadVersion(u8),
+    /// Declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized(usize),
+    /// CRC mismatch.
+    BadCrc {
+        /// CRC computed over received bytes.
+        computed: u32,
+        /// CRC carried in the frame trailer.
+        received: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadMagic => write!(f, "bad frame magic"),
+            FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            FrameError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
+            FrameError::BadCrc { computed, received } => {
+                write!(f, "crc mismatch: computed {computed:#010x}, received {received:#010x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Computes the IEEE CRC-32 (reflected, init `0xFFFF_FFFF`, final XOR) of
+/// `data`. Table-driven; the table is built on first use.
+pub fn crc32(data: &[u8]) -> u32 {
+    // 256-entry table for the reflected polynomial 0xEDB88320.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    });
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = table[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Encodes a payload into a complete frame.
+///
+/// # Panics
+/// Panics if the payload exceeds [`MAX_PAYLOAD`] (callers size their
+/// messages; this is a programming error, not an input error).
+pub fn encode(payload: &[u8]) -> Bytes {
+    assert!(payload.len() <= MAX_PAYLOAD, "payload too large to frame");
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload.len() + TRAILER_LEN);
+    buf.put_slice(&MAGIC);
+    buf.put_u8(PROTOCOL_VERSION);
+    buf.put_u8(0); // flags
+    buf.put_u32(payload.len() as u32);
+    buf.put_slice(payload);
+    let crc = crc32(&buf);
+    buf.put_u32(crc);
+    buf.freeze()
+}
+
+/// Decodes exactly one frame from a datagram — the whole input must be one
+/// complete frame (no partial, no trailing bytes).
+///
+/// This is the right entry point for packet-oriented transports: a stream
+/// decoder fed datagrams can be livelocked by a corrupted length field that
+/// makes it wait for bytes that only trickle in, whereas per-datagram
+/// decoding turns any corruption into an immediate, recoverable error.
+pub fn decode_datagram(data: &[u8]) -> Result<Frame, FrameError> {
+    if data.len() < HEADER_LEN + TRAILER_LEN || data[0..2] != MAGIC {
+        return Err(FrameError::BadMagic);
+    }
+    let version = data[2];
+    let flags = data[3];
+    let len = u32::from_be_bytes([data[4], data[5], data[6], data[7]]) as usize;
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::BadVersion(version));
+    }
+    if len > MAX_PAYLOAD {
+        return Err(FrameError::Oversized(len));
+    }
+    if data.len() != HEADER_LEN + len + TRAILER_LEN {
+        // A corrupted length never matches the datagram size; report it as
+        // a CRC-class integrity failure.
+        return Err(FrameError::BadCrc { computed: 0, received: 0 });
+    }
+    let computed = crc32(&data[..HEADER_LEN + len]);
+    let received = u32::from_be_bytes([
+        data[HEADER_LEN + len],
+        data[HEADER_LEN + len + 1],
+        data[HEADER_LEN + len + 2],
+        data[HEADER_LEN + len + 3],
+    ]);
+    if computed != received {
+        return Err(FrameError::BadCrc { computed, received });
+    }
+    Ok(Frame {
+        version,
+        flags,
+        payload: Bytes::copy_from_slice(&data[HEADER_LEN..HEADER_LEN + len]),
+    })
+}
+
+/// Incremental frame decoder.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: BytesMut,
+}
+
+impl FrameDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends received bytes.
+    pub fn feed(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered (for observability).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Attempts to decode the next frame. `Ok(None)` means "need more
+    /// bytes". On error, the decoder discards up to the next plausible
+    /// frame start so the stream can resynchronise.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        loop {
+            if self.buf.len() < HEADER_LEN {
+                return Ok(None);
+            }
+            if self.buf[0..2] != MAGIC {
+                self.resync();
+                return Err(FrameError::BadMagic);
+            }
+            let version = self.buf[2];
+            let flags = self.buf[3];
+            let len = u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
+                as usize;
+            if version != PROTOCOL_VERSION {
+                self.resync();
+                return Err(FrameError::BadVersion(version));
+            }
+            if len > MAX_PAYLOAD {
+                self.resync();
+                return Err(FrameError::Oversized(len));
+            }
+            let total = HEADER_LEN + len + TRAILER_LEN;
+            if self.buf.len() < total {
+                return Ok(None);
+            }
+            let computed = crc32(&self.buf[..HEADER_LEN + len]);
+            let received = u32::from_be_bytes([
+                self.buf[HEADER_LEN + len],
+                self.buf[HEADER_LEN + len + 1],
+                self.buf[HEADER_LEN + len + 2],
+                self.buf[HEADER_LEN + len + 3],
+            ]);
+            if computed != received {
+                self.resync();
+                return Err(FrameError::BadCrc { computed, received });
+            }
+            let mut frame = self.buf.split_to(total);
+            frame.advance(HEADER_LEN);
+            frame.truncate(len);
+            return Ok(Some(Frame { version, flags, payload: frame.freeze() }));
+        }
+    }
+
+    /// Drops one byte, then skips to the next occurrence of the magic's
+    /// first byte (or empties the buffer).
+    fn resync(&mut self) {
+        self.buf.advance(1);
+        while !self.buf.is_empty() && self.buf[0] != MAGIC[0] {
+            self.buf.advance(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(b"hello vdx"));
+        let frame = dec.next_frame().expect("decodes").expect("complete");
+        assert_eq!(&frame.payload[..], b"hello vdx");
+        assert_eq!(frame.version, PROTOCOL_VERSION);
+        assert!(dec.next_frame().expect("clean").is_none());
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&encode(b""));
+        let frame = dec.next_frame().expect("decodes").expect("complete");
+        assert!(frame.payload.is_empty());
+    }
+
+    #[test]
+    fn partial_delivery_needs_more_bytes() {
+        let wire = encode(b"split across chunks");
+        let mut dec = FrameDecoder::new();
+        for chunk in wire.chunks(3) {
+            assert!(matches!(dec.next_frame(), Ok(None) | Ok(Some(_))));
+            dec.feed(chunk);
+        }
+        let frame = dec.next_frame().expect("decodes").expect("complete");
+        assert_eq!(&frame.payload[..], b"split across chunks");
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut dec = FrameDecoder::new();
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&encode(b"one"));
+        wire.extend_from_slice(&encode(b"two"));
+        dec.feed(&wire);
+        assert_eq!(&dec.next_frame().unwrap().unwrap().payload[..], b"one");
+        assert_eq!(&dec.next_frame().unwrap().unwrap().payload[..], b"two");
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    #[test]
+    fn corrupted_payload_fails_crc_then_resyncs() {
+        let mut wire = encode(b"precious data").to_vec();
+        wire[HEADER_LEN + 2] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::BadCrc { .. })));
+        // A healthy frame after the corrupted one still gets through.
+        dec.feed(&encode(b"recovered"));
+        let mut got = None;
+        for _ in 0..64 {
+            match dec.next_frame() {
+                Ok(Some(f)) => {
+                    got = Some(f);
+                    break;
+                }
+                Ok(None) => break,
+                Err(_) => continue,
+            }
+        }
+        assert_eq!(&got.expect("recovered frame").payload[..], b"recovered");
+    }
+
+    #[test]
+    fn bad_magic_reported() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&[0u8; HEADER_LEN]);
+        assert_eq!(dec.next_frame(), Err(FrameError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_reported() {
+        let mut wire = encode(b"x").to_vec();
+        wire[2] = 99;
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert_eq!(dec.next_frame(), Err(FrameError::BadVersion(99)));
+    }
+
+    #[test]
+    fn oversized_length_rejected_without_allocation() {
+        let mut wire = encode(b"x").to_vec();
+        // Patch length to 16 MiB and fix nothing else; decoder must reject
+        // from the header alone.
+        wire[4..8].copy_from_slice(&(16u32 << 20).to_be_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        assert!(matches!(dec.next_frame(), Err(FrameError::Oversized(_))));
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn encode_rejects_oversized_payload() {
+        encode(&vec![0u8; MAX_PAYLOAD + 1]);
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        let e = FrameError::BadCrc { computed: 1, received: 2 };
+        assert!(e.to_string().contains("crc mismatch"));
+    }
+}

@@ -1,0 +1,149 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```text
+//! repro <experiment> [--small] [--seed N] [--json]
+//!
+//! experiments: fig3 fig4 fig5 fig7 table1 table3
+//!              fig10 fig11 fig12 fig13 fig14 fig15 (aliases of the
+//!              combined accounting run) fig16 fig17 fig18 all
+//! --small     reduced-scale scenario (fast; used by CI)
+//! --seed N    override the master seed (default 2017)
+//! --json      additionally print machine-readable results
+//! ```
+
+use std::process::ExitCode;
+use vdx_sim::experiment::{
+    ext_hybrid, ext_noise, ext_stability, fig10_15, fig16, fig17, fig18, fig3, fig4, fig5,
+    fig7, table1, table3,
+};
+use vdx_sim::{Scenario, ScenarioConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro <fig3|fig4|fig5|fig7|table1|table3|fig10..fig15|fig16|fig17|fig18|\
+         ext-stability|ext-hybrid|all> [--small] [--seed N] [--json]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(which) = args.first() else {
+        return usage();
+    };
+    let small = args.iter().any(|a| a == "--small");
+    let json = args.iter().any(|a| a == "--json");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
+
+    let mut config = if small { ScenarioConfig::small() } else { ScenarioConfig::default() };
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    eprintln!(
+        "building scenario: {} cities, {} sessions, seed {} ...",
+        config.world.cities, config.trace.sessions, config.seed
+    );
+    let scenario = Scenario::build(config);
+    eprintln!(
+        "scenario ready: {} groups, {} CDNs, {} clusters",
+        scenario.groups.len(),
+        scenario.fleet.cdns.len(),
+        scenario.fleet.clusters.len()
+    );
+
+    let accounting_aliases = ["fig10", "fig11", "fig12", "fig13", "fig14", "fig15"];
+    let run_one = |name: &str| -> Option<String> {
+        match name {
+            "fig3" => {
+                let r = fig3::run(&scenario);
+                Some(with_json(fig3::render(&r), &r, json))
+            }
+            "fig4" => {
+                let r = fig4::run(&scenario);
+                Some(with_json(fig4::render(&r), &r, json))
+            }
+            "fig5" => {
+                let r = fig5::run(&scenario);
+                Some(with_json(fig5::render(&r), &r, json))
+            }
+            "fig7" => {
+                let r = fig7::run(&scenario);
+                Some(with_json(fig7::render(&r), &r, json))
+            }
+            "table1" => {
+                let r = table1::run(&scenario);
+                Some(with_json(table1::render(&r), &r, json))
+            }
+            "table3" => {
+                let r = table3::run(&scenario);
+                Some(with_json(table3::render(&r), &r, json))
+            }
+            name if accounting_aliases.contains(&name) || name == "accounting" => {
+                let r = fig10_15::run(&scenario);
+                let mut out = fig10_15::render_cdn_views(&r);
+                out.push('\n');
+                out.push_str(&fig10_15::render_country_views(&r));
+                Some(with_json(out, &r, json))
+            }
+            "fig16" => {
+                let n = if small { 40 } else { 200 };
+                let r = fig16::run(&scenario, n);
+                Some(with_json(fig16::render(&r), &r, json))
+            }
+            "fig17" => {
+                let r = fig17::run(&scenario);
+                Some(with_json(fig17::render(&r), &r, json))
+            }
+            "fig18" => {
+                let r = fig18::run(&scenario);
+                Some(with_json(fig18::render(&r), &r, json))
+            }
+            "ext-stability" => {
+                let r = ext_stability::run(&scenario, 8);
+                Some(with_json(ext_stability::render(&r), &r, json))
+            }
+            "ext-hybrid" => {
+                let r = ext_hybrid::run(&scenario);
+                Some(with_json(ext_hybrid::render(&r), &r, json))
+            }
+            "ext-noise" => {
+                let r = ext_noise::run(&scenario);
+                Some(with_json(ext_noise::render(&r), &r, json))
+            }
+            _ => None,
+        }
+    };
+
+    if which == "all" {
+        for name in [
+            "fig3", "fig4", "fig5", "table1", "fig7", "table3", "accounting", "fig16",
+            "fig17", "fig18", "ext-stability", "ext-hybrid", "ext-noise",
+        ] {
+            eprintln!("running {name} ...");
+            let out = run_one(name).expect("known experiment");
+            println!("{out}");
+        }
+        ExitCode::SUCCESS
+    } else {
+        match run_one(which) {
+            Some(out) => {
+                println!("{out}");
+                ExitCode::SUCCESS
+            }
+            None => usage(),
+        }
+    }
+}
+
+fn with_json<T: serde::Serialize>(mut text: String, value: &T, json: bool) -> String {
+    if json {
+        text.push_str("\njson: ");
+        text.push_str(&serde_json::to_string(value).expect("serializable"));
+        text.push('\n');
+    }
+    text
+}

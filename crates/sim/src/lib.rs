@@ -1,0 +1,36 @@
+//! # vdx-sim — the evaluation harness
+//!
+//! Reproduces every table and figure of the paper's evaluation (§3, §5,
+//! §7) over the synthetic ecosystem. The per-experiment index lives in
+//! DESIGN.md; the measured-vs-paper record in EXPERIMENTS.md.
+//!
+//! * [`scenario`] — builds one coherent ecosystem (world, network model,
+//!   broker trace, CDN fleet with capacities and contracts, background
+//!   traffic) per §5.1 and runs Decision Protocol rounds over it.
+//! * [`metrics`] — the Table 3 metric suite: median Cost / Score /
+//!   Distance over clients, median cluster Load, and the Congested client
+//!   percentage.
+//! * [`experiment`] — one module per table/figure: `fig3`, `fig4`, `fig5`,
+//!   `fig7`, `table1`, `table3`, `fig10_15`, `fig16`, `fig17`, `fig18`.
+//! * [`replay`] — time-stepped trace replay: periodic Decision Protocol
+//!   rounds over the live session population (the dynamics §5.1 elides).
+//! * [`report`] — plain-text table/series rendering shared by the `repro`
+//!   binary and the benches.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run -p vdx-sim --bin repro --release -- all
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod replay;
+pub mod report;
+pub mod scenario;
+
+pub use metrics::{DesignMetrics, MetricsInput};
+pub use scenario::{Scenario, ScenarioConfig};

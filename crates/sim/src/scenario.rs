@@ -1,0 +1,273 @@
+//! Scenario: one coherent simulated ecosystem, wired per §5.1.
+//!
+//! Building a scenario performs, in order:
+//!
+//! 1. world generation (countries, cities, costs) — `vdx-geo`;
+//! 2. network model instantiation — `vdx-netsim`;
+//! 3. broker trace synthesis (33.4 K sessions by default) — `vdx-trace`;
+//! 4. Gather: sessions → per-city client groups, plus 3× background
+//!    traffic — `vdx-broker`;
+//! 5. fleet construction (14 CDNs) — `vdx-cdn`;
+//! 6. capacity planning (solo-workload 2× rule over the *full* demand,
+//!    brokered + background) and flat-rate contract negotiation;
+//! 7. background placement onto concrete clusters.
+//!
+//! The resulting [`Scenario`] can then run any [`Design`]'s Decision
+//! Protocol round via [`Scenario::run`].
+
+use serde::{Deserialize, Serialize};
+use vdx_broker::{
+    gather::demand_points, gather_groups, synth_background, ClientGroup, CpPolicy, OptimizeMode,
+};
+use vdx_cdn::{
+    build_fleet, city_centric_cdns, negotiate_contract, plan_capacities, Contract, Fleet,
+    FleetConfig, DEFAULT_MARKUP,
+};
+use vdx_core::{assign_background, run_decision_round, Design, RoundInputs, RoundOutcome};
+use vdx_geo::{CityId, World, WorldConfig};
+use vdx_netsim::{NetModel, NetModelConfig, Score};
+use vdx_trace::{BrokerTrace, BrokerTraceConfig};
+
+/// Scenario scale and seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioConfig {
+    /// World parameters.
+    pub world: WorldConfig,
+    /// Network model parameters.
+    pub net: NetModelConfig,
+    /// Broker trace parameters.
+    pub trace: BrokerTraceConfig,
+    /// Fleet parameters.
+    pub fleet: FleetConfig,
+    /// Background traffic multiple (paper: 3×).
+    pub background_multiple: f64,
+    /// Master seed; every sub-generator derives from it.
+    pub seed: u64,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            world: WorldConfig::default(),
+            net: NetModelConfig::default(),
+            trace: BrokerTraceConfig::default(),
+            fleet: FleetConfig::default(),
+            background_multiple: 3.0,
+            seed: 2017, // CoNEXT '17
+        }
+    }
+}
+
+impl ScenarioConfig {
+    /// A reduced-scale configuration for fast tests and benches.
+    pub fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            world: WorldConfig { countries: 15, cities: 80, ..Default::default() },
+            trace: BrokerTraceConfig { sessions: 2_000, videos: 300, ..Default::default() },
+            fleet: FleetConfig {
+                distributed_sites: 30,
+                medium: (2, 8..12),
+                centralized: (2, 3..5),
+                regional: (2, 4..7),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+}
+
+/// A fully built ecosystem, ready to run decision rounds.
+pub struct Scenario {
+    /// The configuration it was built from.
+    pub config: ScenarioConfig,
+    /// The world.
+    pub world: World,
+    /// The network model.
+    pub net: NetModel,
+    /// The broker trace.
+    pub trace: BrokerTrace,
+    /// The CDN fleet with planned capacities.
+    pub fleet: Fleet,
+    /// Flat-rate contracts per CDN.
+    pub contracts: Vec<Contract>,
+    /// The broker's client groups.
+    pub groups: Vec<ClientGroup>,
+    /// Per-group background demand, kbit/s.
+    pub background_kbps: Vec<f64>,
+    /// Per-cluster background load, kbit/s.
+    pub background_load: Vec<f64>,
+}
+
+impl Scenario {
+    /// Builds the ecosystem deterministically from `config`.
+    pub fn build(config: ScenarioConfig) -> Scenario {
+        let world = World::generate(&config.world, config.seed);
+        let net = NetModel::new(config.net.clone(), config.seed);
+        let trace = BrokerTrace::generate(&world, &config.trace, config.seed);
+        let groups = gather_groups(trace.sessions());
+        let background_kbps =
+            synth_background(&groups, config.background_multiple, config.seed);
+        let demand = demand_points(&groups, &background_kbps);
+
+        let mut fleet = build_fleet(&world, &config.fleet, config.seed);
+        plan_capacities(&world, &mut fleet, &demand, |a, b| net.score(&world, a, b));
+        let contracts = negotiate_all(&fleet);
+        let background_load = assign_background(
+            &world,
+            &fleet,
+            &groups,
+            &background_kbps,
+            config.seed,
+            |a, b| net.score(&world, a, b),
+        );
+        Scenario {
+            config,
+            world,
+            net,
+            trace,
+            fleet,
+            contracts,
+            groups,
+            background_kbps,
+            background_load,
+        }
+    }
+
+    /// The §7.2 scenario: this ecosystem plus `n` city-centric CDNs, with
+    /// capacities, contracts and background re-derived for the expanded
+    /// fleet (the newcomers lower co-location costs at shared sites).
+    pub fn with_city_centric(&self, n: usize) -> Scenario {
+        let demand = demand_points(&self.groups, &self.background_kbps);
+        let mut fleet = city_centric_cdns(
+            &self.world,
+            &self.fleet,
+            &self.config.fleet,
+            n,
+            self.config.seed,
+        );
+        plan_capacities(&self.world, &mut fleet, &demand, |a, b| {
+            self.net.score(&self.world, a, b)
+        });
+        let contracts = negotiate_all(&fleet);
+        let background_load = assign_background(
+            &self.world,
+            &fleet,
+            &self.groups,
+            &self.background_kbps,
+            self.config.seed,
+            |a, b| self.net.score(&self.world, a, b),
+        );
+        Scenario {
+            config: self.config.clone(),
+            world: self.world.clone(),
+            net: self.net.clone(),
+            trace: self.trace.clone(),
+            fleet,
+            contracts,
+            groups: self.groups.clone(),
+            background_kbps: self.background_kbps.clone(),
+            background_load,
+        }
+    }
+
+    /// The ground-truth score between a client city and a site city.
+    pub fn score_of(&self, client: CityId, site: CityId) -> Score {
+        self.net.score(&self.world, client, site)
+    }
+
+    /// Runs one Decision Protocol round for `design` under `policy`.
+    pub fn run(&self, design: Design, policy: CpPolicy) -> RoundOutcome {
+        self.run_with(design, policy, None)
+    }
+
+    /// [`Scenario::run`] with a marketplace bid-count override (Fig 18).
+    pub fn run_with(
+        &self,
+        design: Design,
+        policy: CpPolicy,
+        bid_count: Option<usize>,
+    ) -> RoundOutcome {
+        let inputs = RoundInputs {
+            world: &self.world,
+            fleet: &self.fleet,
+            contracts: &self.contracts,
+            groups: &self.groups,
+            background_load_kbps: &self.background_load,
+            policy,
+            mode: OptimizeMode::Heuristic,
+            bid_count,
+            margins: None,
+        };
+        run_decision_round(design, &inputs, |a, b| self.score_of(a, b))
+    }
+
+    /// Total brokered demand, kbit/s.
+    pub fn brokered_demand_kbps(&self) -> f64 {
+        self.groups.iter().map(|g| g.demand_kbps).sum()
+    }
+}
+
+fn negotiate_all(fleet: &Fleet) -> Vec<Contract> {
+    fleet
+        .cdns
+        .iter()
+        .map(|c| negotiate_contract(fleet, c.id, DEFAULT_MARKUP))
+        .collect()
+}
+
+/// A lazily built, process-wide small scenario for tests — building one
+/// takes seconds, and every experiment test needs the same one.
+#[cfg(test)]
+pub(crate) fn shared_small() -> &'static Scenario {
+    static SCENARIO: std::sync::OnceLock<Scenario> = std::sync::OnceLock::new();
+    SCENARIO.get_or_init(|| Scenario::build(ScenarioConfig::small()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_scenario_builds_consistently() {
+        let s = shared_small();
+        assert_eq!(s.fleet.cdns.len(), 7);
+        assert_eq!(s.groups.len(), s.background_kbps.len());
+        assert_eq!(s.background_load.len(), s.fleet.clusters.len());
+        assert!(s.brokered_demand_kbps() > 0.0);
+        // Capacities planned and contracts negotiated for every CDN.
+        for cl in &s.fleet.clusters {
+            assert!(cl.capacity_kbps > 0.0);
+        }
+        for c in &s.contracts {
+            assert!(c.base_price_per_mb > 0.0);
+        }
+    }
+
+    #[test]
+    fn all_designs_run_on_small_scenario() {
+        let s = shared_small();
+        for design in Design::TABLE3 {
+            let out = s.run(design, CpPolicy::balanced());
+            assert_eq!(out.assignment.choice.len(), s.groups.len(), "{design}");
+        }
+    }
+
+    #[test]
+    fn city_centric_expansion_keeps_ecosystem_consistent() {
+        let s = shared_small();
+        let big = s.with_city_centric(20);
+        assert_eq!(big.fleet.cdns.len(), s.fleet.cdns.len() + 20);
+        assert_eq!(big.background_load.len(), big.fleet.clusters.len());
+        let out = big.run(Design::Marketplace, CpPolicy::balanced());
+        assert_eq!(out.assignment.choice.len(), big.groups.len());
+    }
+
+    #[test]
+    fn scenario_is_deterministic() {
+        let a = shared_small();
+        let b = Scenario::build(ScenarioConfig::small());
+        let out_a = a.run(Design::Marketplace, CpPolicy::balanced());
+        let out_b = b.run(Design::Marketplace, CpPolicy::balanced());
+        assert_eq!(out_a.assignment.choice, out_b.assignment.choice);
+    }
+}

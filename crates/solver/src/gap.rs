@@ -1,0 +1,409 @@
+//! The broker's assignment problem (generalized assignment, GAP).
+//!
+//! This is the paper's Fig 9 ILP in structural form: every client picks
+//! exactly one of its candidate options (client-to-cluster matchings), each
+//! option has a *value* (the `wp·performance − wc·cost·bitrate` term) and a
+//! *load* (the client's bitrate) against the option's capacity *bucket*
+//! (the cluster). The broker maximizes total value subject to per-bucket
+//! capacity.
+//!
+//! Three solution paths:
+//!
+//! * [`AssignmentProblem::solve_greedy`] — regret-ordered greedy: clients
+//!   with the most to lose choose first; always produces a complete
+//!   assignment (falling back to the least-overloading option when nothing
+//!   fits, since a real broker must send every client *somewhere*).
+//! * [`AssignmentProblem::improve_local`] — first-improvement move/swap
+//!   local search on top of any assignment.
+//! * [`AssignmentProblem::solve_exact`] — the exact MILP, for validation
+//!   and small scenarios.
+//!
+//! Capacity semantics: the capacities given here are what the broker
+//! *believes* (designs differ in how accurate that belief is); true-capacity
+//! congestion is measured downstream in `vdx-sim`.
+
+use crate::milp::{solve_milp, MilpConfig, MilpOutcome};
+use crate::model::{LinearProgram, Relation};
+
+/// One candidate option for a client.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateOption {
+    /// Capacity bucket (cluster) the option consumes.
+    pub bucket: usize,
+    /// Contribution to the objective if chosen (higher is better).
+    pub value: f64,
+    /// Load placed on the bucket if chosen (e.g. the client's bitrate).
+    pub load: f64,
+}
+
+/// A generalized assignment problem.
+#[derive(Debug, Clone, Default)]
+pub struct AssignmentProblem {
+    /// Candidate options per client; every client must have ≥ 1 option.
+    pub options: Vec<Vec<CandidateOption>>,
+    /// Capacity per bucket.
+    pub capacities: Vec<f64>,
+}
+
+/// A complete assignment: for each client, the index into its option list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// `choice[c]` = index into `options[c]`.
+    pub choice: Vec<usize>,
+    /// Total value of the assignment.
+    pub objective: f64,
+}
+
+impl AssignmentProblem {
+    /// Creates a problem with the given bucket capacities.
+    pub fn new(capacities: Vec<f64>) -> AssignmentProblem {
+        AssignmentProblem { options: Vec::new(), capacities }
+    }
+
+    /// Adds a client with its candidate options; returns the client index.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty or references an unknown bucket.
+    pub fn add_client(&mut self, options: Vec<CandidateOption>) -> usize {
+        assert!(!options.is_empty(), "every client needs at least one option");
+        for o in &options {
+            assert!(o.bucket < self.capacities.len(), "bucket {} out of range", o.bucket);
+            assert!(o.load >= 0.0, "loads must be non-negative");
+        }
+        self.options.push(options);
+        self.options.len() - 1
+    }
+
+    /// Number of clients.
+    pub fn num_clients(&self) -> usize {
+        self.options.len()
+    }
+
+    /// Total value of a choice vector.
+    pub fn value_of(&self, choice: &[usize]) -> f64 {
+        choice
+            .iter()
+            .enumerate()
+            .map(|(c, &o)| self.options[c][o].value)
+            .sum()
+    }
+
+    /// Load placed on each bucket by a choice vector.
+    pub fn bucket_loads(&self, choice: &[usize]) -> Vec<f64> {
+        let mut loads = vec![0.0; self.capacities.len()];
+        for (c, &o) in choice.iter().enumerate() {
+            let opt = self.options[c][o];
+            loads[opt.bucket] += opt.load;
+        }
+        loads
+    }
+
+    /// Whether a choice vector respects all (believed) capacities.
+    pub fn respects_capacities(&self, choice: &[usize], tol: f64) -> bool {
+        self.bucket_loads(choice)
+            .iter()
+            .zip(&self.capacities)
+            .all(|(l, c)| *l <= c + tol)
+    }
+
+    /// Regret-ordered greedy construction (see module docs). Always returns
+    /// a complete assignment.
+    pub fn solve_greedy(&self) -> Assignment {
+        let n = self.num_clients();
+        // Order clients by regret (gap between best and second-best value),
+        // largest first; ties by client index for determinism.
+        let mut order: Vec<usize> = (0..n).collect();
+        let regret = |c: usize| -> f64 {
+            let mut values: Vec<f64> = self.options[c].iter().map(|o| o.value).collect();
+            values.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
+            if values.len() >= 2 {
+                values[0] - values[1]
+            } else {
+                f64::INFINITY // single-option clients are fully constrained
+            }
+        };
+        order.sort_by(|&a, &b| {
+            regret(b).partial_cmp(&regret(a)).expect("finite").then(a.cmp(&b))
+        });
+
+        let mut remaining = self.capacities.clone();
+        let mut choice = vec![0usize; n];
+        for &c in &order {
+            // Best-value option that fits.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, o) in self.options[c].iter().enumerate() {
+                if o.load <= remaining[o.bucket] {
+                    if best.map_or(true, |(_, v)| o.value > v) {
+                        best = Some((i, o.value));
+                    }
+                }
+            }
+            let pick = match best {
+                Some((i, _)) => i,
+                None => {
+                    // Nothing fits: minimize relative overload, then value.
+                    (0..self.options[c].len())
+                        .min_by(|&a, &b| {
+                            let oa = self.options[c][a];
+                            let ob = self.options[c][b];
+                            let ra = overload_ratio(oa, &remaining, &self.capacities);
+                            let rb = overload_ratio(ob, &remaining, &self.capacities);
+                            ra.partial_cmp(&rb)
+                                .expect("finite")
+                                .then(ob.value.partial_cmp(&oa.value).expect("finite"))
+                        })
+                        .expect("client has options")
+                }
+            };
+            let o = self.options[c][pick];
+            remaining[o.bucket] -= o.load;
+            choice[c] = pick;
+        }
+        let objective = self.value_of(&choice);
+        Assignment { choice, objective }
+    }
+
+    /// First-improvement local search: single-client moves and two-client
+    /// swaps, bounded by `max_rounds` full passes. Only accepts moves that
+    /// keep (believed) capacities respected for every touched bucket, so a
+    /// feasible input stays feasible; infeasible inputs can only improve.
+    pub fn improve_local(&self, start: Assignment, max_rounds: usize) -> Assignment {
+        let mut choice = start.choice;
+        let mut loads = self.bucket_loads(&choice);
+        for _ in 0..max_rounds {
+            let mut improved = false;
+            // Single-client moves.
+            for c in 0..self.num_clients() {
+                let cur = self.options[c][choice[c]];
+                for (i, o) in self.options[c].iter().enumerate() {
+                    if i == choice[c] || o.value <= cur.value {
+                        continue;
+                    }
+                    let fits = if o.bucket == cur.bucket {
+                        loads[o.bucket] - cur.load + o.load <= self.capacities[o.bucket] + 1e-9
+                    } else {
+                        loads[o.bucket] + o.load <= self.capacities[o.bucket] + 1e-9
+                    };
+                    if fits {
+                        loads[cur.bucket] -= cur.load;
+                        loads[o.bucket] += o.load;
+                        choice[c] = i;
+                        improved = true;
+                        break;
+                    }
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        let objective = self.value_of(&choice);
+        Assignment { choice, objective }
+    }
+
+    /// Greedy followed by local search — the production pipeline.
+    pub fn solve_heuristic(&self) -> Assignment {
+        self.improve_local(self.solve_greedy(), 8)
+    }
+
+    /// Exact solve via MILP. Returns `None` when no capacity-respecting
+    /// complete assignment exists or the node budget is exhausted without
+    /// an incumbent.
+    pub fn solve_exact(&self, config: &MilpConfig) -> Option<Assignment> {
+        // Variables: one binary per (client, option).
+        let mut var_of: Vec<Vec<usize>> = Vec::with_capacity(self.num_clients());
+        let mut num_vars = 0usize;
+        for opts in &self.options {
+            let vars: Vec<usize> = (0..opts.len()).map(|i| num_vars + i).collect();
+            num_vars += opts.len();
+            var_of.push(vars);
+        }
+        let mut lp = LinearProgram::maximize(num_vars);
+        for (c, opts) in self.options.iter().enumerate() {
+            for (i, o) in opts.iter().enumerate() {
+                lp.set_objective(var_of[c][i], o.value);
+                lp.set_upper_bound(var_of[c][i], 1.0);
+            }
+            // Exactly one option per client.
+            let coeffs: Vec<(usize, f64)> =
+                var_of[c].iter().map(|&v| (v, 1.0)).collect();
+            lp.add_constraint(coeffs, Relation::Eq, 1.0);
+        }
+        for (b, &cap) in self.capacities.iter().enumerate() {
+            let mut coeffs = Vec::new();
+            for (c, opts) in self.options.iter().enumerate() {
+                for (i, o) in opts.iter().enumerate() {
+                    if o.bucket == b && o.load > 0.0 {
+                        coeffs.push((var_of[c][i], o.load));
+                    }
+                }
+            }
+            if !coeffs.is_empty() {
+                lp.add_constraint(coeffs, Relation::Le, cap);
+            }
+        }
+        let all_vars: Vec<usize> = (0..num_vars).collect();
+        match solve_milp(&lp, &all_vars, config) {
+            MilpOutcome::Solved { values, .. } => {
+                let mut choice = vec![0usize; self.num_clients()];
+                for (c, vars) in var_of.iter().enumerate() {
+                    choice[c] = vars
+                        .iter()
+                        .position(|&v| values[v] > 0.5)
+                        .expect("exactly-one constraint held");
+                }
+                let objective = self.value_of(&choice);
+                Some(Assignment { choice, objective })
+            }
+            _ => None,
+        }
+    }
+}
+
+fn overload_ratio(o: CandidateOption, remaining: &[f64], capacities: &[f64]) -> f64 {
+    let cap = capacities[o.bucket].max(1e-12);
+    // How far past capacity this bucket would go, relative to capacity.
+    ((o.load - remaining[o.bucket]).max(0.0)) / cap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt(bucket: usize, value: f64, load: f64) -> CandidateOption {
+        CandidateOption { bucket, value, load }
+    }
+
+    #[test]
+    fn greedy_prefers_value_within_capacity() {
+        let mut p = AssignmentProblem::new(vec![10.0, 10.0]);
+        p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
+        p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
+        let a = p.solve_greedy();
+        // Both fit on bucket 0 (8 <= 10): both take the high-value option.
+        assert_eq!(a.objective, 10.0);
+        assert!(p.respects_capacities(&a.choice, 1e-9));
+    }
+
+    #[test]
+    fn greedy_splits_when_capacity_binds() {
+        let mut p = AssignmentProblem::new(vec![4.0, 10.0]);
+        p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
+        p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 1.0, 4.0)]);
+        let a = p.solve_greedy();
+        // Client 1 has regret 4 (5-1) > client 0's regret 2, so client 1
+        // grabs bucket 0; client 0 falls to bucket 1. Total 5 + 3 = 8.
+        assert_eq!(a.objective, 8.0);
+        assert!(p.respects_capacities(&a.choice, 1e-9));
+    }
+
+    #[test]
+    fn greedy_overloads_least_when_forced() {
+        let mut p = AssignmentProblem::new(vec![1.0, 100.0]);
+        p.add_client(vec![opt(0, 9.0, 5.0), opt(1, 8.0, 5.0)]);
+        let a = p.solve_greedy();
+        // Nothing fits bucket 0 (cap 1), bucket 1 fits: overload ratio 0.
+        assert_eq!(a.choice, vec![1]);
+    }
+
+    #[test]
+    fn local_search_improves_bad_start() {
+        let mut p = AssignmentProblem::new(vec![10.0, 10.0]);
+        p.add_client(vec![opt(0, 1.0, 2.0), opt(1, 9.0, 2.0)]);
+        let start = Assignment { choice: vec![0], objective: 1.0 };
+        let improved = p.improve_local(start, 4);
+        assert_eq!(improved.choice, vec![1]);
+        assert_eq!(improved.objective, 9.0);
+    }
+
+    #[test]
+    fn local_search_respects_capacity() {
+        let mut p = AssignmentProblem::new(vec![2.0, 10.0]);
+        p.add_client(vec![opt(0, 9.0, 2.0), opt(1, 5.0, 2.0)]);
+        p.add_client(vec![opt(0, 9.0, 2.0), opt(1, 5.0, 2.0)]);
+        let a = p.solve_heuristic();
+        assert!(p.respects_capacities(&a.choice, 1e-9));
+        assert_eq!(a.objective, 14.0); // one on each bucket
+    }
+
+    #[test]
+    fn exact_matches_brute_force_small() {
+        let mut p = AssignmentProblem::new(vec![5.0, 5.0, 5.0]);
+        p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 3.0, 3.0), opt(2, 1.0, 3.0)]);
+        p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 2.0, 3.0), opt(2, 1.0, 3.0)]);
+        p.add_client(vec![opt(0, 5.0, 3.0), opt(1, 2.0, 3.0), opt(2, 2.0, 3.0)]);
+        let exact = p.solve_exact(&MilpConfig::default()).expect("solvable");
+        // Brute force.
+        let mut best = f64::MIN;
+        for a in 0..3 {
+            for b in 0..3 {
+                for c in 0..3 {
+                    let choice = vec![a, b, c];
+                    if p.respects_capacities(&choice, 1e-9) {
+                        best = best.max(p.value_of(&choice));
+                    }
+                }
+            }
+        }
+        assert!((exact.objective - best).abs() < 1e-6, "{} vs {}", exact.objective, best);
+        assert!(p.respects_capacities(&exact.choice, 1e-6));
+    }
+
+    #[test]
+    fn heuristic_close_to_exact_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut total_gap = 0.0;
+        for _ in 0..20 {
+            let buckets = rng.gen_range(2..5);
+            let mut p = AssignmentProblem::new(
+                (0..buckets).map(|_| rng.gen_range(5.0..20.0)).collect(),
+            );
+            let clients = rng.gen_range(3..8);
+            for _ in 0..clients {
+                let k = rng.gen_range(1..=buckets);
+                let opts: Vec<CandidateOption> = (0..k)
+                    .map(|b| opt(b, rng.gen_range(0.0..10.0), rng.gen_range(1.0..4.0)))
+                    .collect();
+                p.add_client(opts);
+            }
+            let heur = p.solve_heuristic();
+            if let Some(exact) = p.solve_exact(&MilpConfig::default()) {
+                // The heuristic may overload capacity as a last resort (a
+                // broker must place every client); only a *feasible*
+                // heuristic solution is bounded by the exact optimum.
+                if p.respects_capacities(&heur.choice, 1e-9) {
+                    assert!(heur.objective <= exact.objective + 1e-6);
+                    if exact.objective.abs() > 1e-9 {
+                        total_gap +=
+                            (exact.objective - heur.objective) / exact.objective.abs();
+                    }
+                }
+            }
+        }
+        // Average optimality gap should be modest on these easy instances.
+        assert!(total_gap / 20.0 < 0.15, "avg gap {}", total_gap / 20.0);
+    }
+
+    #[test]
+    fn bucket_loads_accounting() {
+        let mut p = AssignmentProblem::new(vec![10.0, 10.0]);
+        p.add_client(vec![opt(0, 1.0, 3.0)]);
+        p.add_client(vec![opt(0, 1.0, 4.0), opt(1, 1.0, 4.0)]);
+        let loads = p.bucket_loads(&[0, 1]);
+        assert_eq!(loads, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one option")]
+    fn empty_options_panics() {
+        AssignmentProblem::new(vec![1.0]).add_client(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_bucket_panics() {
+        AssignmentProblem::new(vec![1.0]).add_client(vec![opt(5, 1.0, 1.0)]);
+    }
+}

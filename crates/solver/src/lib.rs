@@ -1,0 +1,40 @@
+//! # vdx-solver — optimization substrate for VDX
+//!
+//! The paper's broker solves the ILP of its Fig 9 with Gurobi: assign every
+//! client to exactly one of its candidate matchings, maximizing
+//! `wp·performance − wc·cost·bitrate` subject to per-cluster capacity. That
+//! is a **generalized assignment problem** (GAP). Gurobi is proprietary, so
+//! this crate provides the full solving stack from scratch:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex for linear programs
+//!   (Bland's rule, so it terminates on degenerate problems);
+//! * [`milp`] — branch-and-bound over the simplex relaxation for mixed
+//!   integer programs; exact on the scales used in tests and small scenarios;
+//! * [`gap`] — the broker's assignment problem as a first-class type, with
+//!   a regret-greedy constructor, a move/swap local search, and an exact
+//!   MILP path for validation;
+//! * [`flow`] — successive-shortest-path min-cost flow, an independent
+//!   exact method for the *uniform-load* special case, used to cross-check
+//!   the other solvers;
+//! * [`model`] — the shared LP/constraint builder types.
+//!
+//! The heuristic pipeline (greedy + local search) is what CDN-scale
+//! simulations use — mirroring how a production broker would trade
+//! optimality for latency — and property tests bound its gap against the
+//! exact solvers.
+//!
+//! This crate depends on nothing but `std` (tests use `rand`/`proptest`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod gap;
+pub mod milp;
+pub mod model;
+pub mod simplex;
+
+pub use gap::{Assignment, AssignmentProblem, CandidateOption};
+pub use milp::{solve_milp, MilpConfig, MilpOutcome};
+pub use model::{Constraint, LinearProgram, Relation};
+pub use simplex::{solve_lp, LpOutcome, LpSolution};

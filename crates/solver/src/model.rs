@@ -1,0 +1,177 @@
+//! Linear-program model types shared by the simplex and MILP solvers.
+//!
+//! Variables are indexed `0..num_vars`, implicitly bounded below by zero;
+//! optional upper bounds are carried per variable. Constraints store sparse
+//! coefficient lists. The representation favours clarity over raw speed —
+//! the problems VDX solves are thousands of variables, not millions.
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ ≥ b`
+    Ge,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+/// A single linear constraint with sparse coefficients.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// `(variable index, coefficient)` pairs; indices must be unique.
+    pub coeffs: Vec<(usize, f64)>,
+    /// Constraint sense.
+    pub relation: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A linear program over non-negative variables.
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    /// Number of decision variables.
+    pub num_vars: usize,
+    /// Objective coefficients (dense, length `num_vars`).
+    pub objective: Vec<f64>,
+    /// `true` to maximize, `false` to minimize.
+    pub maximize: bool,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+    /// Optional per-variable upper bounds (lower bounds are all zero).
+    pub upper_bounds: Vec<Option<f64>>,
+}
+
+impl LinearProgram {
+    /// Creates an empty maximization program with `num_vars` variables and
+    /// an all-zero objective.
+    pub fn maximize(num_vars: usize) -> LinearProgram {
+        LinearProgram {
+            num_vars,
+            objective: vec![0.0; num_vars],
+            maximize: true,
+            constraints: Vec::new(),
+            upper_bounds: vec![None; num_vars],
+        }
+    }
+
+    /// Creates an empty minimization program.
+    pub fn minimize(num_vars: usize) -> LinearProgram {
+        LinearProgram { maximize: false, ..LinearProgram::maximize(num_vars) }
+    }
+
+    /// Sets the objective coefficient of variable `var`.
+    pub fn set_objective(&mut self, var: usize, coeff: f64) -> &mut Self {
+        self.objective[var] = coeff;
+        self
+    }
+
+    /// Sets the upper bound of variable `var`.
+    pub fn set_upper_bound(&mut self, var: usize, bound: f64) -> &mut Self {
+        self.upper_bounds[var] = Some(bound);
+        self
+    }
+
+    /// Adds a constraint; panics if a variable index is out of range or
+    /// duplicated within the constraint.
+    pub fn add_constraint(
+        &mut self,
+        coeffs: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    ) -> &mut Self {
+        let mut seen = vec![false; self.num_vars];
+        for &(i, _) in &coeffs {
+            assert!(i < self.num_vars, "variable index {i} out of range");
+            assert!(!seen[i], "duplicate variable index {i} in constraint");
+            seen[i] = true;
+        }
+        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self
+    }
+
+    /// Evaluates the objective at a point.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+    }
+
+    /// Checks feasibility of a point within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.num_vars {
+            return false;
+        }
+        if x.iter().any(|&v| v < -tol) {
+            return false;
+        }
+        for (i, ub) in self.upper_bounds.iter().enumerate() {
+            if let Some(ub) = ub {
+                if x[i] > ub + tol {
+                    return false;
+                }
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.coeffs.iter().map(|&(i, a)| a * x[i]).sum();
+            let ok = match c.relation {
+                Relation::Le => lhs <= c.rhs + tol,
+                Relation::Ge => lhs >= c.rhs - tol,
+                Relation::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut lp = LinearProgram::maximize(2);
+        lp.set_objective(0, 3.0)
+            .set_objective(1, 2.0)
+            .set_upper_bound(1, 5.0)
+            .add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+        assert_eq!(lp.objective, vec![3.0, 2.0]);
+        assert_eq!(lp.constraints.len(), 1);
+        assert_eq!(lp.upper_bounds[1], Some(5.0));
+    }
+
+    #[test]
+    fn feasibility_checks_everything() {
+        let mut lp = LinearProgram::maximize(2);
+        lp.set_upper_bound(0, 2.0)
+            .add_constraint(vec![(0, 1.0), (1, 2.0)], Relation::Le, 10.0)
+            .add_constraint(vec![(1, 1.0)], Relation::Ge, 1.0);
+        assert!(lp.is_feasible(&[1.0, 2.0], 1e-9));
+        assert!(!lp.is_feasible(&[3.0, 2.0], 1e-9)); // ub violated
+        assert!(!lp.is_feasible(&[1.0, 0.0], 1e-9)); // Ge violated
+        assert!(!lp.is_feasible(&[-1.0, 2.0], 1e-9)); // negativity
+        assert!(!lp.is_feasible(&[1.0, 5.0], 1e-9)); // Le violated
+        assert!(!lp.is_feasible(&[1.0], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_value() {
+        let mut lp = LinearProgram::maximize(3);
+        lp.set_objective(0, 1.0).set_objective(2, -2.0);
+        assert_eq!(lp.objective_value(&[3.0, 100.0, 1.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn constraint_index_out_of_range_panics() {
+        LinearProgram::maximize(1).add_constraint(vec![(1, 1.0)], Relation::Le, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_index_panics() {
+        LinearProgram::maximize(2)
+            .add_constraint(vec![(0, 1.0), (0, 2.0)], Relation::Le, 0.0);
+    }
+}

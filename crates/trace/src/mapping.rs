@@ -1,0 +1,170 @@
+//! CDN Internet mapping data: sparse client-city → cluster-site scores.
+//!
+//! The paper's CDN "collects Internet mapping data … a score estimating
+//! the performance between blocks of client IP addresses and candidate CDN
+//! clusters" (§3.1), and in simulation "some client-cluster pairings do not
+//! have scores, so we extrapolate them by computing a linear regression of
+//! scores with respect to client-cluster distance" (§5.1).
+//!
+//! [`MappingData`] holds the measured subset, and fills gaps with exactly
+//! that regression. The score *source* is injected as a closure so this
+//! crate stays independent of how scores are produced (in the full system
+//! they come from `vdx-netsim::NetModel`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use vdx_geo::{CityId, World};
+use vdx_netsim::{Score, ScoreExtrapolator};
+
+/// Configuration for mapping-data synthesis.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MappingConfig {
+    /// Probability that a given (client city, site city) pair was actually
+    /// measured. The remainder must be extrapolated, as in the paper.
+    pub coverage: f64,
+}
+
+impl Default for MappingConfig {
+    fn default() -> Self {
+        MappingConfig { coverage: 0.8 }
+    }
+}
+
+/// Sparse measured scores plus the regression used to fill the gaps.
+#[derive(Debug, Clone)]
+pub struct MappingData {
+    measured: HashMap<(CityId, CityId), Score>,
+    extrapolator: Option<ScoreExtrapolator>,
+}
+
+impl MappingData {
+    /// Measures scores between every client city and every `site` city,
+    /// keeping each measurement with probability `config.coverage`, and fits
+    /// the distance regression on the measured subset.
+    ///
+    /// `score_fn(client, site)` supplies ground-truth measurements.
+    pub fn measure(
+        world: &World,
+        sites: &[CityId],
+        config: &MappingConfig,
+        seed: u64,
+        mut score_fn: impl FnMut(CityId, CityId) -> Score,
+    ) -> MappingData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut measured = HashMap::new();
+        let mut samples = Vec::new();
+        for client in world.cities() {
+            for &site in sites {
+                if rng.gen_bool(config.coverage.clamp(0.0, 1.0)) {
+                    let score = score_fn(client.id, site);
+                    measured.insert((client.id, site), score);
+                    samples.push((world.distance_km(client.id, site), score));
+                }
+            }
+        }
+        let extrapolator = ScoreExtrapolator::fit(&samples);
+        MappingData { measured, extrapolator }
+    }
+
+    /// The score for a pair: measured if available, otherwise extrapolated
+    /// from distance. Returns `None` only when the pair is unmeasured *and*
+    /// no regression could be fitted (fewer than two measurements).
+    pub fn score(&self, world: &World, client: CityId, site: CityId) -> Option<Score> {
+        if let Some(s) = self.measured.get(&(client, site)) {
+            return Some(*s);
+        }
+        self.extrapolator
+            .as_ref()
+            .map(|e| e.predict(world.distance_km(client, site)))
+    }
+
+    /// Whether the pair was directly measured.
+    pub fn is_measured(&self, client: CityId, site: CityId) -> bool {
+        self.measured.contains_key(&(client, site))
+    }
+
+    /// Number of measured pairs.
+    pub fn measured_count(&self) -> usize {
+        self.measured.len()
+    }
+
+    /// The fitted regression, if any (for reporting).
+    pub fn extrapolator(&self) -> Option<&ScoreExtrapolator> {
+        self.extrapolator.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vdx_geo::WorldConfig;
+    use vdx_netsim::{NetModel, NetModelConfig};
+
+    fn setup(coverage: f64) -> (World, Vec<CityId>, MappingData) {
+        let world = World::generate(
+            &WorldConfig { countries: 12, cities: 60, ..Default::default() },
+            3,
+        );
+        let net = NetModel::new(NetModelConfig::default(), 3);
+        let sites: Vec<CityId> = world.cities().iter().take(10).map(|c| c.id).collect();
+        let data = MappingData::measure(
+            &world,
+            &sites,
+            &MappingConfig { coverage },
+            3,
+            |client, site| net.score(&world, client, site),
+        );
+        (world, sites, data)
+    }
+
+    #[test]
+    fn full_coverage_measures_everything() {
+        let (world, sites, data) = setup(1.0);
+        assert_eq!(data.measured_count(), world.cities().len() * sites.len());
+        for c in world.cities() {
+            for &s in &sites {
+                assert!(data.is_measured(c.id, s));
+                assert!(data.score(&world, c.id, s).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn partial_coverage_extrapolates_the_rest() {
+        let (world, sites, data) = setup(0.5);
+        let total = world.cities().len() * sites.len();
+        assert!(data.measured_count() < total);
+        assert!(data.measured_count() > total / 4);
+        // Every pair still gets a score.
+        for c in world.cities() {
+            for &s in &sites {
+                assert!(data.score(&world, c.id, s).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn extrapolated_scores_grow_with_distance() {
+        let (world, sites, data) = setup(0.7);
+        let ex = data.extrapolator().expect("regression fitted");
+        assert!(ex.fit_params().slope > 0.0, "score should grow with distance");
+        // Spot-check an unmeasured pair against its neighbours' trend.
+        let client = world
+            .cities()
+            .iter()
+            .find(|c| sites.iter().any(|&s| !data.is_measured(c.id, s)))
+            .expect("some unmeasured pair exists");
+        let site = *sites.iter().find(|&&s| !data.is_measured(client.id, s)).expect("one");
+        let predicted = data.score(&world, client.id, site).expect("predicted");
+        assert!(predicted.value() > 0.0);
+    }
+
+    #[test]
+    fn zero_coverage_yields_no_scores() {
+        let (world, sites, data) = setup(0.0);
+        assert_eq!(data.measured_count(), 0);
+        assert!(data.score(&world, world.cities()[0].id, sites[0]).is_none());
+    }
+}

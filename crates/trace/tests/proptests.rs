@@ -1,0 +1,101 @@
+//! Property tests for the trace substrate: the generator must hold its
+//! published statistics for *any* seed, and the codecs must be total.
+
+use proptest::prelude::*;
+use vdx_geo::{World, WorldConfig};
+use vdx_trace::io;
+use vdx_trace::{BrokerTrace, BrokerTraceConfig, CdnLabel, SessionId, SessionRecord};
+
+fn small_world(seed: u64) -> World {
+    World::generate(&WorldConfig { countries: 10, cities: 40, ..Default::default() }, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The published trace statistics hold for any seed, not just the one
+    /// the unit tests use.
+    #[test]
+    fn trace_statistics_hold_for_any_seed(seed in any::<u64>()) {
+        let world = small_world(seed);
+        let config = BrokerTraceConfig { sessions: 3_000, videos: 300, ..Default::default() };
+        let trace = BrokerTrace::generate(&world, &config, seed);
+        // Abandonment band around the paper's 78%.
+        let rate = trace.abandon_rate();
+        prop_assert!((0.72..0.84).contains(&rate), "abandon {rate}");
+        // Every session well-formed.
+        for s in trace.sessions() {
+            prop_assert!(s.duration_s > 0.0);
+            prop_assert!((0.0..config.trace_duration_s).contains(&s.arrival_s));
+            prop_assert!(config.bitrate_ladder_kbps.contains(&s.bitrate_kbps));
+            let mut prev = s.initial_cdn;
+            for &(_, c) in &s.switches {
+                prop_assert_ne!(c, prev);
+                prev = c;
+            }
+        }
+        // Move series mean in a broad Fig 4 band.
+        let series = trace.moved_sessions_series(5.0);
+        let mean: f64 = series.iter().map(|(_, p)| p).sum::<f64>() / series.len() as f64;
+        prop_assert!((20.0..60.0).contains(&mean), "moved mean {mean}");
+    }
+
+    /// CSV encode/decode is the identity on arbitrary well-formed records.
+    #[test]
+    fn csv_roundtrip_arbitrary_records(
+        records in proptest::collection::vec(
+            (0.0f64..3600.0, any::<u32>(), 1u32..9999, 0.1f64..9999.0, 0u32..9999,
+             any::<u32>(), 0usize..4, 0usize..3),
+            0..20,
+        )
+    ) {
+        let labels = [CdnLabel::A, CdnLabel::B, CdnLabel::C, CdnLabel::Other];
+        let sessions: Vec<SessionRecord> = records
+            .iter()
+            .enumerate()
+            .map(|(i, &(arrival, video, bitrate, duration, city, asn, label, switches))| {
+                let mut cur = labels[label];
+                let switch_list: Vec<(f64, CdnLabel)> = (0..switches)
+                    .map(|k| {
+                        cur = labels[(label + k + 1) % 4];
+                        (arrival + k as f64, cur)
+                    })
+                    .collect();
+                SessionRecord {
+                    id: SessionId(i as u32),
+                    arrival_s: arrival,
+                    video,
+                    bitrate_kbps: bitrate,
+                    duration_s: duration,
+                    city: vdx_geo::CityId(city),
+                    asn,
+                    initial_cdn: labels[label],
+                    switches: switch_list,
+                }
+            })
+            .collect();
+        let csv = io::sessions_to_csv(&sessions);
+        let back = io::sessions_from_csv(&csv).expect("own output parses");
+        prop_assert_eq!(back, sessions);
+    }
+
+    /// The CSV parser is total: arbitrary text never panics.
+    #[test]
+    fn csv_parser_total(garbage in "\\PC*") {
+        let _ = io::sessions_from_csv(&garbage);
+    }
+
+    /// JSON round trip preserves whole traces.
+    #[test]
+    fn json_roundtrip_any_seed(seed in any::<u64>()) {
+        let world = small_world(seed);
+        let trace = BrokerTrace::generate(
+            &world,
+            &BrokerTraceConfig { sessions: 200, videos: 50, ..Default::default() },
+            seed,
+        );
+        let json = io::to_json(&trace).expect("serializes");
+        let back = io::from_json(&json).expect("parses");
+        prop_assert_eq!(trace.sessions(), back.sessions());
+    }
+}

@@ -1,0 +1,78 @@
+//! The §7.2 scenario: what happens to the ecosystem when hundreds of
+//! single-cluster "city-centric" CDNs join?
+//!
+//! ```text
+//! cargo run --example city_cdns --release -- [how_many]
+//! ```
+//!
+//! Paper finding: under today's flat-rate Brokered world the city CDNs
+//! *always* profit (their contract price equals their one cluster's cost)
+//! while traditional CDNs keep losing; VDX levels the playing field.
+
+use vdx::core::settle;
+use vdx::prelude::*;
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(60);
+
+    let base = Scenario::build(ScenarioConfig::small());
+    let expanded = base.with_city_centric(n);
+    println!(
+        "fleet: {} traditional CDNs + {} city-centric newcomers\n",
+        base.fleet.cdns.len(),
+        n
+    );
+
+    let policy = CpPolicy::balanced();
+    let brokered = settle(
+        &expanded.run(Design::Brokered, policy),
+        &expanded.world,
+        &expanded.fleet,
+    );
+    let vdx = settle(
+        &expanded.run(Design::Marketplace, policy),
+        &expanded.world,
+        &expanded.fleet,
+    );
+
+    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "CDN", "kbps(Brk)", "profit(Brk)", "kbps(VDX)", "profit(VDX)");
+    for (i, cdn) in expanded.fleet.cdns.iter().enumerate() {
+        // Print traditional CDNs and the first few newcomers.
+        if i >= base.fleet.cdns.len() + 5 {
+            continue;
+        }
+        let b = &brokered.per_cdn[i].ledger;
+        let v = &vdx.per_cdn[i].ledger;
+        println!(
+            "{:<10} {:>12.0} {:>+12.3} {:>12.0} {:>+12.3}{}",
+            cdn.id.to_string(),
+            b.traffic_kbps,
+            b.profit(),
+            v.traffic_kbps,
+            v.profit(),
+            if matches!(cdn.model, DeploymentModel::CityCentric { .. }) { "  (city)" } else { "" },
+        );
+    }
+
+    let city_range = base.fleet.cdns.len()..expanded.fleet.cdns.len();
+    let losing_city_brk = city_range
+        .clone()
+        .filter(|&i| brokered.per_cdn[i].ledger.profit() < 0.0)
+        .count();
+    let served_city_brk = city_range
+        .clone()
+        .filter(|&i| brokered.per_cdn[i].ledger.traffic_kbps > 0.0)
+        .count();
+    println!(
+        "\ncity CDNs under Brokered: {served_city_brk}/{n} served traffic, {losing_city_brk} lost money \
+         (paper: city CDNs always profit)"
+    );
+    println!(
+        "losing CDNs overall: Brokered {}, VDX {} (paper: VDX levels the field at 0)",
+        brokered.losing_cdns(),
+        vdx.losing_cdns()
+    );
+}

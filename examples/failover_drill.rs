@@ -1,0 +1,102 @@
+//! Failure and fraud drill (§6.3 of the paper): cluster failures with
+//! Delivery Protocol failover, a whole-CDN failure re-optimized around,
+//! and a fraudulent CDN caught by the reputation system.
+//!
+//! ```text
+//! cargo run --example failover_drill --release
+//! ```
+
+use vdx::core::delivery::DeliveryDirectory;
+use vdx::core::failure::{direct_fallback, exclude_cdns};
+use vdx::core::{settle, ReputationSystem};
+use vdx::broker::optimize;
+use vdx::prelude::*;
+
+fn main() {
+    let scenario = Scenario::build(ScenarioConfig::small());
+    let policy = CpPolicy::balanced();
+    let outcome = scenario.run(Design::Marketplace, policy);
+
+    // --- Drill 1: a cluster dies; clients fail over within the round's
+    // announced alternatives (no new Decision round needed).
+    let mut directory = DeliveryDirectory::from_round(&outcome);
+    let victim_group = &outcome.problem.groups[0];
+    let primary = directory
+        .query(victim_group.city, victim_group.bitrate_kbps)
+        .expect("route exists");
+    directory.mark_failed(primary);
+    match directory.query(victim_group.city, victim_group.bitrate_kbps) {
+        Some(backup) => println!(
+            "drill 1: cluster {primary} failed; clients in {} fail over to {backup}",
+            victim_group.city
+        ),
+        None => println!("drill 1: cluster {primary} failed; no alternative announced"),
+    }
+    directory.mark_recovered(primary);
+
+    // --- Drill 2: an entire CDN drops out of the marketplace; the broker
+    // re-optimizes over everyone else's bids.
+    let failed_cdn = CdnId(0);
+    match exclude_cdns(&outcome.problem, &[failed_cdn]) {
+        Ok(filtered) => {
+            let redone = optimize(&filtered, &policy, &OptimizeMode::Heuristic);
+            println!(
+                "drill 2: {failed_cdn} failed; re-optimized {} groups around it \
+                 (objective {:.0} -> {:.0})",
+                redone.choice.len(),
+                outcome.assignment.objective,
+                redone.objective
+            );
+        }
+        Err(orphans) => println!(
+            "drill 2: {failed_cdn} failed and {} groups have no other option",
+            orphans.len()
+        ),
+    }
+
+    // --- Drill 3: the broker itself fails; CP software falls back to
+    // querying one CDN directly (traditional delivery).
+    let fallback = direct_fallback(&scenario.fleet, &scenario.groups, CdnId(1), |a, b| {
+        scenario.score_of(a, b)
+    });
+    let served = fallback.iter().filter(|r| r.is_some()).count();
+    println!(
+        "drill 3: broker down; {}/{} groups served directly by {}",
+        served,
+        scenario.groups.len(),
+        CdnId(1)
+    );
+
+    // --- Drill 4: a CDN announces fraudulent scores; the reputation system
+    // flags it after repeated disagreement with client measurements.
+    let mut reputation = ReputationSystem::new(scenario.fleet.cdns.len());
+    let fraudster = CdnId(2);
+    for (g, &choice) in outcome.assignment.choice.iter().enumerate() {
+        let option = &outcome.problem.options[g][choice];
+        // Honest CDNs announce what clients measure; the fraudster claimed
+        // scores 5x better than reality.
+        let announced = if option.cdn == fraudster {
+            option.score.value() / 5.0
+        } else {
+            option.score.value()
+        };
+        reputation.record(option.cdn, announced, option.score.value());
+    }
+    for cdn in &scenario.fleet.cdns {
+        if reputation.observations(cdn.id) > 0 && reputation.is_bad(cdn.id) {
+            println!(
+                "drill 4: {} flagged as bad (trust {:.2}) — its bids get deprioritised",
+                cdn.id,
+                reputation.trust(cdn.id)
+            );
+        }
+    }
+
+    // Sanity: the undisturbed economics still hold.
+    let settled = settle(&outcome, &scenario.world, &scenario.fleet);
+    println!(
+        "\nsteady state: {} CDNs served traffic, {} lost money (VDX round)",
+        settled.per_cdn.iter().filter(|c| c.ledger.traffic_kbps > 0.0).count(),
+        settled.losing_cdns()
+    );
+}

@@ -1,0 +1,59 @@
+//! Quickstart: build an ecosystem, run today's world and the VDX
+//! marketplace over the same clients, and compare what happens.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use vdx::core::settle;
+use vdx::prelude::*;
+use vdx::sim::metrics::{compute, MetricsInput};
+
+fn main() {
+    // 1. Build a complete ecosystem: synthetic world, latency/loss model,
+    //    an hour-long broker trace, a multi-CDN fleet with planned
+    //    capacities and flat-rate contracts, and 3x background traffic.
+    let scenario = Scenario::build(ScenarioConfig::small());
+    println!(
+        "ecosystem: {} countries, {} cities, {} sessions, {} CDNs, {} clusters\n",
+        scenario.world.countries().len(),
+        scenario.world.cities().len(),
+        scenario.trace.sessions().len(),
+        scenario.fleet.cdns.len(),
+        scenario.fleet.clusters.len(),
+    );
+
+    // 2. Run one Decision Protocol round per design.
+    let policy = CpPolicy::balanced();
+    for design in [Design::Brokered, Design::Multicluster(100), Design::Marketplace] {
+        let outcome = scenario.run(design, policy);
+        let m = compute(&MetricsInput { scenario: &scenario, outcome: &outcome });
+        let settled = settle(&outcome, &scenario.world, &scenario.fleet);
+        println!(
+            "{:<20} cost {:.3}  score {:.1}  distance {:>5.0} mi  congested {:>4.1}%  \
+             losing CDNs {}",
+            design.name(),
+            m.cost,
+            m.score,
+            m.distance_miles,
+            m.congested_pct,
+            settled.losing_cdns(),
+        );
+    }
+
+    // 3. The headline: under VDX every serving CDN profits.
+    let vdx = scenario.run(Design::Marketplace, policy);
+    let settled = settle(&vdx, &scenario.world, &scenario.fleet);
+    println!("\nper-CDN profit under VDX (per second of steady-state delivery):");
+    for cdn_ledger in &settled.per_cdn {
+        let l = &cdn_ledger.ledger;
+        if l.traffic_kbps > 0.0 {
+            println!(
+                "  {}: {:>10.0} kbps -> profit {:+.3}",
+                cdn_ledger.cdn,
+                l.traffic_kbps,
+                l.profit()
+            );
+        }
+    }
+}

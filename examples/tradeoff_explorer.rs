@@ -1,0 +1,57 @@
+//! Explore the cost/performance trade-off (the paper's Fig 17) for any
+//! design by sweeping the CP's cost weight `wc`.
+//!
+//! ```text
+//! cargo run --example tradeoff_explorer --release -- [design] [wc...]
+//! designs: brokered multicluster2 multicluster100 dynamicpricing
+//!          dynamicmulticluster bestlookup marketplace omniscient
+//! e.g. cargo run --example tradeoff_explorer --release -- marketplace 1 10 30 100
+//! ```
+
+use vdx::prelude::*;
+use vdx::sim::metrics::{compute, MetricsInput};
+
+fn parse_design(name: &str) -> Option<Design> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "brokered" => Design::Brokered,
+        "multicluster2" => Design::Multicluster(2),
+        "multicluster100" => Design::Multicluster(100),
+        "dynamicpricing" => Design::DynamicPricing,
+        "dynamicmulticluster" => Design::DynamicMulticluster,
+        "bestlookup" => Design::BestLookup,
+        "marketplace" | "vdx" => Design::Marketplace,
+        "omniscient" => Design::Omniscient,
+        _ => return None,
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let design = args
+        .first()
+        .and_then(|a| parse_design(a))
+        .unwrap_or(Design::Marketplace);
+    let mut weights: Vec<f64> =
+        args.iter().skip(1).filter_map(|a| a.parse().ok()).collect();
+    if weights.is_empty() {
+        weights = vec![0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0];
+    }
+
+    let scenario = Scenario::build(ScenarioConfig::small());
+    println!("design: {design}\n");
+    println!(
+        "{:>8} {:>12} {:>10} {:>14} {:>10} {:>11}",
+        "wc", "median cost", "score", "distance (mi)", "load %", "congested %"
+    );
+    for wc in weights {
+        let outcome = scenario.run(design, CpPolicy { wp: 1.0, wc });
+        let m = compute(&MetricsInput { scenario: &scenario, outcome: &outcome });
+        println!(
+            "{wc:>8} {:>12.4} {:>10.2} {:>14.0} {:>10.1} {:>11.1}",
+            m.cost, m.score, m.distance_miles, m.load_pct, m.congested_pct
+        );
+    }
+    println!(
+        "\nlarger wc leans on cost: the broker trades proximity/score for cheaper clusters."
+    );
+}

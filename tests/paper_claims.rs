@@ -1,0 +1,155 @@
+//! Integration tests pinning the paper's headline *claims* — the
+//! qualitative findings each section reports — against the full pipeline.
+
+use std::sync::OnceLock;
+use vdx::core::settle;
+use vdx::prelude::*;
+use vdx::trace::stats;
+
+fn scenario() -> &'static Scenario {
+    static S: OnceLock<Scenario> = OnceLock::new();
+    S.get_or_init(|| Scenario::build(ScenarioConfig::small()))
+}
+
+/// §3.1: "video popularity follows a Zipf distribution, and the
+/// distribution of client cities follows a power-law. Most clients abandon
+/// almost immediately (around 78%). The distribution of bitrates is
+/// bimodal."
+#[test]
+fn section3_trace_statistics() {
+    let s = scenario();
+    let trace = &s.trace;
+    assert!((0.70..0.86).contains(&trace.abandon_rate()));
+    let video_counts = trace.video_counts();
+    assert!(stats::estimate_zipf_exponent(&video_counts).expect("zipf") > 0.4);
+    let city_counts: Vec<u64> =
+        trace.requests_per_city().iter().map(|(_, c)| *c).collect();
+    assert!(stats::head_mass_share(&city_counts, 0.1) > 0.4, "power-law cities");
+    let rates: Vec<f64> =
+        trace.sessions().iter().map(|x| x.bitrate_kbps as f64).collect();
+    assert!(stats::edge_mass_share(&rates, 8) > 0.55, "bimodal bitrates");
+}
+
+/// §3.2 / Fig 4: brokers move a large, varying share of active sessions.
+#[test]
+fn section3_traffic_unpredictability() {
+    let series = scenario().trace.moved_sessions_series(5.0);
+    let values: Vec<f64> = series.iter().map(|(_, p)| *p).collect();
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    assert!(mean > 20.0, "brokers move a lot of traffic: mean {mean}%");
+    let max = values.iter().copied().fold(f64::MIN, f64::max);
+    let min = values.iter().copied().fold(f64::MAX, f64::min);
+    assert!(max - min > 15.0, "and the rate varies: {min}..{max}");
+}
+
+/// §3.3 / Table 1: alternative clusters with similar performance are
+/// common — the opportunity brokers can't currently use.
+#[test]
+fn section3_alternatives_exist() {
+    let s = scenario();
+    let sites: Vec<CityId> = s.fleet.clusters_of(CdnId(0)).map(|c| c.city).collect();
+    let mut with_alternative = 0u64;
+    let mut total = 0u64;
+    for (city, requests) in s.trace.requests_per_city() {
+        let scores: Vec<Score> =
+            sites.iter().map(|&site| s.score_of(city, site)).collect();
+        if vdx::netsim::alternatives_within(&scores, vdx::netsim::SIMILARITY_MARGIN) >= 1 {
+            with_alternative += requests;
+        }
+        total += requests;
+    }
+    assert!(
+        with_alternative as f64 / total as f64 > 0.5,
+        "alternatives exist for most clients"
+    );
+}
+
+/// §7.1 / Figs 10-12: flat-rate pricing produces losers; VDX makes every
+/// serving CDN profitable with exactly the markup margin.
+#[test]
+fn section7_cdn_economics() {
+    let s = scenario();
+    let brokered = settle(&s.run(Design::Brokered, CpPolicy::balanced()), &s.world, &s.fleet);
+    let vdx = settle(&s.run(Design::Marketplace, CpPolicy::balanced()), &s.world, &s.fleet);
+    assert!(brokered.losing_cdns() > 0, "flat-rate world has losers");
+    assert_eq!(vdx.losing_cdns(), 0, "VDX has none");
+    for c in &vdx.per_cdn {
+        if let Some(ratio) = c.ledger.price_to_cost() {
+            assert!((ratio - 1.2).abs() < 1e-6, "VDX ratio is the 1.2 markup");
+        }
+    }
+}
+
+/// §7.1 / Figs 13-15: VDX shifts serving toward cheaper countries.
+#[test]
+fn section7_country_economics() {
+    let s = scenario();
+    let brokered = settle(&s.run(Design::Brokered, CpPolicy::balanced()), &s.world, &s.fleet);
+    let vdx = settle(&s.run(Design::Marketplace, CpPolicy::balanced()), &s.world, &s.fleet);
+    let avg_serving_cost = |settled: &vdx::core::Settlement| -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (&country, ledger) in &settled.per_country {
+            num += s.world.country(country).cost_index * ledger.traffic_kbps;
+            den += ledger.traffic_kbps;
+        }
+        num / den
+    };
+    assert!(
+        avg_serving_cost(&vdx) < avg_serving_cost(&brokered) + 1e-9,
+        "VDX serves from cheaper countries on average"
+    );
+    // And still profits wherever it serves.
+    for (country, ledger) in &vdx.per_country {
+        if ledger.cost > 0.0 {
+            assert!(ledger.profit() > 0.0, "VDX loses in {country}");
+        }
+    }
+}
+
+/// §7.2 / Fig 16: city-centric CDNs always profit under flat-rate;
+/// VDX removes everyone's losses.
+#[test]
+fn section72_city_cdns() {
+    let s = scenario();
+    let expanded = s.with_city_centric(30);
+    let brokered = settle(
+        &expanded.run(Design::Brokered, CpPolicy::balanced()),
+        &expanded.world,
+        &expanded.fleet,
+    );
+    let vdx = settle(
+        &expanded.run(Design::Marketplace, CpPolicy::balanced()),
+        &expanded.world,
+        &expanded.fleet,
+    );
+    for i in s.fleet.cdns.len()..expanded.fleet.cdns.len() {
+        assert!(
+            brokered.per_cdn[i].ledger.profit() >= 0.0,
+            "city CDN {i} lost money under Brokered"
+        );
+    }
+    assert_eq!(vdx.losing_cdns(), 0);
+}
+
+/// §7.3 / Fig 17: VDX can cut cost substantially without giving up
+/// distance relative to today's world.
+#[test]
+fn section73_tradeoff_dominance() {
+    use vdx::sim::metrics::{compute, MetricsInput};
+    let s = scenario();
+    let brokered = s.run(Design::Brokered, CpPolicy::balanced());
+    let mb = compute(&MetricsInput { scenario: s, outcome: &brokered });
+    // Find any VDX operating point at least 25% cheaper without being
+    // farther than Brokered's default point.
+    let mut found = false;
+    for wc in [1.0, 3.0, 10.0, 17.0, 30.0, 55.0] {
+        let out = s.run(Design::Marketplace, CpPolicy { wp: 1.0, wc });
+        let m = compute(&MetricsInput { scenario: s, outcome: &out });
+        if m.cost < 0.75 * mb.cost && m.distance_miles <= mb.distance_miles * 1.15 {
+            found = true;
+            break;
+        }
+    }
+    assert!(found, "VDX should offer a dominating operating point");
+}
