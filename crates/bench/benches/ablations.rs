@@ -37,7 +37,13 @@ fn ablation_optimizer(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_optimizer");
     group.sample_size(10);
     group.bench_function("heuristic_40_groups", |b| {
-        b.iter(|| black_box(optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic)))
+        b.iter(|| {
+            black_box(optimize(
+                &problem,
+                &CpPolicy::balanced(),
+                &OptimizeMode::Heuristic,
+            ))
+        })
     });
     group.bench_function("exact_40_groups", |b| {
         b.iter(|| {
@@ -62,7 +68,10 @@ fn ablation_matching_rule(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("ratio_{ratio}")),
             &ratio,
             |b, &ratio| {
-                let cfg = MatchingConfig { score_ratio: ratio, max_candidates: 100 };
+                let cfg = MatchingConfig {
+                    score_ratio: ratio,
+                    max_candidates: 100,
+                };
                 b.iter(|| {
                     black_box(candidate_clusters(
                         &s.fleet,
@@ -83,13 +92,16 @@ fn ablation_protocol_faults(c: &mut Criterion) {
     group.sample_size(10);
     for (name, faults) in [
         ("lossless", FaultConfig::lossless()),
-        ("drop5_corrupt2", FaultConfig {
-            drop_chance: 0.05,
-            corrupt_chance: 0.02,
-            delay_ms: 5,
-            jitter_ms: 5,
-            rate_limit_bytes_per_ms: None,
-        }),
+        (
+            "drop5_corrupt2",
+            FaultConfig {
+                drop_chance: 0.05,
+                corrupt_chance: 0.02,
+                delay_ms: 5,
+                jitter_ms: 5,
+                rate_limit_bytes_per_ms: None,
+            },
+        ),
         ("adverse15", FaultConfig::adverse()),
     ] {
         group.bench_function(name, |b| {

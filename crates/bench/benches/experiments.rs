@@ -7,9 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use vdx_bench::bench_scenario;
-use vdx_sim::experiment::{
-    fig10_15, fig16, fig17, fig18, fig3, fig4, fig5, fig7, table1, table3,
-};
+use vdx_sim::experiment::{fig10_15, fig16, fig17, fig18, fig3, fig4, fig5, fig7, table1, table3};
 use vdx_sim::Scenario;
 
 fn scenario() -> &'static Scenario {
@@ -22,36 +20,26 @@ fn bench_experiments(c: &mut Criterion) {
     let mut group = c.benchmark_group("experiments");
     group.sample_size(10);
 
-    group.bench_function("fig03_country_cost", |b| {
-        b.iter(|| black_box(fig3::run(s)))
-    });
+    group.bench_function("fig03_country_cost", |b| b.iter(|| black_box(fig3::run(s))));
     group.bench_function("fig04_session_moves", |b| {
         b.iter(|| black_box(fig4::run(s)))
     });
-    group.bench_function("fig05_city_usage", |b| {
-        b.iter(|| black_box(fig5::run(s)))
-    });
+    group.bench_function("fig05_city_usage", |b| b.iter(|| black_box(fig5::run(s))));
     group.bench_function("tab01_alternatives", |b| {
         b.iter(|| black_box(table1::run(s)))
     });
     group.bench_function("fig07_country_usage", |b| {
         b.iter(|| black_box(fig7::run(s)))
     });
-    group.bench_function("tab03_designs", |b| {
-        b.iter(|| black_box(table3::run(s)))
-    });
+    group.bench_function("tab03_designs", |b| b.iter(|| black_box(table3::run(s))));
     group.bench_function("fig10_15_accounting", |b| {
         b.iter(|| black_box(fig10_15::run(s)))
     });
     group.bench_function("fig16_city_cdns", |b| {
         b.iter(|| black_box(fig16::run(s, 20)))
     });
-    group.bench_function("fig17_tradeoff", |b| {
-        b.iter(|| black_box(fig17::run(s)))
-    });
-    group.bench_function("fig18_bid_count", |b| {
-        b.iter(|| black_box(fig18::run(s)))
-    });
+    group.bench_function("fig17_tradeoff", |b| b.iter(|| black_box(fig17::run(s))));
+    group.bench_function("fig18_bid_count", |b| b.iter(|| black_box(fig18::run(s))));
     group.finish();
 }
 

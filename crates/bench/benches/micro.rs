@@ -4,9 +4,10 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 use vdx_bench::bench_scenario;
-use vdx_broker::CpPolicy;
+use vdx_broker::{CpPolicy, OptimizeMode};
 use vdx_cdn::{candidate_clusters, CdnId, MatchingConfig};
-use vdx_core::Design;
+use vdx_core::{run_decision_round, run_decision_round_probed, Design, RoundInputs};
+use vdx_obs::{MemoryProbe, NoopProbe};
 use vdx_proto::frame;
 use vdx_proto::reliable::{ReliableChannel, ReliableConfig};
 use vdx_proto::{Bid, FaultConfig, Link, LinkEnd, Message, SimTime};
@@ -29,8 +30,9 @@ fn bench_solver(c: &mut Criterion) {
             lp.set_upper_bound(i, 10.0);
         }
         for r in 0..20 {
-            let coeffs: Vec<(usize, f64)> =
-                (0..n).map(|i| (i, (((r + i) * 5) % 7) as f64 / 3.0)).collect();
+            let coeffs: Vec<(usize, f64)> = (0..n)
+                .map(|i| (i, (((r + i) * 5) % 7) as f64 / 3.0))
+                .collect();
             lp.add_constraint(coeffs, Relation::Le, 50.0);
         }
         lp
@@ -79,11 +81,69 @@ fn bench_decision_rounds(c: &mut Criterion) {
     let s = scenario();
     let mut group = c.benchmark_group("decision_round");
     group.sample_size(10);
-    for design in [Design::Brokered, Design::Multicluster(100), Design::Marketplace] {
+    for design in [
+        Design::Brokered,
+        Design::Multicluster(100),
+        Design::Marketplace,
+    ] {
         group.bench_function(design.name(), |b| {
             b.iter(|| black_box(s.run(design, CpPolicy::balanced())))
         });
     }
+    group.finish();
+}
+
+/// Backs the "<2 % probe overhead" claim: the same Marketplace round run
+/// (a) through the plain entry point, (b) with the default no-op probe
+/// (event construction skipped behind `Probe::enabled`), and (c) with a
+/// real in-memory sink as the upper reference.
+fn bench_probe_overhead(c: &mut Criterion) {
+    let s = scenario();
+    let mut group = c.benchmark_group("probe_overhead");
+    group.sample_size(10);
+    let inputs = RoundInputs {
+        world: &s.world,
+        fleet: &s.fleet,
+        contracts: &s.contracts,
+        groups: &s.groups,
+        background_load_kbps: &s.background_load,
+        policy: CpPolicy::balanced(),
+        mode: OptimizeMode::Heuristic,
+        bid_count: None,
+        margins: None,
+    };
+    group.bench_function("round_unprobed", |b| {
+        b.iter(|| {
+            black_box(run_decision_round(Design::Marketplace, &inputs, |x, y| {
+                s.score_of(x, y)
+            }))
+        })
+    });
+    group.bench_function("round_noop_probe", |b| {
+        b.iter(|| {
+            black_box(run_decision_round_probed(
+                Design::Marketplace,
+                &inputs,
+                |x, y| s.score_of(x, y),
+                0,
+                &NoopProbe,
+            ))
+        })
+    });
+    let memory = MemoryProbe::new();
+    group.bench_function("round_memory_probe", |b| {
+        b.iter(|| {
+            let out = run_decision_round_probed(
+                Design::Marketplace,
+                &inputs,
+                |x, y| s.score_of(x, y),
+                0,
+                &memory,
+            );
+            memory.take();
+            black_box(out)
+        })
+    });
     group.finish();
 }
 
@@ -140,5 +200,12 @@ fn bench_proto(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_solver, bench_matching, bench_decision_rounds, bench_proto);
+criterion_group!(
+    benches,
+    bench_solver,
+    bench_matching,
+    bench_decision_rounds,
+    bench_probe_overhead,
+    bench_proto
+);
 criterion_main!(benches);

@@ -24,8 +24,16 @@ use vdx_trace::BrokerTraceConfig;
 /// background traffic, capacity planning) is exercised.
 pub fn bench_scenario() -> Scenario {
     let mut config = ScenarioConfig::small();
-    config.world = WorldConfig { countries: 12, cities: 50, ..Default::default() };
-    config.trace = BrokerTraceConfig { sessions: 1_200, videos: 200, ..Default::default() };
+    config.world = WorldConfig {
+        countries: 12,
+        cities: 50,
+        ..Default::default()
+    };
+    config.trace = BrokerTraceConfig {
+        sessions: 1_200,
+        videos: 200,
+        ..Default::default()
+    };
     Scenario::build(config)
 }
 

@@ -95,7 +95,12 @@ pub fn demand_points(groups: &[ClientGroup], background: &[f64]) -> Vec<(CityId,
     groups
         .iter()
         .enumerate()
-        .map(|(i, g)| (g.city, g.demand_kbps + background.get(i).copied().unwrap_or(0.0)))
+        .map(|(i, g)| {
+            (
+                g.city,
+                g.demand_kbps + background.get(i).copied().unwrap_or(0.0),
+            )
+        })
         .collect()
 }
 
@@ -173,8 +178,14 @@ mod tests {
     #[test]
     fn background_is_deterministic() {
         let groups = gather_groups(&sessions());
-        assert_eq!(synth_background(&groups, 3.0, 7), synth_background(&groups, 3.0, 7));
-        assert_ne!(synth_background(&groups, 3.0, 7), synth_background(&groups, 3.0, 8));
+        assert_eq!(
+            synth_background(&groups, 3.0, 7),
+            synth_background(&groups, 3.0, 7)
+        );
+        assert_ne!(
+            synth_background(&groups, 3.0, 7),
+            synth_background(&groups, 3.0, 8)
+        );
     }
 
     #[test]

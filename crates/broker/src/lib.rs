@@ -27,5 +27,7 @@ pub mod policy;
 pub mod qoe;
 
 pub use gather::{gather_groups, synth_background, ClientGroup, GroupId};
-pub use optimize::{optimize, BrokerAssignment, BrokerProblem, GroupOption, OptimizeMode};
+pub use optimize::{
+    optimize, optimize_probed, BrokerAssignment, BrokerProblem, GroupOption, OptimizeMode,
+};
 pub use policy::CpPolicy;

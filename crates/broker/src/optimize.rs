@@ -19,7 +19,8 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vdx_cdn::{CdnId, ClusterId};
 use vdx_netsim::Score;
-use vdx_solver::{AssignmentProblem, CandidateOption, MilpConfig};
+use vdx_obs::{Event, Probe};
+use vdx_solver::{AssignmentProblem, CandidateOption, MilpConfig, SolveStats};
 
 /// One candidate (from one CDN's Announce) for one client group.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -84,7 +85,34 @@ pub fn optimize(
     policy: &CpPolicy,
     mode: &OptimizeMode,
 ) -> BrokerAssignment {
-    assert_eq!(problem.groups.len(), problem.options.len(), "options misaligned");
+    optimize_probed(problem, policy, mode, 0, &vdx_obs::NoopProbe)
+}
+
+/// [`optimize`] with solver effort reported through `probe` as an
+/// [`Event::SolverStats`] tagged with `round`. The decision itself is
+/// identical — with a [`vdx_obs::NoopProbe`] the only extra work is
+/// filling a counters struct the solver carries anyway.
+///
+/// # Panics
+/// Panics if a group has no options, or `options` is misaligned with
+/// `groups`.
+pub fn optimize_probed(
+    problem: &BrokerProblem,
+    policy: &CpPolicy,
+    mode: &OptimizeMode,
+    round: u64,
+    probe: &dyn Probe,
+) -> BrokerAssignment {
+    // Instrumented runs also time the Optimize step into the process-wide
+    // histogram; unprobed callers skip the registry entirely.
+    let _optimize_timer = probe
+        .enabled()
+        .then(|| vdx_obs::ScopedTimer::global("broker.optimize"));
+    assert_eq!(
+        problem.groups.len(),
+        problem.options.len(),
+        "options misaligned"
+    );
 
     // Map distinct clusters to capacity buckets. The believed capacity of a
     // cluster must be consistent across options; the first mention wins and
@@ -123,23 +151,39 @@ pub fn optimize(
         gap.add_client(candidates);
     }
 
-    let assignment = match mode {
-        OptimizeMode::Heuristic => gap.solve_heuristic(),
-        OptimizeMode::Exact(cfg) => gap
-            .solve_exact(cfg)
+    let mut stats = SolveStats::new();
+    let (assignment, mode_name) = match mode {
+        OptimizeMode::Heuristic => (gap.solve_heuristic(), "heuristic"),
+        OptimizeMode::Exact(cfg) => match gap.solve_exact_with_stats(cfg, &mut stats) {
+            Some(a) => (a, "exact"),
             // Believed capacities can be infeasible (they are estimates);
             // fall back to the heuristic, which always places everyone.
-            .unwrap_or_else(|| gap.solve_heuristic()),
+            None => (gap.solve_heuristic(), "exact_fallback_heuristic"),
+        },
     };
+
+    if probe.enabled() {
+        probe.emit(Event::SolverStats {
+            round,
+            mode: mode_name.to_string(),
+            pivots: stats.pivots,
+            bnb_nodes: stats.bnb_nodes,
+            optimality_gap: stats.optimality_gap(assignment.objective),
+            objective: assignment.objective,
+        });
+    }
 
     let mut cluster_load_kbps: HashMap<ClusterId, f64> = HashMap::new();
     for (g, &c) in assignment.choice.iter().enumerate() {
         let o = &problem.options[g][c];
-        *cluster_load_kbps.entry(o.cluster).or_insert(0.0) +=
-            problem.groups[g].demand_kbps;
+        *cluster_load_kbps.entry(o.cluster).or_insert(0.0) += problem.groups[g].demand_kbps;
     }
 
-    BrokerAssignment { choice: assignment.choice, objective: assignment.objective, cluster_load_kbps }
+    BrokerAssignment {
+        choice: assignment.choice,
+        objective: assignment.objective,
+        cluster_load_kbps,
+    }
 }
 
 #[cfg(test)]
@@ -190,7 +234,11 @@ mod tests {
             ],
         };
         let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
-        let load0 = a.cluster_load_kbps.get(&ClusterId(0)).copied().unwrap_or(0.0);
+        let load0 = a
+            .cluster_load_kbps
+            .get(&ClusterId(0))
+            .copied()
+            .unwrap_or(0.0);
         assert!(load0 <= 1_000.0 + 1e-9, "cluster 0 overloaded: {load0}");
         let total: f64 = a.cluster_load_kbps.values().sum();
         assert!((total - 2_000.0).abs() < 1e-9, "everyone placed");
@@ -212,7 +260,12 @@ mod tests {
             &CpPolicy::balanced(),
             &OptimizeMode::Exact(MilpConfig::default()),
         );
-        assert!(h.objective <= e.objective + 1e-6, "heuristic {} exact {}", h.objective, e.objective);
+        assert!(
+            h.objective <= e.objective + 1e-6,
+            "heuristic {} exact {}",
+            h.objective,
+            e.objective
+        );
         // On this instance they should actually coincide.
         assert!((h.objective - e.objective).abs() < 1e-6);
     }
@@ -228,14 +281,24 @@ mod tests {
             ],
         };
         let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
-        let load0 = a.cluster_load_kbps.get(&ClusterId(0)).copied().unwrap_or(0.0);
-        assert!(load0 <= 1_000.0 + 1e-9, "min capacity belief enforced, got {load0}");
+        let load0 = a
+            .cluster_load_kbps
+            .get(&ClusterId(0))
+            .copied()
+            .unwrap_or(0.0);
+        assert!(
+            load0 <= 1_000.0 + 1e-9,
+            "min capacity belief enforced, got {load0}"
+        );
     }
 
     #[test]
     #[should_panic(expected = "no options")]
     fn empty_option_list_panics() {
-        let problem = BrokerProblem { groups: vec![group(0, 1.0)], options: vec![vec![]] };
+        let problem = BrokerProblem {
+            groups: vec![group(0, 1.0)],
+            options: vec![vec![]],
+        };
         optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
     }
 
@@ -247,5 +310,39 @@ mod tests {
         };
         let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
         assert_eq!(a.chosen(&problem, 0).cluster, ClusterId(3));
+    }
+
+    #[test]
+    fn probed_optimize_emits_solver_stats_without_changing_the_answer() {
+        use vdx_obs::{Event, MemoryProbe};
+        let problem = BrokerProblem {
+            groups: vec![group(0, 500.0), group(1, 800.0)],
+            options: vec![
+                vec![opt(0, 50.0, 2.0, 1_000.0), opt(1, 70.0, 0.5, 2_000.0)],
+                vec![opt(0, 45.0, 2.0, 1_000.0), opt(1, 90.0, 0.2, 2_000.0)],
+            ],
+        };
+        let mode = OptimizeMode::Exact(MilpConfig::default());
+        let plain = optimize(&problem, &CpPolicy::balanced(), &mode);
+        let probe = MemoryProbe::new();
+        let probed = optimize_probed(&problem, &CpPolicy::balanced(), &mode, 7, &probe);
+        assert_eq!(plain.choice, probed.choice);
+        let events = probe.take();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            Event::SolverStats {
+                round,
+                mode,
+                bnb_nodes,
+                objective,
+                ..
+            } => {
+                assert_eq!(*round, 7);
+                assert_eq!(mode, "exact");
+                assert!(*bnb_nodes >= 1);
+                assert!((objective - probed.objective).abs() < 1e-9);
+            }
+            other => panic!("expected SolverStats, got {other:?}"),
+        }
     }
 }

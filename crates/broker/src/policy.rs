@@ -71,7 +71,10 @@ mod tests {
     #[test]
     fn wc_zero_ignores_price() {
         let p = CpPolicy { wp: 1.0, wc: 0.0 };
-        assert_eq!(p.value(Score(50.0), 0.5, 1000.0, 1), p.value(Score(50.0), 99.0, 1000.0, 1));
+        assert_eq!(
+            p.value(Score(50.0), 0.5, 1000.0, 1),
+            p.value(Score(50.0), 99.0, 1000.0, 1)
+        );
     }
 
     #[test]

@@ -32,7 +32,11 @@ const JOIN_RTTS: f64 = 5.0;
 /// a cluster at `load_factor` (load ÷ capacity; > 1 means overloaded).
 pub fn estimate_qoe(path: &PathQuality, requested_kbps: f64, load_factor: f64) -> Qoe {
     // Overload throttles throughput proportionally once past capacity.
-    let throughput_share = if load_factor > 1.0 { 1.0 / load_factor } else { 1.0 };
+    let throughput_share = if load_factor > 1.0 {
+        1.0 / load_factor
+    } else {
+        1.0
+    };
     let bitrate = requested_kbps * throughput_share;
     // Buffering: loss directly stalls the pipeline; overload adds stalls.
     let overload_stall = (load_factor - 1.0).max(0.0) * 0.2;
@@ -99,7 +103,11 @@ mod tests {
 
     #[test]
     fn engagement_never_negative() {
-        let terrible = Qoe { bitrate_kbps: 10.0, buffering_ratio: 1.0, join_time_ms: 60_000.0 };
+        let terrible = Qoe {
+            bitrate_kbps: 10.0,
+            buffering_ratio: 1.0,
+            join_time_ms: 60_000.0,
+        };
         assert_eq!(engagement_score(&terrible), 0.0);
     }
 }

@@ -31,7 +31,12 @@ pub struct BidPolicy {
 
 impl Default for BidPolicy {
     fn default() -> Self {
-        BidPolicy { max_margin: 1.2, min_margin: 1.0, down_step: 0.97, up_step: 1.01 }
+        BidPolicy {
+            max_margin: 1.2,
+            min_margin: 1.0,
+            down_step: 0.97,
+            up_step: 1.01,
+        }
     }
 }
 
@@ -47,7 +52,10 @@ impl BidShading {
     /// the policy maximum.
     pub fn new(policy: BidPolicy, num_clusters: usize) -> BidShading {
         let start = policy.max_margin;
-        BidShading { policy, margins: vec![start; num_clusters] }
+        BidShading {
+            policy,
+            margins: vec![start; num_clusters],
+        }
     }
 
     /// The price this CDN bids for a cluster with internal cost
@@ -90,7 +98,10 @@ mod tests {
         for _ in 0..500 {
             s.on_reject(ClusterId(0));
         }
-        assert!((s.margin(ClusterId(0)) - 1.0).abs() < 1e-9, "floor at min_margin");
+        assert!(
+            (s.margin(ClusterId(0)) - 1.0).abs() < 1e-9,
+            "floor at min_margin"
+        );
         assert_eq!(s.price(ClusterId(0), 7.0), 7.0);
     }
 

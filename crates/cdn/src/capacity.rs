@@ -42,9 +42,7 @@ pub fn plan_capacities(
     for cdn_idx in 0..fleet.cdns.len() {
         let cdn = CdnId(cdn_idx as u32);
         for &(client, kbps) in demand {
-            if let Some(preferred) =
-                preferred_cluster(fleet, cdn, |site| score_of(client, site))
-            {
+            if let Some(preferred) = preferred_cluster(fleet, cdn, |site| score_of(client, site)) {
                 attracted[preferred.index()] += kbps;
             }
         }
@@ -115,7 +113,11 @@ mod tests {
 
     fn setup() -> (World, Fleet, Vec<Demand>, NetModel) {
         let world = World::generate(
-            &WorldConfig { countries: 20, cities: 120, ..Default::default() },
+            &WorldConfig {
+                countries: 20,
+                cities: 120,
+                ..Default::default()
+            },
             4,
         );
         let fleet = build_fleet(
@@ -146,8 +148,7 @@ mod tests {
         let total_demand: f64 = demand.iter().map(|d| d.1).sum();
         for cdn in &fleet.cdns {
             // Each CDN attracted the whole workload in its solo run.
-            let cdn_attracted: f64 =
-                cdn.clusters.iter().map(|c| attracted[c.index()]).sum();
+            let cdn_attracted: f64 = cdn.clusters.iter().map(|c| attracted[c.index()]).sum();
             assert!(
                 (cdn_attracted - total_demand).abs() < 1e-6,
                 "{}: attracted {} of {}",
@@ -181,8 +182,7 @@ mod tests {
         let (world, mut fleet, demand, net) = setup();
         plan_capacities(&world, &mut fleet, &demand, |a, b| net.score(&world, a, b));
         let cdn = fleet.cdns[1].id;
-        let mut caps: Vec<f64> =
-            fleet.clusters_of(cdn).map(|c| c.capacity_kbps).collect();
+        let mut caps: Vec<f64> = fleet.clusters_of(cdn).map(|c| c.capacity_kbps).collect();
         caps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let expect = if caps.len() % 2 == 1 {
             caps[caps.len() / 2]

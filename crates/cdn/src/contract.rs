@@ -53,7 +53,11 @@ pub fn negotiate_contract(fleet: &Fleet, cdn: CdnId, markup: f64) -> Contract {
             (costs[n / 2 - 1] + costs[n / 2]) / 2.0
         }
     };
-    Contract { cdn, base_price_per_mb: base, markup }
+    Contract {
+        cdn,
+        base_price_per_mb: base,
+        markup,
+    }
 }
 
 #[cfg(test)]

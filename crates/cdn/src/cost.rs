@@ -32,7 +32,10 @@ pub struct CostConfig {
 
 impl Default for CostConfig {
     fn default() -> Self {
-        CostConfig { bandwidth_sigma: 0.6, colo_base_fraction: 0.8 }
+        CostConfig {
+            bandwidth_sigma: 0.6,
+            colo_base_fraction: 0.8,
+        }
     }
 }
 
@@ -48,7 +51,8 @@ pub fn bandwidth_cost(
 ) -> f64 {
     let mean = world.country_of(city).cost_index;
     let mut rng = StdRng::seed_from_u64(
-        seed ^ (city.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        seed ^ (city.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt.wrapping_mul(0xBF58_476D_1CE4_E5B9),
     );
     let normal = {
         let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
@@ -98,8 +102,10 @@ mod tests {
         let cfg = CostConfig::default();
         let city = CityId(10);
         let mean = w.country_of(city).cost_index;
-        let avg: f64 =
-            (0..2000).map(|s| bandwidth_cost(&w, city, &cfg, 7, s)).sum::<f64>() / 2000.0;
+        let avg: f64 = (0..2000)
+            .map(|s| bandwidth_cost(&w, city, &cfg, 7, s))
+            .sum::<f64>()
+            / 2000.0;
         assert!((avg / mean - 1.0).abs() < 0.15, "avg {avg} vs mean {mean}");
     }
 
@@ -117,7 +123,9 @@ mod tests {
         // CloudFlare's "order of magnitude higher cost" within a region.
         let w = world();
         let cfg = CostConfig::default();
-        let draws: Vec<f64> = (0..200).map(|s| bandwidth_cost(&w, CityId(5), &cfg, 9, s)).collect();
+        let draws: Vec<f64> = (0..200)
+            .map(|s| bandwidth_cost(&w, CityId(5), &cfg, 9, s))
+            .collect();
         let max = draws.iter().copied().fold(f64::MIN, f64::max);
         let min = draws.iter().copied().fold(f64::MAX, f64::min);
         assert!(max / min > 5.0, "spread {}", max / min);

@@ -87,7 +87,10 @@ pub struct Fleet {
 impl Fleet {
     /// Clusters of a given CDN.
     pub fn clusters_of(&self, cdn: CdnId) -> impl Iterator<Item = &Cluster> + '_ {
-        self.cdns[cdn.index()].clusters.iter().map(move |&c| &self.clusters[c.index()])
+        self.cdns[cdn.index()]
+            .clusters
+            .iter()
+            .map(move |&c| &self.clusters[c.index()])
     }
 
     /// The CDN owning a cluster.
@@ -104,7 +107,10 @@ impl Fleet {
                 v.push(cl.cdn);
             }
         }
-        per_city.into_iter().map(|(city, v)| (city, v.len())).collect()
+        per_city
+            .into_iter()
+            .map(|(city, v)| (city, v.len()))
+            .collect()
     }
 }
 
@@ -169,7 +175,12 @@ pub fn build_fleet(world: &World, config: &FleetConfig, seed: u64) -> Fleet {
     dist_sites.extend(tail.into_iter().take(n_dist - head));
     let dupes = config.distributed_metro_dupes.min(head);
     dist_sites.extend(by_pop[..dupes].iter().copied());
-    site_sets.push((DeploymentModel::Distributed { sites: dist_sites.len() }, dist_sites));
+    site_sets.push((
+        DeploymentModel::Distributed {
+            sites: dist_sites.len(),
+        },
+        dist_sites,
+    ));
 
     // Medium CDNs: a random slice of the top markets.
     for _ in 0..config.medium.0 {
@@ -181,7 +192,9 @@ pub fn build_fleet(world: &World, config: &FleetConfig, seed: u64) -> Fleet {
 
     // Centralized CDNs: few sites, drawn from the very biggest markets.
     for _ in 0..config.centralized.0 {
-        let n = rng.gen_range(config.centralized.1.clone()).min(by_pop.len());
+        let n = rng
+            .gen_range(config.centralized.1.clone())
+            .min(by_pop.len());
         let pool = &by_pop[..(by_pop.len() / 8).max(n)];
         let sites = sample_without_replacement(pool, n, &mut rng);
         site_sets.push((DeploymentModel::Centralized { sites: n }, sites));
@@ -195,7 +208,9 @@ pub fn build_fleet(world: &World, config: &FleetConfig, seed: u64) -> Fleet {
             .copied()
             .filter(|&c| world.country_of(c).region == region)
             .collect();
-        let n = rng.gen_range(config.regional.1.clone()).min(pool.len().max(1));
+        let n = rng
+            .gen_range(config.regional.1.clone())
+            .min(pool.len().max(1));
         let sites = sample_without_replacement(&pool, n, &mut rng);
         site_sets.push((DeploymentModel::Regional { region, sites: n }, sites));
     }
@@ -227,7 +242,10 @@ pub fn city_centric_cdns(
         .map(|cdn| {
             (
                 cdn.model.clone(),
-                cdn.clusters.iter().map(|&c| fleet.clusters[c.index()].city).collect(),
+                cdn.clusters
+                    .iter()
+                    .map(|&c| fleet.clusters[c.index()].city)
+                    .collect(),
             )
         })
         .collect();
@@ -277,7 +295,11 @@ fn assemble(
             });
             cluster_ids.push(id);
         }
-        cdns.push(Cdn { id: cdn_id, model, clusters: cluster_ids });
+        cdns.push(Cdn {
+            id: cdn_id,
+            model,
+            clusters: cluster_ids,
+        });
     }
     Fleet { cdns, clusters }
 }
@@ -369,8 +391,7 @@ mod tests {
         // §7.1: "More distributed CDNs … have more variability in cluster
         // cost as they are in many more remote regions."
         let spread = |cdn: &Cdn| -> f64 {
-            let costs: Vec<f64> =
-                fleet.clusters_of(cdn.id).map(|c| c.cost_per_mb()).collect();
+            let costs: Vec<f64> = fleet.clusters_of(cdn.id).map(|c| c.cost_per_mb()).collect();
             let max = costs.iter().copied().fold(f64::MIN, f64::max);
             let min = costs.iter().copied().fold(f64::MAX, f64::min);
             max / min
@@ -397,8 +418,7 @@ mod tests {
         // Every (CDN, city) pair counted once.
         let mut pairs = 0;
         for cdn in &fleet.cdns {
-            let mut cities: Vec<CityId> =
-                fleet.clusters_of(cdn.id).map(|c| c.city).collect();
+            let mut cities: Vec<CityId> = fleet.clusters_of(cdn.id).map(|c| c.city).collect();
             cities.sort();
             cities.dedup();
             pairs += cities.len();
@@ -421,8 +441,10 @@ mod tests {
         // where no newcomer landed): compare total colo cost of the first
         // 14 CDNs' clusters.
         let before: f64 = fleet.clusters.iter().map(|c| c.colo_cost).sum();
-        let after: f64 =
-            expanded.clusters[..fleet.clusters.len()].iter().map(|c| c.colo_cost).sum();
+        let after: f64 = expanded.clusters[..fleet.clusters.len()]
+            .iter()
+            .map(|c| c.colo_cost)
+            .sum();
         assert!(after < before, "colo before {before}, after {after}");
     }
 }

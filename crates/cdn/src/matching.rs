@@ -29,7 +29,10 @@ pub struct MatchingConfig {
 
 impl Default for MatchingConfig {
     fn default() -> Self {
-        MatchingConfig { score_ratio: 2.0, max_candidates: 100 }
+        MatchingConfig {
+            score_ratio: 2.0,
+            max_candidates: 100,
+        }
     }
 }
 
@@ -107,9 +110,17 @@ pub fn preferred_cluster(
     cdn: CdnId,
     score_of: impl Fn(CityId) -> Score,
 ) -> Option<ClusterId> {
-    candidate_clusters(fleet, cdn, score_of, &MatchingConfig { score_ratio: 2.0, max_candidates: 1 })
-        .first()
-        .map(|m| m.cluster)
+    candidate_clusters(
+        fleet,
+        cdn,
+        score_of,
+        &MatchingConfig {
+            score_ratio: 2.0,
+            max_candidates: 1,
+        },
+    )
+    .first()
+    .map(|m| m.cluster)
 }
 
 /// The cluster a CDN's *network measurements* rank first: the best-scoring
@@ -203,7 +214,10 @@ mod tests {
     #[test]
     fn truncation_keeps_cheapest() {
         let f = fleet(&[(5.0, 1.0), (1.0, 1.0), (3.0, 1.0), (2.0, 1.0)]);
-        let cfg = MatchingConfig { score_ratio: 10.0, max_candidates: 2 };
+        let cfg = MatchingConfig {
+            score_ratio: 10.0,
+            max_candidates: 2,
+        };
         let m = candidate_clusters(&f, CdnId(0), scorer(&[100.0, 110.0, 120.0, 130.0]), &cfg);
         assert_eq!(m.len(), 2);
         assert_eq!(m[0].cluster, ClusterId(1)); // cost 1
@@ -232,7 +246,10 @@ mod tests {
         let preferred = preferred_cluster(&f, CdnId(0), scorer(&[100.0, 150.0, 900.0]));
         assert_eq!(preferred, Some(ClusterId(1)));
         // best_cluster ignores cost and picks the score winner.
-        assert_eq!(best_cluster(&f, CdnId(0), scorer(&[100.0, 150.0, 900.0])), Some(ClusterId(0)));
+        assert_eq!(
+            best_cluster(&f, CdnId(0), scorer(&[100.0, 150.0, 900.0])),
+            Some(ClusterId(0))
+        );
     }
 
     #[test]
@@ -245,8 +262,9 @@ mod tests {
             }],
             clusters: vec![],
         };
-        assert!(candidate_clusters(&f, CdnId(0), |_| Score(1.0), &MatchingConfig::default())
-            .is_empty());
+        assert!(
+            candidate_clusters(&f, CdnId(0), |_| Score(1.0), &MatchingConfig::default()).is_empty()
+        );
         assert_eq!(best_cluster(&f, CdnId(0), |_| Score(1.0)), None);
         assert_eq!(preferred_cluster(&f, CdnId(0), |_| Score(1.0)), None);
     }

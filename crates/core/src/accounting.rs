@@ -96,7 +96,10 @@ pub fn settle(outcome: &RoundOutcome, world: &World, fleet: &Fleet) -> Settlemen
     let mut per_cdn: Vec<CdnLedger> = fleet
         .cdns
         .iter()
-        .map(|c| CdnLedger { cdn: c.id, ledger: Ledger::default() })
+        .map(|c| CdnLedger {
+            cdn: c.id,
+            ledger: Ledger::default(),
+        })
         .collect();
     let mut per_country: BTreeMap<CountryId, Ledger> = BTreeMap::new();
 
@@ -109,13 +112,18 @@ pub fn settle(outcome: &RoundOutcome, world: &World, fleet: &Fleet) -> Settlemen
         let revenue = option.price_per_mb * mbps;
         let cost = cluster.cost_per_mb() * mbps;
 
-        per_cdn[option.cdn.index()].ledger.add(group.demand_kbps, revenue, cost);
+        per_cdn[option.cdn.index()]
+            .ledger
+            .add(group.demand_kbps, revenue, cost);
         per_country
             .entry(world.country_of(cluster.city).id)
             .or_default()
             .add(group.demand_kbps, revenue, cost);
     }
-    Settlement { per_cdn, per_country }
+    Settlement {
+        per_cdn,
+        per_country,
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,8 @@ use crate::design::Design;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vdx_broker::{
-    optimize, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy, GroupOption, OptimizeMode,
+    optimize_probed, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy, GroupOption,
+    OptimizeMode,
 };
 use vdx_cdn::{
     candidate_clusters, median_capacity, total_capacity, CdnId, ClusterId, Contract, Fleet,
@@ -31,6 +32,7 @@ use vdx_cdn::{
 };
 use vdx_geo::{CityId, World};
 use vdx_netsim::Score;
+use vdx_obs::{Event, NoopProbe, Probe, ScopedTimer};
 
 /// Everything a Decision Protocol round needs to see.
 pub struct RoundInputs<'a> {
@@ -99,9 +101,53 @@ pub fn run_decision_round(
     inputs: &RoundInputs<'_>,
     score_of: impl Fn(CityId, CityId) -> Score,
 ) -> RoundOutcome {
+    run_decision_round_probed(design, inputs, score_of, 0, &NoopProbe)
+}
+
+/// [`run_decision_round`] with the round's protocol steps reported through
+/// `probe`, tagged with `round`: [`Event::RoundStarted`],
+/// [`Event::SharePublished`] (Share-step designs only), one
+/// [`Event::BidReceived`] per CDN, [`Event::SolverStats`] from the
+/// Optimize step, [`Event::AcceptIssued`], [`Event::ClusterCongested`] for
+/// every cluster driven past its *true* capacity, and
+/// [`Event::RoundCompleted`]. The outcome is identical to the unprobed
+/// function — event construction is skipped entirely when
+/// `probe.enabled()` is false, preserving pure-function semantics and
+/// cost for existing callers.
+pub fn run_decision_round_probed(
+    design: Design,
+    inputs: &RoundInputs<'_>,
+    score_of: impl Fn(CityId, CityId) -> Score,
+    round: u64,
+    probe: &dyn Probe,
+) -> RoundOutcome {
+    // Feed the process-wide latency histogram only on instrumented runs,
+    // so unprobed callers keep pure-function semantics.
+    let _round_timer = probe
+        .enabled()
+        .then(|| ScopedTimer::global("core.decision_round"));
     let fleet = inputs.fleet;
+    if probe.enabled() {
+        probe.emit(Event::RoundStarted {
+            round,
+            design: design.name(),
+            groups: inputs.groups.len() as u64,
+            cdns: fleet.cdns.len() as u64,
+        });
+        if design.shares_clients() {
+            probe.emit(Event::SharePublished {
+                round,
+                shares: inputs.groups.len() as u64,
+                demand_kbps: inputs.groups.iter().map(|g| g.demand_kbps).sum(),
+            });
+        }
+    }
     let matching_config = MatchingConfig {
-        score_ratio: if design == Design::Omniscient { f64::INFINITY } else { 2.0 },
+        score_ratio: if design == Design::Omniscient {
+            f64::INFINITY
+        } else {
+            2.0
+        },
         max_candidates: inputs.bid_count.unwrap_or(design.max_candidates()),
     };
 
@@ -126,7 +172,8 @@ pub fn run_decision_round(
                 &matching_config,
             );
             for m in matchings {
-                let price_per_mb = announced_price(design, inputs, cdn.id, m.cluster, m.cost_per_mb);
+                let price_per_mb =
+                    announced_price(design, inputs, cdn.id, m.cluster, m.cost_per_mb);
                 let believed_capacity_kbps =
                     believed_capacity(design, inputs, cdn.id, m.cluster, &medians);
                 group_options.push(GroupOption {
@@ -141,9 +188,69 @@ pub fn run_decision_round(
         options.push(group_options);
     }
 
-    let problem = BrokerProblem { groups: inputs.groups.to_vec(), options };
-    let assignment = optimize(&problem, &inputs.policy, &inputs.mode);
-    RoundOutcome { design, problem, assignment }
+    if probe.enabled() {
+        // One Announce batch per CDN: its bids across all groups.
+        let mut bids_per_cdn = vec![0u64; fleet.cdns.len()];
+        for opts in &options {
+            for o in opts {
+                bids_per_cdn[o.cdn.index()] += 1;
+            }
+        }
+        for (cdn, &bids) in bids_per_cdn.iter().enumerate() {
+            probe.emit(Event::BidReceived {
+                round,
+                cdn: cdn as u32,
+                bids,
+            });
+        }
+    }
+
+    let problem = BrokerProblem {
+        groups: inputs.groups.to_vec(),
+        options,
+    };
+    let assignment = optimize_probed(&problem, &inputs.policy, &inputs.mode, round, probe);
+
+    if probe.enabled() {
+        let total_bids: u64 = problem.options.iter().map(|o| o.len() as u64).sum();
+        let accepted = problem.groups.len() as u64;
+        probe.emit(Event::AcceptIssued {
+            round,
+            accepted,
+            rejected: total_bids - accepted,
+        });
+        // Sorted scan: HashMap iteration order varies across processes and
+        // would break journal byte-determinism.
+        let mut loads: Vec<(ClusterId, f64)> = assignment
+            .cluster_load_kbps
+            .iter()
+            .map(|(c, l)| (*c, *l))
+            .collect();
+        loads.sort_by_key(|(c, _)| c.index());
+        for (cluster, load) in loads {
+            let capacity_kbps = fleet.clusters[cluster.index()].capacity_kbps;
+            let with_background = load + inputs.background_load_kbps[cluster.index()];
+            if with_background > capacity_kbps {
+                probe.emit(Event::ClusterCongested {
+                    round,
+                    cluster: cluster.index() as u32,
+                    load_kbps: with_background,
+                    capacity_kbps,
+                });
+            }
+        }
+        probe.emit(Event::RoundCompleted {
+            round,
+            objective: assignment.objective,
+            options: total_bids,
+        });
+    }
+
+    RoundOutcome {
+        design,
+        problem,
+        assignment,
+    }
 }
 
 fn announced_price(
@@ -258,13 +365,21 @@ pub(crate) mod tests {
 
     pub(crate) fn build_eco(seed: u64) -> TestEco {
         let world = World::generate(
-            &WorldConfig { countries: 15, cities: 80, ..Default::default() },
+            &WorldConfig {
+                countries: 15,
+                cities: 80,
+                ..Default::default()
+            },
             seed,
         );
         let net = NetModel::new(NetModelConfig::default(), seed);
         let trace = BrokerTrace::generate(
             &world,
-            &BrokerTraceConfig { sessions: 1_500, videos: 200, ..Default::default() },
+            &BrokerTraceConfig {
+                sessions: 1_500,
+                videos: 200,
+                ..Default::default()
+            },
             seed,
         );
         let groups = gather_groups(trace.sessions());
@@ -290,7 +405,14 @@ pub(crate) mod tests {
         let background = assign_background(&world, &fleet, &groups, &bg, seed, |a, b| {
             net.score(&world, a, b)
         });
-        TestEco { world, fleet, contracts, groups, background, net }
+        TestEco {
+            world,
+            fleet,
+            contracts,
+            groups,
+            background,
+            net,
+        }
     }
 
     fn run(eco: &TestEco, design: Design) -> RoundOutcome {
@@ -316,7 +438,10 @@ pub(crate) mod tests {
             assert_eq!(out.assignment.choice.len(), eco.groups.len(), "{design}");
             let placed: f64 = out.assignment.cluster_load_kbps.values().sum();
             let demand: f64 = eco.groups.iter().map(|g| g.demand_kbps).sum();
-            assert!((placed - demand).abs() < 1e-6, "{design}: {placed} vs {demand}");
+            assert!(
+                (placed - demand).abs() < 1e-6,
+                "{design}: {placed} vs {demand}"
+            );
         }
     }
 
@@ -398,9 +523,11 @@ pub(crate) mod tests {
         for opts in &marketplace.problem.options {
             for o in opts {
                 let gross = eco.fleet.clusters[o.cluster.index()].capacity_kbps;
-                let residual =
-                    (gross - eco.background[o.cluster.index()]).max(0.0);
-                assert_eq!(o.believed_capacity_kbps, residual, "Marketplace sees residual");
+                let residual = (gross - eco.background[o.cluster.index()]).max(0.0);
+                assert_eq!(
+                    o.believed_capacity_kbps, residual,
+                    "Marketplace sees residual"
+                );
             }
         }
     }
@@ -435,7 +562,10 @@ pub(crate) mod tests {
         let total_bids: usize = out.problem.options.iter().map(Vec::len).sum();
         assert_eq!(entries.len(), total_bids);
         for g in 0..eco.groups.len() {
-            let winners = entries.iter().filter(|(gg, _, won)| *gg == g && *won).count();
+            let winners = entries
+                .iter()
+                .filter(|(gg, _, won)| *gg == g && *won)
+                .count();
             assert_eq!(winners, 1, "exactly one accepted bid per group");
         }
     }
@@ -482,6 +612,109 @@ pub(crate) mod tests {
         assert!(
             market <= multi + 1e-9,
             "marketplace congestion {market} should not exceed blind multicluster {multi}"
+        );
+    }
+
+    #[test]
+    fn probed_round_emits_the_protocol_event_sequence() {
+        use vdx_obs::{Event, MemoryProbe};
+        let eco = build_eco(11);
+        let inputs = RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        };
+        let probe = MemoryProbe::new();
+        let probed = run_decision_round_probed(
+            Design::Marketplace,
+            &inputs,
+            |a, b| eco.net.score(&eco.world, a, b),
+            3,
+            &probe,
+        );
+        let plain = run_decision_round(Design::Marketplace, &inputs, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        assert_eq!(
+            probed.assignment.choice, plain.assignment.choice,
+            "probe is inert"
+        );
+
+        let events = probe.take();
+        assert!(matches!(
+            events.first(),
+            Some(Event::RoundStarted { round: 3, .. })
+        ));
+        assert!(
+            matches!(events.get(1), Some(Event::SharePublished { .. })),
+            "Marketplace shares clients"
+        );
+        let bids = events
+            .iter()
+            .filter(|e| matches!(e, Event::BidReceived { .. }))
+            .count();
+        assert_eq!(bids, eco.fleet.cdns.len(), "one Announce per CDN");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| matches!(e, Event::SolverStats { .. }))
+                .count(),
+            1
+        );
+        match events
+            .iter()
+            .find(|e| matches!(e, Event::AcceptIssued { .. }))
+        {
+            Some(Event::AcceptIssued {
+                accepted, rejected, ..
+            }) => {
+                assert_eq!(*accepted, eco.groups.len() as u64);
+                let total: u64 = probed.problem.options.iter().map(|o| o.len() as u64).sum();
+                assert_eq!(accepted + rejected, total);
+            }
+            _ => panic!("AcceptIssued missing"),
+        }
+        assert!(matches!(
+            events.last(),
+            Some(Event::RoundCompleted { round: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn brokered_designs_do_not_share_clients_in_the_journal() {
+        use vdx_obs::{Event, MemoryProbe};
+        let eco = build_eco(11);
+        let inputs = RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        };
+        let probe = MemoryProbe::new();
+        run_decision_round_probed(
+            Design::Brokered,
+            &inputs,
+            |a, b| eco.net.score(&eco.world, a, b),
+            0,
+            &probe,
+        );
+        assert!(
+            !probe
+                .take()
+                .iter()
+                .any(|e| matches!(e, Event::SharePublished { .. })),
+            "Brokered has no Share step"
         );
     }
 }

@@ -40,7 +40,10 @@ impl DeliveryDirectory {
             route.extend(alternatives.iter().map(|o| o.cluster));
             routes.insert((group.city, group.bitrate_kbps), route);
         }
-        DeliveryDirectory { routes, failed: HashSet::new() }
+        DeliveryDirectory {
+            routes,
+            failed: HashSet::new(),
+        }
     }
 
     /// Marks a cluster as failed; subsequent queries fail over past it.
@@ -115,7 +118,10 @@ mod tests {
         let (dir, out) = directory();
         for (g, group) in out.problem.groups.iter().enumerate() {
             let chosen = out.assignment.chosen(&out.problem, g);
-            assert_eq!(dir.query(group.city, group.bitrate_kbps), Some(chosen.cluster));
+            assert_eq!(
+                dir.query(group.city, group.bitrate_kbps),
+                Some(chosen.cluster)
+            );
         }
     }
 
@@ -123,7 +129,10 @@ mod tests {
     fn unknown_bitrate_falls_back_to_city_route() {
         let (dir, out) = directory();
         let g = &out.problem.groups[0];
-        assert!(dir.query(g.city, 123_456).is_some(), "falls back to any rung");
+        assert!(
+            dir.query(g.city, 123_456).is_some(),
+            "falls back to any rung"
+        );
     }
 
     #[test]

@@ -79,7 +79,10 @@ impl Design {
     /// Whether the broker Shares client (meta-)data with CDNs before
     /// matching (Table 2's "Share" column).
     pub fn shares_clients(&self) -> bool {
-        matches!(self, Design::Marketplace | Design::Transactions | Design::Omniscient)
+        matches!(
+            self,
+            Design::Marketplace | Design::Transactions | Design::Omniscient
+        )
     }
 
     /// Number of candidate clusters each CDN may offer per client group
@@ -195,8 +198,14 @@ mod tests {
         // TP.
         assert_eq!(Design::Brokered.traffic_predictability(), Provision::No);
         assert_eq!(Design::BestLookup.traffic_predictability(), Provision::No);
-        assert_eq!(Design::Marketplace.traffic_predictability(), Provision::Weak);
-        assert_eq!(Design::Transactions.traffic_predictability(), Provision::Strong);
+        assert_eq!(
+            Design::Marketplace.traffic_predictability(),
+            Provision::Weak
+        );
+        assert_eq!(
+            Design::Transactions.traffic_predictability(),
+            Provision::Strong
+        );
     }
 
     #[test]

@@ -13,12 +13,14 @@
 //! opaque; a simulation shares one namespace).
 
 use crate::design::Design;
-use vdx_broker::{optimize, BrokerProblem, ClientGroup, CpPolicy, GroupOption, OptimizeMode};
-use vdx_cdn::{
-    candidate_clusters, BidPolicy, BidShading, CdnId, ClusterId, Fleet, MatchingConfig,
+use std::sync::Arc;
+use vdx_broker::{
+    optimize_probed, BrokerProblem, ClientGroup, CpPolicy, GroupOption, OptimizeMode,
 };
+use vdx_cdn::{candidate_clusters, BidPolicy, BidShading, CdnId, ClusterId, Fleet, MatchingConfig};
 use vdx_geo::CityId;
 use vdx_netsim::Score;
+use vdx_obs::{Event as ObsEvent, Probe};
 use vdx_proto::endpoint::{Endpoint, Event, RequestId};
 use vdx_proto::{AcceptEntry, Bid, Link, Message, Share, SimTime};
 
@@ -139,8 +141,11 @@ impl CdnAgent {
                 &self.matching,
             );
             for m in matchings {
-                let committed =
-                    self.committed_kbps.get(m.cluster.index()).copied().unwrap_or(0.0);
+                let committed = self
+                    .committed_kbps
+                    .get(m.cluster.index())
+                    .copied()
+                    .unwrap_or(0.0);
                 let gross = fleet.clusters[m.cluster.index()].capacity_kbps;
                 bids.push(Bid {
                     cluster_id: m.cluster.0 as u64,
@@ -160,9 +165,12 @@ pub struct ExchangeBroker {
     endpoints: Vec<Endpoint>,
     config: ExchangeConfig,
     round: Option<PendingRound>,
+    probe: Arc<dyn Probe>,
+    rounds_started: u64,
 }
 
 struct PendingRound {
+    id: u64,
     groups: Vec<ClientGroup>,
     request_ids: Vec<RequestId>,
     bids: Vec<Option<Vec<Bid>>>,
@@ -183,7 +191,19 @@ impl ExchangeBroker {
     /// Creates a broker speaking to `endpoints.len()` CDNs; `endpoints[i]`
     /// must be connected to the agent of `CdnId(i)`.
     pub fn new(endpoints: Vec<Endpoint>, config: ExchangeConfig) -> ExchangeBroker {
-        ExchangeBroker { endpoints, config, round: None }
+        ExchangeBroker {
+            endpoints,
+            config,
+            round: None,
+            probe: vdx_obs::probe::noop(),
+            rounds_started: 0,
+        }
+    }
+
+    /// Routes this broker's journal events (round lifecycle, auction
+    /// steps, solver effort) to `probe`. The default is a no-op.
+    pub fn set_probe(&mut self, probe: Arc<dyn Probe>) {
+        self.probe = probe;
     }
 
     /// Starts a round: Shares the client groups with every CDN.
@@ -192,6 +212,21 @@ impl ExchangeBroker {
     /// Panics if a round is already in flight.
     pub fn start_round(&mut self, groups: Vec<ClientGroup>) {
         assert!(self.round.is_none(), "round already in flight");
+        let id = self.rounds_started;
+        self.rounds_started += 1;
+        if self.probe.enabled() {
+            self.probe.emit(ObsEvent::RoundStarted {
+                round: id,
+                design: self.design().name(),
+                groups: groups.len() as u64,
+                cdns: self.endpoints.len() as u64,
+            });
+            self.probe.emit(ObsEvent::SharePublished {
+                round: id,
+                shares: groups.len() as u64,
+                demand_kbps: groups.iter().map(|g| g.demand_kbps).sum(),
+            });
+        }
         let shares: Vec<Share> = groups
             .iter()
             .enumerate()
@@ -208,7 +243,12 @@ impl ExchangeBroker {
         let request_ids: Vec<RequestId> =
             self.endpoints.iter_mut().map(|e| e.request(&msg)).collect();
         let n = self.endpoints.len();
-        self.round = Some(PendingRound { groups, request_ids, bids: vec![None; n] });
+        self.round = Some(PendingRound {
+            id,
+            groups,
+            request_ids,
+            bids: vec![None; n],
+        });
     }
 
     /// Advances the broker. Returns the round result once every CDN's
@@ -222,6 +262,13 @@ impl ExchangeBroker {
             for event in endpoint.poll_events(now, &mut links[i]) {
                 if let Event::Response(id, Message::Announce(bids)) = event {
                     if id == round.request_ids[i] {
+                        if self.probe.enabled() {
+                            self.probe.emit(ObsEvent::BidReceived {
+                                round: round.id,
+                                cdn: i as u32,
+                                bids: bids.len() as u64,
+                            });
+                        }
                         round.bids[i] = Some(bids);
                     }
                 }
@@ -257,8 +304,17 @@ impl ExchangeBroker {
                 });
             }
         }
-        let problem = BrokerProblem { groups: round.groups, options };
-        let assignment = optimize(&problem, &self.config.policy, &self.config.mode);
+        let problem = BrokerProblem {
+            groups: round.groups,
+            options,
+        };
+        let assignment = optimize_probed(
+            &problem,
+            &self.config.policy,
+            &self.config.mode,
+            round.id,
+            self.probe.as_ref(),
+        );
 
         // Accept: echo every bid with its outcome to its CDN.
         for (cdn_idx, bids) in round.bids.iter().enumerate() {
@@ -273,12 +329,29 @@ impl ExchangeBroker {
                         chosen.cdn == CdnId(cdn_idx as u32)
                             && chosen.cluster == ClusterId(bid.cluster_id as u32)
                     };
-                    AcceptEntry { bid: *bid, accepted }
+                    AcceptEntry {
+                        bid: *bid,
+                        accepted,
+                    }
                 })
                 .collect();
             self.endpoints[cdn_idx].send_oneway(&Message::Accept(entries));
             // Kick the channel so the Accept leaves promptly.
             self.endpoints[cdn_idx].poll_events(now, &mut links[cdn_idx]);
+        }
+        if self.probe.enabled() {
+            let total_bids: u64 = problem.options.iter().map(|o| o.len() as u64).sum();
+            let accepted = problem.groups.len() as u64;
+            self.probe.emit(ObsEvent::AcceptIssued {
+                round: round.id,
+                accepted,
+                rejected: total_bids.saturating_sub(accepted),
+            });
+            self.probe.emit(ObsEvent::RoundCompleted {
+                round: round.id,
+                objective: assignment.objective,
+                options: total_bids,
+            });
         }
         LiveRoundResult {
             choice: assignment.choice,
@@ -362,8 +435,7 @@ mod tests {
     #[test]
     fn live_round_matches_pure_decision_round() {
         let eco = build_eco(23);
-        let (mut broker, mut agents, mut links) =
-            make_exchange(&eco, FaultConfig::lossless());
+        let (mut broker, mut agents, mut links) = make_exchange(&eco, FaultConfig::lossless());
         let live = drive_round(&eco, &mut broker, &mut agents, &mut links, 0, 10_000);
 
         let inputs = crate::decision::RoundInputs {
@@ -407,8 +479,7 @@ mod tests {
     #[test]
     fn losing_clusters_shade_their_margins_down() {
         let eco = build_eco(23);
-        let (mut broker, mut agents, mut links) =
-            make_exchange(&eco, FaultConfig::lossless());
+        let (mut broker, mut agents, mut links) = make_exchange(&eco, FaultConfig::lossless());
         let result = drive_round(&eco, &mut broker, &mut agents, &mut links, 0, 10_000);
         // Find a cluster that bid but never won.
         let mut won = std::collections::HashSet::new();
@@ -430,5 +501,44 @@ mod tests {
             margin < BidPolicy::default().max_margin,
             "losing cluster's margin should have shaded down, still {margin}"
         );
+    }
+
+    #[test]
+    fn probed_live_round_journals_the_auction() {
+        use vdx_obs::MemoryProbe;
+        let eco = build_eco(23);
+        let (mut broker, mut agents, mut links) = make_exchange(&eco, FaultConfig::lossless());
+        let probe = Arc::new(MemoryProbe::new());
+        broker.set_probe(probe.clone());
+        drive_round(&eco, &mut broker, &mut agents, &mut links, 0, 10_000);
+
+        let events = probe.take();
+        assert!(matches!(
+            events.first(),
+            Some(ObsEvent::RoundStarted { round: 0, .. })
+        ));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::SharePublished { .. })));
+        let bid_events = events
+            .iter()
+            .filter(|e| matches!(e, ObsEvent::BidReceived { .. }))
+            .count();
+        assert_eq!(bid_events, eco.fleet.cdns.len(), "one Announce per CDN");
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, ObsEvent::SolverStats { .. })));
+        assert!(matches!(
+            events.last(),
+            Some(ObsEvent::RoundCompleted { round: 0, .. })
+        ));
+
+        // A second round increments the round id.
+        drive_round(&eco, &mut broker, &mut agents, &mut links, 20_000, 30_000);
+        let events = probe.take();
+        assert!(matches!(
+            events.first(),
+            Some(ObsEvent::RoundStarted { round: 1, .. })
+        ));
     }
 }

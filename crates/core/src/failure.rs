@@ -31,15 +31,21 @@ pub fn exclude_cdns(
     let mut options = Vec::with_capacity(problem.options.len());
     let mut orphaned = Vec::new();
     for (g, opts) in problem.options.iter().enumerate() {
-        let kept: Vec<_> =
-            opts.iter().filter(|o| !failed.contains(&o.cdn)).copied().collect();
+        let kept: Vec<_> = opts
+            .iter()
+            .filter(|o| !failed.contains(&o.cdn))
+            .copied()
+            .collect();
         if kept.is_empty() {
             orphaned.push(g);
         }
         options.push(kept);
     }
     if orphaned.is_empty() {
-        Ok(BrokerProblem { groups: problem.groups.clone(), options })
+        Ok(BrokerProblem {
+            groups: problem.groups.clone(),
+            options,
+        })
     } else {
         Err(orphaned)
     }

@@ -43,7 +43,9 @@ pub mod reputation;
 pub mod transactions;
 
 pub use accounting::{settle, CdnLedger, Settlement};
-pub use decision::{assign_background, run_decision_round, RoundInputs, RoundOutcome};
+pub use decision::{
+    assign_background, run_decision_round, run_decision_round_probed, RoundInputs, RoundOutcome,
+};
 pub use design::Design;
 pub use exchange::{CdnAgent, ExchangeBroker, ExchangeConfig};
 pub use reputation::ReputationSystem;

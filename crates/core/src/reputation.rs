@@ -33,7 +33,10 @@ pub struct ReputationSystem {
 impl ReputationSystem {
     /// Creates state for `num_cdns` CDNs, all fully trusted.
     pub fn new(num_cdns: usize) -> ReputationSystem {
-        ReputationSystem { trust: vec![1.0; num_cdns], observations: vec![0; num_cdns] }
+        ReputationSystem {
+            trust: vec![1.0; num_cdns],
+            observations: vec![0; num_cdns],
+        }
     }
 
     /// Records a comparison of an announced value against a measurement

@@ -16,11 +16,11 @@
 
 use crate::decision::{RoundInputs, RoundOutcome};
 use crate::design::Design;
+use std::collections::HashMap;
 use vdx_broker::{optimize, BrokerProblem};
 use vdx_cdn::CdnId;
 use vdx_geo::CityId;
 use vdx_netsim::Score;
-use std::collections::HashMap;
 
 /// How a CDN decides whether to commit to a proposed mapping.
 pub trait CommitPolicy {
@@ -93,8 +93,7 @@ pub fn run_transactions(
     policy: &mut dyn CommitPolicy,
     max_rounds: usize,
 ) -> TransactionOutcome {
-    let mut outcome =
-        crate::decision::run_decision_round(Design::Transactions, inputs, &score_of);
+    let mut outcome = crate::decision::run_decision_round(Design::Transactions, inputs, &score_of);
     for round in 1..=max_rounds {
         // Per-CDN view of the proposal.
         let mut per_cdn_loads: Vec<HashMap<vdx_cdn::ClusterId, f64>> =
@@ -115,10 +114,16 @@ pub fn run_transactions(
             .map(|cdn| cdn.id)
             .collect();
         if vetoes.is_empty() {
-            return TransactionOutcome::Committed { rounds: round, outcome };
+            return TransactionOutcome::Committed {
+                rounds: round,
+                outcome,
+            };
         }
         if round == max_rounds {
-            return TransactionOutcome::Abandoned { last_vetoes: vetoes, proposal: outcome };
+            return TransactionOutcome::Abandoned {
+                last_vetoes: vetoes,
+                proposal: outcome,
+            };
         }
         // Withdraw: drop every *chosen* option on a vetoing CDN (keep its
         // other bids — the veto was about this mapping, not the CDN), then
@@ -139,9 +144,16 @@ pub fn run_transactions(
                 options[g].retain(|o| o.cluster != cluster);
             }
         }
-        let problem = BrokerProblem { groups: outcome.problem.groups.clone(), options };
+        let problem = BrokerProblem {
+            groups: outcome.problem.groups.clone(),
+            options,
+        };
         let assignment = optimize(&problem, &inputs.policy, &inputs.mode);
-        outcome = RoundOutcome { design: Design::Transactions, problem, assignment };
+        outcome = RoundOutcome {
+            design: Design::Transactions,
+            problem,
+            assignment,
+        };
     }
     unreachable!("loop returns from within");
 }
@@ -169,7 +181,10 @@ mod tests {
     #[test]
     fn honest_cdns_commit_quickly() {
         let eco = build_eco(41);
-        let mut policy = HonestCommit { fleet: &eco.fleet, background: &eco.background };
+        let mut policy = HonestCommit {
+            fleet: &eco.fleet,
+            background: &eco.background,
+        };
         let result = run_transactions(
             &inputs(&eco),
             |a, b| eco.net.score(&eco.world, a, b),
@@ -202,7 +217,10 @@ mod tests {
             5,
         );
         match result {
-            TransactionOutcome::Abandoned { last_vetoes, proposal } => {
+            TransactionOutcome::Abandoned {
+                last_vetoes,
+                proposal,
+            } => {
                 assert!(!last_vetoes.is_empty());
                 assert_eq!(proposal.assignment.choice.len(), eco.groups.len());
             }
@@ -224,7 +242,10 @@ mod tests {
         );
         match result {
             TransactionOutcome::Committed { rounds, .. } => {
-                assert!(rounds >= 2, "vetoes must have forced extra rounds: {rounds}");
+                assert!(
+                    rounds >= 2,
+                    "vetoes must have forced extra rounds: {rounds}"
+                );
             }
             TransactionOutcome::Abandoned { .. } => panic!("should commit after vetoes run out"),
         }
@@ -239,7 +260,9 @@ mod tests {
             crate::decision::run_decision_round(Design::Transactions, &inputs(&eco), |a, b| {
                 eco.net.score(&eco.world, a, b)
             });
-        let mut policy = ObstinateCommit { vetoes: eco.fleet.cdns.len() };
+        let mut policy = ObstinateCommit {
+            vetoes: eco.fleet.cdns.len(),
+        };
         let result = run_transactions(
             &inputs(&eco),
             |a, b| eco.net.score(&eco.world, a, b),

@@ -31,9 +31,20 @@ impl GeoPoint {
     /// downstream geometry; generators never produce them, and parsers are
     /// expected to validate beforehand.
     pub fn new(lat_deg: f64, lon_deg: f64) -> Self {
-        let lat = if lat_deg.is_finite() { lat_deg.clamp(-90.0, 90.0) } else { 0.0 };
-        let lon = if lon_deg.is_finite() { wrap_lon(lon_deg) } else { 0.0 };
-        GeoPoint { lat_deg: lat, lon_deg: lon }
+        let lat = if lat_deg.is_finite() {
+            lat_deg.clamp(-90.0, 90.0)
+        } else {
+            0.0
+        };
+        let lon = if lon_deg.is_finite() {
+            wrap_lon(lon_deg)
+        } else {
+            0.0
+        };
+        GeoPoint {
+            lat_deg: lat,
+            lon_deg: lon,
+        }
     }
 
     /// Latitude in degrees, in `[-90, +90]`.
@@ -133,7 +144,9 @@ mod tests {
     fn longitude_is_wrapped() {
         assert!((p(0.0, 190.0).lon_deg() - (-170.0)).abs() < 1e-9);
         assert!((p(0.0, -190.0).lon_deg() - 170.0).abs() < 1e-9);
-        assert!((p(0.0, 540.0).lon_deg() - 180.0).abs() < 1e-9 || p(0.0, 540.0).lon_deg() == -180.0);
+        assert!(
+            (p(0.0, 540.0).lon_deg() - 180.0).abs() < 1e-9 || p(0.0, 540.0).lon_deg() == -180.0
+        );
     }
 
     #[test]

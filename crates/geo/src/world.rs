@@ -73,7 +73,11 @@ impl World {
         let countries = generate_countries(config, &mut rng);
         let (cities, cities_by_country) = generate_cities(config, &countries, &mut rng);
 
-        World { countries, cities, cities_by_country }
+        World {
+            countries,
+            cities,
+            cities_by_country,
+        }
     }
 
     /// All countries, indexed by [`CountryId`].
@@ -108,12 +112,16 @@ impl World {
 
     /// Great-circle distance between two cities in kilometres.
     pub fn distance_km(&self, a: CityId, b: CityId) -> f64 {
-        self.cities[a.index()].location.distance_km(self.cities[b.index()].location)
+        self.cities[a.index()]
+            .location
+            .distance_km(self.cities[b.index()].location)
     }
 
     /// Great-circle distance between two cities in miles.
     pub fn distance_miles(&self, a: CityId, b: CityId) -> f64 {
-        self.cities[a.index()].location.distance_miles(self.cities[b.index()].location)
+        self.cities[a.index()]
+            .location
+            .distance_miles(self.cities[b.index()].location)
     }
 
     /// The city nearest to `point` (linear scan; worlds are small).
@@ -137,7 +145,9 @@ impl World {
         ids.sort_by(|a, b| {
             let pa = self.cities[a.index()].population_weight;
             let pb = self.cities[b.index()].population_weight;
-            pb.partial_cmp(&pa).expect("weights are finite").then(a.0.cmp(&b.0))
+            pb.partial_cmp(&pa)
+                .expect("weights are finite")
+                .then(a.0.cmp(&b.0))
         });
         ids
     }
@@ -150,7 +160,12 @@ fn apportion_regions(total: usize) -> Vec<(Region, usize)> {
     assert!(total >= n, "need at least {n} items to cover all regions");
     let mut counts: Vec<(Region, usize)> = Region::ALL
         .iter()
-        .map(|&r| (r, ((total as f64) * r.demand_share()).floor().max(1.0) as usize))
+        .map(|&r| {
+            (
+                r,
+                ((total as f64) * r.demand_share()).floor().max(1.0) as usize,
+            )
+        })
         .collect();
     // Fix up rounding drift by adding/removing from the largest buckets.
     loop {
@@ -159,7 +174,11 @@ fn apportion_regions(total: usize) -> Vec<(Region, usize)> {
             break;
         }
         if sum < total {
-            counts.iter_mut().max_by_key(|(_, c)| *c).expect("non-empty").1 += 1;
+            counts
+                .iter_mut()
+                .max_by_key(|(_, c)| *c)
+                .expect("non-empty")
+                .1 += 1;
         } else {
             let slot = counts
                 .iter_mut()
@@ -203,8 +222,11 @@ fn generate_countries(config: &WorldConfig, rng: &mut StdRng) -> Vec<Country> {
     // Normalise cost indices so the demand-weighted mean is 1.0, matching
     // the paper's "cost relative to the average" framing in Fig 3.
     let total_w: f64 = countries.iter().map(|c| c.demand_weight).sum();
-    let mean: f64 =
-        countries.iter().map(|c| c.cost_index * c.demand_weight).sum::<f64>() / total_w;
+    let mean: f64 = countries
+        .iter()
+        .map(|c| c.cost_index * c.demand_weight)
+        .sum::<f64>()
+        / total_w;
     for c in &mut countries {
         c.cost_index /= mean;
     }
@@ -239,7 +261,9 @@ fn generate_cities(
                 .expect("non-empty");
             counts[i] += 1;
         } else {
-            let i = (0..counts.len()).filter(|&i| counts[i] > 1).max_by_key(|&i| counts[i]);
+            let i = (0..counts.len())
+                .filter(|&i| counts[i] > 1)
+                .max_by_key(|&i| counts[i]);
             counts[i.expect("some country has >1 city")] -= 1;
         }
     }
@@ -349,8 +373,16 @@ mod tests {
             .sum::<f64>()
             / total_w;
         assert!((mean - 1.0).abs() < 1e-9, "weighted mean {mean}");
-        let max = w.countries().iter().map(|c| c.cost_index).fold(f64::MIN, f64::max);
-        let min = w.countries().iter().map(|c| c.cost_index).fold(f64::MAX, f64::min);
+        let max = w
+            .countries()
+            .iter()
+            .map(|c| c.cost_index)
+            .fold(f64::MIN, f64::max);
+        let min = w
+            .countries()
+            .iter()
+            .map(|c| c.cost_index)
+            .fold(f64::MAX, f64::min);
         // Fig 3 of the paper shows roughly a 30x disparity between the most
         // and least expensive countries; accept a broad band around that.
         let spread = max / min;
@@ -361,8 +393,7 @@ mod tests {
     #[test]
     fn city_weights_are_heavy_tailed() {
         let w = world();
-        let mut weights: Vec<f64> =
-            w.cities().iter().map(|c| c.population_weight).collect();
+        let mut weights: Vec<f64> = w.cities().iter().map(|c| c.population_weight).collect();
         weights.sort_by(|a, b| b.partial_cmp(a).expect("finite"));
         let top_decile: f64 = weights[..weights.len() / 10].iter().sum();
         let total: f64 = weights.iter().sum();
@@ -383,9 +414,7 @@ mod tests {
         let order = w.cities_by_population();
         assert_eq!(order.len(), w.cities().len());
         for pair in order.windows(2) {
-            assert!(
-                w.city(pair[0]).population_weight >= w.city(pair[1]).population_weight
-            );
+            assert!(w.city(pair[0]).population_weight >= w.city(pair[1]).population_weight);
         }
     }
 
@@ -400,13 +429,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one country")]
     fn zero_countries_panics() {
-        let cfg = WorldConfig { countries: 0, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            countries: 0,
+            ..WorldConfig::default()
+        };
         World::generate(&cfg, 0);
     }
 
     #[test]
     fn small_world_still_covers_regions() {
-        let cfg = WorldConfig { countries: 6, cities: 6, ..WorldConfig::default() };
+        let cfg = WorldConfig {
+            countries: 6,
+            cities: 6,
+            ..WorldConfig::default()
+        };
         let w = World::generate(&cfg, 3);
         assert_eq!(w.countries().len(), 6);
         assert_eq!(w.cities().len(), 6);

@@ -33,7 +33,10 @@ impl NoisyMeasurer {
     /// Creates a measurer with the given relative noise (e.g. `0.2` for
     /// ±20 % samples).
     pub fn new(seed: u64, noise: f64) -> NoisyMeasurer {
-        NoisyMeasurer { seed, noise: noise.clamp(0.0, 0.99) }
+        NoisyMeasurer {
+            seed,
+            noise: noise.clamp(0.0, 0.99),
+        }
     }
 
     /// The `k`-th sample of the path `client → site` with true score
@@ -60,12 +63,18 @@ impl ScoreEstimator {
     /// Creates an estimator; `alpha` is the EWMA weight of each new sample
     /// (operators use small alphas to smooth out transient congestion).
     pub fn new(alpha: f64) -> ScoreEstimator {
-        ScoreEstimator { alpha: alpha.clamp(0.0, 1.0), estimates: HashMap::new() }
+        ScoreEstimator {
+            alpha: alpha.clamp(0.0, 1.0),
+            estimates: HashMap::new(),
+        }
     }
 
     /// Folds in one observed sample.
     pub fn observe(&mut self, client: CityId, site: CityId, sample: Score) {
-        let e = self.estimates.entry((client, site)).or_insert(sample.value());
+        let e = self
+            .estimates
+            .entry((client, site))
+            .or_insert(sample.value());
         *e = (1.0 - self.alpha) * *e + self.alpha * sample.value();
     }
 
@@ -131,9 +140,16 @@ mod tests {
         let m = NoisyMeasurer::new(3, 0.25);
         let mut est = ScoreEstimator::new(0.1);
         for k in 0..500 {
-            est.observe(CityId(0), CityId(1), m.sample(CityId(0), CityId(1), k, Score(80.0)));
+            est.observe(
+                CityId(0),
+                CityId(1),
+                m.sample(CityId(0), CityId(1), k, Score(80.0)),
+            );
         }
-        let e = est.estimate(CityId(0), CityId(1)).expect("measured").value();
+        let e = est
+            .estimate(CityId(0), CityId(1))
+            .expect("measured")
+            .value();
         assert!((e - 80.0).abs() < 8.0, "estimate {e}");
     }
 

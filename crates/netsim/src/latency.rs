@@ -84,7 +84,8 @@ impl LatencyModel {
 /// Mixes the model seed and an endpoint pair into an RNG seed
 /// (splitmix64-style finalizer; good avalanche, no allocation).
 pub(crate) fn mix(seed: u64, a: u64, b: u64) -> u64 {
-    let mut x = seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    let mut x =
+        seed ^ a.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ b.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 30;
     x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
     x ^= x >> 27;
@@ -131,9 +132,20 @@ mod tests {
 
     #[test]
     fn plausible_transatlantic_rtt() {
-        let m = LatencyModel::new(LatencyConfig { jitter_sigma: 0.0, ..Default::default() }, 0);
+        let m = LatencyModel::new(
+            LatencyConfig {
+                jitter_sigma: 0.0,
+                ..Default::default()
+            },
+            0,
+        );
         // ~5500 km: expect RTT around 90-120 ms with inflation 1.6.
-        let rtt = m.rtt_ms(GeoPoint::new(40.64, -73.78), GeoPoint::new(51.47, -0.45), 1, 2);
+        let rtt = m.rtt_ms(
+            GeoPoint::new(40.64, -73.78),
+            GeoPoint::new(51.47, -0.45),
+            1,
+            2,
+        );
         assert!((70.0..160.0).contains(&rtt), "got {rtt}");
     }
 

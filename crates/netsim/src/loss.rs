@@ -27,7 +27,12 @@ pub struct LossConfig {
 
 impl Default for LossConfig {
     fn default() -> Self {
-        LossConfig { base_loss: 0.001, loss_per_10mm: 0.012, max_loss: 0.20, variation: 0.6 }
+        LossConfig {
+            base_loss: 0.001,
+            loss_per_10mm: 0.012,
+            max_loss: 0.20,
+            variation: 0.6,
+        }
     }
 }
 
@@ -91,7 +96,10 @@ mod tests {
         let m = model();
         let origin = GeoPoint::new(0.0, 0.0);
         let avg = |dst: GeoPoint| -> f64 {
-            (0..300).map(|k| m.loss_fraction(origin, dst, 0, k)).sum::<f64>() / 300.0
+            (0..300)
+                .map(|k| m.loss_fraction(origin, dst, 0, k))
+                .sum::<f64>()
+                / 300.0
         };
         assert!(avg(GeoPoint::new(0.0, 150.0)) > avg(GeoPoint::new(0.0, 2.0)));
     }

@@ -74,7 +74,7 @@ impl NetModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vdx_geo::{WorldConfig};
+    use vdx_geo::WorldConfig;
 
     fn setup() -> (World, NetModel) {
         let world = World::generate(&WorldConfig::default(), 11);
@@ -118,14 +118,17 @@ mod tests {
             let q = model.quality(&world, CityId(0), city.id);
             if city.country == home_country {
                 near.push(q.score.value());
-            } else if world.country(city.country).region
-                != world.country(home_country).region
-            {
+            } else if world.country(city.country).region != world.country(home_country).region {
                 far.push(q.score.value());
             }
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         assert!(!near.is_empty() && !far.is_empty());
-        assert!(avg(&near) < avg(&far), "near {} far {}", avg(&near), avg(&far));
+        assert!(
+            avg(&near) < avg(&far),
+            "near {} far {}",
+            avg(&near),
+            avg(&far)
+        );
     }
 }

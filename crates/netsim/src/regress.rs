@@ -55,7 +55,12 @@ impl LinearFit {
                 .sum();
             (1.0 - ss_res / syy).max(0.0)
         };
-        Some(LinearFit { slope, intercept, r2, n })
+        Some(LinearFit {
+            slope,
+            intercept,
+            r2,
+            n,
+        })
     }
 
     /// Predicts `y` at `x`.
@@ -157,11 +162,15 @@ mod tests {
 
     #[test]
     fn extrapolator_roughly_interpolates() {
-        let samples: Vec<(f64, Score)> =
-            (1..20).map(|i| (500.0 * i as f64, Score(20.0 + 0.03 * 500.0 * i as f64))).collect();
+        let samples: Vec<(f64, Score)> = (1..20)
+            .map(|i| (500.0 * i as f64, Score(20.0 + 0.03 * 500.0 * i as f64)))
+            .collect();
         let ex = ScoreExtrapolator::fit(&samples).expect("fits");
         let predicted = ex.predict(2_750.0).value();
         let truth = 20.0 + 0.03 * 2_750.0;
-        assert!((predicted - truth).abs() < 1.0, "predicted {predicted}, truth {truth}");
+        assert!(
+            (predicted - truth).abs() < 1.0,
+            "predicted {predicted}, truth {truth}"
+        );
     }
 }

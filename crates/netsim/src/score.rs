@@ -63,7 +63,11 @@ pub fn alternatives_within(scores: &[Score], margin: f64) -> usize {
     let Some(best) = scores.iter().min_by(|a, b| a.total_cmp(b)) else {
         return 0;
     };
-    scores.iter().filter(|s| s.within_of(*best, margin)).count().saturating_sub(1)
+    scores
+        .iter()
+        .filter(|s| s.within_of(*best, margin))
+        .count()
+        .saturating_sub(1)
 }
 
 #[cfg(test)]

@@ -1,0 +1,419 @@
+//! The typed event schema: everything a VDX run can journal.
+//!
+//! One [`Event`] is one JSONL line. Events are serde-serializable with an
+//! internal `"ev"` tag, so a journal line reads naturally:
+//!
+//! ```text
+//! {"ev":"round_started","round":0,"design":"Marketplace","groups":412,"cdns":14}
+//! ```
+//!
+//! Two kinds of field appear:
+//!
+//! * **simulation fields** — round ids, SimTime stamps (`at_ms`), counts,
+//!   objective values. These are fully deterministic: the same scenario
+//!   and seed produce the same values on every run.
+//! * **wall-clock fields** — `started_unix_ms`, `wall_us`, `wall_ms` and
+//!   the microsecond statistics of [`Event::TimingSummary`]. These come
+//!   from the host clock and differ run to run. [`Event::zero_wall_clock`]
+//!   zeroes exactly this set, after which two journals of the same seeded
+//!   run are byte-identical (tested in `vdx-sim`).
+
+use serde::{Deserialize, Serialize};
+
+/// Journal schema version; bump when variants or fields change shape.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One journaled event. See the module docs for the field taxonomy and
+/// DESIGN.md §7 for one example line per variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "ev", rename_all = "snake_case")]
+pub enum Event {
+    /// First line of every journal: identifies the run.
+    RunHeader {
+        /// [`SCHEMA_VERSION`] at write time.
+        schema: u32,
+        /// Experiment name (`table3`, `fig17`, `replay`, ...).
+        experiment: String,
+        /// Master scenario seed.
+        seed: u64,
+        /// Scenario scale (`full` or `small`).
+        scale: String,
+        /// Wall-clock start, Unix milliseconds (zeroable).
+        started_unix_ms: u64,
+    },
+    /// A named phase (scenario build, one experiment, ...) began.
+    PhaseStarted {
+        /// Phase name.
+        phase: String,
+    },
+    /// A named phase finished.
+    PhaseFinished {
+        /// Phase name.
+        phase: String,
+        /// Elapsed wall time in microseconds (zeroable).
+        wall_us: u64,
+    },
+    /// A Decision Protocol round began.
+    RoundStarted {
+        /// Monotone round id within the run.
+        round: u64,
+        /// The design the round runs under.
+        design: String,
+        /// Client groups in the round.
+        groups: u64,
+        /// CDNs participating.
+        cdns: u64,
+    },
+    /// The broker Shared its client groups (step 3 of §4.1).
+    SharePublished {
+        /// Round id.
+        round: u64,
+        /// Number of shares (client groups) published.
+        shares: u64,
+        /// Total demand shared, kbit/s.
+        demand_kbps: f64,
+    },
+    /// One CDN's Announce (bid batch) was assembled or received.
+    BidReceived {
+        /// Round id.
+        round: u64,
+        /// The bidding CDN.
+        cdn: u32,
+        /// Bids in the batch.
+        bids: u64,
+    },
+    /// The Accept step went out: every bid echoed with its outcome.
+    AcceptIssued {
+        /// Round id.
+        round: u64,
+        /// Winning bids (one per group).
+        accepted: u64,
+        /// Losing bids (CDNs learn from these too, §6.1).
+        rejected: u64,
+    },
+    /// Solver effort behind one Optimize step.
+    SolverStats {
+        /// Round id.
+        round: u64,
+        /// `heuristic` or `exact`.
+        mode: String,
+        /// Simplex pivots across all LP (re)solves.
+        pivots: u64,
+        /// Branch-and-bound nodes expanded.
+        bnb_nodes: u64,
+        /// Relative gap between incumbent and best bound; `None` when no
+        /// bound exists (the heuristic path computes none).
+        optimality_gap: Option<f64>,
+        /// Objective value achieved (Fig 9 units).
+        objective: f64,
+    },
+    /// A Decision Protocol round completed.
+    RoundCompleted {
+        /// Round id.
+        round: u64,
+        /// Objective value achieved.
+        objective: f64,
+        /// Total candidate options the broker considered.
+        options: u64,
+    },
+    /// Replay: sessions straddling a bin boundary were moved mid-stream by
+    /// the new round's assignment (the churn of the paper's Fig 4).
+    SessionMoved {
+        /// Replay bin index.
+        bin: u64,
+        /// Sessions whose serving cluster changed.
+        moved: u64,
+        /// Sessions that continued across the boundary.
+        continuing: u64,
+    },
+    /// A cluster ended a round loaded past its true capacity.
+    ClusterCongested {
+        /// Round id.
+        round: u64,
+        /// The overloaded cluster.
+        cluster: u32,
+        /// Brokered + background load, kbit/s.
+        load_kbps: f64,
+        /// True capacity, kbit/s.
+        capacity_kbps: f64,
+    },
+    /// The reliable channel's Go-Back-N timer fired and resent its window.
+    FrameRetransmitted {
+        /// Simulation time of the retransmission, ms (deterministic).
+        at_ms: u64,
+        /// Data packets resent (the whole in-flight window).
+        frames: u64,
+    },
+    /// An application payload exceeded the fragment size and was split.
+    PayloadFragmented {
+        /// Fragments produced.
+        fragments: u64,
+        /// Payload size, bytes.
+        bytes: u64,
+    },
+    /// One packet from a wire capture (bridged from `vdx-proto::WireLog`).
+    WirePacket {
+        /// Capture time, simulation ms (deterministic).
+        at_ms: u64,
+        /// Direction: `A->B` or `B->A`.
+        dir: String,
+        /// Wire size, bytes.
+        bytes: u64,
+        /// Decoded one-line classification (`DATA seq=5 [Share x412]`...).
+        summary: String,
+    },
+    /// Summary of one named timing histogram (from the metrics registry).
+    TimingSummary {
+        /// Histogram name (e.g. `core.decision_round`).
+        name: String,
+        /// Observations.
+        count: u64,
+        /// Mean, microseconds (zeroable).
+        mean_us: f64,
+        /// Median, microseconds (zeroable).
+        p50_us: f64,
+        /// 95th percentile, microseconds (zeroable).
+        p95_us: f64,
+        /// 99th percentile, microseconds (zeroable).
+        p99_us: f64,
+    },
+    /// Value of one named counter at the end of the run.
+    CounterSnapshot {
+        /// Counter name.
+        name: String,
+        /// Final value.
+        value: u64,
+    },
+    /// Terminal record: the run finished and the journal is complete.
+    ExperimentFinished {
+        /// Experiment name (matches the header).
+        experiment: String,
+        /// Total wall time, milliseconds (zeroable).
+        wall_ms: u64,
+        /// Events written before this one.
+        events: u64,
+    },
+}
+
+impl Event {
+    /// The `"ev"` tag this variant serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunHeader { .. } => "run_header",
+            Event::PhaseStarted { .. } => "phase_started",
+            Event::PhaseFinished { .. } => "phase_finished",
+            Event::RoundStarted { .. } => "round_started",
+            Event::SharePublished { .. } => "share_published",
+            Event::BidReceived { .. } => "bid_received",
+            Event::AcceptIssued { .. } => "accept_issued",
+            Event::SolverStats { .. } => "solver_stats",
+            Event::RoundCompleted { .. } => "round_completed",
+            Event::SessionMoved { .. } => "session_moved",
+            Event::ClusterCongested { .. } => "cluster_congested",
+            Event::FrameRetransmitted { .. } => "frame_retransmitted",
+            Event::PayloadFragmented { .. } => "payload_fragmented",
+            Event::WirePacket { .. } => "wire_packet",
+            Event::TimingSummary { .. } => "timing_summary",
+            Event::CounterSnapshot { .. } => "counter_snapshot",
+            Event::ExperimentFinished { .. } => "experiment_finished",
+        }
+    }
+
+    /// Zeroes every wall-clock-derived field (see module docs), leaving
+    /// simulation fields untouched. After this, journals of identical
+    /// seeded runs compare byte-for-byte.
+    pub fn zero_wall_clock(&mut self) {
+        match self {
+            Event::RunHeader {
+                started_unix_ms, ..
+            } => *started_unix_ms = 0,
+            Event::PhaseFinished { wall_us, .. } => *wall_us = 0,
+            Event::TimingSummary {
+                mean_us,
+                p50_us,
+                p95_us,
+                p99_us,
+                ..
+            } => {
+                *mean_us = 0.0;
+                *p50_us = 0.0;
+                *p95_us = 0.0;
+                *p99_us = 0.0;
+            }
+            Event::ExperimentFinished { wall_ms, .. } => *wall_ms = 0,
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One sample of every variant, for round-trip and kind coverage.
+    pub(crate) fn samples() -> Vec<Event> {
+        vec![
+            Event::RunHeader {
+                schema: SCHEMA_VERSION,
+                experiment: "table3".into(),
+                seed: 2017,
+                scale: "small".into(),
+                started_unix_ms: 1_700_000_000_000,
+            },
+            Event::PhaseStarted {
+                phase: "build_scenario".into(),
+            },
+            Event::PhaseFinished {
+                phase: "build_scenario".into(),
+                wall_us: 1_234_567,
+            },
+            Event::RoundStarted {
+                round: 0,
+                design: "Marketplace".into(),
+                groups: 412,
+                cdns: 14,
+            },
+            Event::SharePublished {
+                round: 0,
+                shares: 412,
+                demand_kbps: 1.5e6,
+            },
+            Event::BidReceived {
+                round: 0,
+                cdn: 3,
+                bids: 800,
+            },
+            Event::AcceptIssued {
+                round: 0,
+                accepted: 412,
+                rejected: 3_100,
+            },
+            Event::SolverStats {
+                round: 0,
+                mode: "exact".into(),
+                pivots: 9_001,
+                bnb_nodes: 37,
+                optimality_gap: Some(0.0),
+                objective: 123.456,
+            },
+            Event::RoundCompleted {
+                round: 0,
+                objective: 123.456,
+                options: 3_512,
+            },
+            Event::SessionMoved {
+                bin: 4,
+                moved: 17,
+                continuing: 240,
+            },
+            Event::ClusterCongested {
+                round: 0,
+                cluster: 9,
+                load_kbps: 2.0e6,
+                capacity_kbps: 1.8e6,
+            },
+            Event::FrameRetransmitted {
+                at_ms: 230,
+                frames: 5,
+            },
+            Event::PayloadFragmented {
+                fragments: 7,
+                bytes: 200_000,
+            },
+            Event::WirePacket {
+                at_ms: 10,
+                dir: "A->B".into(),
+                bytes: 64,
+                summary: "DATA seq=5 [Share x412]".into(),
+            },
+            Event::TimingSummary {
+                name: "core.decision_round".into(),
+                count: 8,
+                mean_us: 1_500.0,
+                p50_us: 1_400.0,
+                p95_us: 2_000.0,
+                p99_us: 2_100.0,
+            },
+            Event::CounterSnapshot {
+                name: "proto.retransmits".into(),
+                value: 12,
+            },
+            Event::ExperimentFinished {
+                experiment: "table3".into(),
+                wall_ms: 9_500,
+                events: 41,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        for event in samples() {
+            let line = serde_json::to_string(&event).expect("serializable");
+            let back: Event = serde_json::from_str(&line).expect("deserializable");
+            assert_eq!(back, event, "round-trip of {line}");
+        }
+    }
+
+    #[test]
+    fn kinds_match_the_serialized_tag_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for event in samples() {
+            let line = serde_json::to_string(&event).expect("serializable");
+            let tag = format!("\"ev\":\"{}\"", event.kind());
+            assert!(line.contains(&tag), "{line} should carry {tag}");
+            assert!(seen.insert(event.kind()), "duplicate kind {}", event.kind());
+        }
+    }
+
+    #[test]
+    fn zero_wall_clock_clears_exactly_the_wall_fields() {
+        let mut header = Event::RunHeader {
+            schema: 1,
+            experiment: "t".into(),
+            seed: 7,
+            scale: "small".into(),
+            started_unix_ms: 99,
+        };
+        header.zero_wall_clock();
+        assert!(matches!(
+            header,
+            Event::RunHeader {
+                started_unix_ms: 0,
+                seed: 7,
+                ..
+            }
+        ));
+
+        let mut round = Event::RoundStarted {
+            round: 3,
+            design: "Brokered".into(),
+            groups: 1,
+            cdns: 1,
+        };
+        let before = round.clone();
+        round.zero_wall_clock();
+        assert_eq!(round, before, "simulation fields are untouched");
+
+        let mut timing = Event::TimingSummary {
+            name: "x".into(),
+            count: 2,
+            mean_us: 1.0,
+            p50_us: 2.0,
+            p95_us: 3.0,
+            p99_us: 4.0,
+        };
+        timing.zero_wall_clock();
+        assert_eq!(
+            timing,
+            Event::TimingSummary {
+                name: "x".into(),
+                count: 2,
+                mean_us: 0.0,
+                p50_us: 0.0,
+                p95_us: 0.0,
+                p99_us: 0.0,
+            }
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! The flight-recorder journal: a buffered JSONL writer, one file per run.
+//!
+//! A [`Journal`] appends one [`Event`] per line to a file (conventionally
+//! under `results/journals/`). The first line should be an
+//! [`Event::RunHeader`] and the last an [`Event::ExperimentFinished`];
+//! [`Journal::finish`] writes the terminal record with the running event
+//! count and flushes. Reading back is [`read_journal`], which fails on the
+//! first line that does not parse as an [`Event`].
+
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::event::Event;
+
+/// Errors raised while writing or reading a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem or stream failure.
+    Io(io::Error),
+    /// A line in the file did not parse as an [`Event`].
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// The serde error message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Parse { line, message } => {
+                write!(f, "journal line {line} is not a valid event: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            JournalError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// A buffered JSONL event writer bound to one file.
+///
+/// Writes are buffered; [`Journal::flush`] or [`Journal::finish`] (or drop,
+/// best-effort via `BufWriter`) pushes them to disk. The journal counts
+/// events so the terminal record can report how many lines precede it.
+#[derive(Debug)]
+pub struct Journal {
+    writer: BufWriter<File>,
+    path: PathBuf,
+    events: u64,
+}
+
+impl Journal {
+    /// Creates (truncating) the journal file, creating parent directories
+    /// as needed.
+    pub fn create(path: impl AsRef<Path>) -> Result<Journal, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(Journal {
+            writer: BufWriter::new(file),
+            path,
+            events: 0,
+        })
+    }
+
+    /// The file this journal writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Events written so far.
+    pub fn len(&self) -> u64 {
+        self.events
+    }
+
+    /// True when no event has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.events == 0
+    }
+
+    /// Appends one event as one JSON line.
+    pub fn write(&mut self, event: &Event) -> Result<(), JournalError> {
+        let line = serde_json::to_string(event)
+            .expect("Event serialization is infallible for in-memory values");
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.events += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) -> Result<(), JournalError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Writes the terminal [`Event::ExperimentFinished`] record (with the
+    /// count of events already written) and flushes. Consumes the journal:
+    /// nothing may follow the terminal record.
+    pub fn finish(mut self, experiment: &str, wall_ms: u64) -> Result<(), JournalError> {
+        let terminal = Event::ExperimentFinished {
+            experiment: experiment.to_string(),
+            wall_ms,
+            events: self.events,
+        };
+        self.write(&terminal)?;
+        self.flush()
+    }
+}
+
+/// Reads a journal file back into events, failing on the first malformed
+/// line. Blank lines are rejected too: a journal is events, nothing else.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Event>, JournalError> {
+    let file = File::open(path.as_ref())?;
+    let reader = BufReader::new(file);
+    let mut events = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        match serde_json::from_str::<Event>(&line) {
+            Ok(event) => events.push(event),
+            Err(e) => {
+                return Err(JournalError::Parse {
+                    line: idx + 1,
+                    message: e.to_string(),
+                });
+            }
+        }
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vdx-obs-journal-{}-{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn write_finish_read_round_trip() {
+        let path = temp_path("roundtrip.jsonl");
+        let mut journal = Journal::create(&path).expect("create");
+        journal
+            .write(&Event::RunHeader {
+                schema: crate::event::SCHEMA_VERSION,
+                experiment: "test".into(),
+                seed: 1,
+                scale: "small".into(),
+                started_unix_ms: 0,
+            })
+            .expect("write header");
+        journal
+            .write(&Event::RoundStarted {
+                round: 0,
+                design: "Brokered".into(),
+                groups: 2,
+                cdns: 1,
+            })
+            .expect("write round");
+        assert_eq!(journal.len(), 2);
+        journal.finish("test", 5).expect("finish");
+
+        let events = read_journal(&path).expect("read");
+        assert_eq!(events.len(), 3);
+        assert!(matches!(events[0], Event::RunHeader { .. }));
+        assert!(matches!(
+            events.last(),
+            Some(Event::ExperimentFinished { events: 2, .. })
+        ));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let path = temp_path("malformed.jsonl");
+        fs::write(
+            &path,
+            "{\"ev\":\"phase_started\",\"phase\":\"ok\"}\nnot json\n",
+        )
+        .expect("write fixture");
+        match read_journal(&path) {
+            Err(JournalError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_makes_parent_directories() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("vdx-obs-journal-nested-{}", std::process::id()));
+        let path = dir.join("deep").join("run.jsonl");
+        let journal = Journal::create(&path).expect("create nested");
+        assert!(journal.is_empty());
+        drop(journal);
+        assert!(path.exists());
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,43 @@
+//! # vdx-obs — observability substrate for the VDX workspace
+//!
+//! The flight recorder every other crate reports through, sitting at the
+//! bottom of the stack (it depends on no `vdx-*` crate). Four modules:
+//!
+//! * [`event`] — the typed, serde-serializable [`Event`] schema: one
+//!   variant per interesting moment in a run (round lifecycle, auction
+//!   steps, solver effort, protocol retransmissions, replay churn, phase
+//!   timing). One event is one JSONL line.
+//! * [`journal`] — a buffered JSONL writer ([`Journal`]), one file per
+//!   run, conventionally under `results/journals/`; plus
+//!   [`read_journal`] for consumers like `repro obs-report`.
+//! * [`metrics`] — a `parking_lot`-guarded [`Registry`] of named
+//!   counters, gauges, and fixed-bucket histograms with p50/p95/p99
+//!   summaries, with a process-wide instance at [`metrics::global`].
+//! * [`timing`] — RAII [`ScopedTimer`]s that feed named histograms.
+//!
+//! Instrumented code never names a sink: it talks to the [`Probe`] trait,
+//! whose default implementation ([`NoopProbe`]) reports itself disabled
+//! so hot paths skip even constructing events. Swapping in a
+//! [`JournalProbe`] (the `repro --journal` flag) or a [`MemoryProbe`]
+//! (tests, benches) turns the same run into an analyzable artifact with
+//! no call-site changes.
+//!
+//! Determinism contract: every field an event carries is either derived
+//! from simulation state (identical across same-seed runs) or explicitly
+//! wall-clock (host timing) — and [`Event::zero_wall_clock`] strips the
+//! latter, so journals are byte-comparable. `vdx-sim` tests enforce this.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod journal;
+pub mod metrics;
+pub mod probe;
+pub mod timing;
+
+pub use event::{Event, SCHEMA_VERSION};
+pub use journal::{read_journal, Journal, JournalError};
+pub use metrics::{Histogram, Registry};
+pub use probe::{noop, JournalProbe, MemoryProbe, NoopProbe, Probe};
+pub use timing::{ScopedTimer, Stopwatch};

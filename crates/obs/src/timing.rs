@@ -1,0 +1,135 @@
+//! RAII scoped timers that feed named histograms in a [`Registry`].
+//!
+//! ```
+//! use vdx_obs::metrics::Registry;
+//! use vdx_obs::timing::ScopedTimer;
+//!
+//! let registry = Registry::new();
+//! {
+//!     let _timer = ScopedTimer::new(&registry, "demo.section");
+//!     // ... timed work ...
+//! }
+//! assert_eq!(registry.histogram("demo.section").unwrap().count(), 1);
+//! ```
+//!
+//! This module is the one sanctioned exception to the workspace's
+//! "no wall-clock reads in library code" convention (DESIGN.md §6): it
+//! reads the *monotonic* clock ([`std::time::Instant`]), never the wall
+//! calendar, and only to measure elapsed host time — which is exactly the
+//! observability output the convention exists to keep out of simulation
+//! results. Timer readings land in wall-clock-tagged journal fields that
+//! `Event::zero_wall_clock` strips before any determinism comparison.
+
+use std::time::Instant;
+
+use crate::metrics::Registry;
+
+/// Times a scope and records the elapsed microseconds into the named
+/// histogram of `registry` on drop.
+#[derive(Debug)]
+pub struct ScopedTimer<'a> {
+    registry: &'a Registry,
+    name: &'static str,
+    start: Instant,
+}
+
+impl<'a> ScopedTimer<'a> {
+    /// Starts timing; the measurement is recorded when the value drops.
+    pub fn new(registry: &'a Registry, name: &'static str) -> ScopedTimer<'a> {
+        ScopedTimer {
+            registry,
+            name,
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts a timer against the process-wide registry
+    /// ([`crate::metrics::global`]).
+    pub fn global(name: &'static str) -> ScopedTimer<'static> {
+        ScopedTimer::new(crate::metrics::global(), name)
+    }
+
+    /// Elapsed time so far, microseconds (the value drop will record).
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Drop for ScopedTimer<'_> {
+    fn drop(&mut self) {
+        self.registry.observe_us(self.name, self.elapsed_us());
+    }
+}
+
+/// A free-standing stopwatch for phases that end at an explicit point
+/// rather than a scope boundary (e.g. CLI phase bookkeeping). Does not
+/// touch any registry; callers decide where the reading goes.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts the stopwatch.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed microseconds since start.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+    }
+
+    /// Elapsed milliseconds since start.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.start.elapsed().as_millis().min(u64::MAX as u128) as u64
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_timer_records_on_drop() {
+        let registry = Registry::new();
+        {
+            let timer = ScopedTimer::new(&registry, "t.scope");
+            let _ = timer.elapsed_us();
+        }
+        let h = registry.histogram("t.scope").expect("histogram exists");
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn nested_timers_record_independently() {
+        let registry = Registry::new();
+        {
+            let _outer = ScopedTimer::new(&registry, "t.outer");
+            {
+                let _inner = ScopedTimer::new(&registry, "t.inner");
+            }
+            {
+                let _inner = ScopedTimer::new(&registry, "t.inner");
+            }
+        }
+        assert_eq!(registry.histogram("t.outer").unwrap().count(), 1);
+        assert_eq!(registry.histogram("t.inner").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn stopwatch_is_monotone() {
+        let sw = Stopwatch::start();
+        let a = sw.elapsed_us();
+        let b = sw.elapsed_us();
+        assert!(b >= a);
+    }
+}

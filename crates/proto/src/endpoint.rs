@@ -44,7 +44,10 @@ pub struct Endpoint {
 impl Endpoint {
     /// Wraps a reliable channel.
     pub fn new(channel: ReliableChannel) -> Endpoint {
-        Endpoint { channel, next_id: 0 }
+        Endpoint {
+            channel,
+            next_id: 0,
+        }
     }
 
     /// Sends a request; the returned id will appear on the matching
@@ -79,6 +82,12 @@ impl Endpoint {
     /// Whether all outbound traffic has been delivered and acknowledged.
     pub fn is_idle(&self) -> bool {
         self.channel.is_idle()
+    }
+
+    /// Routes the underlying channel's wire events (retransmissions,
+    /// fragmentation) to `probe`; see [`ReliableChannel::set_probe`].
+    pub fn set_probe(&mut self, probe: std::sync::Arc<dyn vdx_obs::Probe>) {
+        self.channel.set_probe(probe);
     }
 }
 
@@ -215,7 +224,10 @@ mod tests {
     fn concurrent_requests_correlate() {
         let (mut broker, mut cdn, mut link) = pair(FaultConfig::lossless(), 3);
         let id1 = broker.request(&share());
-        let id2 = broker.request(&Message::Query { client_id: 9, location: 1 });
+        let id2 = broker.request(&Message::Query {
+            client_id: 9,
+            location: 1,
+        });
         assert_ne!(id1, id2);
         let mut responses = Vec::new();
         for ms in 0..200 {
@@ -225,7 +237,10 @@ mod tests {
                     // Respond in reverse arrival order semantics: echo type.
                     let reply = match msg {
                         Message::Share(_) => announce(),
-                        _ => Message::QueryResult { client_id: 9, cluster_id: 4 },
+                        _ => Message::QueryResult {
+                            client_id: 9,
+                            cluster_id: 4,
+                        },
                     };
                     cdn.respond(id, &reply);
                 }
@@ -240,9 +255,15 @@ mod tests {
             }
         }
         assert_eq!(responses.len(), 2);
-        let by_id1 = responses.iter().find(|(id, _)| *id == id1).expect("id1 answered");
+        let by_id1 = responses
+            .iter()
+            .find(|(id, _)| *id == id1)
+            .expect("id1 answered");
         assert!(matches!(by_id1.1, Message::Announce(_)));
-        let by_id2 = responses.iter().find(|(id, _)| *id == id2).expect("id2 answered");
+        let by_id2 = responses
+            .iter()
+            .find(|(id, _)| *id == id2)
+            .expect("id2 answered");
         assert!(matches!(by_id2.1, Message::QueryResult { .. }));
     }
 }

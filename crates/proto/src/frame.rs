@@ -65,7 +65,10 @@ impl std::fmt::Display for FrameError {
             FrameError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
             FrameError::Oversized(n) => write!(f, "frame payload of {n} bytes exceeds limit"),
             FrameError::BadCrc { computed, received } => {
-                write!(f, "crc mismatch: computed {computed:#010x}, received {received:#010x}")
+                write!(
+                    f,
+                    "crc mismatch: computed {computed:#010x}, received {received:#010x}"
+                )
             }
         }
     }
@@ -83,7 +86,11 @@ pub fn crc32(data: &[u8]) -> u32 {
         for (i, entry) in table.iter_mut().enumerate() {
             let mut c = i as u32;
             for _ in 0..8 {
-                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
             }
             *entry = c;
         }
@@ -137,7 +144,10 @@ pub fn decode_datagram(data: &[u8]) -> Result<Frame, FrameError> {
     if data.len() != HEADER_LEN + len + TRAILER_LEN {
         // A corrupted length never matches the datagram size; report it as
         // a CRC-class integrity failure.
-        return Err(FrameError::BadCrc { computed: 0, received: 0 });
+        return Err(FrameError::BadCrc {
+            computed: 0,
+            received: 0,
+        });
     }
     let computed = crc32(&data[..HEADER_LEN + len]);
     let received = u32::from_be_bytes([
@@ -192,8 +202,8 @@ impl FrameDecoder {
             }
             let version = self.buf[2];
             let flags = self.buf[3];
-            let len = u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]])
-                as usize;
+            let len =
+                u32::from_be_bytes([self.buf[4], self.buf[5], self.buf[6], self.buf[7]]) as usize;
             if version != PROTOCOL_VERSION {
                 self.resync();
                 return Err(FrameError::BadVersion(version));
@@ -220,7 +230,11 @@ impl FrameDecoder {
             let mut frame = self.buf.split_to(total);
             frame.advance(HEADER_LEN);
             frame.truncate(len);
-            return Ok(Some(Frame { version, flags, payload: frame.freeze() }));
+            return Ok(Some(Frame {
+                version,
+                flags,
+                payload: frame.freeze(),
+            }));
         }
     }
 
@@ -345,7 +359,10 @@ mod tests {
 
     #[test]
     fn error_messages_are_informative() {
-        let e = FrameError::BadCrc { computed: 1, received: 2 };
+        let e = FrameError::BadCrc {
+            computed: 1,
+            received: 2,
+        };
         assert!(e.to_string().contains("crc mismatch"));
     }
 }

@@ -153,7 +153,11 @@ impl Link {
         let deliver_at = now.plus_ms(self.faults.delay_ms + jitter);
         let drop_roll: f64 = self.rng.gen_range(0.0..1.0);
         let corrupt_roll: f64 = self.rng.gen_range(0.0..1.0);
-        let corrupt_pos = if data.is_empty() { 0 } else { self.rng.gen_range(0..data.len()) };
+        let corrupt_pos = if data.is_empty() {
+            0
+        } else {
+            self.rng.gen_range(0..data.len())
+        };
 
         let faults = self.faults.clone();
         let dir = self.direction_mut(from);
@@ -247,7 +251,10 @@ mod tests {
 
     #[test]
     fn delay_holds_packets_until_due() {
-        let cfg = FaultConfig { delay_ms: 50, ..FaultConfig::lossless() };
+        let cfg = FaultConfig {
+            delay_ms: 50,
+            ..FaultConfig::lossless()
+        };
         let mut link = Link::new(cfg, 1);
         link.send(LinkEnd::A, SimTime(0), b"later");
         assert!(link.recv(LinkEnd::B, SimTime(49)).is_empty());
@@ -266,7 +273,10 @@ mod tests {
 
     #[test]
     fn drops_are_deterministic_and_roughly_calibrated() {
-        let cfg = FaultConfig { drop_chance: 0.3, ..FaultConfig::lossless() };
+        let cfg = FaultConfig {
+            drop_chance: 0.3,
+            ..FaultConfig::lossless()
+        };
         let run = |seed: u64| -> u64 {
             let mut link = Link::new(cfg.clone(), seed);
             for i in 0..1000 {
@@ -281,7 +291,10 @@ mod tests {
 
     #[test]
     fn corruption_flips_exactly_one_octet() {
-        let cfg = FaultConfig { corrupt_chance: 1.0, ..FaultConfig::lossless() };
+        let cfg = FaultConfig {
+            corrupt_chance: 1.0,
+            ..FaultConfig::lossless()
+        };
         let mut link = Link::new(cfg, 3);
         link.send(LinkEnd::A, SimTime(0), b"abcd");
         let got = link.recv(LinkEnd::B, SimTime(0));
@@ -315,12 +328,20 @@ mod tests {
         let log = link.wirelog().expect("attached");
         assert_eq!(log.packets().len(), 1);
         assert_eq!(log.packets()[0].bytes, b"captured");
-        assert!(link.wirelog().expect("attached").render(16).contains("A->B"));
+        assert!(link
+            .wirelog()
+            .expect("attached")
+            .render(16)
+            .contains("A->B"));
     }
 
     #[test]
     fn jitter_never_reorders_recv_output() {
-        let cfg = FaultConfig { delay_ms: 5, jitter_ms: 50, ..FaultConfig::lossless() };
+        let cfg = FaultConfig {
+            delay_ms: 5,
+            jitter_ms: 50,
+            ..FaultConfig::lossless()
+        };
         let mut link = Link::new(cfg, 9);
         for i in 0..100u64 {
             link.send(LinkEnd::A, SimTime(i), &i.to_be_bytes());

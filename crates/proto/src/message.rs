@@ -163,12 +163,18 @@ impl Message {
                     buf.put_u8(e.accepted as u8);
                 }
             }
-            Message::Query { client_id, location } => {
+            Message::Query {
+                client_id,
+                location,
+            } => {
                 buf.put_u8(T_QUERY);
                 buf.put_u64(*client_id);
                 buf.put_u32(*location);
             }
-            Message::QueryResult { client_id, cluster_id } => {
+            Message::QueryResult {
+                client_id,
+                cluster_id,
+            } => {
                 buf.put_u8(T_RESULT);
                 buf.put_u64(*client_id);
                 buf.put_u64(*cluster_id);
@@ -186,7 +192,10 @@ impl Message {
         let msg = match ty {
             T_HELLO => {
                 need(data.len(), 9)?;
-                Message::Hello { node_id: data.get_u64(), role: data.get_u8() }
+                Message::Hello {
+                    node_id: data.get_u64(),
+                    role: data.get_u8(),
+                }
             }
             T_SHARE => {
                 let count = get_count(&mut data, SHARE_LEN)?;
@@ -216,17 +225,26 @@ impl Message {
                 let mut entries = Vec::with_capacity(count as usize);
                 for _ in 0..count {
                     let bid = get_bid(&mut data);
-                    entries.push(AcceptEntry { bid, accepted: data.get_u8() != 0 });
+                    entries.push(AcceptEntry {
+                        bid,
+                        accepted: data.get_u8() != 0,
+                    });
                 }
                 Message::Accept(entries)
             }
             T_QUERY => {
                 need(data.len(), 12)?;
-                Message::Query { client_id: data.get_u64(), location: data.get_u32() }
+                Message::Query {
+                    client_id: data.get_u64(),
+                    location: data.get_u32(),
+                }
             }
             T_RESULT => {
                 need(data.len(), 16)?;
-                Message::QueryResult { client_id: data.get_u64(), cluster_id: data.get_u64() }
+                Message::QueryResult {
+                    client_id: data.get_u64(),
+                    cluster_id: data.get_u64(),
+                }
             }
             other => return Err(WireError::UnknownType(other)),
         };
@@ -248,7 +266,10 @@ fn need(have: usize, want: usize) -> Result<(), WireError> {
 fn get_count(data: &mut &[u8], entry_len: usize) -> Result<u32, WireError> {
     need(data.len(), 4)?;
     let count = data.get_u32();
-    if (count as usize).checked_mul(entry_len).map_or(true, |n| n > data.len()) {
+    if (count as usize)
+        .checked_mul(entry_len)
+        .map_or(true, |n| n > data.len())
+    {
         return Err(WireError::BadCount(count));
     }
     Ok(count)
@@ -284,7 +305,10 @@ mod tests {
 
     #[test]
     fn hello_roundtrip() {
-        roundtrip(Message::Hello { node_id: 42, role: 1 });
+        roundtrip(Message::Hello {
+            node_id: 42,
+            role: 1,
+        });
     }
 
     #[test]
@@ -321,15 +345,27 @@ mod tests {
         };
         roundtrip(Message::Announce(vec![bid]));
         roundtrip(Message::Accept(vec![
-            AcceptEntry { bid, accepted: true },
-            AcceptEntry { bid, accepted: false },
+            AcceptEntry {
+                bid,
+                accepted: true,
+            },
+            AcceptEntry {
+                bid,
+                accepted: false,
+            },
         ]));
     }
 
     #[test]
     fn query_roundtrip() {
-        roundtrip(Message::Query { client_id: 5, location: 3 });
-        roundtrip(Message::QueryResult { client_id: 5, cluster_id: 9 });
+        roundtrip(Message::Query {
+            client_id: 5,
+            location: 3,
+        });
+        roundtrip(Message::QueryResult {
+            client_id: 5,
+            cluster_id: 9,
+        });
     }
 
     #[test]
@@ -339,7 +375,11 @@ mod tests {
 
     #[test]
     fn truncation_rejected() {
-        let mut wire = Message::Hello { node_id: 1, role: 0 }.encode();
+        let mut wire = Message::Hello {
+            node_id: 1,
+            role: 0,
+        }
+        .encode();
         wire.truncate(4);
         assert_eq!(Message::decode(&wire), Err(WireError::Truncated));
         assert_eq!(Message::decode(&[]), Err(WireError::Truncated));
@@ -347,7 +387,11 @@ mod tests {
 
     #[test]
     fn trailing_bytes_rejected() {
-        let mut wire = Message::Query { client_id: 1, location: 2 }.encode();
+        let mut wire = Message::Query {
+            client_id: 1,
+            location: 2,
+        }
+        .encode();
         wire.push(0);
         assert_eq!(Message::decode(&wire), Err(WireError::TrailingBytes(1)));
     }

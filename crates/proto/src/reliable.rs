@@ -31,6 +31,8 @@ use crate::link::{Link, LinkEnd};
 use crate::SimTime;
 use bytes::{Buf, BufMut, BytesMut};
 use std::collections::VecDeque;
+use std::sync::Arc;
+use vdx_obs::{Event, Probe};
 
 /// Reliable-channel parameters.
 #[derive(Debug, Clone)]
@@ -43,7 +45,10 @@ pub struct ReliableConfig {
 
 impl Default for ReliableConfig {
     fn default() -> Self {
-        ReliableConfig { window: 16, rto_ms: 200 }
+        ReliableConfig {
+            window: 16,
+            rto_ms: 200,
+        }
     }
 }
 
@@ -100,6 +105,7 @@ pub struct ReliableChannel {
     reassembly: Vec<u8>,
     ack_due: bool,
     stats: ChannelStats,
+    probe: Arc<dyn Probe>,
 }
 
 impl ReliableChannel {
@@ -117,7 +123,15 @@ impl ReliableChannel {
             reassembly: Vec::new(),
             ack_due: false,
             stats: ChannelStats::default(),
+            probe: vdx_obs::probe::noop(),
         }
+    }
+
+    /// Routes this channel's wire events ([`Event::FrameRetransmitted`],
+    /// [`Event::PayloadFragmented`]) to `probe`. The default is a no-op;
+    /// the channel's behaviour is identical either way.
+    pub fn set_probe(&mut self, probe: Arc<dyn Probe>) {
+        self.probe = probe;
     }
 
     /// Queues an application payload for reliable delivery. Payloads
@@ -126,8 +140,17 @@ impl ReliableChannel {
     pub fn send(&mut self, payload: Vec<u8>) {
         self.stats.queued += 1;
         if payload.len() <= MAX_FRAGMENT {
-            self.send_queue.push_back(Fragment { more: false, bytes: payload });
+            self.send_queue.push_back(Fragment {
+                more: false,
+                bytes: payload,
+            });
             return;
+        }
+        if self.probe.enabled() {
+            self.probe.emit(Event::PayloadFragmented {
+                fragments: payload.len().div_ceil(MAX_FRAGMENT) as u64,
+                bytes: payload.len() as u64,
+            });
         }
         let mut chunks = payload.chunks(MAX_FRAGMENT).peekable();
         while let Some(chunk) = chunks.next() {
@@ -184,6 +207,12 @@ impl ReliableChannel {
                     .iter()
                     .map(|(seq, frag)| data_packet(*seq, frag))
                     .collect();
+                if self.probe.enabled() {
+                    self.probe.emit(Event::FrameRetransmitted {
+                        at_ms: now.0,
+                        frames: packets.len() as u64,
+                    });
+                }
                 for p in packets {
                     link.send(self.end, now, &p);
                     self.stats.data_sent += 1;
@@ -195,7 +224,9 @@ impl ReliableChannel {
 
         // Fill the window with new data.
         while self.inflight.len() < self.config.window {
-            let Some(frag) = self.send_queue.pop_front() else { break };
+            let Some(frag) = self.send_queue.pop_front() else {
+                break;
+            };
             let seq = self.next_seq;
             self.next_seq += 1;
             link.send(self.end, now, &data_packet(seq, &frag));
@@ -224,7 +255,8 @@ impl ReliableChannel {
                 if seq == self.expected_seq {
                     self.reassembly.extend_from_slice(data);
                     if flags & FLAG_MORE_FRAGMENTS == 0 {
-                        self.delivered.push_back(std::mem::take(&mut self.reassembly));
+                        self.delivered
+                            .push_back(std::mem::take(&mut self.reassembly));
                         self.stats.delivered += 1;
                     }
                     self.expected_seq += 1;
@@ -350,11 +382,19 @@ mod tests {
     #[test]
     fn window_limits_inflight() {
         let mut link = Link::new(
-            FaultConfig { delay_ms: 1_000, ..FaultConfig::lossless() },
+            FaultConfig {
+                delay_ms: 1_000,
+                ..FaultConfig::lossless()
+            },
             1,
         );
-        let mut a =
-            ReliableChannel::new(LinkEnd::A, ReliableConfig { window: 4, rto_ms: 10_000 });
+        let mut a = ReliableChannel::new(
+            LinkEnd::A,
+            ReliableConfig {
+                window: 4,
+                rto_ms: 10_000,
+            },
+        );
         for i in 0..20u32 {
             a.send(i.to_be_bytes().to_vec());
         }
@@ -401,6 +441,53 @@ mod tests {
         let (_, got_b) = drive(&mut a, &mut b, &mut link, 0, 120_000);
         assert_eq!(got_b.len(), 1);
         assert_eq!(got_b[0], huge);
+    }
+
+    #[test]
+    fn probe_observes_fragmentation_and_retransmits() {
+        use vdx_obs::MemoryProbe;
+        let cfg = FaultConfig {
+            drop_chance: 0.25,
+            corrupt_chance: 0.0,
+            delay_ms: 2,
+            jitter_ms: 2,
+            rate_limit_bytes_per_ms: None,
+        };
+        let mut link = Link::new(cfg, 9);
+        let mut a = ReliableChannel::new(LinkEnd::A, ReliableConfig::default());
+        let mut b = ReliableChannel::new(LinkEnd::B, ReliableConfig::default());
+        let probe = Arc::new(MemoryProbe::new());
+        a.set_probe(probe.clone());
+        let big = vec![0x5Au8; 200_000];
+        a.send(big.clone());
+        let (_, got_b) = drive(&mut a, &mut b, &mut link, 0, 30_000);
+        assert_eq!(got_b, vec![big], "probe must not perturb delivery");
+
+        let events = probe.take();
+        // 200 kB over 32 kB fragments = 7 pieces, announced up front.
+        assert_eq!(
+            events[0],
+            Event::PayloadFragmented {
+                fragments: 7,
+                bytes: 200_000
+            }
+        );
+        let retransmit_frames: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::FrameRetransmitted { frames, .. } => Some(*frames),
+                _ => None,
+            })
+            .sum();
+        assert!(
+            retransmit_frames > 0,
+            "lossy link must trigger retransmit events"
+        );
+        assert_eq!(
+            retransmit_frames,
+            a.stats().retransmits,
+            "events account for every retransmitted packet"
+        );
     }
 
     #[test]

@@ -37,7 +37,11 @@ impl WireLog {
     /// Creates a log keeping at most `capacity` packets (older packets are
     /// discarded first; the count of discards is retained).
     pub fn with_capacity(capacity: usize) -> WireLog {
-        WireLog { packets: Vec::new(), capacity: capacity.max(1), dropped: 0 }
+        WireLog {
+            packets: Vec::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
     }
 
     /// Records a packet.
@@ -46,7 +50,11 @@ impl WireLog {
             self.packets.remove(0);
             self.dropped += 1;
         }
-        self.packets.push(CapturedPacket { at, from, bytes: bytes.to_vec() });
+        self.packets.push(CapturedPacket {
+            at,
+            from,
+            bytes: bytes.to_vec(),
+        });
     }
 
     /// The captured packets, oldest first.
@@ -65,7 +73,10 @@ impl WireLog {
     pub fn render(&self, max_dump: usize) -> String {
         let mut out = String::new();
         if self.dropped > 0 {
-            out.push_str(&format!("... {} earlier packets discarded ...\n", self.dropped));
+            out.push_str(&format!(
+                "... {} earlier packets discarded ...\n",
+                self.dropped
+            ));
         }
         for p in &self.packets {
             let dir = match p.from {
@@ -83,6 +94,24 @@ impl WireLog {
             out.push_str(&hexdump(&p.bytes[..p.bytes.len().min(max_dump)]));
         }
         out
+    }
+
+    /// Bridges the capture into the observability journal: one
+    /// [`vdx_obs::Event::WirePacket`] per captured packet, oldest first,
+    /// carrying the same one-line classification as [`WireLog::render`].
+    pub fn events(&self) -> Vec<vdx_obs::Event> {
+        self.packets
+            .iter()
+            .map(|p| vdx_obs::Event::WirePacket {
+                at_ms: p.at.0,
+                dir: match p.from {
+                    LinkEnd::A => "A->B".to_string(),
+                    LinkEnd::B => "B->A".to_string(),
+                },
+                bytes: p.bytes.len() as u64,
+                summary: summarize(&p.bytes),
+            })
+            .collect()
     }
 }
 
@@ -134,9 +163,20 @@ pub fn hexdump(bytes: &[u8]) -> String {
         let hex: Vec<String> = chunk.iter().map(|b| format!("{b:02x}")).collect();
         let ascii: String = chunk
             .iter()
-            .map(|&b| if (0x20..0x7f).contains(&b) { b as char } else { '.' })
+            .map(|&b| {
+                if (0x20..0x7f).contains(&b) {
+                    b as char
+                } else {
+                    '.'
+                }
+            })
             .collect();
-        out.push_str(&format!("    {:04x}  {:<47}  |{}|\n", row * 16, hex.join(" "), ascii));
+        out.push_str(&format!(
+            "    {:04x}  {:<47}  |{}|\n",
+            row * 16,
+            hex.join(" "),
+            ascii
+        ));
     }
     out
 }
@@ -198,6 +238,29 @@ mod tests {
         assert_eq!(log.discarded(), 3);
         assert_eq!(log.packets()[0].at, SimTime(3));
         assert!(log.render(4).contains("3 earlier packets discarded"));
+    }
+
+    #[test]
+    fn events_bridge_matches_the_rendered_capture() {
+        let mut log = WireLog::with_capacity(16);
+        let wire = data_packet_with(&Message::Announce(vec![]));
+        log.capture(SimTime(25), LinkEnd::B, &wire);
+        let events = log.events();
+        assert_eq!(events.len(), 1);
+        match &events[0] {
+            vdx_obs::Event::WirePacket {
+                at_ms,
+                dir,
+                bytes,
+                summary,
+            } => {
+                assert_eq!(*at_ms, 25);
+                assert_eq!(dir, "B->A");
+                assert_eq!(*bytes, wire.len() as u64);
+                assert!(summary.contains("Announce x0"), "{summary}");
+            }
+            other => panic!("expected WirePacket, got {other:?}"),
+        }
     }
 
     #[test]

@@ -1,29 +1,44 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--small] [--seed N] [--json]
+//! repro <experiment> [--small] [--seed N] [--json] [--journal PATH]
+//! repro obs-report <journal.jsonl>
 //!
 //! experiments: fig3 fig4 fig5 fig7 table1 table3
 //!              fig10 fig11 fig12 fig13 fig14 fig15 (aliases of the
 //!              combined accounting run) fig16 fig17 fig18 all
-//! --small     reduced-scale scenario (fast; used by CI)
-//! --seed N    override the master seed (default 2017)
-//! --json      additionally print machine-readable results
+//! --small        reduced-scale scenario (fast; used by CI)
+//! --seed N       override the master seed (default 2017)
+//! --json         additionally print machine-readable results
+//! --journal PATH flight-record the run as JSONL events (conventionally
+//!                under results/journals/); analyse with `repro obs-report`
 //! ```
 
 use std::process::ExitCode;
+use std::sync::Arc;
+use vdx_obs::{Event, Journal, JournalProbe, Probe, Stopwatch, SCHEMA_VERSION};
 use vdx_sim::experiment::{
-    ext_hybrid, ext_noise, ext_stability, fig10_15, fig16, fig17, fig18, fig3, fig4, fig5,
-    fig7, table1, table3,
+    ext_hybrid, ext_noise, ext_stability, fig10_15, fig16, fig17, fig18, fig3, fig4, fig5, fig7,
+    table1, table3,
 };
-use vdx_sim::{Scenario, ScenarioConfig};
+use vdx_sim::{obs_report, Scenario, ScenarioConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig3|fig4|fig5|fig7|table1|table3|fig10..fig15|fig16|fig17|fig18|\
-         ext-stability|ext-hybrid|all> [--small] [--seed N] [--json]"
+         ext-stability|ext-hybrid|all> [--small] [--seed N] [--json] [--journal PATH]\n\
+         \x20      repro obs-report <journal.jsonl>"
     );
     ExitCode::FAILURE
+}
+
+/// Wall-clock start of the run, Unix milliseconds (zeroed by the journal
+/// determinism tooling; see `Event::zero_wall_clock`).
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
 }
 
 fn main() -> ExitCode {
@@ -31,6 +46,24 @@ fn main() -> ExitCode {
     let Some(which) = args.first() else {
         return usage();
     };
+
+    if which == "obs-report" {
+        let Some(path) = args.get(1) else {
+            eprintln!("usage: repro obs-report <journal.jsonl>");
+            return ExitCode::FAILURE;
+        };
+        return match vdx_obs::read_journal(path) {
+            Ok(events) => {
+                print!("{}", obs_report::report(&events));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("obs-report: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
     let seed = args
@@ -38,16 +71,58 @@ fn main() -> ExitCode {
         .position(|a| a == "--seed")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<u64>().ok());
+    let journal_path = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
 
-    let mut config = if small { ScenarioConfig::small() } else { ScenarioConfig::default() };
+    let mut config = if small {
+        ScenarioConfig::small()
+    } else {
+        ScenarioConfig::default()
+    };
     if let Some(seed) = seed {
         config.seed = seed;
     }
+
+    let run_clock = Stopwatch::start();
+    let probe: Option<Arc<JournalProbe>> = match &journal_path {
+        Some(path) => match Journal::create(path) {
+            Ok(journal) => Some(Arc::new(JournalProbe::new(journal))),
+            Err(e) => {
+                eprintln!("cannot create journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Some(p) = &probe {
+        p.emit(Event::RunHeader {
+            schema: SCHEMA_VERSION,
+            experiment: which.clone(),
+            seed: config.seed,
+            scale: if small { "small" } else { "full" }.to_string(),
+            started_unix_ms: unix_ms(),
+        });
+        p.emit(Event::PhaseStarted {
+            phase: "build_scenario".into(),
+        });
+    }
+
     eprintln!(
         "building scenario: {} cities, {} sessions, seed {} ...",
         config.world.cities, config.trace.sessions, config.seed
     );
-    let scenario = Scenario::build(config);
+    let build_clock = Stopwatch::start();
+    let mut scenario = Scenario::build(config);
+    if let Some(p) = &probe {
+        p.emit(Event::PhaseFinished {
+            phase: "build_scenario".into(),
+            wall_us: build_clock.elapsed_us(),
+        });
+        scenario.set_probe(p.clone() as Arc<dyn Probe>);
+    }
     eprintln!(
         "scenario ready: {} groups, {} CDNs, {} clusters",
         scenario.groups.len(),
@@ -57,7 +132,13 @@ fn main() -> ExitCode {
 
     let accounting_aliases = ["fig10", "fig11", "fig12", "fig13", "fig14", "fig15"];
     let run_one = |name: &str| -> Option<String> {
-        match name {
+        if let Some(p) = &probe {
+            p.emit(Event::PhaseStarted {
+                phase: name.to_string(),
+            });
+        }
+        let phase_clock = Stopwatch::start();
+        let out = match name {
             "fig3" => {
                 let r = fig3::run(&scenario);
                 Some(with_json(fig3::render(&r), &r, json))
@@ -115,27 +196,78 @@ fn main() -> ExitCode {
                 Some(with_json(ext_noise::render(&r), &r, json))
             }
             _ => None,
+        };
+        if let (Some(p), Some(_)) = (&probe, &out) {
+            p.emit(Event::PhaseFinished {
+                phase: name.to_string(),
+                wall_us: phase_clock.elapsed_us(),
+            });
         }
+        out
     };
 
-    if which == "all" {
+    let ok = if which == "all" {
         for name in [
-            "fig3", "fig4", "fig5", "table1", "fig7", "table3", "accounting", "fig16",
-            "fig17", "fig18", "ext-stability", "ext-hybrid", "ext-noise",
+            "fig3",
+            "fig4",
+            "fig5",
+            "table1",
+            "fig7",
+            "table3",
+            "accounting",
+            "fig16",
+            "fig17",
+            "fig18",
+            "ext-stability",
+            "ext-hybrid",
+            "ext-noise",
         ] {
             eprintln!("running {name} ...");
             let out = run_one(name).expect("known experiment");
             println!("{out}");
         }
-        ExitCode::SUCCESS
+        true
     } else {
         match run_one(which) {
             Some(out) => {
                 println!("{out}");
-                ExitCode::SUCCESS
+                true
             }
-            None => usage(),
+            None => false,
         }
+    };
+
+    drop(run_one);
+    drop(scenario);
+    if let Some(p) = probe {
+        for event in vdx_obs::metrics::global().drain() {
+            p.emit(event);
+        }
+        let journal = match Arc::try_unwrap(p) {
+            Ok(inner) => match inner.into_journal() {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("journal write errors: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => {
+                eprintln!("journal probe still shared; cannot finish the journal");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = journal.path().display().to_string();
+        if let Err(e) = journal.finish(which, run_clock.elapsed_ms()) {
+            eprintln!("failed to finish journal: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("journal written: {path}");
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        usage()
     }
 }
 

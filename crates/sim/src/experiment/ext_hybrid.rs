@@ -75,7 +75,11 @@ fn run_hybrid(scenario: &Scenario, policy: CpPolicy) -> RoundOutcome {
         }
     }
     let assignment = optimize(&outcome.problem, &policy, &OptimizeMode::Heuristic);
-    RoundOutcome { design: Design::Marketplace, problem: outcome.problem, assignment }
+    RoundOutcome {
+        design: Design::Marketplace,
+        problem: outcome.problem,
+        assignment,
+    }
 }
 
 /// Renders the result.
@@ -97,7 +101,9 @@ pub fn render(result: &HybridResult) -> String {
         &["scheme", "CP bill/s", "losing CDNs", "CDN profit/s"],
         &rows,
     );
-    out.push_str("hybrid caps every bid at the flat rate: the CP's bill can only improve on flat\n");
+    out.push_str(
+        "hybrid caps every bid at the flat rate: the CP's bill can only improve on flat\n",
+    );
     out
 }
 
@@ -110,7 +116,11 @@ mod tests {
         let s: &Scenario = crate::scenario::shared_small();
         let r = run(s);
         let bill = |name: &str| {
-            r.schemes.iter().find(|x| x.name.starts_with(name)).expect("scheme").cp_bill
+            r.schemes
+                .iter()
+                .find(|x| x.name.starts_with(name))
+                .expect("scheme")
+                .cp_bill
         };
         assert!(
             bill("hybrid") <= bill("flat") + 1e-6,
@@ -125,8 +135,11 @@ mod tests {
     fn dynamic_pricing_keeps_cdns_whole() {
         let s: &Scenario = crate::scenario::shared_small();
         let r = run(s);
-        let dynamic =
-            r.schemes.iter().find(|x| x.name.starts_with("dynamic")).expect("scheme");
+        let dynamic = r
+            .schemes
+            .iter()
+            .find(|x| x.name.starts_with("dynamic"))
+            .expect("scheme");
         assert_eq!(dynamic.losing_cdns, 0);
     }
 }

@@ -34,8 +34,7 @@ pub struct NoiseResult {
 
 /// Runs the sweep.
 pub fn run(scenario: &Scenario) -> NoiseResult {
-    let sites: Vec<vdx_geo::CityId> =
-        scenario.fleet.clusters.iter().map(|c| c.city).collect();
+    let sites: Vec<vdx_geo::CityId> = scenario.fleet.clusters.iter().map(|c| c.city).collect();
     let clients: Vec<vdx_geo::CityId> = scenario.groups.iter().map(|g| g.city).collect();
 
     let points = NOISE_SWEEP
@@ -45,7 +44,10 @@ pub fn run(scenario: &Scenario) -> NoiseResult {
             // Metrics are computed against the *true* scores of the chosen
             // clusters, not the estimates the broker believed.
             let truthed = re_truth(scenario, outcome);
-            let m = compute(&MetricsInput { scenario, outcome: &truthed });
+            let m = compute(&MetricsInput {
+                scenario,
+                outcome: &truthed,
+            });
             (noise, m)
         })
         .collect();
@@ -113,7 +115,13 @@ pub fn render(result: &NoiseResult) -> String {
         .collect();
     let mut out = render_table(
         "Extension: marketplace decision quality vs measurement noise (ground-truth metrics)",
-        &["sample noise", "cost", "true score", "distance", "congested"],
+        &[
+            "sample noise",
+            "cost",
+            "true score",
+            "distance",
+            "congested",
+        ],
         &rows,
     );
     out.push_str(
@@ -131,10 +139,16 @@ mod tests {
         let s: &Scenario = crate::scenario::shared_small();
         let r = run(s);
         let clair = s.run(Design::Marketplace, CpPolicy::balanced());
-        let clair_m = compute(&MetricsInput { scenario: s, outcome: &clair });
+        let clair_m = compute(&MetricsInput {
+            scenario: s,
+            outcome: &clair,
+        });
         let (noise, zero_m) = r.points[0];
         assert_eq!(noise, 0.0);
-        assert!((zero_m.cost - clair_m.cost).abs() < 1e-9, "zero noise is exact");
+        assert!(
+            (zero_m.cost - clair_m.cost).abs() < 1e-9,
+            "zero noise is exact"
+        );
         assert!((zero_m.score - clair_m.score).abs() < 1e-9);
     }
 
@@ -146,8 +160,7 @@ mod tests {
         let worst = r.points.last().expect("points").1;
         // The objective combines score and cost; under heavy noise the
         // decision gets worse on the true objective, but not catastrophic.
-        let objective =
-            |m: &DesignMetrics| m.mean_score + 30.0 * m.mean_cost;
+        let objective = |m: &DesignMetrics| m.mean_score + 30.0 * m.mean_cost;
         assert!(
             objective(&worst) >= objective(&zero) - 1e-9,
             "noise should not improve the true objective"

@@ -37,12 +37,14 @@ pub struct StabilityResult {
 pub fn run(scenario: &Scenario, rounds: usize) -> StabilityResult {
     let marketplace_churn = churn_series(scenario, rounds, true);
     let static_churn = churn_series(scenario, rounds, false);
-    StabilityResult { marketplace_churn, static_churn }
+    StabilityResult {
+        marketplace_churn,
+        static_churn,
+    }
 }
 
 fn churn_series(scenario: &Scenario, rounds: usize, learn: bool) -> Vec<f64> {
-    let mut shading =
-        BidShading::new(BidPolicy::default(), scenario.fleet.clusters.len());
+    let mut shading = BidShading::new(BidPolicy::default(), scenario.fleet.clusters.len());
     let mut prev_traffic: Option<Vec<f64>> = None;
     let mut churn = Vec::new();
 
@@ -54,7 +56,10 @@ fn churn_series(scenario: &Scenario, rounds: usize, learn: bool) -> Vec<f64> {
             .iter()
             .map(|g| {
                 let factor = 1.0 + rng.gen_range(-0.10..0.10);
-                ClientGroup { demand_kbps: g.demand_kbps * factor, ..g.clone() }
+                ClientGroup {
+                    demand_kbps: g.demand_kbps * factor,
+                    ..g.clone()
+                }
             })
             .collect();
         let margins: Vec<f64> = (0..scenario.fleet.clusters.len())
@@ -71,9 +76,8 @@ fn churn_series(scenario: &Scenario, rounds: usize, learn: bool) -> Vec<f64> {
             bid_count: None,
             margins: if learn { Some(&margins) } else { None },
         };
-        let outcome = run_decision_round(Design::Marketplace, &inputs, |a, b| {
-            scenario.score_of(a, b)
-        });
+        let outcome =
+            run_decision_round(Design::Marketplace, &inputs, |a, b| scenario.score_of(a, b));
 
         if learn {
             for (_, option, accepted) in outcome.accept_entries() {
@@ -92,8 +96,12 @@ fn churn_series(scenario: &Scenario, rounds: usize, learn: bool) -> Vec<f64> {
             traffic[o.cdn.index()] += groups[g].demand_kbps;
         }
         if let Some(prev) = &prev_traffic {
-            let moved: f64 =
-                traffic.iter().zip(prev).map(|(a, b)| (a - b).abs()).sum::<f64>() / 2.0;
+            let moved: f64 = traffic
+                .iter()
+                .zip(prev)
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f64>()
+                / 2.0;
             let total: f64 = traffic.iter().sum();
             churn.push(moved / total.max(1e-9));
         }

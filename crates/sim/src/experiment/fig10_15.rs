@@ -41,17 +41,29 @@ pub fn run(scenario: &Scenario) -> AccountingResult {
     let brokered = settle(&brokered_out, &scenario.world, &scenario.fleet);
     let vdx = settle(&vdx_out, &scenario.world, &scenario.fleet);
     // Union of countries appearing in either settlement, sorted by id.
-    let mut country_ids: Vec<CountryId> =
-        brokered.per_country.keys().chain(vdx.per_country.keys()).copied().collect();
+    let mut country_ids: Vec<CountryId> = brokered
+        .per_country
+        .keys()
+        .chain(vdx.per_country.keys())
+        .copied()
+        .collect();
     country_ids.sort();
     country_ids.dedup();
     let country_codes = country_ids
         .iter()
         .map(|&c| scenario.world.country(c).code.clone())
         .collect();
-    let country_cost_index =
-        country_ids.iter().map(|&c| scenario.world.country(c).cost_index).collect();
-    AccountingResult { brokered, vdx, country_ids, country_codes, country_cost_index }
+    let country_cost_index = country_ids
+        .iter()
+        .map(|&c| scenario.world.country(c).cost_index)
+        .collect();
+    AccountingResult {
+        brokered,
+        vdx,
+        country_ids,
+        country_codes,
+        country_cost_index,
+    }
 }
 
 /// Renders Figs 10–12 (per-CDN views).
@@ -72,7 +84,14 @@ pub fn render_cdn_views(result: &AccountingResult) -> String {
     }
     let mut out = render_table(
         "Figs 10-12: per-CDN price/cost ratio (Brokered), traffic and profit (Brokered vs VDX)",
-        &["CDN", "ratio(Brk)", "kbps(Brk)", "kbps(VDX)", "profit(Brk)", "profit(VDX)"],
+        &[
+            "CDN",
+            "ratio(Brk)",
+            "kbps(Brk)",
+            "kbps(VDX)",
+            "profit(Brk)",
+            "profit(VDX)",
+        ],
         &rows,
     );
     out.push_str(&format!(
@@ -87,12 +106,24 @@ pub fn render_cdn_views(result: &AccountingResult) -> String {
 pub fn render_country_views(result: &AccountingResult) -> String {
     let mut rows = Vec::new();
     for (i, &country) in result.country_ids.iter().enumerate() {
-        let b = result.brokered.per_country.get(&country).copied().unwrap_or_default();
-        let v = result.vdx.per_country.get(&country).copied().unwrap_or_default();
+        let b = result
+            .brokered
+            .per_country
+            .get(&country)
+            .copied()
+            .unwrap_or_default();
+        let v = result
+            .vdx
+            .per_country
+            .get(&country)
+            .copied()
+            .unwrap_or_default();
         rows.push(vec![
             result.country_codes[i].clone(),
             format!("{:.2}", result.country_cost_index[i]),
-            b.price_to_cost().map(|r| format!("{r:.2}")).unwrap_or_else(|| "-".into()),
+            b.price_to_cost()
+                .map(|r| format!("{r:.2}"))
+                .unwrap_or_else(|| "-".into()),
             format!("{:.0}", b.traffic_kbps),
             format!("{:.0}", v.traffic_kbps),
             format!("{:+.2}", b.profit()),
@@ -121,9 +152,7 @@ mod tests {
         assert!(r.brokered.losing_cdns() >= 1, "Brokered losers expected");
         assert_eq!(r.vdx.losing_cdns(), 0, "VDX losers: {:#?}", r.vdx.per_cdn);
         // Traffic is conserved between the two worlds.
-        let t = |s: &Settlement| -> f64 {
-            s.per_cdn.iter().map(|c| c.ledger.traffic_kbps).sum()
-        };
+        let t = |s: &Settlement| -> f64 { s.per_cdn.iter().map(|c| c.ledger.traffic_kbps).sum() };
         assert!((t(&r.brokered) - t(&r.vdx)).abs() < 1e-6);
         assert!(render_cdn_views(&r).contains("losing CDNs"));
     }

@@ -77,7 +77,12 @@ pub fn render(result: &Fig16Result) -> String {
         .traditional
         .iter()
         .map(|(name, label, b, v)| {
-            vec![name.clone(), label.clone(), format!("{b:+.2}"), format!("{v:+.2}")]
+            vec![
+                name.clone(),
+                label.clone(),
+                format!("{b:+.2}"),
+                format!("{v:+.2}"),
+            ]
         })
         .collect();
     let mut out = render_table(
@@ -85,7 +90,11 @@ pub fn render(result: &Fig16Result) -> String {
         &["CDN", "deployment", "profit(Brk)", "profit(VDX)"],
         &rows,
     );
-    let served_city = result.city.iter().filter(|r| r.2 != 0.0 || r.3 != 0.0).count();
+    let served_city = result
+        .city
+        .iter()
+        .filter(|r| r.2 != 0.0 || r.3 != 0.0)
+        .count();
     out.push_str(&format!(
         "city CDNs: {} total, {} served traffic, {} lost money under Brokered (paper: 0), \
          {} CDNs of any kind lose under VDX (paper: 0)\n",
@@ -109,7 +118,8 @@ mod tests {
         // The §7.2 mechanism: single-cluster CDNs never lose under
         // flat-rate pricing (contract price == cluster cost).
         assert_eq!(
-            r.losing_city_cdns_brokered, 0,
+            r.losing_city_cdns_brokered,
+            0,
             "city CDNs losing under Brokered: {:?}",
             r.city.iter().filter(|c| c.2 < 0.0).collect::<Vec<_>>()
         );

@@ -15,8 +15,7 @@ use vdx_core::Design;
 
 /// The wc sweep used for every design's curve (log-ish spacing, dense
 /// around the knee).
-pub const WC_SWEEP: [f64; 10] =
-    [0.3, 1.0, 3.0, 10.0, 17.0, 30.0, 55.0, 100.0, 180.0, 300.0];
+pub const WC_SWEEP: [f64; 10] = [0.3, 1.0, 3.0, 10.0, 17.0, 30.0, 55.0, 100.0, 180.0, 300.0];
 
 /// One design's trade-off curve.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -58,11 +57,17 @@ pub fn run(scenario: &Scenario) -> Fig17Result {
             .iter()
             .map(|&wc| {
                 let outcome = scenario.run(design, CpPolicy { wp: 1.0, wc });
-                let m = compute(&MetricsInput { scenario, outcome: &outcome });
+                let m = compute(&MetricsInput {
+                    scenario,
+                    outcome: &outcome,
+                });
                 (m.cost, m.distance_miles)
             })
             .collect();
-        curves.push(TradeoffCurve { design: design.name(), points });
+        curves.push(TradeoffCurve {
+            design: design.name(),
+            points,
+        });
     }
 
     // Reference: Brokered at the balanced default (wc = 30 is index 5).
@@ -122,15 +127,25 @@ mod tests {
     fn fig17_wc_moves_along_the_tradeoff() {
         let s: &Scenario = crate::scenario::shared_small();
         let r = run(&s);
-        let vdx = r.curves.iter().find(|c| c.design == "Marketplace").expect("curve");
+        let vdx = r
+            .curves
+            .iter()
+            .find(|c| c.design == "Marketplace")
+            .expect("curve");
         // Larger wc => cheaper (monotone within tolerance of heuristic noise).
         let first_cost = vdx.points.first().expect("points").0;
         let last_cost = vdx.points.last().expect("points").0;
-        assert!(last_cost <= first_cost + 1e-9, "{last_cost} vs {first_cost}");
+        assert!(
+            last_cost <= first_cost + 1e-9,
+            "{last_cost} vs {first_cost}"
+        );
         // ... and farther (performance sacrificed).
         let first_dist = vdx.points.first().expect("points").1;
         let last_dist = vdx.points.last().expect("points").1;
-        assert!(last_dist >= first_dist - 1e-9, "{last_dist} vs {first_dist}");
+        assert!(
+            last_dist >= first_dist - 1e-9,
+            "{last_dist} vs {first_dist}"
+        );
     }
 
     #[test]

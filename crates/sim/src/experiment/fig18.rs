@@ -28,9 +28,11 @@ pub fn run(scenario: &Scenario) -> Fig18Result {
     let points = BID_COUNTS
         .iter()
         .map(|&bids| {
-            let outcome =
-                scenario.run_with(Design::Marketplace, CpPolicy::balanced(), Some(bids));
-            let m = compute(&MetricsInput { scenario, outcome: &outcome });
+            let outcome = scenario.run_with(Design::Marketplace, CpPolicy::balanced(), Some(bids));
+            let m = compute(&MetricsInput {
+                scenario,
+                outcome: &outcome,
+            });
             (bids, m.mean_cost, m.mean_score)
         })
         .collect();

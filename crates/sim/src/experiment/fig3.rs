@@ -31,7 +31,11 @@ pub fn render(result: &Fig3Result) -> String {
         .rows
         .iter()
         .map(|r| {
-            vec![r.code.clone(), r.requests.to_string(), format!("{:.0}%", r.cost_vs_avg_pct)]
+            vec![
+                r.code.clone(),
+                r.requests.to_string(),
+                format!("{:.0}%", r.cost_vs_avg_pct),
+            ]
         })
         .collect();
     let mut out = render_table(

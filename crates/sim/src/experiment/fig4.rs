@@ -24,18 +24,25 @@ pub struct Fig4Result {
 /// Runs the experiment.
 pub fn run(scenario: &Scenario) -> Fig4Result {
     let series = scenario.trace.moved_sessions_series(5.0);
-    let non_empty: Vec<f64> =
-        series.iter().map(|(_, p)| *p).filter(|p| *p > 0.0 || true).collect();
+    let non_empty: Vec<f64> = series
+        .iter()
+        .map(|(_, p)| *p)
+        .filter(|p| *p > 0.0 || true)
+        .collect();
     let mean = non_empty.iter().sum::<f64>() / non_empty.len().max(1) as f64;
     let min = non_empty.iter().copied().fold(f64::INFINITY, f64::min);
     let max = non_empty.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    Fig4Result { series, mean_pct: mean, min_pct: min, max_pct: max }
+    Fig4Result {
+        series,
+        mean_pct: mean,
+        min_pct: min,
+        max_pct: max,
+    }
 }
 
 /// Renders the result (subsampled series plus summary line).
 pub fn render(result: &Fig4Result) -> String {
-    let sampled: Vec<(f64, f64)> =
-        result.series.iter().step_by(24).copied().collect();
+    let sampled: Vec<(f64, f64)> = result.series.iter().step_by(24).copied().collect();
     let mut out = render_series(
         "Fig 4: % active sessions moved mid-stream (5s bins, every 2 min shown)",
         "t (s)",

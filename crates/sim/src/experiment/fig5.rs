@@ -72,7 +72,13 @@ pub fn render(result: &Fig5Result) -> String {
                 format!("{:.2}", f.r2),
                 f.n.to_string(),
             ],
-            None => vec![name.to_string(), "-".into(), "-".into(), "-".into(), "0".into()],
+            None => vec![
+                name.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "0".into(),
+            ],
         })
         .collect();
     let mut out = render_table(

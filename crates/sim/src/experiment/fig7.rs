@@ -44,11 +44,16 @@ pub fn run(scenario: &Scenario) -> Fig7Result {
         })
         .collect();
     countries.sort_by(|a, b| b.requests.cmp(&a.requests));
-    let b_shares: Vec<f64> =
-        countries.iter().map(|c| c.shares[CdnLabel::B.index()]).collect();
+    let b_shares: Vec<f64> = countries
+        .iter()
+        .map(|c| c.shares[CdnLabel::B.index()])
+        .collect();
     let spread = b_shares.iter().copied().fold(f64::MIN, f64::max)
         - b_shares.iter().copied().fold(f64::MAX, f64::min);
-    Fig7Result { countries, b_share_spread: spread }
+    Fig7Result {
+        countries,
+        b_share_spread: spread,
+    }
 }
 
 /// Renders the result.

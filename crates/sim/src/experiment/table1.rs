@@ -32,8 +32,10 @@ pub fn run(scenario: &Scenario) -> Table1Result {
     let mut total_weight = 0.0;
     let mut alt_sum = 0.0;
     for (city, requests) in scenario.trace.requests_per_city() {
-        let scores: Vec<Score> =
-            sites.iter().map(|&site| scenario.score_of(city, site)).collect();
+        let scores: Vec<Score> = sites
+            .iter()
+            .map(|&site| scenario.score_of(city, site))
+            .collect();
         let alts = alternatives_within(&scores, SIMILARITY_MARGIN);
         let w = requests as f64;
         for (k, slot) in weighted.iter_mut().enumerate() {
@@ -45,7 +47,10 @@ pub fn run(scenario: &Scenario) -> Table1Result {
         total_weight += w;
     }
     let pct = weighted.map(|w| 100.0 * w / total_weight.max(1e-9));
-    Table1Result { pct_with_alternatives: pct, mean_alternatives: alt_sum / total_weight }
+    Table1Result {
+        pct_with_alternatives: pct,
+        mean_alternatives: alt_sum / total_weight,
+    }
 }
 
 /// Renders the result.

@@ -38,7 +38,10 @@ pub fn run(scenario: &Scenario) -> Table3Result {
         .iter()
         .map(|&design| {
             let outcome = scenario.run(design, CpPolicy::balanced());
-            let metrics = compute(&MetricsInput { scenario, outcome: &outcome });
+            let metrics = compute(&MetricsInput {
+                scenario,
+                outcome: &outcome,
+            });
             (design.name(), metrics)
         })
         .collect();

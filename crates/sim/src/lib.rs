@@ -16,6 +16,8 @@
 //!   rounds over the live session population (the dynamics §5.1 elides).
 //! * [`report`] — plain-text table/series rendering shared by the `repro`
 //!   binary and the benches.
+//! * [`obs_report`] — operator summary of a `vdx-obs` flight-recorder
+//!   journal (`repro obs-report <journal>`).
 //!
 //! Run everything with:
 //!
@@ -28,6 +30,7 @@
 
 pub mod experiment;
 pub mod metrics;
+pub mod obs_report;
 pub mod replay;
 pub mod report;
 pub mod scenario;

@@ -148,8 +148,15 @@ mod tests {
         let s = crate::scenario::shared_small();
         for design in Design::TABLE3 {
             let out = s.run(design, CpPolicy::balanced());
-            let m = compute(&MetricsInput { scenario: &s, outcome: &out });
-            assert!(m.cost.is_finite() && m.cost > 0.0, "{design}: cost {}", m.cost);
+            let m = compute(&MetricsInput {
+                scenario: &s,
+                outcome: &out,
+            });
+            assert!(
+                m.cost.is_finite() && m.cost > 0.0,
+                "{design}: cost {}",
+                m.cost
+            );
             assert!(m.score > 0.0, "{design}");
             assert!(m.distance_miles >= 0.0, "{design}");
             assert!((0.0..=100.0).contains(&m.congested_pct), "{design}");
@@ -163,8 +170,14 @@ mod tests {
         let s = crate::scenario::shared_small();
         let brokered = s.run(Design::Brokered, CpPolicy::balanced());
         let multi = s.run(Design::Multicluster(100), CpPolicy::balanced());
-        let mb = compute(&MetricsInput { scenario: &s, outcome: &brokered });
-        let mm = compute(&MetricsInput { scenario: &s, outcome: &multi });
+        let mb = compute(&MetricsInput {
+            scenario: &s,
+            outcome: &brokered,
+        });
+        let mm = compute(&MetricsInput {
+            scenario: &s,
+            outcome: &multi,
+        });
         assert!(
             mm.score <= mb.score,
             "multicluster score {} should not exceed brokered {}",
@@ -179,8 +192,14 @@ mod tests {
         let s = crate::scenario::shared_small();
         let brokered = s.run(Design::Brokered, CpPolicy::balanced());
         let market = s.run(Design::Marketplace, CpPolicy::balanced());
-        let mb = compute(&MetricsInput { scenario: &s, outcome: &brokered });
-        let mm = compute(&MetricsInput { scenario: &s, outcome: &market });
+        let mb = compute(&MetricsInput {
+            scenario: &s,
+            outcome: &brokered,
+        });
+        let mm = compute(&MetricsInput {
+            scenario: &s,
+            outcome: &market,
+        });
         assert!(
             mm.cost < mb.cost,
             "marketplace cost {} should beat brokered {}",
@@ -194,7 +213,10 @@ mod tests {
         // Table 3: Marketplace's Congested column is 0%.
         let s = crate::scenario::shared_small();
         let market = s.run(Design::Marketplace, CpPolicy::balanced());
-        let mm = compute(&MetricsInput { scenario: &s, outcome: &market });
+        let mm = compute(&MetricsInput {
+            scenario: &s,
+            outcome: &market,
+        });
         assert_eq!(mm.congested_pct, 0.0);
     }
 }

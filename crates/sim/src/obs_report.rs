@@ -1,0 +1,389 @@
+//! Post-hoc analysis of a flight-recorder journal: `repro obs-report`.
+//!
+//! Takes the events of one journal (see `vdx-obs`) and renders the
+//! plain-text summary an operator reads first after a run: what ran, how
+//! long each phase took, how hard the solver worked, what the wire did,
+//! and where congestion or churn showed up. Rendering reuses
+//! [`crate::report`] so the output is diffable like every other table.
+
+use crate::report::{fmt, render_table};
+use std::collections::BTreeMap;
+use vdx_obs::Event;
+
+/// Renders the operator summary for one journal's events.
+pub fn report(events: &[Event]) -> String {
+    let mut out = String::new();
+
+    // Run identity.
+    for e in events {
+        if let Event::RunHeader {
+            schema,
+            experiment,
+            seed,
+            scale,
+            ..
+        } = e
+        {
+            out.push_str(&format!(
+                "journal: experiment={experiment} seed={seed} scale={scale} schema=v{schema}\n"
+            ));
+        }
+    }
+    if let Some(Event::ExperimentFinished {
+        wall_ms, events: n, ..
+    }) = events.last()
+    {
+        out.push_str(&format!(
+            "run complete: {n} events, {wall_ms} ms wall time\n"
+        ));
+    } else {
+        out.push_str("run INCOMPLETE: journal has no terminal experiment_finished event\n");
+    }
+    out.push('\n');
+
+    // Event census, sorted by kind for stable output.
+    let mut census: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for e in events {
+        *census.entry(e.kind()).or_insert(0) += 1;
+    }
+    let rows: Vec<Vec<String>> = census
+        .iter()
+        .map(|(k, n)| vec![(*k).to_string(), n.to_string()])
+        .collect();
+    out.push_str(&render_table("Event census", &["event", "count"], &rows));
+    out.push('\n');
+
+    // Per-phase wall time, in journal (i.e. execution) order.
+    let phase_rows: Vec<Vec<String>> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::PhaseFinished { phase, wall_us } => {
+                Some(vec![phase.clone(), fmt(*wall_us as f64 / 1_000.0)])
+            }
+            _ => None,
+        })
+        .collect();
+    if !phase_rows.is_empty() {
+        out.push_str(&render_table("Phases", &["phase", "wall ms"], &phase_rows));
+        out.push('\n');
+    }
+
+    // Decision rounds and solver effort.
+    let mut rounds = 0u64;
+    let mut options = 0u64;
+    let mut pivots = 0u64;
+    let mut bnb_nodes = 0u64;
+    let mut worst_gap: Option<f64> = None;
+    let mut modes: BTreeMap<String, u64> = BTreeMap::new();
+    for e in events {
+        match e {
+            Event::RoundCompleted { options: o, .. } => {
+                rounds += 1;
+                options += o;
+            }
+            Event::SolverStats {
+                mode,
+                pivots: p,
+                bnb_nodes: n,
+                optimality_gap,
+                ..
+            } => {
+                pivots += p;
+                bnb_nodes += n;
+                *modes.entry(mode.clone()).or_insert(0) += 1;
+                if let Some(g) = optimality_gap {
+                    worst_gap = Some(worst_gap.map_or(*g, |w: f64| w.max(*g)));
+                }
+            }
+            _ => {}
+        }
+    }
+    if rounds > 0 || pivots > 0 {
+        let mode_list = modes
+            .iter()
+            .map(|(m, n)| format!("{m} x{n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let solver_rows = vec![
+            vec!["rounds completed".to_string(), rounds.to_string()],
+            vec!["options considered".to_string(), options.to_string()],
+            vec!["simplex pivots".to_string(), pivots.to_string()],
+            vec!["B&B nodes".to_string(), bnb_nodes.to_string()],
+            vec![
+                "worst optimality gap".to_string(),
+                worst_gap.map_or_else(|| "n/a".to_string(), fmt),
+            ],
+            vec![
+                "solve modes".to_string(),
+                if mode_list.is_empty() {
+                    "n/a".into()
+                } else {
+                    mode_list
+                },
+            ],
+        ];
+        out.push_str(&render_table(
+            "Decision rounds",
+            &["metric", "value"],
+            &solver_rows,
+        ));
+        out.push('\n');
+    }
+
+    // Wire health: retransmissions, fragmentation, captured packets.
+    let mut retransmit_events = 0u64;
+    let mut retransmit_frames = 0u64;
+    let mut fragmented_payloads = 0u64;
+    let mut fragmented_bytes = 0u64;
+    let mut wire_packets = 0u64;
+    let mut wire_bytes = 0u64;
+    for e in events {
+        match e {
+            Event::FrameRetransmitted { frames, .. } => {
+                retransmit_events += 1;
+                retransmit_frames += frames;
+            }
+            Event::PayloadFragmented { bytes, .. } => {
+                fragmented_payloads += 1;
+                fragmented_bytes += bytes;
+            }
+            Event::WirePacket { bytes, .. } => {
+                wire_packets += 1;
+                wire_bytes += bytes;
+            }
+            _ => {}
+        }
+    }
+    if retransmit_events + fragmented_payloads + wire_packets > 0 {
+        let wire_rows = vec![
+            vec![
+                "retransmit timeouts".to_string(),
+                retransmit_events.to_string(),
+            ],
+            vec![
+                "frames retransmitted".to_string(),
+                retransmit_frames.to_string(),
+            ],
+            vec![
+                "payloads fragmented".to_string(),
+                fragmented_payloads.to_string(),
+            ],
+            vec!["fragmented bytes".to_string(), fragmented_bytes.to_string()],
+            vec!["captured packets".to_string(), wire_packets.to_string()],
+            vec!["captured bytes".to_string(), wire_bytes.to_string()],
+        ];
+        out.push_str(&render_table("Wire", &["metric", "value"], &wire_rows));
+        out.push('\n');
+    }
+
+    // Congestion and replay churn.
+    let congested = events
+        .iter()
+        .filter(|e| matches!(e, Event::ClusterCongested { .. }))
+        .count();
+    let (mut moved, mut continuing) = (0u64, 0u64);
+    for e in events {
+        if let Event::SessionMoved {
+            moved: m,
+            continuing: c,
+            ..
+        } = e
+        {
+            moved += m;
+            continuing += c;
+        }
+    }
+    if congested > 0 || continuing > 0 {
+        let mut rows = vec![vec![
+            "congested cluster-rounds".to_string(),
+            congested.to_string(),
+        ]];
+        if continuing > 0 {
+            rows.push(vec![
+                "sessions moved mid-stream".to_string(),
+                moved.to_string(),
+            ]);
+            rows.push(vec![
+                "moved fraction".to_string(),
+                fmt(moved as f64 / continuing as f64),
+            ]);
+        }
+        out.push_str(&render_table("Load & churn", &["metric", "value"], &rows));
+        out.push('\n');
+    }
+
+    // Timing histograms and counters drained from the metrics registry.
+    let timing_rows: Vec<Vec<String>> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::TimingSummary {
+                name,
+                count,
+                mean_us,
+                p50_us,
+                p95_us,
+                p99_us,
+            } => Some(vec![
+                name.clone(),
+                count.to_string(),
+                fmt(*mean_us),
+                fmt(*p50_us),
+                fmt(*p95_us),
+                fmt(*p99_us),
+            ]),
+            _ => None,
+        })
+        .collect();
+    if !timing_rows.is_empty() {
+        out.push_str(&render_table(
+            "Timings (µs)",
+            &["name", "count", "mean", "p50", "p95", "p99"],
+            &timing_rows,
+        ));
+        out.push('\n');
+    }
+    let counter_rows: Vec<Vec<String>> = events
+        .iter()
+        .filter_map(|e| match e {
+            Event::CounterSnapshot { name, value } => Some(vec![name.clone(), value.to_string()]),
+            _ => None,
+        })
+        .collect();
+    if !counter_rows.is_empty() {
+        out.push_str(&render_table("Counters", &["name", "value"], &counter_rows));
+        out.push('\n');
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fixture() -> Vec<Event> {
+        vec![
+            Event::RunHeader {
+                schema: vdx_obs::SCHEMA_VERSION,
+                experiment: "table3".into(),
+                seed: 2017,
+                scale: "small".into(),
+                started_unix_ms: 0,
+            },
+            Event::PhaseStarted {
+                phase: "build_scenario".into(),
+            },
+            Event::PhaseFinished {
+                phase: "build_scenario".into(),
+                wall_us: 2_500_000,
+            },
+            Event::RoundStarted {
+                round: 0,
+                design: "Marketplace".into(),
+                groups: 10,
+                cdns: 3,
+            },
+            Event::SolverStats {
+                round: 0,
+                mode: "heuristic".into(),
+                pivots: 0,
+                bnb_nodes: 0,
+                optimality_gap: None,
+                objective: 5.0,
+            },
+            Event::RoundCompleted {
+                round: 0,
+                objective: 5.0,
+                options: 30,
+            },
+            Event::FrameRetransmitted {
+                at_ms: 230,
+                frames: 5,
+            },
+            Event::PayloadFragmented {
+                fragments: 7,
+                bytes: 200_000,
+            },
+            Event::SessionMoved {
+                bin: 1,
+                moved: 2,
+                continuing: 8,
+            },
+            Event::ClusterCongested {
+                round: 0,
+                cluster: 4,
+                load_kbps: 2.0,
+                capacity_kbps: 1.0,
+            },
+            Event::TimingSummary {
+                name: "round".into(),
+                count: 1,
+                mean_us: 100.0,
+                p50_us: 100.0,
+                p95_us: 100.0,
+                p99_us: 100.0,
+            },
+            Event::CounterSnapshot {
+                name: "rounds".into(),
+                value: 1,
+            },
+            Event::ExperimentFinished {
+                experiment: "table3".into(),
+                wall_ms: 3_000,
+                events: 12,
+            },
+        ]
+    }
+
+    #[test]
+    fn report_covers_every_section() {
+        let text = report(&fixture());
+        assert!(
+            text.contains("experiment=table3 seed=2017 scale=small"),
+            "{text}"
+        );
+        assert!(text.contains("run complete: 12 events"), "{text}");
+        assert!(text.contains("== Event census =="), "{text}");
+        assert!(text.contains("round_completed"), "{text}");
+        assert!(text.contains("== Phases =="), "{text}");
+        assert!(text.contains("build_scenario"), "{text}");
+        assert!(text.contains("== Decision rounds =="), "{text}");
+        assert!(text.contains("heuristic x1"), "{text}");
+        assert!(text.contains("== Wire =="), "{text}");
+        assert!(text.contains("frames retransmitted"), "{text}");
+        assert!(text.contains("== Load & churn =="), "{text}");
+        assert!(text.contains("0.2500"), "moved fraction 2/8: {text}");
+        assert!(text.contains("== Timings"), "{text}");
+        assert!(text.contains("== Counters =="), "{text}");
+    }
+
+    #[test]
+    fn truncated_journal_is_flagged() {
+        let mut events = fixture();
+        events.pop();
+        let text = report(&events);
+        assert!(text.contains("run INCOMPLETE"), "{text}");
+    }
+
+    #[test]
+    fn empty_sections_are_omitted() {
+        let events = vec![
+            Event::RunHeader {
+                schema: 1,
+                experiment: "x".into(),
+                seed: 1,
+                scale: "small".into(),
+                started_unix_ms: 0,
+            },
+            Event::ExperimentFinished {
+                experiment: "x".into(),
+                wall_ms: 1,
+                events: 1,
+            },
+        ];
+        let text = report(&events);
+        assert!(!text.contains("== Wire =="), "{text}");
+        assert!(!text.contains("== Timings"), "{text}");
+        assert!(!text.contains("== Phases =="), "{text}");
+    }
+}

@@ -14,8 +14,9 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vdx_broker::{gather_groups, CpPolicy, OptimizeMode};
 use vdx_cdn::ClusterId;
-use vdx_core::{run_decision_round, Design, RoundInputs};
+use vdx_core::{run_decision_round_probed, Design, RoundInputs};
 use vdx_geo::CityId;
+use vdx_obs::Event;
 
 /// Replay parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -30,7 +31,11 @@ pub struct ReplayConfig {
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        ReplayConfig { bin_s: 300.0, design: Design::Marketplace, policy: CpPolicy::balanced() }
+        ReplayConfig {
+            bin_s: 300.0,
+            design: Design::Marketplace,
+            policy: CpPolicy::balanced(),
+        }
     }
 }
 
@@ -58,8 +63,7 @@ pub struct ReplayResult {
 impl ReplayResult {
     /// Mean decision-induced move fraction over bins with continuity.
     pub fn mean_moved(&self) -> f64 {
-        let moved: Vec<f64> =
-            self.bins.iter().skip(1).map(|b| b.moved_fraction).collect();
+        let moved: Vec<f64> = self.bins.iter().skip(1).map(|b| b.moved_fraction).collect();
         if moved.is_empty() {
             0.0
         } else {
@@ -69,7 +73,12 @@ impl ReplayResult {
 }
 
 /// Replays the scenario's trace through periodic Decision Protocol rounds.
+///
+/// Each bin's round reports to the scenario's probe under the bin index as
+/// its round id, followed by one [`Event::SessionMoved`] summarising the
+/// decision-induced churn at the bin boundary.
 pub fn replay(scenario: &Scenario, config: &ReplayConfig) -> ReplayResult {
+    let probe = scenario.probe();
     let duration = scenario.trace.config().trace_duration_s;
     let n_bins = (duration / config.bin_s).ceil() as usize;
     let mut bins = Vec::with_capacity(n_bins);
@@ -87,7 +96,12 @@ pub fn replay(scenario: &Scenario, config: &ReplayConfig) -> ReplayResult {
             .cloned()
             .collect();
         if active.is_empty() {
-            bins.push(BinStats { t0, active_sessions: 0, moved_fraction: 0.0, mean_score: 0.0 });
+            bins.push(BinStats {
+                t0,
+                active_sessions: 0,
+                moved_fraction: 0.0,
+                mean_score: 0.0,
+            });
             continue;
         }
         let groups = gather_groups(&active);
@@ -103,8 +117,13 @@ pub fn replay(scenario: &Scenario, config: &ReplayConfig) -> ReplayResult {
             bid_count: None,
             margins: None,
         };
-        let outcome =
-            run_decision_round(config.design, &inputs, |a, b| scenario.score_of(a, b));
+        let outcome = run_decision_round_probed(
+            config.design,
+            &inputs,
+            |a, b| scenario.score_of(a, b),
+            bin as u64,
+            probe.as_ref(),
+        );
 
         let mut route: HashMap<(CityId, u32), ClusterId> = HashMap::new();
         let mut score_sum = 0.0;
@@ -130,11 +149,22 @@ pub fn replay(scenario: &Scenario, config: &ReplayConfig) -> ReplayResult {
                 }
             }
         }
+        if probe.enabled() {
+            probe.emit(Event::SessionMoved {
+                bin: bin as u64,
+                moved: u64::from(moved),
+                continuing: u64::from(continuing),
+            });
+        }
         let active_sessions = active.len() as u32;
         bins.push(BinStats {
             t0,
             active_sessions,
-            moved_fraction: if continuing > 0 { moved as f64 / continuing as f64 } else { 0.0 },
+            moved_fraction: if continuing > 0 {
+                moved as f64 / continuing as f64
+            } else {
+                0.0
+            },
             mean_score: score_sum / active_sessions as f64,
         });
         prev_route = route;
@@ -149,10 +179,19 @@ mod tests {
     #[test]
     fn replay_produces_sane_bins() {
         let s: &Scenario = crate::scenario::shared_small();
-        let r = replay(s, &ReplayConfig { bin_s: 600.0, ..Default::default() });
+        let r = replay(
+            s,
+            &ReplayConfig {
+                bin_s: 600.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(r.bins.len(), 6);
         for b in &r.bins {
-            assert!(b.active_sessions > 0, "every bin of an hour-long trace has sessions");
+            assert!(
+                b.active_sessions > 0,
+                "every bin of an hour-long trace has sessions"
+            );
             assert!((0.0..=1.0).contains(&b.moved_fraction));
             assert!(b.mean_score > 0.0);
         }
@@ -164,7 +203,13 @@ mod tests {
         // most (city, bitrate) routes should persist bin over bin under a
         // capacity-aware design.
         let s: &Scenario = crate::scenario::shared_small();
-        let r = replay(s, &ReplayConfig { bin_s: 600.0, ..Default::default() });
+        let r = replay(
+            s,
+            &ReplayConfig {
+                bin_s: 600.0,
+                ..Default::default()
+            },
+        );
         assert!(
             r.mean_moved() < 0.5,
             "mid-stream moves should not dominate: {}",
@@ -173,11 +218,55 @@ mod tests {
     }
 
     #[test]
+    fn replay_journals_one_session_moved_event_per_populated_bin() {
+        use crate::scenario::ScenarioConfig;
+        use std::sync::Arc;
+        use vdx_obs::MemoryProbe;
+        let mut s = Scenario::build(ScenarioConfig::small());
+        let probe = Arc::new(MemoryProbe::new());
+        s.set_probe(probe.clone());
+        let r = replay(
+            &s,
+            &ReplayConfig {
+                bin_s: 600.0,
+                ..Default::default()
+            },
+        );
+        let events = probe.take();
+        let moves: Vec<(u64, u64, u64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SessionMoved {
+                    bin,
+                    moved,
+                    continuing,
+                } => Some((*bin, *moved, *continuing)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(moves.len(), r.bins.len(), "one churn event per bin");
+        for (i, (bin, moved, continuing)) in moves.iter().enumerate() {
+            assert_eq!(*bin, i as u64);
+            assert!(moved <= continuing);
+        }
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::RoundStarted { round: 2, .. })),
+            "each bin's decision round is journaled under its bin index"
+        );
+    }
+
+    #[test]
     fn brokered_replay_also_runs() {
         let s: &Scenario = crate::scenario::shared_small();
         let r = replay(
             s,
-            &ReplayConfig { bin_s: 900.0, design: Design::Brokered, ..Default::default() },
+            &ReplayConfig {
+                bin_s: 900.0,
+                design: Design::Brokered,
+                ..Default::default()
+            },
         );
         assert_eq!(r.bins.len(), 4);
     }

@@ -15,15 +15,21 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     }
     let mut out = String::new();
     out.push_str(&format!("== {title} ==\n"));
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{h:>w$}", w = widths[i])).collect();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
     out.push_str(&header_line.join("  "));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
     out.push('\n');
     for row in rows {
-        let line: Vec<String> =
-            row.iter().enumerate().map(|(i, c)| format!("{c:>w$}", w = widths[i])).collect();
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths[i]))
+            .collect();
         out.push_str(&line.join("  "));
         out.push('\n');
     }
@@ -32,8 +38,10 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 
 /// Renders an `(x, y)` series with a caption.
 pub fn render_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
-    let rows: Vec<Vec<String>> =
-        points.iter().map(|(x, y)| vec![format!("{x:.2}"), format!("{y:.3}")]).collect();
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|(x, y)| vec![format!("{x:.2}"), format!("{y:.3}")])
+        .collect();
     render_table(title, &[x_label, y_label], &rows)
 }
 

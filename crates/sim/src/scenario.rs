@@ -16,6 +16,8 @@
 //! Protocol round via [`Scenario::run`].
 
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use vdx_broker::{
     gather::demand_points, gather_groups, synth_background, ClientGroup, CpPolicy, OptimizeMode,
 };
@@ -23,9 +25,10 @@ use vdx_cdn::{
     build_fleet, city_centric_cdns, negotiate_contract, plan_capacities, Contract, Fleet,
     FleetConfig, DEFAULT_MARKUP,
 };
-use vdx_core::{assign_background, run_decision_round, Design, RoundInputs, RoundOutcome};
+use vdx_core::{assign_background, run_decision_round_probed, Design, RoundInputs, RoundOutcome};
 use vdx_geo::{CityId, World, WorldConfig};
 use vdx_netsim::{NetModel, NetModelConfig, Score};
+use vdx_obs::Probe;
 use vdx_trace::{BrokerTrace, BrokerTraceConfig};
 
 /// Scenario scale and seeds.
@@ -62,8 +65,16 @@ impl ScenarioConfig {
     /// A reduced-scale configuration for fast tests and benches.
     pub fn small() -> ScenarioConfig {
         ScenarioConfig {
-            world: WorldConfig { countries: 15, cities: 80, ..Default::default() },
-            trace: BrokerTraceConfig { sessions: 2_000, videos: 300, ..Default::default() },
+            world: WorldConfig {
+                countries: 15,
+                cities: 80,
+                ..Default::default()
+            },
+            trace: BrokerTraceConfig {
+                sessions: 2_000,
+                videos: 300,
+                ..Default::default()
+            },
             fleet: FleetConfig {
                 distributed_sites: 30,
                 medium: (2, 8..12),
@@ -96,6 +107,11 @@ pub struct Scenario {
     pub background_kbps: Vec<f64>,
     /// Per-cluster background load, kbit/s.
     pub background_load: Vec<f64>,
+    /// Observability probe; the default no-op keeps rounds pure.
+    probe: Arc<dyn Probe>,
+    /// Monotone round counter so every journaled round has a distinct id
+    /// even though [`Scenario::run`] takes `&self`.
+    rounds: AtomicU64,
 }
 
 impl Scenario {
@@ -105,8 +121,7 @@ impl Scenario {
         let net = NetModel::new(config.net.clone(), config.seed);
         let trace = BrokerTrace::generate(&world, &config.trace, config.seed);
         let groups = gather_groups(trace.sessions());
-        let background_kbps =
-            synth_background(&groups, config.background_multiple, config.seed);
+        let background_kbps = synth_background(&groups, config.background_multiple, config.seed);
         let demand = demand_points(&groups, &background_kbps);
 
         let mut fleet = build_fleet(&world, &config.fleet, config.seed);
@@ -130,7 +145,23 @@ impl Scenario {
             groups,
             background_kbps,
             background_load,
+            probe: vdx_obs::probe::noop(),
+            rounds: AtomicU64::new(0),
         }
+    }
+
+    /// Routes every subsequent round's journal events to `probe`. The
+    /// default no-op probe leaves rounds observationally pure; attaching a
+    /// real probe never changes an assignment.
+    pub fn set_probe(&mut self, probe: Arc<dyn Probe>) {
+        self.probe = probe;
+    }
+
+    /// The probe rounds currently report to (shared with, e.g., [`replay`]).
+    ///
+    /// [`replay`]: crate::replay
+    pub fn probe(&self) -> Arc<dyn Probe> {
+        self.probe.clone()
     }
 
     /// The §7.2 scenario: this ecosystem plus `n` city-centric CDNs, with
@@ -167,6 +198,8 @@ impl Scenario {
             groups: self.groups.clone(),
             background_kbps: self.background_kbps.clone(),
             background_load,
+            probe: self.probe.clone(),
+            rounds: AtomicU64::new(0),
         }
     }
 
@@ -198,7 +231,14 @@ impl Scenario {
             bid_count,
             margins: None,
         };
-        run_decision_round(design, &inputs, |a, b| self.score_of(a, b))
+        let round = self.rounds.fetch_add(1, Ordering::Relaxed);
+        run_decision_round_probed(
+            design,
+            &inputs,
+            |a, b| self.score_of(a, b),
+            round,
+            self.probe.as_ref(),
+        )
     }
 
     /// Total brokered demand, kbit/s.
@@ -260,6 +300,32 @@ mod tests {
         assert_eq!(big.background_load.len(), big.fleet.clusters.len());
         let out = big.run(Design::Marketplace, CpPolicy::balanced());
         assert_eq!(out.assignment.choice.len(), big.groups.len());
+    }
+
+    #[test]
+    fn probed_runs_journal_rounds_without_changing_assignments() {
+        use vdx_obs::{Event, MemoryProbe};
+        let mut s = Scenario::build(ScenarioConfig::small());
+        let plain = s.run(Design::Marketplace, CpPolicy::balanced());
+        let probe = Arc::new(MemoryProbe::new());
+        s.set_probe(probe.clone());
+        let probed = s.run(Design::Marketplace, CpPolicy::balanced());
+        assert_eq!(plain.assignment.choice, probed.assignment.choice);
+        let events = probe.take();
+        let started: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::RoundStarted { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        // The unprobed run already consumed round 0.
+        assert_eq!(started, vec![1]);
+        s.run(Design::Brokered, CpPolicy::balanced());
+        assert!(probe
+            .take()
+            .iter()
+            .any(|e| matches!(e, Event::RoundStarted { round: 2, .. })));
     }
 
     #[test]

@@ -1,0 +1,122 @@
+//! End-to-end flight-recorder checks: a journaled run produces a valid,
+//! complete JSONL journal, and two identically seeded runs produce
+//! byte-identical journals once wall-clock fields are zeroed.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use vdx_broker::CpPolicy;
+use vdx_core::Design;
+use vdx_obs::{read_journal, Event, Journal, JournalProbe, Probe, Stopwatch, SCHEMA_VERSION};
+use vdx_sim::replay::{replay, ReplayConfig};
+use vdx_sim::{Scenario, ScenarioConfig};
+
+fn temp_path(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vdx-sim-journal-{}-{name}", std::process::id()));
+    p
+}
+
+/// One full journaled run at small scale: header, two decision rounds,
+/// a short replay, terminal record.
+fn journaled_run(path: &Path) {
+    let clock = Stopwatch::start();
+    let journal = Journal::create(path).expect("create journal");
+    let probe = Arc::new(JournalProbe::new(journal));
+    probe.emit(Event::RunHeader {
+        schema: SCHEMA_VERSION,
+        experiment: "determinism".into(),
+        seed: 2017,
+        scale: "small".into(),
+        started_unix_ms: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+    });
+    let mut scenario = Scenario::build(ScenarioConfig::small());
+    scenario.set_probe(probe.clone());
+    scenario.run(Design::Marketplace, CpPolicy::balanced());
+    scenario.run(Design::Brokered, CpPolicy::balanced());
+    replay(
+        &scenario,
+        &ReplayConfig {
+            bin_s: 1200.0,
+            ..Default::default()
+        },
+    );
+    drop(scenario);
+    let journal = Arc::try_unwrap(probe)
+        .expect("probe no longer shared")
+        .into_journal()
+        .expect("no swallowed write errors");
+    journal
+        .finish("determinism", clock.elapsed_ms())
+        .expect("finish journal");
+}
+
+/// Reads a journal back, zeroes wall-clock fields, and re-serializes to
+/// canonical JSONL bytes.
+fn canonical_bytes(path: &Path) -> Vec<u8> {
+    let mut events = read_journal(path).expect("every line parses as an Event");
+    for e in &mut events {
+        e.zero_wall_clock();
+    }
+    let mut out = Vec::new();
+    for e in &events {
+        out.extend_from_slice(serde_json::to_string(e).expect("serializable").as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+#[test]
+fn journaled_run_is_valid_and_byte_deterministic() {
+    let path_a = temp_path("a.jsonl");
+    let path_b = temp_path("b.jsonl");
+    journaled_run(&path_a);
+    journaled_run(&path_b);
+
+    let events = read_journal(&path_a).expect("journal A parses");
+    assert!(
+        matches!(events.first(), Some(Event::RunHeader { seed: 2017, .. })),
+        "journal opens with the run header"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::RoundStarted { .. })),
+        "at least one decision round was journaled"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::SolverStats { .. })),
+        "solver effort was journaled"
+    );
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e, Event::SessionMoved { .. })),
+        "replay churn was journaled"
+    );
+    match events.last() {
+        Some(Event::ExperimentFinished { events: n, .. }) => {
+            assert_eq!(
+                *n as usize,
+                events.len() - 1,
+                "terminal record counts its precursors"
+            );
+        }
+        other => panic!("journal must end with ExperimentFinished, got {other:?}"),
+    }
+
+    let a = canonical_bytes(&path_a);
+    let b = canonical_bytes(&path_b);
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "same-seed journals are byte-identical after wall-clock zeroing"
+    );
+
+    std::fs::remove_file(&path_a).ok();
+    std::fs::remove_file(&path_b).ok();
+}

@@ -26,7 +26,10 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// Creates a network with `nodes` nodes.
     pub fn new(nodes: usize) -> FlowNetwork {
-        FlowNetwork { adj: vec![Vec::new(); nodes], ..Default::default() }
+        FlowNetwork {
+            adj: vec![Vec::new(); nodes],
+            ..Default::default()
+        }
     }
 
     /// Number of nodes.
@@ -40,7 +43,10 @@ impl FlowNetwork {
     /// # Panics
     /// Panics on out-of-range nodes or negative capacity.
     pub fn add_edge(&mut self, from: usize, to: usize, cap: i64, cost: f64) -> EdgeId {
-        assert!(from < self.adj.len() && to < self.adj.len(), "node out of range");
+        assert!(
+            from < self.adj.len() && to < self.adj.len(),
+            "node out of range"
+        );
         assert!(cap >= 0, "capacity must be non-negative");
         let id = self.to.len();
         self.to.push(to);
@@ -171,7 +177,11 @@ pub fn solve_unit_assignment(
                 break;
             }
         }
-        assert_ne!(choice[c], usize::MAX, "client {c} unassigned despite full flow");
+        assert_ne!(
+            choice[c],
+            usize::MAX,
+            "client {c} unassigned despite full flow"
+        );
     }
     Some((choice, objective))
 }
@@ -207,8 +217,7 @@ mod tests {
         // 2 clients, 2 buckets, capacity 1 each.
         let buckets = vec![vec![0, 1], vec![0, 1]];
         let values = vec![vec![5.0, 1.0], vec![4.0, 2.0]];
-        let (choice, obj) =
-            solve_unit_assignment(&buckets, &values, &[1, 1]).expect("feasible");
+        let (choice, obj) = solve_unit_assignment(&buckets, &values, &[1, 1]).expect("feasible");
         // Optimal: client 0 -> bucket 0 (5), client 1 -> bucket 1 (2) = 7.
         assert_eq!(choice, vec![0, 1]);
         assert!((obj - 7.0).abs() < 1e-9);
@@ -238,12 +247,18 @@ mod tests {
             let mut gap = AssignmentProblem::new(caps.iter().map(|&c| c as f64).collect());
             for _ in 0..clients {
                 let bs: Vec<usize> = (0..nbuckets).collect();
-                let vs: Vec<f64> =
-                    bs.iter().map(|_| (rng.gen_range(0..100) as f64) / 10.0).collect();
+                let vs: Vec<f64> = bs
+                    .iter()
+                    .map(|_| (rng.gen_range(0..100) as f64) / 10.0)
+                    .collect();
                 gap.add_client(
                     bs.iter()
                         .zip(&vs)
-                        .map(|(&b, &v)| CandidateOption { bucket: b, value: v, load: 1.0 })
+                        .map(|(&b, &v)| CandidateOption {
+                            bucket: b,
+                            value: v,
+                            load: 1.0,
+                        })
                         .collect(),
                 );
                 buckets.push(bs);

@@ -22,8 +22,9 @@
 //! *believes* (designs differ in how accurate that belief is); true-capacity
 //! congestion is measured downstream in `vdx-sim`.
 
-use crate::milp::{solve_milp, MilpConfig, MilpOutcome};
+use crate::milp::{solve_milp_with_stats, MilpConfig, MilpOutcome};
 use crate::model::{LinearProgram, Relation};
+use crate::stats::SolveStats;
 
 /// One candidate option for a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -57,7 +58,10 @@ pub struct Assignment {
 impl AssignmentProblem {
     /// Creates a problem with the given bucket capacities.
     pub fn new(capacities: Vec<f64>) -> AssignmentProblem {
-        AssignmentProblem { options: Vec::new(), capacities }
+        AssignmentProblem {
+            options: Vec::new(),
+            capacities,
+        }
     }
 
     /// Adds a client with its candidate options; returns the client index.
@@ -65,9 +69,16 @@ impl AssignmentProblem {
     /// # Panics
     /// Panics if `options` is empty or references an unknown bucket.
     pub fn add_client(&mut self, options: Vec<CandidateOption>) -> usize {
-        assert!(!options.is_empty(), "every client needs at least one option");
+        assert!(
+            !options.is_empty(),
+            "every client needs at least one option"
+        );
         for o in &options {
-            assert!(o.bucket < self.capacities.len(), "bucket {} out of range", o.bucket);
+            assert!(
+                o.bucket < self.capacities.len(),
+                "bucket {} out of range",
+                o.bucket
+            );
             assert!(o.load >= 0.0, "loads must be non-negative");
         }
         self.options.push(options);
@@ -123,7 +134,10 @@ impl AssignmentProblem {
             }
         };
         order.sort_by(|&a, &b| {
-            regret(b).partial_cmp(&regret(a)).expect("finite").then(a.cmp(&b))
+            regret(b)
+                .partial_cmp(&regret(a))
+                .expect("finite")
+                .then(a.cmp(&b))
         });
 
         let mut remaining = self.capacities.clone();
@@ -210,6 +224,18 @@ impl AssignmentProblem {
     /// complete assignment exists or the node budget is exhausted without
     /// an incumbent.
     pub fn solve_exact(&self, config: &MilpConfig) -> Option<Assignment> {
+        let mut stats = SolveStats::new();
+        self.solve_exact_with_stats(config, &mut stats)
+    }
+
+    /// [`AssignmentProblem::solve_exact`] with search effort accumulated
+    /// into `stats` (branch-and-bound nodes, simplex pivots, and the root
+    /// relaxation bound on the objective).
+    pub fn solve_exact_with_stats(
+        &self,
+        config: &MilpConfig,
+        stats: &mut SolveStats,
+    ) -> Option<Assignment> {
         // Variables: one binary per (client, option).
         let mut var_of: Vec<Vec<usize>> = Vec::with_capacity(self.num_clients());
         let mut num_vars = 0usize;
@@ -225,8 +251,7 @@ impl AssignmentProblem {
                 lp.set_upper_bound(var_of[c][i], 1.0);
             }
             // Exactly one option per client.
-            let coeffs: Vec<(usize, f64)> =
-                var_of[c].iter().map(|&v| (v, 1.0)).collect();
+            let coeffs: Vec<(usize, f64)> = var_of[c].iter().map(|&v| (v, 1.0)).collect();
             lp.add_constraint(coeffs, Relation::Eq, 1.0);
         }
         for (b, &cap) in self.capacities.iter().enumerate() {
@@ -243,7 +268,7 @@ impl AssignmentProblem {
             }
         }
         let all_vars: Vec<usize> = (0..num_vars).collect();
-        match solve_milp(&lp, &all_vars, config) {
+        match solve_milp_with_stats(&lp, &all_vars, config, stats) {
             MilpOutcome::Solved { values, .. } => {
                 let mut choice = vec![0usize; self.num_clients()];
                 for (c, vars) in var_of.iter().enumerate() {
@@ -271,7 +296,11 @@ mod tests {
     use super::*;
 
     fn opt(bucket: usize, value: f64, load: f64) -> CandidateOption {
-        CandidateOption { bucket, value, load }
+        CandidateOption {
+            bucket,
+            value,
+            load,
+        }
     }
 
     #[test]
@@ -310,7 +339,10 @@ mod tests {
     fn local_search_improves_bad_start() {
         let mut p = AssignmentProblem::new(vec![10.0, 10.0]);
         p.add_client(vec![opt(0, 1.0, 2.0), opt(1, 9.0, 2.0)]);
-        let start = Assignment { choice: vec![0], objective: 1.0 };
+        let start = Assignment {
+            choice: vec![0],
+            objective: 1.0,
+        };
         let improved = p.improve_local(start, 4);
         assert_eq!(improved.choice, vec![1]);
         assert_eq!(improved.objective, 9.0);
@@ -345,7 +377,12 @@ mod tests {
                 }
             }
         }
-        assert!((exact.objective - best).abs() < 1e-6, "{} vs {}", exact.objective, best);
+        assert!(
+            (exact.objective - best).abs() < 1e-6,
+            "{} vs {}",
+            exact.objective,
+            best
+        );
         assert!(p.respects_capacities(&exact.choice, 1e-6));
     }
 
@@ -357,9 +394,8 @@ mod tests {
         let mut total_gap = 0.0;
         for _ in 0..20 {
             let buckets = rng.gen_range(2..5);
-            let mut p = AssignmentProblem::new(
-                (0..buckets).map(|_| rng.gen_range(5.0..20.0)).collect(),
-            );
+            let mut p =
+                AssignmentProblem::new((0..buckets).map(|_| rng.gen_range(5.0..20.0)).collect());
             let clients = rng.gen_range(3..8);
             for _ in 0..clients {
                 let k = rng.gen_range(1..=buckets);
@@ -376,8 +412,7 @@ mod tests {
                 if p.respects_capacities(&heur.choice, 1e-9) {
                     assert!(heur.objective <= exact.objective + 1e-6);
                     if exact.objective.abs() > 1e-9 {
-                        total_gap +=
-                            (exact.objective - heur.objective) / exact.objective.abs();
+                        total_gap += (exact.objective - heur.objective) / exact.objective.abs();
                     }
                 }
             }
@@ -405,5 +440,25 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn bad_bucket_panics() {
         AssignmentProblem::new(vec![1.0]).add_client(vec![opt(5, 1.0, 1.0)]);
+    }
+
+    #[test]
+    fn exact_with_stats_reports_effort_and_tight_gap() {
+        use crate::stats::SolveStats;
+        let mut p = AssignmentProblem::new(vec![5.0, 5.0]);
+        p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 3.0, 3.0)]);
+        p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 2.0, 3.0)]);
+        let mut stats = SolveStats::new();
+        let exact = p
+            .solve_exact_with_stats(&MilpConfig::default(), &mut stats)
+            .expect("solvable");
+        let plain = p.solve_exact(&MilpConfig::default()).expect("solvable");
+        assert_eq!(
+            exact, plain,
+            "stats variant changes nothing about the answer"
+        );
+        assert!(stats.bnb_nodes >= 1);
+        let bound = stats.best_bound.expect("root solved");
+        assert!(bound >= exact.objective - 1e-9);
     }
 }

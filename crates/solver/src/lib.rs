@@ -16,7 +16,11 @@
 //! * [`flow`] — successive-shortest-path min-cost flow, an independent
 //!   exact method for the *uniform-load* special case, used to cross-check
 //!   the other solvers;
-//! * [`model`] — the shared LP/constraint builder types.
+//! * [`model`] — the shared LP/constraint builder types;
+//! * [`stats`] — plain effort counters ([`SolveStats`]: simplex pivots,
+//!   branch-and-bound nodes, best bound) filled in by the `*_with_stats`
+//!   entry points, so callers can report solver work without this crate
+//!   knowing anything about event sinks.
 //!
 //! The heuristic pipeline (greedy + local search) is what CDN-scale
 //! simulations use — mirroring how a production broker would trade
@@ -33,8 +37,10 @@ pub mod gap;
 pub mod milp;
 pub mod model;
 pub mod simplex;
+pub mod stats;
 
 pub use gap::{Assignment, AssignmentProblem, CandidateOption};
-pub use milp::{solve_milp, MilpConfig, MilpOutcome};
+pub use milp::{solve_milp, solve_milp_with_stats, MilpConfig, MilpOutcome};
 pub use model::{Constraint, LinearProgram, Relation};
-pub use simplex::{solve_lp, LpOutcome, LpSolution};
+pub use simplex::{solve_lp, solve_lp_with_stats, LpOutcome, LpSolution};
+pub use stats::SolveStats;

@@ -7,7 +7,8 @@
 //! would bound its decision latency.
 
 use crate::model::{LinearProgram, Relation};
-use crate::simplex::{solve_lp, LpOutcome};
+use crate::simplex::{solve_lp_with_stats, LpOutcome};
+use crate::stats::SolveStats;
 
 /// Integrality tolerance: a value within this of an integer counts as one.
 pub const INT_TOL: f64 = 1e-6;
@@ -22,7 +23,9 @@ pub struct MilpConfig {
 
 impl Default for MilpConfig {
     fn default() -> Self {
-        MilpConfig { node_limit: 100_000 }
+        MilpConfig {
+            node_limit: 100_000,
+        }
     }
 }
 
@@ -68,6 +71,24 @@ impl MilpOutcome {
 /// # Panics
 /// Panics if an index in `integer_vars` is out of range.
 pub fn solve_milp(lp: &LinearProgram, integer_vars: &[usize], config: &MilpConfig) -> MilpOutcome {
+    let mut stats = SolveStats::new();
+    solve_milp_with_stats(lp, integer_vars, config, &mut stats)
+}
+
+/// Solves `lp` as [`solve_milp`] does, additionally accumulating search
+/// effort into `stats`: every LP relaxation solved counts one
+/// branch-and-bound node (and its simplex pivots), and the root
+/// relaxation's objective is recorded as [`SolveStats::best_bound`] —
+/// branching only tightens it, so it bounds the true optimum throughout.
+///
+/// # Panics
+/// Panics if an index in `integer_vars` is out of range.
+pub fn solve_milp_with_stats(
+    lp: &LinearProgram,
+    integer_vars: &[usize],
+    config: &MilpConfig,
+    stats: &mut SolveStats,
+) -> MilpOutcome {
     for &v in integer_vars {
         assert!(v < lp.num_vars, "integer variable {v} out of range");
     }
@@ -89,7 +110,8 @@ pub fn solve_milp(lp: &LinearProgram, integer_vars: &[usize], config: &MilpConfi
             break;
         }
         nodes += 1;
-        let relax = solve_lp(&problem);
+        stats.bnb_nodes += 1;
+        let relax = solve_lp_with_stats(&problem, stats);
         let sol = match relax {
             LpOutcome::Optimal(s) => s,
             LpOutcome::Infeasible => continue,
@@ -100,6 +122,10 @@ pub fn solve_milp(lp: &LinearProgram, integer_vars: &[usize], config: &MilpConfi
                 return MilpOutcome::Unbounded;
             }
         };
+        if nodes == 1 {
+            // The root relaxation bounds the optimum for the whole search.
+            stats.best_bound = Some(sol.objective);
+        }
         // Prune: relaxation cannot beat the incumbent.
         if let Some((best, _)) = &incumbent {
             if sign * sol.objective <= sign * *best + 1e-9 {
@@ -175,14 +201,20 @@ mod tests {
         // items (v,w): a(10,3) b(13,4) c(7,2); capacity 6.
         // {a,c}: v=17 w=5 ok; {b,c}: v=20 w=6 ok; best = 20.
         let mut lp = LinearProgram::maximize(3);
-        lp.set_objective(0, 10.0).set_objective(1, 13.0).set_objective(2, 7.0);
+        lp.set_objective(0, 10.0)
+            .set_objective(1, 13.0)
+            .set_objective(2, 7.0);
         for i in 0..3 {
             lp.set_upper_bound(i, 1.0);
         }
         lp.add_constraint(vec![(0, 3.0), (1, 4.0), (2, 2.0)], Relation::Le, 6.0);
         let out = solve_milp(&lp, &[0, 1, 2], &MilpConfig::default());
         match out {
-            MilpOutcome::Solved { objective, values, proven_optimal } => {
+            MilpOutcome::Solved {
+                objective,
+                values,
+                proven_optimal,
+            } => {
                 assert_close(objective, 20.0);
                 assert!(proven_optimal);
                 assert_close(values[1], 1.0);
@@ -236,7 +268,9 @@ mod tests {
         lp.set_upper_bound(1, 1.2);
         let out = solve_milp(&lp, &[0], &MilpConfig::default());
         match out {
-            MilpOutcome::Solved { objective, values, .. } => {
+            MilpOutcome::Solved {
+                objective, values, ..
+            } => {
                 assert_close(objective, 6.5);
                 assert_close(values[0], 3.0);
                 assert_close(values[1], 0.5);
@@ -282,7 +316,12 @@ mod tests {
         let full = solve_milp(&lp, &[0, 1, 2], &MilpConfig::default());
         let full_obj = full.objective().expect("solved");
         let limited = solve_milp(&lp, &[0, 1, 2], &MilpConfig { node_limit: 3 });
-        if let MilpOutcome::Solved { objective, proven_optimal, .. } = limited {
+        if let MilpOutcome::Solved {
+            objective,
+            proven_optimal,
+            ..
+        } = limited
+        {
             assert!(objective <= full_obj + 1e-9);
             let _ = proven_optimal; // may or may not be proven at this size
         }
@@ -300,6 +339,40 @@ mod tests {
         assert_close(
             milp.objective().expect("solved"),
             lp_sol.optimal().expect("optimal").objective,
+        );
+    }
+
+    #[test]
+    fn stats_variant_counts_nodes_and_bounds_the_optimum() {
+        use crate::stats::SolveStats;
+        // Knapsack from above: the LP relaxation is fractional, so the
+        // search must branch (> 1 node) and the root bound dominates.
+        let mut lp = LinearProgram::maximize(3);
+        lp.set_objective(0, 10.0)
+            .set_objective(1, 13.0)
+            .set_objective(2, 7.0);
+        for i in 0..3 {
+            lp.set_upper_bound(i, 1.0);
+        }
+        lp.add_constraint(vec![(0, 3.0), (1, 4.0), (2, 2.0)], Relation::Le, 6.0);
+        let mut stats = SolveStats::new();
+        let out = solve_milp_with_stats(&lp, &[0, 1, 2], &MilpConfig::default(), &mut stats);
+        let objective = out.objective().expect("solved");
+        assert_close(objective, 20.0);
+        assert!(stats.bnb_nodes > 1, "fractional root must branch");
+        assert!(
+            stats.pivots >= stats.bnb_nodes,
+            "every node pivots at least once here"
+        );
+        let bound = stats.best_bound.expect("root relaxation solved");
+        assert!(
+            bound >= objective - 1e-9,
+            "bound {bound} dominates {objective}"
+        );
+        let gap = stats.optimality_gap(objective).expect("bound set");
+        assert!(
+            gap >= 0.0 && gap < 0.2,
+            "small gap on a tiny knapsack, got {gap}"
         );
     }
 }

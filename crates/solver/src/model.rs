@@ -57,7 +57,10 @@ impl LinearProgram {
 
     /// Creates an empty minimization program.
     pub fn minimize(num_vars: usize) -> LinearProgram {
-        LinearProgram { maximize: false, ..LinearProgram::maximize(num_vars) }
+        LinearProgram {
+            maximize: false,
+            ..LinearProgram::maximize(num_vars)
+        }
     }
 
     /// Sets the objective coefficient of variable `var`.
@@ -86,7 +89,11 @@ impl LinearProgram {
             assert!(!seen[i], "duplicate variable index {i} in constraint");
             seen[i] = true;
         }
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
         self
     }
 
@@ -171,7 +178,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate")]
     fn duplicate_index_panics() {
-        LinearProgram::maximize(2)
-            .add_constraint(vec![(0, 1.0), (0, 2.0)], Relation::Le, 0.0);
+        LinearProgram::maximize(2).add_constraint(vec![(0, 1.0), (0, 2.0)], Relation::Le, 0.0);
     }
 }

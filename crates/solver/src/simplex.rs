@@ -10,6 +10,7 @@
 //! are lowered to explicit `≤` rows (simple, and cheap at our sizes).
 
 use crate::model::{LinearProgram, Relation};
+use crate::stats::SolveStats;
 
 /// Numerical tolerance used throughout the solver.
 pub const EPS: f64 = 1e-9;
@@ -46,7 +47,17 @@ impl LpOutcome {
 
 /// Solves a linear program. See module docs for method.
 pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
-    Tableau::build(lp).solve(lp)
+    let mut tableau = Tableau::build(lp);
+    tableau.solve(lp)
+}
+
+/// Solves a linear program, adding the pivot count to `stats`. Identical
+/// to [`solve_lp`] otherwise.
+pub fn solve_lp_with_stats(lp: &LinearProgram, stats: &mut SolveStats) -> LpOutcome {
+    let mut tableau = Tableau::build(lp);
+    let outcome = tableau.solve(lp);
+    stats.pivots += tableau.pivots;
+    outcome
 }
 
 struct Tableau {
@@ -63,6 +74,8 @@ struct Tableau {
     /// Column range holding artificial variables.
     art_start: usize,
     n_orig: usize,
+    /// Pivot operations performed so far (the solver's unit of work).
+    pivots: u64,
 }
 
 impl Tableau {
@@ -143,7 +156,11 @@ impl Tableau {
         // Phase-2 costs: minimize (negate if the problem maximizes).
         let mut cost = vec![0.0; cols + 1];
         for i in 0..n {
-            cost[i] = if lp.maximize { -lp.objective[i] } else { lp.objective[i] };
+            cost[i] = if lp.maximize {
+                -lp.objective[i]
+            } else {
+                lp.objective[i]
+            };
         }
         // Phase-1 costs: minimize the sum of artificials; expressed in terms
         // of the non-basic variables by subtracting the artificial rows.
@@ -161,10 +178,20 @@ impl Tableau {
         // Make the phase-2 cost row consistent with the starting basis too
         // (basic slack columns have zero cost, so nothing to do there).
 
-        Tableau { a, cost, art_cost, basis, cols, art_start, n_orig: n }
+        Tableau {
+            a,
+            cost,
+            art_cost,
+            basis,
+            cols,
+            art_start,
+            n_orig: n,
+            pivots: 0,
+        }
     }
 
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let p = self.a[row][col];
         debug_assert!(p.abs() > EPS);
         for v in self.a[row].iter_mut() {
@@ -230,7 +257,7 @@ impl Tableau {
         }
     }
 
-    fn solve(mut self, lp: &LinearProgram) -> LpOutcome {
+    fn solve(&mut self, lp: &LinearProgram) -> LpOutcome {
         // Phase 1 (only needed if artificials exist).
         if self.art_start < self.cols {
             if !self.iterate(true, true) {
@@ -245,9 +272,7 @@ impl Tableau {
             // Drive remaining artificials out of the basis where possible.
             for r in 0..self.a.len() {
                 if self.basis[r] >= self.art_start {
-                    if let Some(c) = (0..self.art_start)
-                        .find(|&c| self.a[r][c].abs() > 1e-7)
-                    {
+                    if let Some(c) = (0..self.art_start).find(|&c| self.a[r][c].abs() > 1e-7) {
                         self.pivot(r, c);
                     }
                     // Otherwise the row is redundant (all-zero over real
@@ -428,12 +453,36 @@ mod tests {
             }
             match solve_lp(&lp) {
                 LpOutcome::Optimal(s) => {
-                    assert!(lp.is_feasible(&s.values, 1e-6), "trial {trial}: infeasible point");
+                    assert!(
+                        lp.is_feasible(&s.values, 1e-6),
+                        "trial {trial}: infeasible point"
+                    );
                     // Objective must dominate the origin (always feasible here).
                     assert!(s.objective >= -1e-9, "trial {trial}");
                 }
                 other => panic!("trial {trial}: unexpected outcome {other:?}"),
             }
         }
+    }
+
+    #[test]
+    fn stats_variant_counts_pivots_and_matches_plain_solve() {
+        use crate::stats::SolveStats;
+        let mut lp = LinearProgram::maximize(2);
+        lp.set_objective(0, 3.0).set_objective(1, 2.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 4.0);
+        lp.add_constraint(vec![(0, 1.0), (1, 3.0)], Relation::Le, 6.0);
+        let mut stats = SolveStats::new();
+        let with = solve_lp_with_stats(&lp, &mut stats);
+        let plain = solve_lp(&lp);
+        assert_close(
+            with.optimal().expect("optimal").objective,
+            plain.optimal().expect("optimal").objective,
+        );
+        assert!(stats.pivots >= 1, "a non-trivial LP pivots at least once");
+        // Solving again accumulates rather than resets.
+        let before = stats.pivots;
+        let _ = solve_lp_with_stats(&lp, &mut stats);
+        assert_eq!(stats.pivots, 2 * before);
     }
 }

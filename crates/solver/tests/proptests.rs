@@ -5,8 +5,8 @@
 use proptest::prelude::*;
 use vdx_solver::flow::solve_unit_assignment;
 use vdx_solver::{
-    solve_lp, solve_milp, AssignmentProblem, CandidateOption, LinearProgram, LpOutcome,
-    MilpConfig, MilpOutcome, Relation,
+    solve_lp, solve_milp, AssignmentProblem, CandidateOption, LinearProgram, LpOutcome, MilpConfig,
+    MilpOutcome, Relation,
 };
 
 /// Brute-force optimum of a binary knapsack-ish MILP with ≤ 12 variables.

@@ -99,7 +99,10 @@ pub struct SessionRecord {
 impl SessionRecord {
     /// The CDN currently delivering the video (after all switches).
     pub fn current_cdn(&self) -> CdnLabel {
-        self.switches.last().map(|(_, c)| *c).unwrap_or(self.initial_cdn)
+        self.switches
+            .last()
+            .map(|(_, c)| *c)
+            .unwrap_or(self.initial_cdn)
     }
 
     /// Session end time.
@@ -193,7 +196,11 @@ impl Default for BrokerTraceConfig {
 impl BrokerTraceConfig {
     /// A small configuration for fast tests and doc examples.
     pub fn small() -> Self {
-        BrokerTraceConfig { sessions: 2_000, videos: 400, ..Default::default() }
+        BrokerTraceConfig {
+            sessions: 2_000,
+            videos: 400,
+            ..Default::default()
+        }
     }
 }
 
@@ -218,7 +225,10 @@ impl BrokerTrace {
     /// masses exceed 1.
     pub fn generate(world: &World, config: &BrokerTraceConfig, seed: u64) -> BrokerTrace {
         assert!(config.sessions > 0, "trace needs sessions");
-        assert!(!config.bitrate_ladder_kbps.is_empty(), "bitrate ladder empty");
+        assert!(
+            !config.bitrate_ladder_kbps.is_empty(),
+            "bitrate ladder empty"
+        );
         assert!(
             config.bitrate_low_peak + config.bitrate_high_peak <= 1.0,
             "bitrate peak masses exceed 1"
@@ -226,8 +236,7 @@ impl BrokerTrace {
         let mut rng = StdRng::seed_from_u64(seed);
 
         let zipf = Zipf::new(config.videos.max(1), config.zipf_exponent);
-        let city_weights: Vec<f64> =
-            world.cities().iter().map(|c| c.population_weight).collect();
+        let city_weights: Vec<f64> = world.cities().iter().map(|c| c.population_weight).collect();
         let city_picker = WeightedIndex::new(&city_weights);
         let prefs = country_prefs(world, &mut rng);
 
@@ -256,19 +265,19 @@ impl BrokerTrace {
                 let p = move_probability(config, arrival);
                 if rng.gen_bool(p) {
                     let t = arrival + rng.gen_range(5.0..duration.min(1_800.0));
-                    let next =
-                        sample_cdn(&prefs[country.index()], pop, config, &mut rng, Some(initial_cdn));
+                    let next = sample_cdn(
+                        &prefs[country.index()],
+                        pop,
+                        config,
+                        &mut rng,
+                        Some(initial_cdn),
+                    );
                     switches.push((t, next));
                     // Long sessions occasionally move a second time.
                     if duration > 600.0 && rng.gen_bool(p / 2.0) {
                         let t2 = t + rng.gen_range(5.0..(duration - (t - arrival)).max(6.0));
-                        let next2 = sample_cdn(
-                            &prefs[country.index()],
-                            pop,
-                            config,
-                            &mut rng,
-                            Some(next),
-                        );
+                        let next2 =
+                            sample_cdn(&prefs[country.index()], pop, config, &mut rng, Some(next));
                         switches.push((t2, next2));
                     }
                 }
@@ -290,7 +299,10 @@ impl BrokerTrace {
         for (i, s) in sessions.iter_mut().enumerate() {
             s.id = SessionId(i as u32);
         }
-        BrokerTrace { config: config.clone(), sessions }
+        BrokerTrace {
+            config: config.clone(),
+            sessions,
+        }
     }
 
     /// The sessions, ordered by arrival time.
@@ -377,7 +389,11 @@ impl BrokerTrace {
                     }
                 }
             }
-            let pct = if active == 0 { 0.0 } else { 100.0 * moved as f64 / active as f64 };
+            let pct = if active == 0 {
+                0.0
+            } else {
+                100.0 * moved as f64 / active as f64
+            };
             series.push((t0, pct));
         }
         series
@@ -422,7 +438,9 @@ fn country_prefs(world: &World, rng: &mut StdRng) -> Vec<CountryPrefs> {
             let b = rng.gen_range(0.0..1.0f64).powi(3) * 2.0;
             let c = rng.gen_range(0.0..1.0f64).powi(3) * 2.0;
             let other = 0.05 + 0.15 * rng.gen_range(0.0..1.0f64);
-            CountryPrefs { base: [a, b, c, other] }
+            CountryPrefs {
+                base: [a, b, c, other],
+            }
         })
         .collect()
 }
@@ -527,12 +545,23 @@ mod tests {
     #[test]
     fn bitrates_are_bimodal() {
         let (_, trace) = setup();
-        let rates: Vec<f64> =
-            trace.sessions().iter().map(|s| s.bitrate_kbps as f64).collect();
+        let rates: Vec<f64> = trace
+            .sessions()
+            .iter()
+            .map(|s| s.bitrate_kbps as f64)
+            .collect();
         assert!(stats::edge_mass_share(&rates, 8) > 0.6);
         // Both extremes individually popular.
-        let low = trace.sessions().iter().filter(|s| s.bitrate_kbps == 235).count();
-        let high = trace.sessions().iter().filter(|s| s.bitrate_kbps == 3000).count();
+        let low = trace
+            .sessions()
+            .iter()
+            .filter(|s| s.bitrate_kbps == 235)
+            .count();
+        let high = trace
+            .sessions()
+            .iter()
+            .filter(|s| s.bitrate_kbps == 3000)
+            .count();
         assert!(low as f64 / 33_400.0 > 0.25);
         assert!(high as f64 / 33_400.0 > 0.25);
     }
@@ -597,13 +626,19 @@ mod tests {
         let (world, trace) = setup();
         let usage = trace.usage_by_country(&world);
         let big: Vec<_> = usage.iter().filter(|(_, req, _)| *req >= 100).collect();
-        assert!(big.len() >= 10, "only {} countries with >=100 requests", big.len());
+        assert!(
+            big.len() >= 10,
+            "only {} countries with >=100 requests",
+            big.len()
+        );
         // Fig 7: B's share should range from near-zero to dominant.
-        let b_shares: Vec<f64> =
-            big.iter().map(|(_, _, s)| s[CdnLabel::B.index()]).collect();
+        let b_shares: Vec<f64> = big.iter().map(|(_, _, s)| s[CdnLabel::B.index()]).collect();
         let max = b_shares.iter().copied().fold(f64::MIN, f64::max);
         let min = b_shares.iter().copied().fold(f64::MAX, f64::min);
-        assert!(max - min > 0.3, "B share range [{min:.2}, {max:.2}] too flat");
+        assert!(
+            max - min > 0.3,
+            "B share range [{min:.2}, {max:.2}] too flat"
+        );
     }
 
     #[test]

@@ -52,8 +52,14 @@ pub fn top_country_costs(world: &World, trace: &BrokerTrace, top_k: usize) -> Ve
 
 /// The min→max disparity of the given rows' costs (paper: up to ~30×).
 pub fn cost_disparity(rows: &[CountryCostRow]) -> Option<f64> {
-    let max = rows.iter().map(|r| r.cost_vs_avg_pct).fold(f64::NAN, f64::max);
-    let min = rows.iter().map(|r| r.cost_vs_avg_pct).fold(f64::NAN, f64::min);
+    let max = rows
+        .iter()
+        .map(|r| r.cost_vs_avg_pct)
+        .fold(f64::NAN, f64::max);
+    let min = rows
+        .iter()
+        .map(|r| r.cost_vs_avg_pct)
+        .fold(f64::NAN, f64::min);
     if rows.is_empty() || min <= 0.0 {
         None
     } else {

@@ -39,7 +39,11 @@ impl fmt::Display for TraceIoError {
             TraceIoError::FieldCount { line, got } => {
                 write!(f, "line {line}: expected 9 fields, got {got}")
             }
-            TraceIoError::BadField { line, field, content } => {
+            TraceIoError::BadField {
+                line,
+                field,
+                content,
+            } => {
                 write!(f, "line {line}: bad {field}: {content:?}")
             }
             TraceIoError::Json(msg) => write!(f, "json error: {msg}"),
@@ -132,7 +136,10 @@ pub fn sessions_from_csv(csv: &str) -> Result<Vec<SessionRecord>, TraceIoError> 
         let lineno = i + 1;
         let fields: Vec<&str> = line.split(',').collect();
         if fields.len() != 9 {
-            return Err(TraceIoError::FieldCount { line: lineno, got: fields.len() });
+            return Err(TraceIoError::FieldCount {
+                line: lineno,
+                got: fields.len(),
+            });
         }
         let bad = |field: &'static str, content: &str| TraceIoError::BadField {
             line: lineno,
@@ -142,19 +149,19 @@ pub fn sessions_from_csv(csv: &str) -> Result<Vec<SessionRecord>, TraceIoError> 
         let id: u32 = fields[0].parse().map_err(|_| bad("id", fields[0]))?;
         let arrival_s: f64 = fields[1].parse().map_err(|_| bad("arrival_s", fields[1]))?;
         let video: u32 = fields[2].parse().map_err(|_| bad("video", fields[2]))?;
-        let bitrate_kbps: u32 =
-            fields[3].parse().map_err(|_| bad("bitrate_kbps", fields[3]))?;
-        let duration_s: f64 =
-            fields[4].parse().map_err(|_| bad("duration_s", fields[4]))?;
+        let bitrate_kbps: u32 = fields[3]
+            .parse()
+            .map_err(|_| bad("bitrate_kbps", fields[3]))?;
+        let duration_s: f64 = fields[4]
+            .parse()
+            .map_err(|_| bad("duration_s", fields[4]))?;
         let city: u32 = fields[5].parse().map_err(|_| bad("city", fields[5]))?;
         let asn: u32 = fields[6].parse().map_err(|_| bad("asn", fields[6]))?;
-        let initial_cdn =
-            parse_label(fields[7]).ok_or_else(|| bad("initial_cdn", fields[7]))?;
+        let initial_cdn = parse_label(fields[7]).ok_or_else(|| bad("initial_cdn", fields[7]))?;
         let mut switches = Vec::new();
         if !fields[8].is_empty() {
             for part in fields[8].split(';') {
-                let (t, c) =
-                    part.split_once('@').ok_or_else(|| bad("switches", part))?;
+                let (t, c) = part.split_once('@').ok_or_else(|| bad("switches", part))?;
                 let time: f64 = t.parse().map_err(|_| bad("switch time", t))?;
                 let cdn = parse_label(c).ok_or_else(|| bad("switch cdn", c))?;
                 switches.push((time, cdn));
@@ -176,10 +183,7 @@ pub fn sessions_from_csv(csv: &str) -> Result<Vec<SessionRecord>, TraceIoError> 
 }
 
 /// Convenience: full CSV round-trip of a trace body with a given config.
-pub fn trace_from_csv(
-    config: BrokerTraceConfig,
-    csv: &str,
-) -> Result<BrokerTrace, TraceIoError> {
+pub fn trace_from_csv(config: BrokerTraceConfig, csv: &str) -> Result<BrokerTrace, TraceIoError> {
     Ok(BrokerTrace::from_sessions(config, sessions_from_csv(csv)?))
 }
 
@@ -213,7 +217,13 @@ mod tests {
     #[test]
     fn csv_rejects_bad_header() {
         let err = sessions_from_csv("nope\n").unwrap_err();
-        assert!(matches!(err, TraceIoError::BadField { field: "header", .. }));
+        assert!(matches!(
+            err,
+            TraceIoError::BadField {
+                field: "header",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -227,20 +237,33 @@ mod tests {
     fn csv_rejects_bad_cdn() {
         let csv = format!("{CSV_HEADER}\n0,0.0,1,235,5.0,3,64512,Z,\n");
         let err = sessions_from_csv(&csv).unwrap_err();
-        assert!(matches!(err, TraceIoError::BadField { field: "initial_cdn", .. }));
+        assert!(matches!(
+            err,
+            TraceIoError::BadField {
+                field: "initial_cdn",
+                ..
+            }
+        ));
     }
 
     #[test]
     fn csv_parses_switch_lists() {
         let csv = format!("{CSV_HEADER}\n0,0.5,1,235,100.0,3,64512,A,10.5@B;20@C\n");
         let sessions = sessions_from_csv(&csv).expect("parses");
-        assert_eq!(sessions[0].switches, vec![(10.5, CdnLabel::B), (20.0, CdnLabel::C)]);
+        assert_eq!(
+            sessions[0].switches,
+            vec![(10.5, CdnLabel::B), (20.0, CdnLabel::C)]
+        );
         assert_eq!(sessions[0].current_cdn(), CdnLabel::C);
     }
 
     #[test]
     fn error_display_is_informative() {
-        let err = TraceIoError::BadField { line: 3, field: "asn", content: "x".into() };
+        let err = TraceIoError::BadField {
+            line: 3,
+            field: "asn",
+            content: "x".into(),
+        };
         assert!(err.to_string().contains("line 3"));
         assert!(err.to_string().contains("asn"));
     }

@@ -65,7 +65,10 @@ impl MappingData {
             }
         }
         let extrapolator = ScoreExtrapolator::fit(&samples);
-        MappingData { measured, extrapolator }
+        MappingData {
+            measured,
+            extrapolator,
+        }
     }
 
     /// The score for a pair: measured if available, otherwise extrapolated
@@ -104,7 +107,11 @@ mod tests {
 
     fn setup(coverage: f64) -> (World, Vec<CityId>, MappingData) {
         let world = World::generate(
-            &WorldConfig { countries: 12, cities: 60, ..Default::default() },
+            &WorldConfig {
+                countries: 12,
+                cities: 60,
+                ..Default::default()
+            },
             3,
         );
         let net = NetModel::new(NetModelConfig::default(), 3);
@@ -149,14 +156,20 @@ mod tests {
     fn extrapolated_scores_grow_with_distance() {
         let (world, sites, data) = setup(0.7);
         let ex = data.extrapolator().expect("regression fitted");
-        assert!(ex.fit_params().slope > 0.0, "score should grow with distance");
+        assert!(
+            ex.fit_params().slope > 0.0,
+            "score should grow with distance"
+        );
         // Spot-check an unmeasured pair against its neighbours' trend.
         let client = world
             .cities()
             .iter()
             .find(|c| sites.iter().any(|&s| !data.is_measured(c.id, s)))
             .expect("some unmeasured pair exists");
-        let site = *sites.iter().find(|&&s| !data.is_measured(client.id, s)).expect("one");
+        let site = *sites
+            .iter()
+            .find(|&&s| !data.is_measured(client.id, s))
+            .expect("one");
         let predicted = data.score(&world, client.id, site).expect("predicted");
         assert!(predicted.value() > 0.0);
     }

@@ -39,7 +39,10 @@ impl Zipf {
     /// Draws a rank in `0..n`.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -73,7 +76,10 @@ impl WeightedIndex {
         let mut cdf = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
             acc += w;
             cdf.push(acc);
         }
@@ -87,7 +93,10 @@ impl WeightedIndex {
     /// Draws an index.
     pub fn sample(&self, rng: &mut StdRng) -> usize {
         let u: f64 = rng.gen_range(0.0..1.0);
-        match self.cdf.binary_search_by(|p| p.partial_cmp(&u).expect("finite")) {
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("finite"))
+        {
             Ok(i) => i,
             Err(i) => i.min(self.cdf.len() - 1),
         }
@@ -168,7 +177,11 @@ pub fn median(values: &[f64]) -> Option<f64> {
     let mut v: Vec<f64> = values.to_vec();
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let n = v.len();
-    Some(if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 })
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        (v[n / 2 - 1] + v[n / 2]) / 2.0
+    })
 }
 
 /// `q`-quantile (0 ≤ q ≤ 1) by nearest-rank. Returns `None` on empty input.
@@ -249,8 +262,9 @@ mod tests {
 
     #[test]
     fn edge_mass_detects_bimodality() {
-        let bimodal: Vec<f64> =
-            (0..100).map(|i| if i % 2 == 0 { 0.0 } else { 10.0 }).collect();
+        let bimodal: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 0.0 } else { 10.0 })
+            .collect();
         assert!(edge_mass_share(&bimodal, 10) > 0.99);
         let uniform: Vec<f64> = (0..100).map(|i| i as f64 / 10.0).collect();
         assert!(edge_mass_share(&uniform, 10) < 0.3);

@@ -7,7 +7,14 @@ use vdx_trace::io;
 use vdx_trace::{BrokerTrace, BrokerTraceConfig, CdnLabel, SessionId, SessionRecord};
 
 fn small_world(seed: u64) -> World {
-    World::generate(&WorldConfig { countries: 10, cities: 40, ..Default::default() }, seed)
+    World::generate(
+        &WorldConfig {
+            countries: 10,
+            cities: 40,
+            ..Default::default()
+        },
+        seed,
+    )
 }
 
 proptest! {

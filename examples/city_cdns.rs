@@ -38,7 +38,10 @@ fn main() {
         &expanded.fleet,
     );
 
-    println!("{:<10} {:>12} {:>12} {:>12} {:>12}", "CDN", "kbps(Brk)", "profit(Brk)", "kbps(VDX)", "profit(VDX)");
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12}",
+        "CDN", "kbps(Brk)", "profit(Brk)", "kbps(VDX)", "profit(VDX)"
+    );
     for (i, cdn) in expanded.fleet.cdns.iter().enumerate() {
         // Print traditional CDNs and the first few newcomers.
         if i >= base.fleet.cdns.len() + 5 {
@@ -53,7 +56,11 @@ fn main() {
             b.profit(),
             v.traffic_kbps,
             v.profit(),
-            if matches!(cdn.model, DeploymentModel::CityCentric { .. }) { "  (city)" } else { "" },
+            if matches!(cdn.model, DeploymentModel::CityCentric { .. }) {
+                "  (city)"
+            } else {
+                ""
+            },
         );
     }
 

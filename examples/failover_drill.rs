@@ -6,10 +6,10 @@
 //! cargo run --example failover_drill --release
 //! ```
 
+use vdx::broker::optimize;
 use vdx::core::delivery::DeliveryDirectory;
 use vdx::core::failure::{direct_fallback, exclude_cdns};
 use vdx::core::{settle, ReputationSystem};
-use vdx::broker::optimize;
 use vdx::prelude::*;
 
 fn main() {
@@ -96,7 +96,11 @@ fn main() {
     let settled = settle(&outcome, &scenario.world, &scenario.fleet);
     println!(
         "\nsteady state: {} CDNs served traffic, {} lost money (VDX round)",
-        settled.per_cdn.iter().filter(|c| c.ledger.traffic_kbps > 0.0).count(),
+        settled
+            .per_cdn
+            .iter()
+            .filter(|c| c.ledger.traffic_kbps > 0.0)
+            .count(),
         settled.losing_cdns()
     );
 }

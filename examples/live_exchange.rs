@@ -42,8 +42,9 @@ fn main() {
     // One lossy link per CDN; broker on end A, agent on end B. Attach a
     // pcap-style capture to the first link so we can show the wire.
     let n = scenario.fleet.cdns.len();
-    let mut links: Vec<Link> =
-        (0..n).map(|i| Link::new(faults.clone(), 7_000 + i as u64)).collect();
+    let mut links: Vec<Link> = (0..n)
+        .map(|i| Link::new(faults.clone(), 7_000 + i as u64))
+        .collect();
     links[0].attach_wirelog(6);
     let mut agents: Vec<CdnAgent> = (0..n)
         .map(|i| {

@@ -25,9 +25,16 @@ fn main() {
 
     // 2. Run one Decision Protocol round per design.
     let policy = CpPolicy::balanced();
-    for design in [Design::Brokered, Design::Multicluster(100), Design::Marketplace] {
+    for design in [
+        Design::Brokered,
+        Design::Multicluster(100),
+        Design::Marketplace,
+    ] {
         let outcome = scenario.run(design, policy);
-        let m = compute(&MetricsInput { scenario: &scenario, outcome: &outcome });
+        let m = compute(&MetricsInput {
+            scenario: &scenario,
+            outcome: &outcome,
+        });
         let settled = settle(&outcome, &scenario.world, &scenario.fleet);
         println!(
             "{:<20} cost {:.3}  score {:.1}  distance {:>5.0} mi  congested {:>4.1}%  \

@@ -31,8 +31,7 @@ fn main() {
         .first()
         .and_then(|a| parse_design(a))
         .unwrap_or(Design::Marketplace);
-    let mut weights: Vec<f64> =
-        args.iter().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let mut weights: Vec<f64> = args.iter().skip(1).filter_map(|a| a.parse().ok()).collect();
     if weights.is_empty() {
         weights = vec![0.3, 1.0, 3.0, 10.0, 30.0, 100.0, 300.0];
     }
@@ -45,13 +44,14 @@ fn main() {
     );
     for wc in weights {
         let outcome = scenario.run(design, CpPolicy { wp: 1.0, wc });
-        let m = compute(&MetricsInput { scenario: &scenario, outcome: &outcome });
+        let m = compute(&MetricsInput {
+            scenario: &scenario,
+            outcome: &outcome,
+        });
         println!(
             "{wc:>8} {:>12.4} {:>10.2} {:>14.0} {:>10.1} {:>11.1}",
             m.cost, m.score, m.distance_miles, m.load_pct, m.congested_pct
         );
     }
-    println!(
-        "\nlarger wc leans on cost: the broker trades proximity/score for cheaper clusters."
-    );
+    println!("\nlarger wc leans on cost: the broker trades proximity/score for cheaper clusters.");
 }

@@ -33,13 +33,16 @@ fn every_design_places_every_client() {
 #[test]
 fn settlement_conserves_traffic_and_money_flows() {
     let s = scenario();
-    for design in [Design::Brokered, Design::DynamicPricing, Design::Marketplace] {
+    for design in [
+        Design::Brokered,
+        Design::DynamicPricing,
+        Design::Marketplace,
+    ] {
         let outcome = s.run(design, CpPolicy::balanced());
         let settled = settle(&outcome, &s.world, &s.fleet);
         let demand: f64 = s.groups.iter().map(|g| g.demand_kbps).sum();
         let cdn_traffic: f64 = settled.per_cdn.iter().map(|c| c.ledger.traffic_kbps).sum();
-        let country_traffic: f64 =
-            settled.per_country.values().map(|l| l.traffic_kbps).sum();
+        let country_traffic: f64 = settled.per_country.values().map(|l| l.traffic_kbps).sum();
         assert!((cdn_traffic - demand).abs() < 1e-6, "{design}");
         assert!((cdn_traffic - country_traffic).abs() < 1e-6, "{design}");
         // Revenue and cost also agree between the two aggregations.
@@ -55,7 +58,10 @@ fn whole_pipeline_is_deterministic() {
     let outcome_a = a.run(Design::Marketplace, CpPolicy::balanced());
     let outcome_b = scenario().run(Design::Marketplace, CpPolicy::balanced());
     assert_eq!(outcome_a.assignment.choice, outcome_b.assignment.choice);
-    assert_eq!(outcome_a.assignment.objective, outcome_b.assignment.objective);
+    assert_eq!(
+        outcome_a.assignment.objective,
+        outcome_b.assignment.objective
+    );
 }
 
 #[test]
@@ -64,7 +70,10 @@ fn metrics_reflect_design_capabilities() {
     let mut results = Vec::new();
     for design in Design::TABLE3 {
         let outcome = s.run(design, CpPolicy::balanced());
-        let m = compute(&MetricsInput { scenario: s, outcome: &outcome });
+        let m = compute(&MetricsInput {
+            scenario: s,
+            outcome: &outcome,
+        });
         results.push((design, m));
     }
     let get = |d: Design| results.iter().find(|(x, _)| *x == d).expect("ran").1;

@@ -22,11 +22,16 @@ fn section3_trace_statistics() {
     assert!((0.70..0.86).contains(&trace.abandon_rate()));
     let video_counts = trace.video_counts();
     assert!(stats::estimate_zipf_exponent(&video_counts).expect("zipf") > 0.4);
-    let city_counts: Vec<u64> =
-        trace.requests_per_city().iter().map(|(_, c)| *c).collect();
-    assert!(stats::head_mass_share(&city_counts, 0.1) > 0.4, "power-law cities");
-    let rates: Vec<f64> =
-        trace.sessions().iter().map(|x| x.bitrate_kbps as f64).collect();
+    let city_counts: Vec<u64> = trace.requests_per_city().iter().map(|(_, c)| *c).collect();
+    assert!(
+        stats::head_mass_share(&city_counts, 0.1) > 0.4,
+        "power-law cities"
+    );
+    let rates: Vec<f64> = trace
+        .sessions()
+        .iter()
+        .map(|x| x.bitrate_kbps as f64)
+        .collect();
     assert!(stats::edge_mass_share(&rates, 8) > 0.55, "bimodal bitrates");
 }
 
@@ -51,8 +56,7 @@ fn section3_alternatives_exist() {
     let mut with_alternative = 0u64;
     let mut total = 0u64;
     for (city, requests) in s.trace.requests_per_city() {
-        let scores: Vec<Score> =
-            sites.iter().map(|&site| s.score_of(city, site)).collect();
+        let scores: Vec<Score> = sites.iter().map(|&site| s.score_of(city, site)).collect();
         if vdx::netsim::alternatives_within(&scores, vdx::netsim::SIMILARITY_MARGIN) >= 1 {
             with_alternative += requests;
         }
@@ -69,8 +73,16 @@ fn section3_alternatives_exist() {
 #[test]
 fn section7_cdn_economics() {
     let s = scenario();
-    let brokered = settle(&s.run(Design::Brokered, CpPolicy::balanced()), &s.world, &s.fleet);
-    let vdx = settle(&s.run(Design::Marketplace, CpPolicy::balanced()), &s.world, &s.fleet);
+    let brokered = settle(
+        &s.run(Design::Brokered, CpPolicy::balanced()),
+        &s.world,
+        &s.fleet,
+    );
+    let vdx = settle(
+        &s.run(Design::Marketplace, CpPolicy::balanced()),
+        &s.world,
+        &s.fleet,
+    );
     assert!(brokered.losing_cdns() > 0, "flat-rate world has losers");
     assert_eq!(vdx.losing_cdns(), 0, "VDX has none");
     for c in &vdx.per_cdn {
@@ -84,8 +96,16 @@ fn section7_cdn_economics() {
 #[test]
 fn section7_country_economics() {
     let s = scenario();
-    let brokered = settle(&s.run(Design::Brokered, CpPolicy::balanced()), &s.world, &s.fleet);
-    let vdx = settle(&s.run(Design::Marketplace, CpPolicy::balanced()), &s.world, &s.fleet);
+    let brokered = settle(
+        &s.run(Design::Brokered, CpPolicy::balanced()),
+        &s.world,
+        &s.fleet,
+    );
+    let vdx = settle(
+        &s.run(Design::Marketplace, CpPolicy::balanced()),
+        &s.world,
+        &s.fleet,
+    );
     let avg_serving_cost = |settled: &vdx::core::Settlement| -> f64 {
         let mut num = 0.0;
         let mut den = 0.0;
@@ -139,13 +159,19 @@ fn section73_tradeoff_dominance() {
     use vdx::sim::metrics::{compute, MetricsInput};
     let s = scenario();
     let brokered = s.run(Design::Brokered, CpPolicy::balanced());
-    let mb = compute(&MetricsInput { scenario: s, outcome: &brokered });
+    let mb = compute(&MetricsInput {
+        scenario: s,
+        outcome: &brokered,
+    });
     // Find any VDX operating point at least 25% cheaper without being
     // farther than Brokered's default point.
     let mut found = false;
     for wc in [1.0, 3.0, 10.0, 17.0, 30.0, 55.0] {
         let out = s.run(Design::Marketplace, CpPolicy { wp: 1.0, wc });
-        let m = compute(&MetricsInput { scenario: s, outcome: &out });
+        let m = compute(&MetricsInput {
+            scenario: s,
+            outcome: &out,
+        });
         if m.cost < 0.75 * mb.cost && m.distance_miles <= mb.distance_miles * 1.15 {
             found = true;
             break;

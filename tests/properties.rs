@@ -2,6 +2,7 @@
 //! invariants, across crate boundaries.
 
 use proptest::prelude::*;
+use vdx::geo::CityId;
 use vdx::geo::GeoPoint;
 use vdx::netsim::Score;
 use vdx::proto::frame;
@@ -11,7 +12,6 @@ use vdx::solver::{
 };
 use vdx::trace::io;
 use vdx::trace::{CdnLabel, SessionId, SessionRecord};
-use vdx::geo::CityId;
 
 proptest! {
     // ---- geo -----------------------------------------------------------
