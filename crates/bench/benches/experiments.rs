@@ -43,5 +43,23 @@ fn bench_experiments(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_experiments);
+/// The fan-out speedup claim: the same table3 run (eight independent
+/// decision rounds) inside 1-thread vs 4-thread rayon pools.
+fn bench_table3_threads(c: &mut Criterion) {
+    let s = scenario();
+    let mut group = c.benchmark_group("table3_threads");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("thread pool");
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| pool.install(|| black_box(table3::run(s))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments, bench_table3_threads);
 criterion_main!(benches);

@@ -6,7 +6,9 @@ use std::hint::black_box;
 use vdx_bench::bench_scenario;
 use vdx_broker::{CpPolicy, OptimizeMode};
 use vdx_cdn::{candidate_clusters, CdnId, MatchingConfig};
-use vdx_core::{run_decision_round, run_decision_round_probed, Design, RoundInputs};
+use vdx_core::{run_decision_round, run_decision_round_probed, Design, RoundId, RoundInputs};
+use vdx_geo::CityId;
+use vdx_netsim::ScoreMatrix;
 use vdx_obs::{MemoryProbe, NoopProbe};
 use vdx_proto::frame;
 use vdx_proto::reliable::{ReliableChannel, ReliableConfig};
@@ -125,7 +127,7 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 Design::Marketplace,
                 &inputs,
                 |x, y| s.score_of(x, y),
-                0,
+                RoundId(0),
                 &NoopProbe,
             ))
         })
@@ -137,11 +139,48 @@ fn bench_probe_overhead(c: &mut Criterion) {
                 Design::Marketplace,
                 &inputs,
                 |x, y| s.score_of(x, y),
-                0,
+                RoundId(0),
                 &memory,
             );
             memory.take();
             black_box(out)
+        })
+    });
+    group.finish();
+}
+
+/// Backs the score-matrix tentpole: the cost of one dense build, then
+/// every (client, cluster site) score via cached lookup vs recomputing
+/// the network model per call — the closure the matrix replaced.
+fn bench_score_matrix(c: &mut Criterion) {
+    let s = scenario();
+    let mut group = c.benchmark_group("score_matrix");
+    let sites: Vec<CityId> = s.fleet.clusters.iter().map(|cl| cl.city).collect();
+    let clients: Vec<CityId> = s.groups.iter().map(|g| g.city).collect();
+    group.bench_function("build", |b| {
+        b.iter(|| black_box(ScoreMatrix::build(&s.net, &s.world, &sites)))
+    });
+    let matrix = ScoreMatrix::build(&s.net, &s.world, &sites);
+    group.bench_function("cached_lookup_all_pairs", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for &client in &clients {
+                for &site in &sites {
+                    sum += matrix.score_of(client, site).value();
+                }
+            }
+            black_box(sum)
+        })
+    });
+    group.bench_function("closure_recompute_all_pairs", |b| {
+        b.iter(|| {
+            let mut sum = 0.0;
+            for &client in &clients {
+                for &site in &sites {
+                    sum += s.net.score(&s.world, client, site).value();
+                }
+            }
+            black_box(sum)
         })
     });
     group.finish();
@@ -206,6 +245,7 @@ criterion_group!(
     bench_matching,
     bench_decision_rounds,
     bench_probe_overhead,
+    bench_score_matrix,
     bench_proto
 );
 criterion_main!(benches);

@@ -19,7 +19,7 @@
 
 use crate::cluster::{CdnId, ClusterId};
 use crate::deploy::Fleet;
-use crate::matching::preferred_cluster;
+use crate::matching::{candidate_clusters_into, Matching, MatchingConfig};
 use vdx_geo::{CityId, World};
 use vdx_netsim::Score;
 
@@ -39,11 +39,25 @@ pub fn plan_capacities(
     score_of: impl Fn(CityId, CityId) -> Score,
 ) -> Vec<f64> {
     let mut attracted = vec![0.0f64; fleet.clusters.len()];
+    // The preferred-cluster rule (cheapest within 2× of the best score),
+    // run cdns × demand-points times through one reused scratch buffer.
+    let preferred = MatchingConfig {
+        score_ratio: 2.0,
+        max_candidates: 1,
+    };
+    let mut scratch: Vec<Matching> = Vec::new();
     for cdn_idx in 0..fleet.cdns.len() {
         let cdn = CdnId(cdn_idx as u32);
         for &(client, kbps) in demand {
-            if let Some(preferred) = preferred_cluster(fleet, cdn, |site| score_of(client, site)) {
-                attracted[preferred.index()] += kbps;
+            candidate_clusters_into(
+                fleet,
+                cdn,
+                |site| score_of(client, site),
+                &preferred,
+                &mut scratch,
+            );
+            if let Some(m) = scratch.first() {
+                attracted[m.cluster.index()] += kbps;
             }
         }
     }

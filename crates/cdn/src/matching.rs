@@ -10,7 +10,7 @@
 //! traditional single-cluster server selection ("Brokered" design), and its
 //! length is the bid count swept in the paper's Fig 18.
 
-use crate::cluster::{CdnId, Cluster, ClusterId};
+use crate::cluster::{CdnId, ClusterId};
 use crate::deploy::Fleet;
 use serde::{Deserialize, Serialize};
 use vdx_geo::CityId;
@@ -58,45 +58,54 @@ pub fn candidate_clusters(
     score_of: impl Fn(CityId) -> Score,
     config: &MatchingConfig,
 ) -> Vec<Matching> {
-    let mut scored: Vec<(&Cluster, Score)> = fleet
-        .clusters_of(cdn)
-        .map(|cl| (cl, score_of(cl.city)))
-        .collect();
-    if scored.is_empty() {
-        return Vec::new();
-    }
-    scored.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.id.cmp(&b.0.id)));
-    let best = scored[0].1;
+    let mut out = Vec::new();
+    candidate_clusters_into(fleet, cdn, score_of, config, &mut out);
+    out
+}
 
-    let mut candidates: Vec<(&Cluster, Score)> = scored
-        .iter()
-        .copied()
-        .filter(|(_, s)| s.value() <= best.value() * config.score_ratio)
-        .collect();
+/// [`candidate_clusters`] into a caller-owned buffer (cleared first), so
+/// hot loops — one call per (group, CDN) pair per decision round — reuse
+/// one allocation instead of building and dropping three vectors per call.
+pub fn candidate_clusters_into(
+    fleet: &Fleet,
+    cdn: CdnId,
+    score_of: impl Fn(CityId) -> Score,
+    config: &MatchingConfig,
+    out: &mut Vec<Matching>,
+) {
+    out.clear();
+    out.extend(fleet.clusters_of(cdn).map(|cl| Matching {
+        cluster: cl.id,
+        score: score_of(cl.city),
+        cost_per_mb: cl.cost_per_mb(),
+        capacity_kbps: cl.capacity_kbps,
+    }));
+    if out.is_empty() {
+        return;
+    }
+    out.sort_unstable_by(|a, b| a.score.total_cmp(&b.score).then(a.cluster.cmp(&b.cluster)));
+    let best = out[0].score;
+
+    // The list is score-ascending, so the within-ratio candidates are
+    // exactly the prefix up to the cutoff.
+    let cutoff = best.value() * config.score_ratio;
+    let mut within = out.partition_point(|m| m.score.value() <= cutoff);
     // "If there is no other cluster with a score within 2× the best, the
     // second best scoring cluster is selected."
-    if candidates.len() == 1 && scored.len() >= 2 {
-        candidates.push(scored[1]);
+    if within == 1 && out.len() >= 2 {
+        within = 2;
     }
+    out.truncate(within);
 
     // Cheapest first; ties broken by score then id for determinism.
-    candidates.sort_by(|a, b| {
-        a.0.cost_per_mb()
-            .partial_cmp(&b.0.cost_per_mb())
+    out.sort_unstable_by(|a, b| {
+        a.cost_per_mb
+            .partial_cmp(&b.cost_per_mb)
             .expect("costs are finite")
-            .then(a.1.total_cmp(&b.1))
-            .then(a.0.id.cmp(&b.0.id))
+            .then(a.score.total_cmp(&b.score))
+            .then(a.cluster.cmp(&b.cluster))
     });
-    candidates.truncate(config.max_candidates.max(1));
-    candidates
-        .into_iter()
-        .map(|(cl, score)| Matching {
-            cluster: cl.id,
-            score,
-            cost_per_mb: cl.cost_per_mb(),
-            capacity_kbps: cl.capacity_kbps,
-        })
-        .collect()
+    out.truncate(config.max_candidates.max(1));
 }
 
 /// The cluster the CDN's matching algorithm *prefers* for this client: the

@@ -27,8 +27,8 @@ use vdx_broker::{
     OptimizeMode,
 };
 use vdx_cdn::{
-    candidate_clusters, median_capacity, total_capacity, CdnId, ClusterId, Contract, Fleet,
-    MatchingConfig,
+    candidate_clusters_into, median_capacity, total_capacity, CdnId, ClusterId, Contract, Fleet,
+    Matching, MatchingConfig,
 };
 use vdx_geo::{CityId, World};
 use vdx_netsim::Score;
@@ -58,6 +58,17 @@ pub struct RoundInputs<'a> {
     /// 1.2 markup everywhere.
     pub margins: Option<&'a [f64]>,
 }
+
+/// Caller-assigned identifier for one Decision Protocol round, journaled
+/// in every round event.
+///
+/// Round ids used to come from a per-scenario atomic counter, which hands
+/// out ids in completion order — nondeterministic the moment rounds run
+/// concurrently. The experiment driver now assigns ids explicitly, so a
+/// journaled `round` field is a pure function of the experiment, not of
+/// the schedule (and serial journals are robust to future reordering).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoundId(pub u64);
 
 /// The result of one Decision Protocol round.
 #[derive(Debug, Clone)]
@@ -101,7 +112,7 @@ pub fn run_decision_round(
     inputs: &RoundInputs<'_>,
     score_of: impl Fn(CityId, CityId) -> Score,
 ) -> RoundOutcome {
-    run_decision_round_probed(design, inputs, score_of, 0, &NoopProbe)
+    run_decision_round_probed(design, inputs, score_of, RoundId(0), &NoopProbe)
 }
 
 /// [`run_decision_round`] with the round's protocol steps reported through
@@ -118,9 +129,10 @@ pub fn run_decision_round_probed(
     design: Design,
     inputs: &RoundInputs<'_>,
     score_of: impl Fn(CityId, CityId) -> Score,
-    round: u64,
+    round: RoundId,
     probe: &dyn Probe,
 ) -> RoundOutcome {
+    let round = round.0;
     // Feed the process-wide latency histogram only on instrumented runs,
     // so unprobed callers keep pure-function semantics.
     let _round_timer = probe
@@ -159,19 +171,23 @@ pub fn run_decision_round_probed(
         .collect();
 
     let mut options: Vec<Vec<GroupOption>> = Vec::with_capacity(inputs.groups.len());
+    // One scratch buffer reused across every (group, CDN) matching call —
+    // this is the round's hottest loop.
+    let mut matchings: Vec<Matching> = Vec::new();
     for group in inputs.groups {
         let mut group_options = Vec::new();
         for cdn in &fleet.cdns {
             // Steps 3–5: Share (implicit — the matchings below are built
             // per group, which for Marketplace-class designs is licensed by
             // the Share step), Matching, Announce.
-            let matchings = candidate_clusters(
+            candidate_clusters_into(
                 fleet,
                 cdn.id,
                 |site| score_of(group.city, site),
                 &matching_config,
+                &mut matchings,
             );
-            for m in matchings {
+            for m in &matchings {
                 let price_per_mb =
                     announced_price(design, inputs, cdn.id, m.cluster, m.cost_per_mb);
                 let believed_capacity_kbps =
@@ -317,6 +333,12 @@ pub fn assign_background(
         .collect();
     let total_w: f64 = weights.iter().sum();
     let mut load = vec![0.0f64; fleet.clusters.len()];
+    // The preferred-cluster rule through one reused scratch buffer.
+    let preferred_config = MatchingConfig {
+        score_ratio: 2.0,
+        max_candidates: 1,
+    };
+    let mut scratch: Vec<Matching> = Vec::new();
     for (i, group) in groups.iter().enumerate() {
         let demand = background_kbps.get(i).copied().unwrap_or(0.0);
         if demand <= 0.0 {
@@ -333,11 +355,16 @@ pub fn assign_background(
                 pick -= w;
             }
             let cdn = CdnId(cdn as u32);
-            if let Some(preferred) =
-                vdx_cdn::preferred_cluster(fleet, cdn, |site| score_of(group.city, site))
-            {
+            candidate_clusters_into(
+                fleet,
+                cdn,
+                |site| score_of(group.city, site),
+                &preferred_config,
+                &mut scratch,
+            );
+            if let Some(m) = scratch.first() {
                 let _ = half;
-                load[preferred.index()] += demand / 2.0;
+                load[m.cluster.index()] += demand / 2.0;
             }
         }
     }
@@ -635,7 +662,7 @@ pub(crate) mod tests {
             Design::Marketplace,
             &inputs,
             |a, b| eco.net.score(&eco.world, a, b),
-            3,
+            RoundId(3),
             &probe,
         );
         let plain = run_decision_round(Design::Marketplace, &inputs, |a, b| {
@@ -706,7 +733,7 @@ pub(crate) mod tests {
             Design::Brokered,
             &inputs,
             |a, b| eco.net.score(&eco.world, a, b),
-            0,
+            RoundId(0),
             &probe,
         );
         assert!(

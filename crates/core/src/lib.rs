@@ -44,7 +44,8 @@ pub mod transactions;
 
 pub use accounting::{settle, CdnLedger, Settlement};
 pub use decision::{
-    assign_background, run_decision_round, run_decision_round_probed, RoundInputs, RoundOutcome,
+    assign_background, run_decision_round, run_decision_round_probed, RoundId, RoundInputs,
+    RoundOutcome,
 };
 pub use design::Design;
 pub use exchange::{CdnAgent, ExchangeBroker, ExchangeConfig};

@@ -18,7 +18,10 @@
 //! * [`regress`] — ordinary least-squares linear regression and the
 //!   score-vs-distance extrapolator the paper uses for missing pairs;
 //! * [`path`] — the [`path::NetModel`] façade that downstream crates use to
-//!   ask "what is the path quality from city A to city B?".
+//!   ask "what is the path quality from city A to city B?";
+//! * [`matrix`] — the [`matrix::ScoreMatrix`] dense city×site table:
+//!   precompute every score once (in parallel under the default-on
+//!   `parallel` feature), answer in O(1) thereafter.
 //!
 //! Determinism: every quantity is a pure function of `(seed, endpoints)`;
 //! there is no global RNG state, so queries can be made in any order and
@@ -30,11 +33,13 @@
 pub mod estimate;
 pub mod latency;
 pub mod loss;
+pub mod matrix;
 pub mod path;
 pub mod regress;
 pub mod score;
 
 pub use estimate::{NoisyMeasurer, ScoreEstimator};
+pub use matrix::ScoreMatrix;
 pub use path::{NetModel, NetModelConfig, PathQuality};
 pub use regress::{LinearFit, ScoreExtrapolator};
 pub use score::{alternatives_within, Score, SIMILARITY_MARGIN};

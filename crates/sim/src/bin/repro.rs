@@ -1,8 +1,9 @@
 //! `repro` — regenerate every table and figure of the paper.
 //!
 //! ```text
-//! repro <experiment> [--small] [--seed N] [--json] [--journal PATH]
+//! repro <experiment> [--small] [--seed N] [--json] [--journal PATH] [--threads N]
 //! repro obs-report <journal.jsonl>
+//! repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]
 //!
 //! experiments: fig3 fig4 fig5 fig7 table1 table3
 //!              fig10 fig11 fig12 fig13 fig14 fig15 (aliases of the
@@ -12,6 +13,13 @@
 //! --json         additionally print machine-readable results
 //! --journal PATH flight-record the run as JSONL events (conventionally
 //!                under results/journals/); analyse with `repro obs-report`
+//! --threads N    size of the round fan-out thread pool (requires the
+//!                default `parallel` feature; results and journals are
+//!                byte-identical for any N)
+//!
+//! `bench-experiments` times table3/fig17/fig18 at 1 thread vs N threads
+//! (default: all cores) and writes the measured speedups as JSON
+//! (default: BENCH_experiments.json).
 //! ```
 
 use std::process::ExitCode;
@@ -26,10 +34,35 @@ use vdx_sim::{obs_report, Scenario, ScenarioConfig};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig3|fig4|fig5|fig7|table1|table3|fig10..fig15|fig16|fig17|fig18|\
-         ext-stability|ext-hybrid|all> [--small] [--seed N] [--json] [--journal PATH]\n\
-         \x20      repro obs-report <journal.jsonl>"
+         ext-stability|ext-hybrid|all> [--small] [--seed N] [--json] [--journal PATH] \
+         [--threads N]\n\
+         \x20      repro obs-report <journal.jsonl>\n\
+         \x20      repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]"
     );
     ExitCode::FAILURE
+}
+
+/// Runs `f` inside a rayon pool of `n` threads, so the experiment
+/// engine's round fan-out uses exactly that many workers. `None` keeps
+/// the ambient (default) pool.
+#[cfg(feature = "parallel")]
+fn with_threads<R: Send>(threads: Option<usize>, f: impl FnOnce() -> R + Send) -> R {
+    match threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .expect("thread pool")
+            .install(f),
+        None => f(),
+    }
+}
+
+/// Without the `parallel` feature everything is serial; `--threads` is
+/// accepted and ignored.
+#[cfg(not(feature = "parallel"))]
+fn with_threads<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
+    let _ = threads;
+    f()
 }
 
 /// Wall-clock start of the run, Unix milliseconds (zeroed by the journal
@@ -64,6 +97,10 @@ fn main() -> ExitCode {
         };
     }
 
+    if which == "bench-experiments" {
+        return bench_experiments(&args);
+    }
+
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
     let seed = args
@@ -76,6 +113,11 @@ fn main() -> ExitCode {
         .position(|a| a == "--journal")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok());
 
     let mut config = if small {
         ScenarioConfig::small()
@@ -138,7 +180,7 @@ fn main() -> ExitCode {
             });
         }
         let phase_clock = Stopwatch::start();
-        let out = match name {
+        let out = with_threads(threads, || match name {
             "fig3" => {
                 let r = fig3::run(&scenario);
                 Some(with_json(fig3::render(&r), &r, json))
@@ -196,7 +238,7 @@ fn main() -> ExitCode {
                 Some(with_json(ext_noise::render(&r), &r, json))
             }
             _ => None,
-        };
+        });
         if let (Some(p), Some(_)) = (&probe, &out) {
             p.emit(Event::PhaseFinished {
                 phase: name.to_string(),
@@ -278,4 +320,116 @@ fn with_json<T: serde::Serialize>(mut text: String, value: &T, json: bool) -> St
         text.push('\n');
     }
     text
+}
+
+/// One experiment's serial-vs-parallel timing.
+#[derive(serde::Serialize)]
+struct BenchEntry {
+    name: String,
+    serial_ms: u64,
+    parallel_ms: u64,
+    speedup: f64,
+}
+
+/// The `bench-experiments` output written to BENCH_experiments.json.
+#[derive(serde::Serialize)]
+struct BenchReport {
+    schema: u32,
+    scale: String,
+    seed: u64,
+    threads: usize,
+    entries: Vec<BenchEntry>,
+}
+
+/// Times the round-parallel experiments at 1 thread vs `--threads` (all
+/// cores by default) over one shared scenario, and writes the speedups as
+/// pretty JSON. Both timings run the identical code path through
+/// differently sized rayon pools, so the comparison isolates the fan-out.
+fn bench_experiments(args: &[String]) -> ExitCode {
+    let small = args.iter().any(|a| a == "--small");
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok());
+    let threads = args
+        .iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_experiments.json".to_string());
+
+    let mut config = if small {
+        ScenarioConfig::small()
+    } else {
+        ScenarioConfig::default()
+    };
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    let seed_value = config.seed;
+    eprintln!(
+        "building scenario: {} cities, {} sessions, seed {} ...",
+        config.world.cities, config.trace.sessions, seed_value
+    );
+    let scenario = Scenario::build(config);
+
+    let experiments: [(&str, fn(&Scenario)); 3] = [
+        ("table3", |s| {
+            let _ = table3::run(s);
+        }),
+        ("fig17", |s| {
+            let _ = fig17::run(s);
+        }),
+        ("fig18", |s| {
+            let _ = fig18::run(s);
+        }),
+    ];
+    let mut entries = Vec::new();
+    for (name, run) in experiments {
+        eprintln!("benchmarking {name}: 1 vs {threads} threads ...");
+        let clock = Stopwatch::start();
+        with_threads(Some(1), || run(&scenario));
+        let serial_ms = clock.elapsed_ms();
+        let clock = Stopwatch::start();
+        with_threads(Some(threads), || run(&scenario));
+        let parallel_ms = clock.elapsed_ms();
+        let speedup = serial_ms as f64 / parallel_ms.max(1) as f64;
+        eprintln!("  {name}: {serial_ms} ms serial, {parallel_ms} ms on {threads} threads ({speedup:.2}x)");
+        entries.push(BenchEntry {
+            name: name.to_string(),
+            serial_ms,
+            parallel_ms,
+            speedup,
+        });
+    }
+    let report = BenchReport {
+        schema: SCHEMA_VERSION,
+        scale: if small { "small" } else { "full" }.to_string(),
+        seed: seed_value,
+        threads,
+        entries,
+    };
+    let mut text = serde_json::to_string_pretty(&report).expect("serializable");
+    text.push('\n');
+    match std::fs::write(&out_path, text) {
+        Ok(()) => {
+            eprintln!("wrote {out_path}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write {out_path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }

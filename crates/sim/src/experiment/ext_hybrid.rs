@@ -16,7 +16,7 @@ use crate::report::render_table;
 use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 use vdx_broker::{optimize, CpPolicy, OptimizeMode};
-use vdx_core::{settle, Design, RoundOutcome};
+use vdx_core::{settle, Design, RoundId, RoundOutcome};
 
 /// One pricing scheme's outcome.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -41,8 +41,8 @@ pub struct HybridResult {
 /// Runs the three pricing schemes over the same scenario.
 pub fn run(scenario: &Scenario) -> HybridResult {
     let policy = CpPolicy::balanced();
-    let flat = scenario.run(Design::Brokered, policy);
-    let dynamic = scenario.run(Design::Marketplace, policy);
+    let flat = scenario.run_round(RoundId(0), Design::Brokered, policy);
+    let dynamic = scenario.run_round(RoundId(1), Design::Marketplace, policy);
     let hybrid = run_hybrid(scenario, policy);
 
     let mk = |name: &str, outcome: &RoundOutcome| -> SchemeOutcome {
@@ -65,7 +65,7 @@ pub fn run(scenario: &Scenario) -> HybridResult {
 
 /// A Marketplace round re-priced with the EC2-style hybrid rule.
 fn run_hybrid(scenario: &Scenario, policy: CpPolicy) -> RoundOutcome {
-    let mut outcome = scenario.run(Design::Marketplace, policy);
+    let mut outcome = scenario.run_round(RoundId(2), Design::Marketplace, policy);
     // Cap each bid's price at the bidding CDN's flat contract price, then
     // let the broker re-optimize against the capped prices.
     for opts in &mut outcome.problem.options {

@@ -10,6 +10,7 @@
 //! measurement error grows, and how much the paper's §3.3 "sharing mapping
 //! information" argument is worth.
 
+use crate::engine::map_indexed;
 use crate::metrics::{compute, DesignMetrics, MetricsInput};
 use crate::report::render_table;
 use crate::scenario::Scenario;
@@ -32,25 +33,23 @@ pub struct NoiseResult {
     pub points: Vec<(f64, DesignMetrics)>,
 }
 
-/// Runs the sweep.
+/// Runs the sweep. Each noise level seeds its own measurer, so the five
+/// points are independent and fan out across threads.
 pub fn run(scenario: &Scenario) -> NoiseResult {
     let sites: Vec<vdx_geo::CityId> = scenario.fleet.clusters.iter().map(|c| c.city).collect();
     let clients: Vec<vdx_geo::CityId> = scenario.groups.iter().map(|g| g.city).collect();
 
-    let points = NOISE_SWEEP
-        .iter()
-        .map(|&noise| {
-            let outcome = run_with_noise(scenario, noise, &clients, &sites);
-            // Metrics are computed against the *true* scores of the chosen
-            // clusters, not the estimates the broker believed.
-            let truthed = re_truth(scenario, outcome);
-            let m = compute(&MetricsInput {
-                scenario,
-                outcome: &truthed,
-            });
-            (noise, m)
-        })
-        .collect();
+    let points = map_indexed(&NOISE_SWEEP, |&noise| {
+        let outcome = run_with_noise(scenario, noise, &clients, &sites);
+        // Metrics are computed against the *true* scores of the chosen
+        // clusters, not the estimates the broker believed.
+        let truthed = re_truth(scenario, outcome);
+        let m = compute(&MetricsInput {
+            scenario,
+            outcome: &truthed,
+        });
+        (noise, m)
+    });
     NoiseResult { points }
 }
 

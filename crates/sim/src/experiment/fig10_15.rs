@@ -12,6 +12,7 @@
 //! * Fig 14 — VDX drains traffic from the most expensive countries.
 //! * Fig 15 — with VDX, CDNs profit even in expensive countries.
 
+use crate::engine::{run_rounds, RoundSpec};
 use crate::report::render_table;
 use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
@@ -34,12 +35,16 @@ pub struct AccountingResult {
     pub country_cost_index: Vec<f64>,
 }
 
-/// Runs Brokered and VDX and settles both.
+/// Runs Brokered and VDX (two independent rounds, fanned out) and settles
+/// both.
 pub fn run(scenario: &Scenario) -> AccountingResult {
-    let brokered_out = scenario.run(Design::Brokered, CpPolicy::balanced());
-    let vdx_out = scenario.run(Design::Marketplace, CpPolicy::balanced());
-    let brokered = settle(&brokered_out, &scenario.world, &scenario.fleet);
-    let vdx = settle(&vdx_out, &scenario.world, &scenario.fleet);
+    let specs = [
+        RoundSpec::new(0, Design::Brokered, CpPolicy::balanced()),
+        RoundSpec::new(1, Design::Marketplace, CpPolicy::balanced()),
+    ];
+    let outcomes = run_rounds(scenario, &specs);
+    let brokered = settle(&outcomes[0], &scenario.world, &scenario.fleet);
+    let vdx = settle(&outcomes[1], &scenario.world, &scenario.fleet);
     // Union of countries appearing in either settlement, sorted by id.
     let mut country_ids: Vec<CountryId> = brokered
         .per_country

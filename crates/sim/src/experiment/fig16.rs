@@ -9,7 +9,7 @@ use crate::report::render_table;
 use crate::scenario::Scenario;
 use serde::{Deserialize, Serialize};
 use vdx_broker::CpPolicy;
-use vdx_core::{settle, Design};
+use vdx_core::{settle, Design, RoundId};
 
 /// Fig 16 results.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -32,12 +32,12 @@ pub struct Fig16Result {
 pub fn run(scenario: &Scenario, n: usize) -> Fig16Result {
     let expanded = scenario.with_city_centric(n);
     let brokered = settle(
-        &expanded.run(Design::Brokered, CpPolicy::balanced()),
+        &expanded.run_round(RoundId(0), Design::Brokered, CpPolicy::balanced()),
         &expanded.world,
         &expanded.fleet,
     );
     let vdx = settle(
-        &expanded.run(Design::Marketplace, CpPolicy::balanced()),
+        &expanded.run_round(RoundId(1), Design::Marketplace, CpPolicy::balanced()),
         &expanded.world,
         &expanded.fleet,
     );

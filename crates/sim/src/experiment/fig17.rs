@@ -6,6 +6,7 @@
 //! distance to Brokered, cut distance ~74 % at equal cost, and at the knee
 //! cut both (~31 % cost, ~40 % distance simultaneously).
 
+use crate::engine::{run_rounds, RoundSpec};
 use crate::metrics::{compute, MetricsInput};
 use crate::report::render_table;
 use crate::scenario::Scenario;
@@ -49,18 +50,30 @@ const DESIGNS: [Design; 7] = [
     Design::Marketplace,
 ];
 
-/// Runs the sweep.
+/// Runs the sweep. All 70 (design, wc) rounds are independent, so the
+/// whole grid fans out through the [`engine`](crate::engine) at once;
+/// curves are reassembled from the order-preserving outcome vector.
 pub fn run(scenario: &Scenario) -> Fig17Result {
+    let specs: Vec<RoundSpec> = DESIGNS
+        .iter()
+        .enumerate()
+        .flat_map(|(d, &design)| {
+            WC_SWEEP.iter().enumerate().map(move |(i, &wc)| {
+                RoundSpec::new(
+                    (d * WC_SWEEP.len() + i) as u64,
+                    design,
+                    CpPolicy { wp: 1.0, wc },
+                )
+            })
+        })
+        .collect();
+    let outcomes = run_rounds(scenario, &specs);
     let mut curves = Vec::new();
-    for design in DESIGNS {
-        let points: Vec<(f64, f64)> = WC_SWEEP
+    for (d, design) in DESIGNS.iter().enumerate() {
+        let points: Vec<(f64, f64)> = outcomes[d * WC_SWEEP.len()..(d + 1) * WC_SWEEP.len()]
             .iter()
-            .map(|&wc| {
-                let outcome = scenario.run(design, CpPolicy { wp: 1.0, wc });
-                let m = compute(&MetricsInput {
-                    scenario,
-                    outcome: &outcome,
-                });
+            .map(|outcome| {
+                let m = compute(&MetricsInput { scenario, outcome });
                 (m.cost, m.distance_miles)
             })
             .collect();

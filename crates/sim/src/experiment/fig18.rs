@@ -6,6 +6,7 @@
 //! returns on score while average cost keeps drifting up (bids are sorted
 //! cheapest-first, so extra bids only add pricier-but-faster options).
 
+use crate::engine::{run_rounds, RoundSpec};
 use crate::metrics::{compute, MetricsInput};
 use crate::report::render_table;
 use crate::scenario::Scenario;
@@ -23,16 +24,22 @@ pub struct Fig18Result {
     pub points: Vec<(usize, f64, f64)>,
 }
 
-/// Runs the sweep over the Marketplace design.
+/// Runs the sweep over the Marketplace design; the eight bid-count rounds
+/// are independent and fan out through the [`engine`](crate::engine).
 pub fn run(scenario: &Scenario) -> Fig18Result {
+    let specs: Vec<RoundSpec> = BID_COUNTS
+        .iter()
+        .enumerate()
+        .map(|(i, &bids)| {
+            RoundSpec::new(i as u64, Design::Marketplace, CpPolicy::balanced()).with_bid_count(bids)
+        })
+        .collect();
+    let outcomes = run_rounds(scenario, &specs);
     let points = BID_COUNTS
         .iter()
-        .map(|&bids| {
-            let outcome = scenario.run_with(Design::Marketplace, CpPolicy::balanced(), Some(bids));
-            let m = compute(&MetricsInput {
-                scenario,
-                outcome: &outcome,
-            });
+        .zip(&outcomes)
+        .map(|(&bids, outcome)| {
+            let m = compute(&MetricsInput { scenario, outcome });
             (bids, m.mean_cost, m.mean_score)
         })
         .collect();

@@ -18,6 +18,7 @@
 //! reproduction target is the ordering and the zero/non-zero congestion
 //! pattern.
 
+use crate::engine::{run_rounds, RoundSpec};
 use crate::metrics::{compute, DesignMetrics, MetricsInput};
 use crate::report::{fmt, render_table};
 use crate::scenario::Scenario;
@@ -32,16 +33,21 @@ pub struct Table3Result {
     pub rows: Vec<(String, DesignMetrics)>,
 }
 
-/// Runs all eight designs.
+/// Runs all eight designs (one independent round each, fanned out by the
+/// [`engine`](crate::engine); row order is the paper's regardless of
+/// schedule).
 pub fn run(scenario: &Scenario) -> Table3Result {
+    let specs: Vec<RoundSpec> = Design::TABLE3
+        .iter()
+        .enumerate()
+        .map(|(i, &design)| RoundSpec::new(i as u64, design, CpPolicy::balanced()))
+        .collect();
+    let outcomes = run_rounds(scenario, &specs);
     let rows = Design::TABLE3
         .iter()
-        .map(|&design| {
-            let outcome = scenario.run(design, CpPolicy::balanced());
-            let metrics = compute(&MetricsInput {
-                scenario,
-                outcome: &outcome,
-            });
+        .zip(&outcomes)
+        .map(|(&design, outcome)| {
+            let metrics = compute(&MetricsInput { scenario, outcome });
             (design.name(), metrics)
         })
         .collect();

@@ -12,6 +12,9 @@
 //!   percentage.
 //! * [`experiment`] — one module per table/figure: `fig3`, `fig4`, `fig5`,
 //!   `fig7`, `table1`, `table3`, `fig10_15`, `fig16`, `fig17`, `fig18`.
+//! * [`engine`] — deterministic fan-out of independent decision rounds
+//!   across threads (`parallel` feature, `repro --threads N`); results
+//!   and journals are byte-identical to a serial run.
 //! * [`replay`] — time-stepped trace replay: periodic Decision Protocol
 //!   rounds over the live session population (the dynamics §5.1 elides).
 //! * [`report`] — plain-text table/series rendering shared by the `repro`
@@ -28,6 +31,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiment;
 pub mod metrics;
 pub mod obs_report;

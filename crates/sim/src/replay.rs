@@ -14,7 +14,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vdx_broker::{gather_groups, CpPolicy, OptimizeMode};
 use vdx_cdn::ClusterId;
-use vdx_core::{run_decision_round_probed, Design, RoundInputs};
+use vdx_core::{run_decision_round_probed, Design, RoundId, RoundInputs};
 use vdx_geo::CityId;
 use vdx_obs::Event;
 
@@ -121,7 +121,7 @@ pub fn replay(scenario: &Scenario, config: &ReplayConfig) -> ReplayResult {
             config.design,
             &inputs,
             |a, b| scenario.score_of(a, b),
-            bin as u64,
+            RoundId(bin as u64),
             probe.as_ref(),
         );
 

@@ -16,7 +16,6 @@
 //! Protocol round via [`Scenario::run`].
 
 use serde::{Deserialize, Serialize};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use vdx_broker::{
     gather::demand_points, gather_groups, synth_background, ClientGroup, CpPolicy, OptimizeMode,
@@ -25,9 +24,11 @@ use vdx_cdn::{
     build_fleet, city_centric_cdns, negotiate_contract, plan_capacities, Contract, Fleet,
     FleetConfig, DEFAULT_MARKUP,
 };
-use vdx_core::{assign_background, run_decision_round_probed, Design, RoundInputs, RoundOutcome};
+use vdx_core::{
+    assign_background, run_decision_round_probed, Design, RoundId, RoundInputs, RoundOutcome,
+};
 use vdx_geo::{CityId, World, WorldConfig};
-use vdx_netsim::{NetModel, NetModelConfig, Score};
+use vdx_netsim::{NetModel, NetModelConfig, Score, ScoreMatrix};
 use vdx_obs::Probe;
 use vdx_trace::{BrokerTrace, BrokerTraceConfig};
 
@@ -109,9 +110,10 @@ pub struct Scenario {
     pub background_load: Vec<f64>,
     /// Observability probe; the default no-op keeps rounds pure.
     probe: Arc<dyn Probe>,
-    /// Monotone round counter so every journaled round has a distinct id
-    /// even though [`Scenario::run`] takes `&self`.
-    rounds: AtomicU64,
+    /// Precomputed (client city × cluster city) scores; every score the
+    /// ecosystem asks for — capacity planning, background placement,
+    /// decision rounds — is an O(1) lookup here.
+    scores: ScoreMatrix,
 }
 
 impl Scenario {
@@ -125,7 +127,11 @@ impl Scenario {
         let demand = demand_points(&groups, &background_kbps);
 
         let mut fleet = build_fleet(&world, &config.fleet, config.seed);
-        plan_capacities(&world, &mut fleet, &demand, |a, b| net.score(&world, a, b));
+        // Precompute every (client, cluster city) score once — capacity
+        // planning alone asks for each pair per CDN, and every decision
+        // round would otherwise recompute the full cross product.
+        let scores = score_matrix(&net, &world, &fleet);
+        plan_capacities(&world, &mut fleet, &demand, |a, b| scores.score_of(a, b));
         let contracts = negotiate_all(&fleet);
         let background_load = assign_background(
             &world,
@@ -133,7 +139,7 @@ impl Scenario {
             &groups,
             &background_kbps,
             config.seed,
-            |a, b| net.score(&world, a, b),
+            |a, b| scores.score_of(a, b),
         );
         Scenario {
             config,
@@ -146,7 +152,7 @@ impl Scenario {
             background_kbps,
             background_load,
             probe: vdx_obs::probe::noop(),
-            rounds: AtomicU64::new(0),
+            scores,
         }
     }
 
@@ -176,8 +182,10 @@ impl Scenario {
             n,
             self.config.seed,
         );
+        // The expanded fleet adds cluster cities; rebuild the table.
+        let scores = score_matrix(&self.net, &self.world, &fleet);
         plan_capacities(&self.world, &mut fleet, &demand, |a, b| {
-            self.net.score(&self.world, a, b)
+            scores.score_of(a, b)
         });
         let contracts = negotiate_all(&fleet);
         let background_load = assign_background(
@@ -186,7 +194,7 @@ impl Scenario {
             &self.groups,
             &self.background_kbps,
             self.config.seed,
-            |a, b| self.net.score(&self.world, a, b),
+            |a, b| scores.score_of(a, b),
         );
         Scenario {
             config: self.config.clone(),
@@ -199,18 +207,26 @@ impl Scenario {
             background_kbps: self.background_kbps.clone(),
             background_load,
             probe: self.probe.clone(),
-            rounds: AtomicU64::new(0),
+            scores,
         }
     }
 
-    /// The ground-truth score between a client city and a site city.
+    /// The ground-truth score between a client city and a site city: an
+    /// O(1) matrix lookup for cluster cities (every pair the Decision
+    /// Protocol asks for), falling back to the network model for pairs
+    /// outside the precomputed table.
     pub fn score_of(&self, client: CityId, site: CityId) -> Score {
-        self.net.score(&self.world, client, site)
+        self.scores
+            .get(client, site)
+            .unwrap_or_else(|| self.net.score(&self.world, client, site))
     }
 
     /// Runs one Decision Protocol round for `design` under `policy`.
+    ///
+    /// Convenience wrapper over [`Scenario::run_round`] with round id 0;
+    /// callers journaling several rounds assign distinct ids instead.
     pub fn run(&self, design: Design, policy: CpPolicy) -> RoundOutcome {
-        self.run_with(design, policy, None)
+        self.run_round(RoundId(0), design, policy)
     }
 
     /// [`Scenario::run`] with a marketplace bid-count override (Fig 18).
@@ -219,6 +235,41 @@ impl Scenario {
         design: Design,
         policy: CpPolicy,
         bid_count: Option<usize>,
+    ) -> RoundOutcome {
+        self.run_round_with(RoundId(0), design, policy, bid_count)
+    }
+
+    /// Runs one Decision Protocol round under a caller-assigned round id.
+    ///
+    /// Rounds are pure functions of `(self, round, design, policy)`, so
+    /// independent rounds may run concurrently — the id (journaled in
+    /// every round event) is assigned by the experiment driver rather
+    /// than a shared counter, keeping journals schedule-independent.
+    pub fn run_round(&self, round: RoundId, design: Design, policy: CpPolicy) -> RoundOutcome {
+        self.run_round_with(round, design, policy, None)
+    }
+
+    /// [`Scenario::run_round`] with a marketplace bid-count override.
+    pub fn run_round_with(
+        &self,
+        round: RoundId,
+        design: Design,
+        policy: CpPolicy,
+        bid_count: Option<usize>,
+    ) -> RoundOutcome {
+        self.run_round_probed(round, design, policy, bid_count, self.probe.as_ref())
+    }
+
+    /// [`Scenario::run_round_with`] reporting to an explicit probe instead
+    /// of the scenario's own — the experiment engine uses this to buffer
+    /// per-round events and emit them in round order.
+    pub fn run_round_probed(
+        &self,
+        round: RoundId,
+        design: Design,
+        policy: CpPolicy,
+        bid_count: Option<usize>,
+        probe: &dyn Probe,
     ) -> RoundOutcome {
         let inputs = RoundInputs {
             world: &self.world,
@@ -231,14 +282,7 @@ impl Scenario {
             bid_count,
             margins: None,
         };
-        let round = self.rounds.fetch_add(1, Ordering::Relaxed);
-        run_decision_round_probed(
-            design,
-            &inputs,
-            |a, b| self.score_of(a, b),
-            round,
-            self.probe.as_ref(),
-        )
+        run_decision_round_probed(design, &inputs, |a, b| self.score_of(a, b), round, probe)
     }
 
     /// Total brokered demand, kbit/s.
@@ -253,6 +297,12 @@ fn negotiate_all(fleet: &Fleet) -> Vec<Contract> {
         .iter()
         .map(|c| negotiate_contract(fleet, c.id, DEFAULT_MARKUP))
         .collect()
+}
+
+/// Builds the dense (every city × cluster city) score table for a fleet.
+fn score_matrix(net: &NetModel, world: &World, fleet: &Fleet) -> ScoreMatrix {
+    let sites: Vec<CityId> = fleet.clusters.iter().map(|c| c.city).collect();
+    ScoreMatrix::build(net, world, &sites)
 }
 
 /// A lazily built, process-wide small scenario for tests — building one
@@ -303,13 +353,13 @@ mod tests {
     }
 
     #[test]
-    fn probed_runs_journal_rounds_without_changing_assignments() {
+    fn probed_runs_journal_caller_assigned_round_ids() {
         use vdx_obs::{Event, MemoryProbe};
         let mut s = Scenario::build(ScenarioConfig::small());
         let plain = s.run(Design::Marketplace, CpPolicy::balanced());
         let probe = Arc::new(MemoryProbe::new());
         s.set_probe(probe.clone());
-        let probed = s.run(Design::Marketplace, CpPolicy::balanced());
+        let probed = s.run_round(RoundId(7), Design::Marketplace, CpPolicy::balanced());
         assert_eq!(plain.assignment.choice, probed.assignment.choice);
         let events = probe.take();
         let started: Vec<u64> = events
@@ -319,13 +369,32 @@ mod tests {
                 _ => None,
             })
             .collect();
-        // The unprobed run already consumed round 0.
-        assert_eq!(started, vec![1]);
-        s.run(Design::Brokered, CpPolicy::balanced());
+        // Journaled under exactly the id the caller assigned.
+        assert_eq!(started, vec![7]);
+        s.run_round(RoundId(2), Design::Brokered, CpPolicy::balanced());
         assert!(probe
             .take()
             .iter()
             .any(|e| matches!(e, Event::RoundStarted { round: 2, .. })));
+    }
+
+    #[test]
+    fn score_matrix_agrees_with_the_net_model_for_every_round_pair() {
+        // Scenario::score_of answers from the precomputed matrix; every
+        // (group city, cluster city) pair a decision round can ask for
+        // must match the ground-truth network model exactly.
+        let s = shared_small();
+        for group in &s.groups {
+            for cl in &s.fleet.clusters {
+                assert_eq!(
+                    s.score_of(group.city, cl.city),
+                    s.net.score(&s.world, group.city, cl.city),
+                    "({:?}, {:?})",
+                    group.city,
+                    cl.city
+                );
+            }
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use vdx_broker::CpPolicy;
-use vdx_core::Design;
+use vdx_core::{Design, RoundId};
 use vdx_obs::{read_journal, Event, Journal, JournalProbe, Probe, Stopwatch, SCHEMA_VERSION};
 use vdx_sim::replay::{replay, ReplayConfig};
 use vdx_sim::{Scenario, ScenarioConfig};
@@ -34,8 +34,8 @@ fn journaled_run(path: &Path) {
     });
     let mut scenario = Scenario::build(ScenarioConfig::small());
     scenario.set_probe(probe.clone());
-    scenario.run(Design::Marketplace, CpPolicy::balanced());
-    scenario.run(Design::Brokered, CpPolicy::balanced());
+    scenario.run_round(RoundId(0), Design::Marketplace, CpPolicy::balanced());
+    scenario.run_round(RoundId(1), Design::Brokered, CpPolicy::balanced());
     replay(
         &scenario,
         &ReplayConfig {
@@ -119,4 +119,48 @@ fn journaled_run_is_valid_and_byte_deterministic() {
 
     std::fs::remove_file(&path_a).ok();
     std::fs::remove_file(&path_b).ok();
+}
+
+/// Journals a full table3 run (eight fanned-out rounds) inside a rayon
+/// pool of `threads` workers.
+#[cfg(feature = "parallel")]
+fn journaled_table3(path: &Path, threads: usize) {
+    let clock = Stopwatch::start();
+    let journal = Journal::create(path).expect("create journal");
+    let probe = Arc::new(JournalProbe::new(journal));
+    let mut scenario = Scenario::build(ScenarioConfig::small());
+    scenario.set_probe(probe.clone());
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("thread pool")
+        .install(|| {
+            vdx_sim::experiment::table3::run(&scenario);
+        });
+    drop(scenario);
+    let journal = Arc::try_unwrap(probe)
+        .expect("probe no longer shared")
+        .into_journal()
+        .expect("no swallowed write errors");
+    journal
+        .finish("table3", clock.elapsed_ms())
+        .expect("finish journal");
+}
+
+#[cfg(feature = "parallel")]
+#[test]
+fn journaled_table3_is_byte_identical_across_thread_counts() {
+    let path_1 = temp_path("t1.jsonl");
+    let path_4 = temp_path("t4.jsonl");
+    journaled_table3(&path_1, 1);
+    journaled_table3(&path_4, 4);
+    let a = canonical_bytes(&path_1);
+    let b = canonical_bytes(&path_4);
+    assert!(!a.is_empty());
+    assert_eq!(
+        a, b,
+        "round buffering must make the journal schedule-independent"
+    );
+    std::fs::remove_file(&path_1).ok();
+    std::fs::remove_file(&path_4).ok();
 }

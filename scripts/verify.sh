@@ -16,4 +16,10 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q --no-default-features -p vdx-sim (serial engine)"
+cargo test -q --no-default-features -p vdx-sim
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run
+
 echo "verify: OK"
