@@ -17,6 +17,9 @@
 //!   at CDN scale, exactly the trade a production broker makes).
 //! * [`qoe`] — a score → QoE mapping (average bitrate, buffering ratio,
 //!   join time, the metrics of §2.1) used for reporting and examples.
+//! * [`stale`] — the stale-bid cache behind the failure model's
+//!   graceful-degradation ladder (DESIGN.md §9): bounded reuse of a CDN's
+//!   last-seen bids when its Announce misses the round deadline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,9 +28,11 @@ pub mod gather;
 pub mod optimize;
 pub mod policy;
 pub mod qoe;
+pub mod stale;
 
 pub use gather::{gather_groups, synth_background, ClientGroup, GroupId};
 pub use optimize::{
     optimize, optimize_probed, BrokerAssignment, BrokerProblem, GroupOption, OptimizeMode,
 };
 pub use policy::CpPolicy;
+pub use stale::StaleBidCache;

@@ -1,0 +1,91 @@
+//! Stale-bid cache: degradation level 1 of the failure model.
+//!
+//! When a CDN's Announce misses the broker's round deadline (DESIGN.md §9),
+//! the broker may substitute the CDN's most recent bids from an earlier
+//! round — prices and capacities a few rounds old are usually still close
+//! to the truth, and serving on slightly stale terms beats excluding the
+//! CDN outright. Reuse is bounded by a TTL measured in rounds: past it the
+//! cached information is considered misleading and the CDN is excluded
+//! instead.
+//!
+//! The cache is generic over the bid payload so this crate stays
+//! independent of `vdx-proto`'s wire types; the exchange instantiates it
+//! with `Vec<vdx_proto::Bid>`.
+
+/// Per-CDN cache of the last bids seen, with a freshness bound.
+#[derive(Debug, Clone)]
+pub struct StaleBidCache<T> {
+    ttl_rounds: u64,
+    slots: Vec<Option<(u64, T)>>,
+}
+
+impl<T> StaleBidCache<T> {
+    /// A cache for `cdns` CDNs whose entries may be reused while they are
+    /// at most `ttl_rounds` rounds old.
+    pub fn new(cdns: usize, ttl_rounds: u64) -> StaleBidCache<T> {
+        StaleBidCache {
+            ttl_rounds,
+            slots: (0..cdns).map(|_| None).collect(),
+        }
+    }
+
+    /// The configured freshness bound, in rounds.
+    pub fn ttl_rounds(&self) -> u64 {
+        self.ttl_rounds
+    }
+
+    /// Records `bids` as CDN `cdn`'s latest, seen in `round`.
+    pub fn store(&mut self, cdn: usize, round: u64, bids: T) {
+        self.slots[cdn] = Some((round, bids));
+    }
+
+    /// CDN `cdn`'s cached bids if they are still within the TTL as of
+    /// `round`, as `(age_in_rounds, bids)`. `None` when nothing was ever
+    /// cached or the entry has aged out.
+    pub fn fetch(&self, cdn: usize, round: u64) -> Option<(u64, &T)> {
+        let (stored_round, bids) = self.slots.get(cdn)?.as_ref()?;
+        let age = round.saturating_sub(*stored_round);
+        (age <= self.ttl_rounds).then_some((age, bids))
+    }
+
+    /// Forgets CDN `cdn`'s entry (e.g. on a known infrastructure failure:
+    /// a down CDN's cached prices must not be reused).
+    pub fn clear(&mut self, cdn: usize) {
+        self.slots[cdn] = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fetch_respects_the_ttl() {
+        let mut cache: StaleBidCache<Vec<u32>> = StaleBidCache::new(2, 2);
+        cache.store(0, 10, vec![1, 2, 3]);
+        assert_eq!(cache.fetch(0, 10), Some((0, &vec![1, 2, 3])));
+        assert_eq!(cache.fetch(0, 11), Some((1, &vec![1, 2, 3])));
+        assert_eq!(cache.fetch(0, 12), Some((2, &vec![1, 2, 3])));
+        assert_eq!(cache.fetch(0, 13), None, "age 3 exceeds ttl 2");
+    }
+
+    #[test]
+    fn empty_slots_and_clear_yield_nothing() {
+        let mut cache: StaleBidCache<Vec<u32>> = StaleBidCache::new(2, 5);
+        assert_eq!(cache.fetch(1, 0), None);
+        assert_eq!(cache.fetch(7, 0), None, "out of range is not a panic");
+        cache.store(1, 3, vec![9]);
+        assert!(cache.fetch(1, 4).is_some());
+        cache.clear(1);
+        assert_eq!(cache.fetch(1, 4), None);
+    }
+
+    #[test]
+    fn store_overwrites_and_refreshes() {
+        let mut cache: StaleBidCache<&'static str> = StaleBidCache::new(1, 1);
+        cache.store(0, 0, "old");
+        assert_eq!(cache.fetch(0, 2), None, "aged out");
+        cache.store(0, 2, "new");
+        assert_eq!(cache.fetch(0, 3), Some((1, &"new")));
+    }
+}

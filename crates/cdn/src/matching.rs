@@ -27,6 +27,24 @@ pub struct MatchingConfig {
     pub max_candidates: usize,
 }
 
+impl MatchingConfig {
+    /// The matching rule `design.max_candidates()` dictates: the paper's
+    /// 2× score cutoff, truncated to at most `max_candidates` bids.
+    pub fn with_max_candidates(mut self, max_candidates: usize) -> MatchingConfig {
+        self.max_candidates = max_candidates;
+        self
+    }
+
+    /// No cutoff and no truncation — every cluster is a candidate. This is
+    /// the Omniscient design's matching (the broker sees everything).
+    pub fn unrestricted() -> MatchingConfig {
+        MatchingConfig {
+            score_ratio: f64::INFINITY,
+            max_candidates: usize::MAX,
+        }
+    }
+}
+
 impl Default for MatchingConfig {
     fn default() -> Self {
         MatchingConfig {
@@ -259,6 +277,22 @@ mod tests {
             best_cluster(&f, CdnId(0), scorer(&[100.0, 150.0, 900.0])),
             Some(ClusterId(0))
         );
+    }
+
+    #[test]
+    fn config_builders_adjust_the_rule() {
+        let narrowed = MatchingConfig::default().with_max_candidates(1);
+        assert_eq!(narrowed.max_candidates, 1);
+        assert_eq!(narrowed.score_ratio, 2.0, "cutoff untouched");
+        let f = fleet(&[(3.0, 1.0), (1.0, 1.0), (2.0, 1.0)]);
+        // Unrestricted keeps even the 250-score cluster default() drops.
+        let all = candidate_clusters(
+            &f,
+            CdnId(0),
+            scorer(&[100.0, 150.0, 250.0]),
+            &MatchingConfig::unrestricted(),
+        );
+        assert_eq!(all.len(), 3);
     }
 
     #[test]

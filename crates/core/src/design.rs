@@ -120,6 +120,16 @@ impl Design {
         self.shares_clients() && self.announces_capacity()
     }
 
+    /// Whether a round of this design consults live per-round information
+    /// from CDNs (dynamic prices and/or capacities) — i.e. whether the
+    /// exchange must actually deliver messages for the round to proceed.
+    /// Flat-information designs (Brokered, Multicluster) decide purely
+    /// from pre-negotiated contract data the broker already holds, so
+    /// they are immune to exchange faults (DESIGN.md §9).
+    pub fn uses_exchange(&self) -> bool {
+        self.announces_cost() || self.announces_capacity()
+    }
+
     /// Cluster-level Optimization (requirement 1, §3.3).
     pub fn cluster_level_optimization(&self) -> bool {
         self.max_candidates() > 1
@@ -206,6 +216,18 @@ mod tests {
             Design::Transactions.traffic_predictability(),
             Provision::Strong
         );
+    }
+
+    #[test]
+    fn flat_information_designs_do_not_need_the_exchange() {
+        assert!(!Design::Brokered.uses_exchange());
+        assert!(!Design::Multicluster(2).uses_exchange());
+        assert!(!Design::Multicluster(100).uses_exchange());
+        assert!(Design::DynamicPricing.uses_exchange());
+        assert!(Design::DynamicMulticluster.uses_exchange());
+        assert!(Design::BestLookup.uses_exchange());
+        assert!(Design::Marketplace.uses_exchange());
+        assert!(Design::Omniscient.uses_exchange());
     }
 
     #[test]

@@ -15,14 +15,15 @@
 use crate::design::Design;
 use std::sync::Arc;
 use vdx_broker::{
-    optimize_probed, BrokerProblem, ClientGroup, CpPolicy, GroupOption, OptimizeMode,
+    optimize_probed, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy, GroupOption,
+    OptimizeMode, StaleBidCache,
 };
 use vdx_cdn::{candidate_clusters, BidPolicy, BidShading, CdnId, ClusterId, Fleet, MatchingConfig};
 use vdx_geo::CityId;
 use vdx_netsim::Score;
 use vdx_obs::{Event as ObsEvent, Probe};
 use vdx_proto::endpoint::{Endpoint, Event, RequestId};
-use vdx_proto::{AcceptEntry, Bid, Link, Message, Share, SimTime};
+use vdx_proto::{AcceptEntry, Bid, ChannelStats, Link, Message, Share, SimTime};
 
 /// A source of client→site performance scores (the Estimate step).
 pub trait ScoreSource {
@@ -39,6 +40,10 @@ impl<F: Fn(CityId, CityId) -> Score> ScoreSource for F {
 /// Exchange configuration shared by broker and agents.
 #[derive(Debug, Clone)]
 pub struct ExchangeConfig {
+    /// The design the live exchange implements: journaled on every round
+    /// and named in fallback events. Agents must be configured to bid by
+    /// the same design via [`CdnAgent::with_design`].
+    pub design: Design,
     /// The CP policy the broker optimizes for.
     pub policy: CpPolicy,
     /// Solver choice.
@@ -50,6 +55,7 @@ pub struct ExchangeConfig {
 impl Default for ExchangeConfig {
     fn default() -> Self {
         ExchangeConfig {
+            design: Design::Marketplace,
             policy: CpPolicy::balanced(),
             mode: OptimizeMode::Heuristic,
             matching: MatchingConfig::default(),
@@ -67,11 +73,20 @@ pub struct CdnAgent {
     /// This CDN's own (non-broker) commitments per cluster, kbit/s; bids
     /// announce residual capacity (gross − committed).
     committed_kbps: Vec<f64>,
+    /// Which Table 2 row the agent bids by (defaults to Marketplace).
+    design: Design,
+    /// Flat contract price announced by designs without dynamic pricing;
+    /// set by [`CdnAgent::with_design`].
+    contract_price_per_mb: Option<f64>,
+    /// Capacity announced by capacity-blind designs (the broker's §5.1
+    /// per-CDN median estimate); set by [`CdnAgent::with_design`].
+    median_capacity_kbps: f64,
 }
 
 impl CdnAgent {
     /// Creates an agent for `cdn`. `committed_kbps` is indexed by global
-    /// cluster id (entries for other CDNs' clusters are ignored).
+    /// cluster id (entries for other CDNs' clusters are ignored). The
+    /// agent bids Marketplace-style; see [`CdnAgent::with_design`].
     pub fn new(
         cdn: CdnId,
         endpoint: Endpoint,
@@ -86,12 +101,41 @@ impl CdnAgent {
             shading: BidShading::new(bid_policy, num_clusters),
             matching,
             committed_kbps,
+            design: Design::Marketplace,
+            contract_price_per_mb: None,
+            median_capacity_kbps: 0.0,
         }
+    }
+
+    /// Configures which design's Table 2 row the agent bids by, mirroring
+    /// the pure decision round's announcement rules:
+    ///
+    /// * designs without dynamic pricing announce `contract_price_per_mb`
+    ///   (the flat negotiated rate) instead of a shaded per-cluster price;
+    /// * capacity-blind designs announce `median_capacity_kbps` — the
+    ///   §5.1 per-CDN median the broker would estimate anyway — instead
+    ///   of gross or residual cluster capacity;
+    /// * Omniscient announces true cost at the default markup.
+    pub fn with_design(
+        mut self,
+        design: Design,
+        contract_price_per_mb: f64,
+        median_capacity_kbps: f64,
+    ) -> CdnAgent {
+        self.design = design;
+        self.contract_price_per_mb = Some(contract_price_per_mb);
+        self.median_capacity_kbps = median_capacity_kbps;
+        self
     }
 
     /// Current learned margin for one of this CDN's clusters.
     pub fn margin(&self, cluster: ClusterId) -> f64 {
         self.shading.margin(cluster)
+    }
+
+    /// Reliable-channel statistics for this agent's link end.
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.endpoint.channel_stats()
     }
 
     /// Advances the agent: answers Shares with Announces, learns from
@@ -147,12 +191,31 @@ impl CdnAgent {
                     .copied()
                     .unwrap_or(0.0);
                 let gross = fleet.clusters[m.cluster.index()].capacity_kbps;
+                // Announcement rules mirror the pure decision round's
+                // `announced_price` / `believed_capacity` exactly, so a
+                // fault-free live round reproduces the pure outcome for
+                // every design, not just Marketplace.
+                let price_per_mb = if self.design == Design::Omniscient {
+                    m.cost_per_mb * vdx_cdn::DEFAULT_MARKUP
+                } else if self.design.announces_cost() {
+                    self.shading.price(m.cluster, m.cost_per_mb)
+                } else {
+                    self.contract_price_per_mb
+                        .unwrap_or_else(|| self.shading.price(m.cluster, m.cost_per_mb))
+                };
+                let capacity_kbps = if !self.design.announces_capacity() {
+                    self.median_capacity_kbps
+                } else if self.design.capacity_is_residual() {
+                    (gross - committed).max(0.0)
+                } else {
+                    gross
+                };
                 bids.push(Bid {
                     cluster_id: m.cluster.0 as u64,
                     share_id: share.share_id,
                     performance_estimate: m.score.value(),
-                    capacity_kbps: (gross - committed).max(0.0),
-                    price_per_mb: self.shading.price(m.cluster, m.cost_per_mb),
+                    capacity_kbps,
+                    price_per_mb,
                 });
             }
         }
@@ -181,10 +244,43 @@ struct PendingRound {
 pub struct LiveRoundResult {
     /// The assembled optimization problem (groups × received options).
     pub problem: BrokerProblem,
-    /// Chosen option index per group.
-    pub choice: Vec<usize>,
-    /// Objective value.
-    pub objective: f64,
+    /// The optimizer's full assignment: per-group choice, objective, and
+    /// per-cluster loads (the inputs metric computation needs).
+    pub assignment: BrokerAssignment,
+}
+
+/// What the deadline ladder of [`ExchangeBroker::finalize_at_deadline`]
+/// did to each CDN of the round (DESIGN.md §9).
+#[derive(Debug, Clone, Default)]
+pub struct DegradationReport {
+    /// CDNs whose Announce arrived before the deadline.
+    pub fresh: Vec<CdnId>,
+    /// CDNs substituted from the stale-bid cache, with the age of each
+    /// substitution in rounds.
+    pub stale: Vec<(CdnId, u64)>,
+    /// CDNs excluded from the round entirely (no fresh Announce, nothing
+    /// usable in the cache).
+    pub excluded: Vec<CdnId>,
+}
+
+impl DegradationReport {
+    /// Whether the round completed on fresh information only.
+    pub fn is_clean(&self) -> bool {
+        self.stale.is_empty() && self.excluded.is_empty()
+    }
+}
+
+/// Outcome of finalizing a round at its deadline.
+#[derive(Debug)]
+pub enum DeadlineOutcome {
+    /// The round completed from the information available at the deadline
+    /// — possibly degraded; inspect the report for stale substitutions
+    /// and exclusions.
+    Completed(LiveRoundResult, DegradationReport),
+    /// Too little arrived to cover every client group: the caller must
+    /// fall back to the Brokered design for this round (flat contracts
+    /// are pre-negotiated, so Brokered needs no exchange traffic).
+    Fallback(DegradationReport),
 }
 
 impl ExchangeBroker {
@@ -354,15 +450,124 @@ impl ExchangeBroker {
             });
         }
         LiveRoundResult {
-            choice: assignment.choice,
-            objective: assignment.objective,
             problem,
+            assignment,
         }
     }
 
     /// Which design the live exchange implements.
     pub fn design(&self) -> Design {
-        Design::Marketplace
+        self.config.design
+    }
+
+    /// Overrides the id the *next* round will be journaled under. Fault
+    /// campaigns use this to align live-round journal events with the
+    /// campaign's own round numbering.
+    pub fn set_next_round_id(&mut self, id: u64) {
+        self.rounds_started = id;
+    }
+
+    /// The CDNs whose Announce has not arrived yet for the round in
+    /// flight. Empty when no round is in flight.
+    pub fn missing_cdns(&self) -> Vec<usize> {
+        match &self.round {
+            None => Vec::new(),
+            Some(round) => round
+                .bids
+                .iter()
+                .enumerate()
+                .filter_map(|(i, b)| b.is_none().then_some(i))
+                .collect(),
+        }
+    }
+
+    /// Reliable-channel statistics for the broker's end of the link to
+    /// CDN `cdn`.
+    pub fn channel_stats(&self, cdn: usize) -> ChannelStats {
+        self.endpoints[cdn].channel_stats()
+    }
+
+    /// Forces the in-flight round to a decision at its deadline, walking
+    /// the degradation ladder of DESIGN.md §9 for every CDN that has not
+    /// answered:
+    ///
+    /// 1. substitute the CDN's cached bids if `cache` holds an entry no
+    ///    older than its TTL as of `campaign_round` — unless the CDN is in
+    ///    `known_failed` (a down CDN's cached prices must not be reused);
+    /// 2. otherwise exclude the CDN from the round (no options from it);
+    /// 3. if after substitution some client group has no option at all,
+    ///    give up on this design for the round and report
+    ///    [`DeadlineOutcome::Fallback`] — the caller runs a Brokered round
+    ///    from contract data instead.
+    ///
+    /// The cache is read-only here: the *driver* owns cache writes, so
+    /// stale substitutions are never re-stored as if they were fresh.
+    ///
+    /// # Panics
+    /// Panics if no round is in flight.
+    pub fn finalize_at_deadline(
+        &mut self,
+        now: SimTime,
+        links: &mut [Link],
+        cache: &StaleBidCache<Vec<Bid>>,
+        campaign_round: u64,
+        known_failed: &[usize],
+    ) -> DeadlineOutcome {
+        let mut round = self.round.take().expect("round in flight");
+        let missing = round.bids.iter().filter(|b| b.is_none()).count() as u64;
+        if missing > 0 && self.probe.enabled() {
+            self.probe.emit(ObsEvent::DeadlineMissed {
+                round: round.id,
+                missing_cdns: missing,
+                deadline_ms: now.0,
+            });
+        }
+        let mut report = DegradationReport::default();
+        for (i, slot) in round.bids.iter_mut().enumerate() {
+            if slot.is_some() {
+                report.fresh.push(CdnId(i as u32));
+                continue;
+            }
+            if !known_failed.contains(&i) {
+                if let Some((age, bids)) = cache.fetch(i, campaign_round) {
+                    if self.probe.enabled() {
+                        self.probe.emit(ObsEvent::StaleBidsReused {
+                            round: round.id,
+                            cdn: i as u32,
+                            age_rounds: age,
+                            bids: bids.len() as u64,
+                        });
+                    }
+                    *slot = Some(bids.clone());
+                    report.stale.push((CdnId(i as u32), age));
+                    continue;
+                }
+            }
+            *slot = Some(Vec::new());
+            report.excluded.push(CdnId(i as u32));
+        }
+        // Coverage check: every client group needs at least one option or
+        // the optimizer has nothing to choose from.
+        let mut covered = vec![false; round.groups.len()];
+        for bids in round.bids.iter().flatten() {
+            for bid in bids {
+                if let Some(c) = covered.get_mut(bid.share_id as usize) {
+                    *c = true;
+                }
+            }
+        }
+        if covered.iter().any(|&c| !c) {
+            if self.probe.enabled() {
+                self.probe.emit(ObsEvent::DesignFallback {
+                    round: round.id,
+                    from: self.design().name(),
+                    to: Design::Brokered.name(),
+                    reason: "insufficient bids at deadline".into(),
+                });
+            }
+            return DeadlineOutcome::Fallback(report);
+        }
+        DeadlineOutcome::Completed(self.finish_round(now, links, round), report)
     }
 }
 
@@ -452,11 +657,11 @@ mod tests {
         let pure = crate::decision::run_decision_round(Design::Marketplace, &inputs, |a, b| {
             eco.net.score(&eco.world, a, b)
         });
-        assert_eq!(live.choice.len(), pure.assignment.choice.len());
+        assert_eq!(live.assignment.choice.len(), pure.assignment.choice.len());
         assert!(
-            (live.objective - pure.assignment.objective).abs() < 1e-6,
+            (live.assignment.objective - pure.assignment.objective).abs() < 1e-6,
             "live {} vs pure {}",
-            live.objective,
+            live.assignment.objective,
             pure.assignment.objective
         );
     }
@@ -473,7 +678,7 @@ mod tests {
         };
         let (mut broker, mut agents, mut links) = make_exchange(&eco, faults);
         let result = drive_round(&eco, &mut broker, &mut agents, &mut links, 0, 120_000);
-        assert_eq!(result.choice.len(), eco.groups.len());
+        assert_eq!(result.assignment.choice.len(), eco.groups.len());
     }
 
     #[test]
@@ -483,7 +688,7 @@ mod tests {
         let result = drive_round(&eco, &mut broker, &mut agents, &mut links, 0, 10_000);
         // Find a cluster that bid but never won.
         let mut won = std::collections::HashSet::new();
-        for (g, &c) in result.choice.iter().enumerate() {
+        for (g, &c) in result.assignment.choice.iter().enumerate() {
             won.insert(result.problem.options[g][c].cluster);
         }
         let mut bid_clusters = std::collections::HashSet::new();
@@ -540,5 +745,180 @@ mod tests {
             events.first(),
             Some(ObsEvent::RoundStarted { round: 1, .. })
         ));
+    }
+
+    fn blackout() -> FaultConfig {
+        FaultConfig {
+            drop_chance: 1.0,
+            corrupt_chance: 0.0,
+            delay_ms: 0,
+            jitter_ms: 0,
+            rate_limit_bytes_per_ms: None,
+        }
+    }
+
+    /// Reconstructs each CDN's announced bids from an assembled problem
+    /// (the inverse of `finish_round`'s cdn-major assembly, preserving the
+    /// original per-CDN bid order).
+    fn bids_by_cdn(problem: &BrokerProblem, cdns: usize) -> Vec<Vec<Bid>> {
+        let mut per_cdn = vec![Vec::new(); cdns];
+        for (g, opts) in problem.options.iter().enumerate() {
+            for o in opts {
+                per_cdn[o.cdn.index()].push(Bid {
+                    cluster_id: o.cluster.0 as u64,
+                    share_id: g as u64,
+                    performance_estimate: o.score.value(),
+                    capacity_kbps: o.believed_capacity_kbps,
+                    price_per_mb: o.price_per_mb,
+                });
+            }
+        }
+        per_cdn
+    }
+
+    #[test]
+    fn deadline_finalize_substitutes_stale_bids_and_respects_known_failures() {
+        let eco = build_eco(23);
+        let n = eco.fleet.cdns.len();
+        // Round 0, lossless: capture what every CDN actually announced.
+        let (mut broker, mut agents, mut links) = make_exchange(&eco, FaultConfig::lossless());
+        let first = drive_round(&eco, &mut broker, &mut agents, &mut links, 0, 10_000);
+        let mut cache: StaleBidCache<Vec<Bid>> = StaleBidCache::new(n, 2);
+        for (cdn, bids) in bids_by_cdn(&first.problem, n).into_iter().enumerate() {
+            cache.store(cdn, 0, bids);
+        }
+
+        // Round 1 over a total blackout: nothing arrives, the whole round
+        // is served from the cache and must reproduce round 0's choice.
+        let (mut broker, mut agents, mut links) = make_exchange(&eco, blackout());
+        broker.start_round(eco.groups.clone());
+        for ms in 0..50 {
+            let now = SimTime(ms);
+            for (i, agent) in agents.iter_mut().enumerate() {
+                agent.poll(now, &mut links[i], &eco.fleet, &|a: CityId, b: CityId| {
+                    eco.net.score(&eco.world, a, b)
+                });
+            }
+            broker.poll(now, &mut links);
+        }
+        assert_eq!(broker.missing_cdns().len(), n, "blackout: nothing arrives");
+        let outcome = broker.finalize_at_deadline(SimTime(50), &mut links, &cache, 1, &[]);
+        let DeadlineOutcome::Completed(result, report) = outcome else {
+            panic!("cached bids cover every group; expected Completed");
+        };
+        assert_eq!(report.stale.len(), n, "every CDN substituted");
+        assert!(report.fresh.is_empty() && report.excluded.is_empty());
+        assert!(!report.is_clean());
+        assert_eq!(
+            result.assignment.choice, first.assignment.choice,
+            "stale bids reproduce the cached round's decision"
+        );
+
+        // Round 2 with CDN 0 known failed: its cache entry must NOT be
+        // reused — the CDN is excluded even though the entry is in TTL.
+        broker.start_round(eco.groups.clone());
+        let outcome = broker.finalize_at_deadline(SimTime(60), &mut links, &cache, 2, &[0]);
+        let report = match outcome {
+            DeadlineOutcome::Completed(_, report) => report,
+            DeadlineOutcome::Fallback(report) => report,
+        };
+        assert!(report.excluded.contains(&CdnId(0)));
+        assert!(!report.stale.iter().any(|(c, _)| *c == CdnId(0)));
+    }
+
+    #[test]
+    fn deadline_finalize_with_nothing_falls_back() {
+        use vdx_obs::MemoryProbe;
+        let eco = build_eco(23);
+        let n = eco.fleet.cdns.len();
+        let (mut broker, _agents, mut links) = make_exchange(&eco, blackout());
+        let probe = Arc::new(MemoryProbe::new());
+        broker.set_probe(probe.clone());
+        broker.start_round(eco.groups.clone());
+        for ms in 0..20 {
+            broker.poll(SimTime(ms), &mut links);
+        }
+        assert_eq!(broker.missing_cdns().len(), n);
+        let cache: StaleBidCache<Vec<Bid>> = StaleBidCache::new(n, 2);
+        let outcome = broker.finalize_at_deadline(SimTime(20), &mut links, &cache, 0, &[]);
+        let DeadlineOutcome::Fallback(report) = outcome else {
+            panic!("an empty cache cannot cover any group");
+        };
+        assert_eq!(report.excluded.len(), n);
+        assert!(report.fresh.is_empty() && report.stale.is_empty());
+        let events = probe.take();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ObsEvent::DeadlineMissed { missing_cdns, .. } if *missing_cdns == n as u64
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            ObsEvent::DesignFallback { to, .. } if to == "Brokered"
+        )));
+    }
+
+    #[test]
+    fn design_aware_agents_match_the_pure_dynamic_pricing_round() {
+        use vdx_cdn::median_capacity;
+        let eco = build_eco(23);
+        let n = eco.fleet.cdns.len();
+        let design = Design::DynamicPricing;
+        let matching = MatchingConfig::default().with_max_candidates(design.max_candidates());
+        let mut links = Vec::new();
+        let mut broker_eps = Vec::new();
+        let mut agents = Vec::new();
+        for i in 0..n {
+            links.push(Link::new(FaultConfig::lossless(), 300 + i as u64));
+            broker_eps.push(Endpoint::new(ReliableChannel::new(
+                LinkEnd::A,
+                ReliableConfig::default(),
+            )));
+            agents.push(
+                CdnAgent::new(
+                    CdnId(i as u32),
+                    Endpoint::new(ReliableChannel::new(LinkEnd::B, ReliableConfig::default())),
+                    BidPolicy::default(),
+                    matching.clone(),
+                    eco.fleet.clusters.len(),
+                    eco.background.clone(),
+                )
+                .with_design(
+                    design,
+                    eco.contracts[i].billed_price_per_mb(),
+                    median_capacity(&eco.fleet, CdnId(i as u32)),
+                ),
+            );
+        }
+        let mut broker = ExchangeBroker::new(
+            broker_eps,
+            ExchangeConfig {
+                design,
+                matching,
+                ..ExchangeConfig::default()
+            },
+        );
+        let live = drive_round(&eco, &mut broker, &mut agents, &mut links, 0, 10_000);
+
+        let inputs = crate::decision::RoundInputs {
+            world: &eco.world,
+            fleet: &eco.fleet,
+            contracts: &eco.contracts,
+            groups: &eco.groups,
+            background_load_kbps: &eco.background,
+            policy: CpPolicy::balanced(),
+            mode: OptimizeMode::Heuristic,
+            bid_count: None,
+            margins: None,
+        };
+        let pure = crate::decision::run_decision_round(design, &inputs, |a, b| {
+            eco.net.score(&eco.world, a, b)
+        });
+        assert_eq!(live.assignment.choice.len(), pure.assignment.choice.len());
+        assert!(
+            (live.assignment.objective - pure.assignment.objective).abs() < 1e-6,
+            "live {} vs pure {}",
+            live.assignment.objective,
+            pure.assignment.objective
+        );
     }
 }

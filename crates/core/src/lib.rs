@@ -31,7 +31,7 @@
 //!   paper call it impractical.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod accounting;
 pub mod decision;
@@ -48,6 +48,8 @@ pub use decision::{
     RoundOutcome,
 };
 pub use design::Design;
-pub use exchange::{CdnAgent, ExchangeBroker, ExchangeConfig};
+pub use exchange::{
+    CdnAgent, DeadlineOutcome, DegradationReport, ExchangeBroker, ExchangeConfig, LiveRoundResult,
+};
 pub use reputation::ReputationSystem;
 pub use transactions::{run_transactions, CommitPolicy, HonestCommit, TransactionOutcome};

@@ -21,7 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Journal schema version; bump when variants or fields change shape.
-pub const SCHEMA_VERSION: u32 = 1;
+pub const SCHEMA_VERSION: u32 = 2;
 
 /// One journaled event. See the module docs for the field taxonomy and
 /// DESIGN.md §7 for one example line per variant.
@@ -137,6 +137,92 @@ pub enum Event {
         /// True capacity, kbit/s.
         capacity_kbps: f64,
     },
+    /// A fault-injection campaign armed this round's fault profile
+    /// (DESIGN.md §9). Emitted once per faulted round, before any
+    /// protocol traffic; clean rounds journal nothing extra.
+    FaultPlanApplied {
+        /// Round id.
+        round: u64,
+        /// Per-packet drop probability on every broker↔CDN link.
+        drop_chance: f64,
+        /// Per-packet corruption probability (CRC-discarded on receive).
+        corrupt_chance: f64,
+        /// Base one-way link delay, simulation ms.
+        delay_ms: u64,
+        /// Deterministic jitter added on top of the base delay, ms.
+        jitter_ms: u64,
+        /// Whether the exchange itself is down for the round.
+        exchange_outage: bool,
+        /// CDNs whose clusters are failed for the round.
+        failed_cdns: u64,
+        /// The broker's round deadline, simulation ms.
+        deadline_ms: u64,
+    },
+    /// An injected CDN failure: every cluster of this CDN is down for the
+    /// round, so it neither bids nor serves.
+    CdnOutage {
+        /// Round id.
+        round: u64,
+        /// The failed CDN.
+        cdn: u32,
+    },
+    /// An injected exchange outage: the marketplace is unreachable for
+    /// the whole round and exchange-dependent designs must fall back.
+    ExchangeOutage {
+        /// Round id.
+        round: u64,
+    },
+    /// The broker's round deadline passed with Announces still missing.
+    DeadlineMissed {
+        /// Round id.
+        round: u64,
+        /// CDNs whose Announce never arrived.
+        missing_cdns: u64,
+        /// The deadline that fired, simulation ms.
+        deadline_ms: u64,
+    },
+    /// Degradation level 2 (DESIGN.md §9): the broker substituted a
+    /// CDN's cached bids from an earlier round (within the stale-bid
+    /// TTL).
+    StaleBidsReused {
+        /// Round id.
+        round: u64,
+        /// The CDN whose cached bids were reused.
+        cdn: u32,
+        /// Age of the cached bids, in rounds.
+        age_rounds: u64,
+        /// Bids substituted.
+        bids: u64,
+    },
+    /// Degradation level 4 (DESIGN.md §9): the round abandoned its
+    /// design and fell back to another (e.g. Marketplace → Brokered on
+    /// an exchange outage).
+    DesignFallback {
+        /// Round id.
+        round: u64,
+        /// The design the round was meant to run under.
+        from: String,
+        /// The design it actually completed under.
+        to: String,
+        /// Why the fallback fired (`exchange outage`, `insufficient bids
+        /// at deadline`, ...).
+        reason: String,
+    },
+    /// End-of-round drop accounting for one broker↔CDN link, with the
+    /// three discard causes kept separate (they used to be conflated).
+    WireDrops {
+        /// Round id.
+        round: u64,
+        /// The CDN on the far end of the link.
+        cdn: u32,
+        /// Packets the faulty link itself dropped (injected loss).
+        link_dropped: u64,
+        /// Frames the receivers discarded as corrupt (CRC mismatch).
+        corrupt_discarded: u64,
+        /// In-sequence frames the Go-Back-N receivers discarded because
+        /// they arrived out of order.
+        out_of_order: u64,
+    },
     /// The reliable channel's Go-Back-N timer fired and resent its window.
     FrameRetransmitted {
         /// Simulation time of the retransmission, ms (deterministic).
@@ -210,6 +296,13 @@ impl Event {
             Event::RoundCompleted { .. } => "round_completed",
             Event::SessionMoved { .. } => "session_moved",
             Event::ClusterCongested { .. } => "cluster_congested",
+            Event::FaultPlanApplied { .. } => "fault_plan_applied",
+            Event::CdnOutage { .. } => "cdn_outage",
+            Event::ExchangeOutage { .. } => "exchange_outage",
+            Event::DeadlineMissed { .. } => "deadline_missed",
+            Event::StaleBidsReused { .. } => "stale_bids_reused",
+            Event::DesignFallback { .. } => "design_fallback",
+            Event::WireDrops { .. } => "wire_drops",
             Event::FrameRetransmitted { .. } => "frame_retransmitted",
             Event::PayloadFragmented { .. } => "payload_fragmented",
             Event::WirePacket { .. } => "wire_packet",
@@ -311,6 +404,42 @@ mod tests {
                 cluster: 9,
                 load_kbps: 2.0e6,
                 capacity_kbps: 1.8e6,
+            },
+            Event::FaultPlanApplied {
+                round: 2,
+                drop_chance: 0.15,
+                corrupt_chance: 0.05,
+                delay_ms: 20,
+                jitter_ms: 10,
+                exchange_outage: false,
+                failed_cdns: 1,
+                deadline_ms: 3_000,
+            },
+            Event::CdnOutage { round: 2, cdn: 0 },
+            Event::ExchangeOutage { round: 3 },
+            Event::DeadlineMissed {
+                round: 2,
+                missing_cdns: 2,
+                deadline_ms: 3_000,
+            },
+            Event::StaleBidsReused {
+                round: 2,
+                cdn: 5,
+                age_rounds: 1,
+                bids: 214,
+            },
+            Event::DesignFallback {
+                round: 3,
+                from: "Marketplace".into(),
+                to: "Brokered".into(),
+                reason: "exchange outage".into(),
+            },
+            Event::WireDrops {
+                round: 2,
+                cdn: 5,
+                link_dropped: 31,
+                corrupt_discarded: 4,
+                out_of_order: 12,
             },
             Event::FrameRetransmitted {
                 at_ms: 230,

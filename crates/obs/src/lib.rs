@@ -28,7 +28,7 @@
 //! latter, so journals are byte-comparable. `vdx-sim` tests enforce this.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod journal;

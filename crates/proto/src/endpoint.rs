@@ -10,7 +10,7 @@
 //! `kind(1: 0=request, 1=response, 2=oneway) | correlation_id(8) | message`.
 
 use crate::message::{Message, WireError};
-use crate::reliable::ReliableChannel;
+use crate::reliable::{ChannelStats, ReliableChannel};
 use crate::{Link, SimTime};
 use bytes::{Buf, BufMut, BytesMut};
 
@@ -39,6 +39,9 @@ const KIND_ONEWAY: u8 = 2;
 pub struct Endpoint {
     channel: ReliableChannel,
     next_id: u64,
+    /// Requests awaiting a response, with their issue times — the
+    /// deadline bookkeeping behind [`Endpoint::overdue`].
+    pending: Vec<(RequestId, SimTime)>,
 }
 
 impl Endpoint {
@@ -47,15 +50,25 @@ impl Endpoint {
         Endpoint {
             channel,
             next_id: 0,
+            pending: Vec::new(),
         }
     }
 
     /// Sends a request; the returned id will appear on the matching
-    /// [`Event::Response`].
+    /// [`Event::Response`]. The request is tracked as issued at time
+    /// zero — use [`Endpoint::request_at`] when the caller runs a
+    /// deadline against a real clock position.
     pub fn request(&mut self, msg: &Message) -> RequestId {
+        self.request_at(msg, SimTime::ZERO)
+    }
+
+    /// Sends a request recording `now` as its issue time, so
+    /// [`Endpoint::overdue`] can report it once it outlives a deadline.
+    pub fn request_at(&mut self, msg: &Message, now: SimTime) -> RequestId {
         let id = RequestId(self.next_id);
         self.next_id += 1;
         self.channel.send(envelope(KIND_REQUEST, id.0, msg));
+        self.pending.push((id, now));
         id
     }
 
@@ -69,14 +82,46 @@ impl Endpoint {
         self.channel.send(envelope(KIND_ONEWAY, 0, msg));
     }
 
-    /// Advances the channel and drains every completed event.
+    /// Advances the channel and drains every completed event. Responses
+    /// clear their request from the pending (deadline) bookkeeping.
     pub fn poll_events(&mut self, now: SimTime, link: &mut Link) -> Vec<Event> {
         self.channel.poll(now, link);
         let mut events = Vec::new();
         while let Some(payload) = self.channel.recv() {
-            events.push(parse_envelope(&payload));
+            let event = parse_envelope(&payload);
+            if let Event::Response(id, _) = &event {
+                let id = *id;
+                self.pending.retain(|(p, _)| *p != id);
+            }
+            events.push(event);
         }
         events
+    }
+
+    /// Ids of tracked requests issued more than `timeout_ms` ago that are
+    /// still unanswered — the broker's per-round deadline check.
+    pub fn overdue(&self, now: SimTime, timeout_ms: u64) -> Vec<RequestId> {
+        self.pending
+            .iter()
+            .filter(|(_, at)| now.since(*at) >= timeout_ms)
+            .map(|(id, _)| *id)
+            .collect()
+    }
+
+    /// Whether a tracked request is still awaiting its response.
+    pub fn is_pending(&self, id: RequestId) -> bool {
+        self.pending.iter().any(|(p, _)| *p == id)
+    }
+
+    /// Statistics of the underlying reliable channel.
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.channel.stats()
+    }
+
+    /// Whether the underlying channel exhausted its bounded retries and
+    /// gave up (see [`crate::ReliableConfig::max_retries`]).
+    pub fn channel_failed(&self) -> bool {
+        self.channel.has_failed()
     }
 
     /// Whether all outbound traffic has been delivered and acknowledged.
@@ -218,6 +263,28 @@ mod tests {
             }
         }
         assert_eq!(got, Some(Event::OneWay(Message::Accept(vec![]))));
+    }
+
+    #[test]
+    fn overdue_tracks_unanswered_requests_until_the_response_lands() {
+        let (mut broker, mut cdn, mut link) = pair(FaultConfig::lossless(), 4);
+        let id = broker.request_at(&share(), SimTime(100));
+        assert!(broker.is_pending(id));
+        assert!(broker.overdue(SimTime(150), 200).is_empty(), "not yet");
+        assert_eq!(broker.overdue(SimTime(300), 200), vec![id]);
+        for ms in 100..300 {
+            let now = SimTime(ms);
+            for e in cdn.poll_events(now, &mut link) {
+                if let Event::Request(id, _) = e {
+                    cdn.respond(id, &announce());
+                }
+            }
+            broker.poll_events(now, &mut link);
+        }
+        assert!(!broker.is_pending(id), "response clears the deadline");
+        assert!(broker.overdue(SimTime(10_000), 200).is_empty());
+        assert_eq!(broker.channel_stats().delivered, 1);
+        assert!(!broker.channel_failed());
     }
 
     #[test]

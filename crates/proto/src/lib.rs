@@ -30,7 +30,7 @@
 //! a deployment.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod endpoint;
 pub mod frame;
@@ -42,7 +42,7 @@ pub mod wirelog;
 pub use frame::{crc32, Frame, FrameDecoder, FrameError, PROTOCOL_VERSION};
 pub use link::{FaultConfig, Link, LinkEnd};
 pub use message::{AcceptEntry, Bid, Message, Share, WireError};
-pub use reliable::{ReliableChannel, ReliableConfig};
+pub use reliable::{ChannelStats, ReliableChannel, ReliableConfig};
 pub use wirelog::WireLog;
 
 /// Milliseconds since an arbitrary epoch. All protocol timers use this.

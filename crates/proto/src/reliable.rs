@@ -41,6 +41,17 @@ pub struct ReliableConfig {
     pub window: usize,
     /// Retransmission timeout, ms.
     pub rto_ms: u64,
+    /// Multiplier applied to the timeout after every retransmission
+    /// (exponential backoff). `1.0` — the default — keeps the timeout
+    /// fixed, reproducing the pre-backoff behaviour exactly. The timeout
+    /// resets to `rto_ms` whenever an ack makes progress.
+    pub backoff: f64,
+    /// Give up after this many consecutive retransmissions without ack
+    /// progress: the channel marks itself [failed] and stops resending.
+    /// `None` — the default — retries forever.
+    ///
+    /// [failed]: ReliableChannel::has_failed
+    pub max_retries: Option<u32>,
 }
 
 impl Default for ReliableConfig {
@@ -48,6 +59,8 @@ impl Default for ReliableConfig {
         ReliableConfig {
             window: 16,
             rto_ms: 200,
+            backoff: 1.0,
+            max_retries: None,
         }
     }
 }
@@ -104,6 +117,11 @@ pub struct ReliableChannel {
     delivered: VecDeque<Vec<u8>>,
     reassembly: Vec<u8>,
     ack_due: bool,
+    // Backoff state: the current (possibly inflated) timeout and how many
+    // times the window has been resent without ack progress.
+    rto_current_ms: u64,
+    retries_without_progress: u32,
+    failed: bool,
     stats: ChannelStats,
     probe: Arc<dyn Probe>,
 }
@@ -111,6 +129,7 @@ pub struct ReliableChannel {
 impl ReliableChannel {
     /// Creates a channel bound to one end of a link.
     pub fn new(end: LinkEnd, config: ReliableConfig) -> ReliableChannel {
+        let rto_current_ms = config.rto_ms;
         ReliableChannel {
             end,
             config,
@@ -122,6 +141,9 @@ impl ReliableChannel {
             delivered: VecDeque::new(),
             reassembly: Vec::new(),
             ack_due: false,
+            rto_current_ms,
+            retries_without_progress: 0,
+            failed: false,
             stats: ChannelStats::default(),
             probe: vdx_obs::probe::noop(),
         }
@@ -176,6 +198,13 @@ impl ReliableChannel {
         self.stats
     }
 
+    /// Whether the sender exhausted [`ReliableConfig::max_retries`]
+    /// consecutive retransmissions without any ack progress and gave up.
+    /// A failed channel keeps receiving but stops (re)transmitting.
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+
     /// Advances the state machine: ingests link packets, delivers in-order
     /// data, sends acks, (re)transmits within the window.
     pub fn poll(&mut self, now: SimTime, link: &mut Link) {
@@ -199,27 +228,48 @@ impl ReliableChannel {
             self.ack_due = false;
         }
 
-        // Retransmit on timeout (entire window — Go-Back-N).
+        // Retransmit on timeout (entire window — Go-Back-N), backing the
+        // timeout off multiplicatively and giving up after the configured
+        // retry budget.
         if let Some(sent_at) = self.oldest_unacked_at {
-            if now.since(sent_at) >= self.config.rto_ms && !self.inflight.is_empty() {
-                let packets: Vec<Vec<u8>> = self
-                    .inflight
-                    .iter()
-                    .map(|(seq, frag)| data_packet(*seq, frag))
-                    .collect();
-                if self.probe.enabled() {
-                    self.probe.emit(Event::FrameRetransmitted {
-                        at_ms: now.0,
-                        frames: packets.len() as u64,
-                    });
+            if now.since(sent_at) >= self.rto_current_ms
+                && !self.inflight.is_empty()
+                && !self.failed
+            {
+                if self
+                    .config
+                    .max_retries
+                    .is_some_and(|max| self.retries_without_progress >= max)
+                {
+                    self.failed = true;
+                } else {
+                    self.retries_without_progress += 1;
+                    self.rto_current_ms = ((self.rto_current_ms as f64) * self.config.backoff)
+                        .round()
+                        .max(1.0) as u64;
+                    let packets: Vec<Vec<u8>> = self
+                        .inflight
+                        .iter()
+                        .map(|(seq, frag)| data_packet(*seq, frag))
+                        .collect();
+                    if self.probe.enabled() {
+                        self.probe.emit(Event::FrameRetransmitted {
+                            at_ms: now.0,
+                            frames: packets.len() as u64,
+                        });
+                    }
+                    for p in packets {
+                        link.send(self.end, now, &p);
+                        self.stats.data_sent += 1;
+                        self.stats.retransmits += 1;
+                    }
+                    self.oldest_unacked_at = Some(now);
                 }
-                for p in packets {
-                    link.send(self.end, now, &p);
-                    self.stats.data_sent += 1;
-                    self.stats.retransmits += 1;
-                }
-                self.oldest_unacked_at = Some(now);
             }
+        }
+
+        if self.failed {
+            return;
         }
 
         // Fill the window with new data.
@@ -272,6 +322,7 @@ impl ReliableChannel {
                     return;
                 }
                 let next_expected = data.get_u64();
+                let mut progressed = false;
                 while self
                     .inflight
                     .front()
@@ -279,6 +330,13 @@ impl ReliableChannel {
                     .unwrap_or(false)
                 {
                     self.inflight.pop_front();
+                    progressed = true;
+                }
+                if progressed {
+                    // Ack progress: restore the base timeout and the full
+                    // retry budget.
+                    self.rto_current_ms = self.config.rto_ms;
+                    self.retries_without_progress = 0;
                 }
                 if self.inflight.is_empty() {
                     self.oldest_unacked_at = None;
@@ -393,6 +451,7 @@ mod tests {
             ReliableConfig {
                 window: 4,
                 rto_ms: 10_000,
+                ..ReliableConfig::default()
             },
         );
         for i in 0..20u32 {
@@ -488,6 +547,90 @@ mod tests {
             a.stats().retransmits,
             "events account for every retransmitted packet"
         );
+    }
+
+    #[test]
+    fn backoff_spaces_retransmissions_out() {
+        // A black-hole link: every retransmission is timer-driven.
+        let blackout = FaultConfig {
+            drop_chance: 1.0,
+            ..FaultConfig::lossless()
+        };
+        let mut link = Link::new(blackout.clone(), 1);
+        let mut fixed = ReliableChannel::new(LinkEnd::A, ReliableConfig::default());
+        fixed.send(b"x".to_vec());
+        let mut link2 = Link::new(blackout, 1);
+        let mut backing_off = ReliableChannel::new(
+            LinkEnd::A,
+            ReliableConfig {
+                backoff: 2.0,
+                ..ReliableConfig::default()
+            },
+        );
+        backing_off.send(b"x".to_vec());
+        for ms in 0..2_000 {
+            fixed.poll(SimTime(ms), &mut link);
+            backing_off.poll(SimTime(ms), &mut link2);
+        }
+        // Fixed rto 200 fires at 200, 400, ... = 9 times in 2 s; doubling
+        // fires at 200, 600, 1400 = 3 times.
+        assert_eq!(fixed.stats().retransmits, 9);
+        assert_eq!(backing_off.stats().retransmits, 3);
+        assert!(!backing_off.has_failed(), "no retry bound configured");
+    }
+
+    #[test]
+    fn bounded_retries_give_up_cleanly() {
+        let mut link = Link::new(
+            FaultConfig {
+                drop_chance: 1.0,
+                ..FaultConfig::lossless()
+            },
+            1,
+        );
+        let mut a = ReliableChannel::new(
+            LinkEnd::A,
+            ReliableConfig {
+                max_retries: Some(3),
+                ..ReliableConfig::default()
+            },
+        );
+        a.send(b"doomed".to_vec());
+        for ms in 0..10_000 {
+            a.poll(SimTime(ms), &mut link);
+        }
+        assert!(a.has_failed());
+        // Initial transmission + exactly the retry budget, then silence.
+        assert_eq!(a.stats().retransmits, 3);
+        assert_eq!(a.stats().data_sent, 4);
+        assert!(!a.is_idle(), "the payload was never acknowledged");
+    }
+
+    #[test]
+    fn ack_progress_restores_the_retry_budget() {
+        // Lossless but slow link: the first window times out once before
+        // its acks arrive, then delivery proceeds and the budget resets.
+        let mut link = Link::new(
+            FaultConfig {
+                delay_ms: 300,
+                ..FaultConfig::lossless()
+            },
+            1,
+        );
+        let mut a = ReliableChannel::new(
+            LinkEnd::A,
+            ReliableConfig {
+                max_retries: Some(2),
+                ..ReliableConfig::default()
+            },
+        );
+        let mut b = ReliableChannel::new(LinkEnd::B, ReliableConfig::default());
+        for i in 0..40u32 {
+            a.send(i.to_be_bytes().to_vec());
+        }
+        let (_, got_b) = drive(&mut a, &mut b, &mut link, 0, 20_000);
+        assert_eq!(got_b.len(), 40, "slow acks must not trip the retry cap");
+        assert!(!a.has_failed());
     }
 
     #[test]

@@ -30,17 +30,17 @@ pub struct CapturedPacket {
 pub struct WireLog {
     packets: Vec<CapturedPacket>,
     capacity: usize,
-    dropped: u64,
+    evicted: u64,
 }
 
 impl WireLog {
     /// Creates a log keeping at most `capacity` packets (older packets are
-    /// discarded first; the count of discards is retained).
+    /// evicted first; the count of evictions is retained).
     pub fn with_capacity(capacity: usize) -> WireLog {
         WireLog {
             packets: Vec::new(),
             capacity: capacity.max(1),
-            dropped: 0,
+            evicted: 0,
         }
     }
 
@@ -48,7 +48,7 @@ impl WireLog {
     pub fn capture(&mut self, at: SimTime, from: LinkEnd, bytes: &[u8]) {
         if self.packets.len() == self.capacity {
             self.packets.remove(0);
-            self.dropped += 1;
+            self.evicted += 1;
         }
         self.packets.push(CapturedPacket {
             at,
@@ -62,9 +62,15 @@ impl WireLog {
         &self.packets
     }
 
-    /// Packets discarded due to the capacity bound.
-    pub fn discarded(&self) -> u64 {
-        self.dropped
+    /// Packets the *capture buffer* evicted to stay within its capacity
+    /// bound. This is bookkeeping about the log itself — packets not
+    /// retained for display — and deliberately not called "dropped" or
+    /// "discarded": wire losses injected by the link are
+    /// `LinkStats::dropped`, and frames the Go-Back-N receiver throws away
+    /// are `ChannelStats::{discarded, out_of_order}`. The three causes are
+    /// journaled separately by `Event::WireDrops`.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
     }
 
     /// Renders the whole capture as text: one header line per packet with
@@ -72,10 +78,10 @@ impl WireLog {
     /// the first `max_dump` bytes.
     pub fn render(&self, max_dump: usize) -> String {
         let mut out = String::new();
-        if self.dropped > 0 {
+        if self.evicted > 0 {
             out.push_str(&format!(
-                "... {} earlier packets discarded ...\n",
-                self.dropped
+                "... {} earlier packets evicted from the capture buffer ...\n",
+                self.evicted
             ));
         }
         for p in &self.packets {
@@ -229,15 +235,17 @@ mod tests {
     }
 
     #[test]
-    fn capacity_bound_discards_oldest() {
+    fn capacity_bound_evicts_oldest() {
         let mut log = WireLog::with_capacity(2);
         for i in 0..5u64 {
             log.capture(SimTime(i), LinkEnd::A, &[i as u8]);
         }
         assert_eq!(log.packets().len(), 2);
-        assert_eq!(log.discarded(), 3);
+        assert_eq!(log.evicted(), 3);
         assert_eq!(log.packets()[0].at, SimTime(3));
-        assert!(log.render(4).contains("3 earlier packets discarded"));
+        assert!(log
+            .render(4)
+            .contains("3 earlier packets evicted from the capture buffer"));
     }
 
     #[test]

@@ -7,7 +7,8 @@
 //!
 //! experiments: fig3 fig4 fig5 fig7 table1 table3
 //!              fig10 fig11 fig12 fig13 fig14 fig15 (aliases of the
-//!              combined accounting run) fig16 fig17 fig18 all
+//!              combined accounting run) fig16 fig17 fig18
+//!              ext-stability ext-hybrid ext-noise faults all
 //! --small        reduced-scale scenario (fast; used by CI)
 //! --seed N       override the master seed (default 2017)
 //! --json         additionally print machine-readable results
@@ -26,16 +27,16 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use vdx_obs::{Event, Journal, JournalProbe, Probe, Stopwatch, SCHEMA_VERSION};
 use vdx_sim::experiment::{
-    ext_hybrid, ext_noise, ext_stability, fig10_15, fig16, fig17, fig18, fig3, fig4, fig5, fig7,
-    table1, table3,
+    ext_faults, ext_hybrid, ext_noise, ext_stability, fig10_15, fig16, fig17, fig18, fig3, fig4,
+    fig5, fig7, table1, table3,
 };
 use vdx_sim::{obs_report, Scenario, ScenarioConfig};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig3|fig4|fig5|fig7|table1|table3|fig10..fig15|fig16|fig17|fig18|\
-         ext-stability|ext-hybrid|all> [--small] [--seed N] [--json] [--journal PATH] \
-         [--threads N]\n\
+         ext-stability|ext-hybrid|ext-noise|faults|all> [--small] [--seed N] [--json] \
+         [--journal PATH] [--threads N]\n\
          \x20      repro obs-report <journal.jsonl>\n\
          \x20      repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]"
     );
@@ -237,6 +238,10 @@ fn main() -> ExitCode {
                 let r = ext_noise::run(&scenario);
                 Some(with_json(ext_noise::render(&r), &r, json))
             }
+            "faults" | "ext-faults" => {
+                let r = ext_faults::run(&scenario);
+                Some(with_json(ext_faults::render(&r), &r, json))
+            }
             _ => None,
         });
         if let (Some(p), Some(_)) = (&probe, &out) {
@@ -263,6 +268,7 @@ fn main() -> ExitCode {
             "ext-stability",
             "ext-hybrid",
             "ext-noise",
+            "ext-faults",
         ] {
             eprintln!("running {name} ...");
             let out = run_one(name).expect("known experiment");

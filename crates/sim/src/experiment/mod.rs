@@ -20,7 +20,9 @@
 //! | §6.3 predictability dynamics (extension) | [`ext_stability`] |
 //! | §8 hybrid pricing (extension) | [`ext_hybrid`] |
 //! | measurement-noise sensitivity (extension) | [`ext_noise`] |
+//! | fault campaigns / graceful degradation (extension) | [`ext_faults`] |
 
+pub mod ext_faults;
 pub mod ext_hybrid;
 pub mod ext_noise;
 pub mod ext_stability;

@@ -15,6 +15,9 @@
 //! * [`engine`] — deterministic fan-out of independent decision rounds
 //!   across threads (`parallel` feature, `repro --threads N`); results
 //!   and journals are byte-identical to a serial run.
+//! * [`faults`] — fault-injection campaigns (DESIGN.md §9): rounds run
+//!   over lossy `vdx-proto` links with a deadline, stale-bid reuse, and
+//!   Brokered fallback; clean rounds take the pure fast path.
 //! * [`replay`] — time-stepped trace replay: periodic Decision Protocol
 //!   rounds over the live session population (the dynamics §5.1 elides).
 //! * [`report`] — plain-text table/series rendering shared by the `repro`
@@ -33,6 +36,7 @@
 
 pub mod engine;
 pub mod experiment;
+pub mod faults;
 pub mod metrics;
 pub mod obs_report;
 pub mod replay;

@@ -130,13 +130,18 @@ pub fn report(events: &[Event]) -> String {
         out.push('\n');
     }
 
-    // Wire health: retransmissions, fragmentation, captured packets.
+    // Wire health: retransmissions, fragmentation, captured packets, and
+    // the three distinct drop causes (injected link loss, CRC-discarded
+    // corruption, Go-Back-N out-of-order discards — see `Event::WireDrops`).
     let mut retransmit_events = 0u64;
     let mut retransmit_frames = 0u64;
     let mut fragmented_payloads = 0u64;
     let mut fragmented_bytes = 0u64;
     let mut wire_packets = 0u64;
     let mut wire_bytes = 0u64;
+    let mut link_dropped = 0u64;
+    let mut corrupt_discarded = 0u64;
+    let mut out_of_order = 0u64;
     for e in events {
         match e {
             Event::FrameRetransmitted { frames, .. } => {
@@ -151,11 +156,22 @@ pub fn report(events: &[Event]) -> String {
                 wire_packets += 1;
                 wire_bytes += bytes;
             }
+            Event::WireDrops {
+                link_dropped: l,
+                corrupt_discarded: c,
+                out_of_order: o,
+                ..
+            } => {
+                link_dropped += l;
+                corrupt_discarded += c;
+                out_of_order += o;
+            }
             _ => {}
         }
     }
-    if retransmit_events + fragmented_payloads + wire_packets > 0 {
-        let wire_rows = vec![
+    let drops_total = link_dropped + corrupt_discarded + out_of_order;
+    if retransmit_events + fragmented_payloads + wire_packets + drops_total > 0 {
+        let mut wire_rows = vec![
             vec![
                 "retransmit timeouts".to_string(),
                 retransmit_events.to_string(),
@@ -172,7 +188,54 @@ pub fn report(events: &[Event]) -> String {
             vec!["captured packets".to_string(), wire_packets.to_string()],
             vec!["captured bytes".to_string(), wire_bytes.to_string()],
         ];
+        if drops_total > 0 {
+            wire_rows.push(vec![
+                "link fault drops".to_string(),
+                link_dropped.to_string(),
+            ]);
+            wire_rows.push(vec![
+                "crc-discarded frames".to_string(),
+                corrupt_discarded.to_string(),
+            ]);
+            wire_rows.push(vec![
+                "out-of-order discards".to_string(),
+                out_of_order.to_string(),
+            ]);
+        }
         out.push_str(&render_table("Wire", &["metric", "value"], &wire_rows));
+        out.push('\n');
+    }
+
+    // Fault campaigns: injected faults and the degradation ladder's moves.
+    let mut fault_rounds = 0u64;
+    let mut cdn_outages = 0u64;
+    let mut exchange_outages = 0u64;
+    let mut deadlines_missed = 0u64;
+    let mut stale_reuses = 0u64;
+    let mut fallbacks = 0u64;
+    for e in events {
+        match e {
+            Event::FaultPlanApplied { .. } => fault_rounds += 1,
+            Event::CdnOutage { .. } => cdn_outages += 1,
+            Event::ExchangeOutage { .. } => exchange_outages += 1,
+            Event::DeadlineMissed { .. } => deadlines_missed += 1,
+            Event::StaleBidsReused { .. } => stale_reuses += 1,
+            Event::DesignFallback { .. } => fallbacks += 1,
+            _ => {}
+        }
+    }
+    if fault_rounds + cdn_outages + exchange_outages + deadlines_missed + stale_reuses + fallbacks
+        > 0
+    {
+        let fault_rows = vec![
+            vec!["faulted rounds".to_string(), fault_rounds.to_string()],
+            vec!["cdn outages".to_string(), cdn_outages.to_string()],
+            vec!["exchange outages".to_string(), exchange_outages.to_string()],
+            vec!["deadlines missed".to_string(), deadlines_missed.to_string()],
+            vec!["stale-bid reuses".to_string(), stale_reuses.to_string()],
+            vec!["design fallbacks".to_string(), fallbacks.to_string()],
+        ];
+        out.push_str(&render_table("Faults", &["metric", "value"], &fault_rows));
         out.push('\n');
     }
 
@@ -300,6 +363,41 @@ mod tests {
                 at_ms: 230,
                 frames: 5,
             },
+            Event::FaultPlanApplied {
+                round: 0,
+                drop_chance: 0.15,
+                corrupt_chance: 0.05,
+                delay_ms: 20,
+                jitter_ms: 10,
+                exchange_outage: false,
+                failed_cdns: 1,
+                deadline_ms: 3_000,
+            },
+            Event::CdnOutage { round: 0, cdn: 2 },
+            Event::DeadlineMissed {
+                round: 0,
+                missing_cdns: 2,
+                deadline_ms: 3_000,
+            },
+            Event::StaleBidsReused {
+                round: 0,
+                cdn: 1,
+                age_rounds: 1,
+                bids: 44,
+            },
+            Event::DesignFallback {
+                round: 0,
+                from: "Marketplace".into(),
+                to: "Brokered".into(),
+                reason: "insufficient bids at deadline".into(),
+            },
+            Event::WireDrops {
+                round: 0,
+                cdn: 1,
+                link_dropped: 31,
+                corrupt_discarded: 4,
+                out_of_order: 12,
+            },
             Event::PayloadFragmented {
                 fragments: 7,
                 bytes: 200_000,
@@ -351,6 +449,12 @@ mod tests {
         assert!(text.contains("heuristic x1"), "{text}");
         assert!(text.contains("== Wire =="), "{text}");
         assert!(text.contains("frames retransmitted"), "{text}");
+        assert!(text.contains("link fault drops"), "{text}");
+        assert!(text.contains("crc-discarded frames"), "{text}");
+        assert!(text.contains("out-of-order discards"), "{text}");
+        assert!(text.contains("== Faults =="), "{text}");
+        assert!(text.contains("stale-bid reuses"), "{text}");
+        assert!(text.contains("design fallbacks"), "{text}");
         assert!(text.contains("== Load & churn =="), "{text}");
         assert!(text.contains("0.2500"), "moved fraction 2/8: {text}");
         assert!(text.contains("== Timings"), "{text}");
@@ -383,6 +487,7 @@ mod tests {
         ];
         let text = report(&events);
         assert!(!text.contains("== Wire =="), "{text}");
+        assert!(!text.contains("== Faults =="), "{text}");
         assert!(!text.contains("== Timings"), "{text}");
         assert!(!text.contains("== Phases =="), "{text}");
     }
