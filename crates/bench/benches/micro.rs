@@ -43,13 +43,17 @@ fn bench_solver(c: &mut Criterion) {
 
     // A GAP instance like one broker round: 300 clients x 20 buckets.
     let gap = {
-        let mut p = AssignmentProblem::new((0..20).map(|b| 50.0 + b as f64).collect());
+        let mut p = AssignmentProblem::new(
+            (0..20)
+                .map(|b| vdx_core::units::Kbps::new(50.0 + b as f64))
+                .collect(),
+        );
         for i in 0..300 {
             let options: Vec<CandidateOption> = (0..8)
                 .map(|k| CandidateOption {
                     bucket: (i * 3 + k * 5) % 20,
                     value: ((i + k * 11) % 29) as f64,
-                    load: 1.0 + ((i + k) % 4) as f64,
+                    load: vdx_core::units::Kbps::new(1.0 + ((i + k) % 4) as f64),
                 })
                 .collect();
             p.add_client(options);

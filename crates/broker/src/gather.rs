@@ -20,6 +20,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vdx_geo::{CityId, World};
 use vdx_trace::SessionRecord;
+use vdx_units::Kbps;
 
 /// Identifier of a client group within one Decision Protocol round. This is
 /// the `share_id` of the paper's Share message.
@@ -43,8 +44,8 @@ pub struct ClientGroup {
     pub city: CityId,
     /// The group's bitrate rung, kbit/s.
     pub bitrate_kbps: u32,
-    /// Aggregate steady-state demand in kbit/s (sessions × bitrate).
-    pub demand_kbps: f64,
+    /// Aggregate steady-state demand (sessions × bitrate).
+    pub demand_kbps: Kbps,
     /// Number of client sessions aggregated.
     pub sessions: u32,
 }
@@ -63,7 +64,7 @@ pub fn gather_groups(sessions: &[SessionRecord]) -> Vec<ClientGroup> {
             id: GroupId(i as u32),
             city,
             bitrate_kbps,
-            demand_kbps: bitrate_kbps as f64 * count as f64,
+            demand_kbps: Kbps::new(bitrate_kbps as f64 * count as f64),
             sessions: count,
         })
         .collect()
@@ -72,33 +73,33 @@ pub fn gather_groups(sessions: &[SessionRecord]) -> Vec<ClientGroup> {
 /// Synthesizes background (non-broker) demand: `multiple ×` the brokered
 /// demand, spread over the same cities proportionally to their brokered
 /// demand with ±25 % deterministic noise. Returns per-city background
-/// kbit/s aligned with `groups`.
-pub fn synth_background(groups: &[ClientGroup], multiple: f64, seed: u64) -> Vec<f64> {
+/// rates aligned with `groups`.
+pub fn synth_background(groups: &[ClientGroup], multiple: f64, seed: u64) -> Vec<Kbps> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xBAC6_0000);
     groups
         .iter()
         .map(|g| {
             let noise = 1.0 + rng.gen_range(-0.25..0.25);
-            (g.demand_kbps * multiple * noise).max(0.0)
+            Kbps::new((g.demand_kbps.as_f64() * multiple * noise).max(0.0))
         })
         .collect()
 }
 
-/// Total demand across groups in kbit/s.
-pub fn total_demand_kbps(groups: &[ClientGroup]) -> f64 {
+/// Total demand across groups.
+pub fn total_demand_kbps(groups: &[ClientGroup]) -> Kbps {
     groups.iter().map(|g| g.demand_kbps).sum()
 }
 
-/// Demand points `(city, kbps)` for capacity planning / contracts, with
+/// Demand points `(city, rate)` for capacity planning / contracts, with
 /// background folded in (`background[i]` aligned with `groups[i]`).
-pub fn demand_points(groups: &[ClientGroup], background: &[f64]) -> Vec<(CityId, f64)> {
+pub fn demand_points(groups: &[ClientGroup], background: &[Kbps]) -> Vec<(CityId, Kbps)> {
     groups
         .iter()
         .enumerate()
         .map(|(i, g)| {
             (
                 g.city,
-                g.demand_kbps + background.get(i).copied().unwrap_or(0.0),
+                g.demand_kbps + background.get(i).copied().unwrap_or(Kbps::ZERO),
             )
         })
         .collect()
@@ -115,7 +116,7 @@ pub fn uniform_groups(world: &World, kbps: f64) -> Vec<ClientGroup> {
             id: GroupId(i as u32),
             city: c.id,
             bitrate_kbps: kbps as u32,
-            demand_kbps: kbps,
+            demand_kbps: Kbps::new(kbps),
             sessions: 1,
         })
         .collect()
@@ -140,7 +141,7 @@ mod tests {
         let groups = gather_groups(&sessions);
         let total_sessions: u32 = groups.iter().map(|g| g.sessions).sum();
         assert_eq!(total_sessions as usize, sessions.len());
-        let total_kbps: f64 = groups.iter().map(|g| g.demand_kbps).sum();
+        let total_kbps: f64 = groups.iter().map(|g| g.demand_kbps.as_f64()).sum();
         let expect: f64 = sessions.iter().map(|s| s.bitrate_kbps as f64).sum();
         assert!((total_kbps - expect).abs() < 1e-6);
     }
@@ -150,7 +151,10 @@ mod tests {
         let groups = gather_groups(&sessions());
         for (i, g) in groups.iter().enumerate() {
             assert_eq!(g.id.index(), i);
-            assert_eq!(g.demand_kbps, g.bitrate_kbps as f64 * g.sessions as f64);
+            assert_eq!(
+                g.demand_kbps,
+                Kbps::new(g.bitrate_kbps as f64 * g.sessions as f64)
+            );
         }
         let mut keys: Vec<(CityId, u32)> =
             groups.iter().map(|g| (g.city, g.bitrate_kbps)).collect();
@@ -164,13 +168,13 @@ mod tests {
         let groups = gather_groups(&sessions());
         let bg = synth_background(&groups, 3.0, 7);
         assert_eq!(bg.len(), groups.len());
-        let total_bg: f64 = bg.iter().sum();
-        let total_fg = total_demand_kbps(&groups);
+        let total_bg: f64 = bg.iter().map(|b| b.as_f64()).sum();
+        let total_fg = total_demand_kbps(&groups).as_f64();
         let ratio = total_bg / total_fg;
         assert!((2.5..3.5).contains(&ratio), "ratio {ratio}");
         // Per-city noise stays within the documented band.
         for (g, b) in groups.iter().zip(&bg) {
-            let r = b / g.demand_kbps;
+            let r = b.as_f64() / g.demand_kbps.as_f64();
             assert!((2.2..3.8).contains(&r), "per-city ratio {r}");
         }
     }
@@ -194,7 +198,7 @@ mod tests {
         let bg = synth_background(&groups, 3.0, 7);
         let pts = demand_points(&groups, &bg);
         assert_eq!(pts.len(), groups.len());
-        assert!((pts[0].1 - (groups[0].demand_kbps + bg[0])).abs() < 1e-9);
+        assert!((pts[0].1 - (groups[0].demand_kbps + bg[0])).as_f64().abs() < 1e-9);
     }
 
     #[test]

@@ -21,6 +21,7 @@ use vdx_cdn::{CdnId, ClusterId};
 use vdx_netsim::Score;
 use vdx_obs::{Event, Probe};
 use vdx_solver::{AssignmentProblem, CandidateOption, MilpConfig, SolveStats};
+use vdx_units::{Kbps, UsdPerGb};
 
 /// One candidate (from one CDN's Announce) for one client group.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -31,11 +32,11 @@ pub struct GroupOption {
     pub cluster: ClusterId,
     /// Announced performance score (lower is better).
     pub score: Score,
-    /// Announced price per megabit (contract price in flat-rate designs,
-    /// bid price in dynamic ones).
-    pub price_per_mb: f64,
-    /// The capacity the broker believes this cluster has, in kbit/s.
-    pub believed_capacity_kbps: f64,
+    /// Announced unit price (contract price in flat-rate designs, bid
+    /// price in dynamic ones).
+    pub price_per_mb: UsdPerGb,
+    /// The capacity the broker believes this cluster has.
+    pub believed_capacity_kbps: Kbps,
 }
 
 /// The broker's optimization input for one Decision Protocol round.
@@ -64,8 +65,8 @@ pub struct BrokerAssignment {
     pub choice: Vec<usize>,
     /// Objective value achieved (Fig 9 units).
     pub objective: f64,
-    /// Load placed on each distinct cluster, kbit/s.
-    pub cluster_load_kbps: HashMap<ClusterId, f64>,
+    /// Load placed on each distinct cluster.
+    pub cluster_load_kbps: HashMap<ClusterId, Kbps>,
 }
 
 impl BrokerAssignment {
@@ -118,7 +119,7 @@ pub fn optimize_probed(
     // cluster must be consistent across options; the first mention wins and
     // disagreements are clamped to the minimum announced (conservative).
     let mut bucket_of: HashMap<ClusterId, usize> = HashMap::new();
-    let mut capacities: Vec<f64> = Vec::new();
+    let mut capacities: Vec<Kbps> = Vec::new();
     let mut cluster_of_bucket: Vec<ClusterId> = Vec::new();
     for opts in &problem.options {
         for o in opts {
@@ -173,10 +174,21 @@ pub fn optimize_probed(
         });
     }
 
-    let mut cluster_load_kbps: HashMap<ClusterId, f64> = HashMap::new();
+    let mut cluster_load_kbps: HashMap<ClusterId, Kbps> = HashMap::new();
     for (g, &c) in assignment.choice.iter().enumerate() {
         let o = &problem.options[g][c];
-        *cluster_load_kbps.entry(o.cluster).or_insert(0.0) += problem.groups[g].demand_kbps;
+        *cluster_load_kbps.entry(o.cluster).or_insert(Kbps::ZERO) += problem.groups[g].demand_kbps;
+    }
+    // Conservation: the broker must place every group; demand gathered in
+    // equals load assigned out, or the accounting above lost a group.
+    #[cfg(feature = "strict-invariants")]
+    {
+        let demand_in: f64 = problem.groups.iter().map(|g| g.demand_kbps.as_f64()).sum();
+        let assigned_out: f64 = cluster_load_kbps.values().map(|l| l.as_f64()).sum();
+        debug_assert!(
+            (demand_in - assigned_out).abs() <= 1e-6 * demand_in.abs().max(1.0),
+            "assignment lost demand: in {demand_in}, out {assigned_out}"
+        );
     }
 
     BrokerAssignment {
@@ -197,7 +209,7 @@ mod tests {
             id: GroupId(i),
             city: CityId(i),
             bitrate_kbps: demand as u32,
-            demand_kbps: demand,
+            demand_kbps: Kbps::new(demand),
             sessions: 1,
         }
     }
@@ -207,8 +219,8 @@ mod tests {
             cdn: CdnId(0),
             cluster: ClusterId(cluster),
             score: Score(score),
-            price_per_mb: price,
-            believed_capacity_kbps: cap,
+            price_per_mb: UsdPerGb::per_megabit(price),
+            believed_capacity_kbps: Kbps::new(cap),
         }
     }
 
@@ -220,7 +232,7 @@ mod tests {
         };
         let a = optimize(&problem, &CpPolicy::balanced(), &OptimizeMode::Heuristic);
         assert_eq!(a.choice, vec![1]);
-        assert_eq!(a.cluster_load_kbps[&ClusterId(1)], 1_000.0);
+        assert_eq!(a.cluster_load_kbps[&ClusterId(1)], Kbps::new(1_000.0));
     }
 
     #[test]
@@ -238,9 +250,10 @@ mod tests {
             .cluster_load_kbps
             .get(&ClusterId(0))
             .copied()
-            .unwrap_or(0.0);
+            .unwrap_or(Kbps::ZERO)
+            .as_f64();
         assert!(load0 <= 1_000.0 + 1e-9, "cluster 0 overloaded: {load0}");
-        let total: f64 = a.cluster_load_kbps.values().sum();
+        let total: f64 = a.cluster_load_kbps.values().map(|l| l.as_f64()).sum();
         assert!((total - 2_000.0).abs() < 1e-9, "everyone placed");
     }
 
@@ -285,7 +298,8 @@ mod tests {
             .cluster_load_kbps
             .get(&ClusterId(0))
             .copied()
-            .unwrap_or(0.0);
+            .unwrap_or(Kbps::ZERO)
+            .as_f64();
         assert!(
             load0 <= 1_000.0 + 1e-9,
             "min capacity belief enforced, got {load0}"

@@ -12,12 +12,13 @@
 
 use serde::{Deserialize, Serialize};
 use vdx_netsim::PathQuality;
+use vdx_units::Kbps;
 
 /// Player-level quality of experience for a session or group.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Qoe {
-    /// Achieved average bitrate in kbit/s.
-    pub bitrate_kbps: f64,
+    /// Achieved average bitrate.
+    pub bitrate_kbps: Kbps,
     /// Fraction of wall-clock time spent rebuffering, in `[0, 1]`.
     pub buffering_ratio: f64,
     /// Time to first frame in milliseconds.
@@ -30,14 +31,14 @@ const JOIN_RTTS: f64 = 5.0;
 
 /// Estimates QoE for a client requesting `requested_kbps` over `path`, from
 /// a cluster at `load_factor` (load ÷ capacity; > 1 means overloaded).
-pub fn estimate_qoe(path: &PathQuality, requested_kbps: f64, load_factor: f64) -> Qoe {
+pub fn estimate_qoe(path: &PathQuality, requested: Kbps, load_factor: f64) -> Qoe {
     // Overload throttles throughput proportionally once past capacity.
     let throughput_share = if load_factor > 1.0 {
         1.0 / load_factor
     } else {
         1.0
     };
-    let bitrate = requested_kbps * throughput_share;
+    let bitrate = requested * throughput_share;
     // Buffering: loss directly stalls the pipeline; overload adds stalls.
     let overload_stall = (load_factor - 1.0).max(0.0) * 0.2;
     let buffering = (path.loss_fraction * 2.0 + overload_stall).clamp(0.0, 1.0);
@@ -52,7 +53,7 @@ pub fn estimate_qoe(path: &PathQuality, requested_kbps: f64, load_factor: f64) -
 /// predictive QoE models the paper cites: bitrate helps, buffering hurts
 /// disproportionately, slow joins hurt.
 pub fn engagement_score(qoe: &Qoe) -> f64 {
-    let bitrate_term = (1.0 + qoe.bitrate_kbps / 1_000.0).ln();
+    let bitrate_term = (1.0 + qoe.bitrate_kbps.as_mbps()).ln();
     let buffering_term = 4.0 * qoe.buffering_ratio;
     let join_term = qoe.join_time_ms / 2_000.0;
     (bitrate_term - buffering_term - join_term).max(0.0)
@@ -74,37 +75,37 @@ mod tests {
 
     #[test]
     fn unloaded_clean_path_is_ideal() {
-        let q = estimate_qoe(&path(40.0, 0.0), 3_000.0, 0.5);
-        assert_eq!(q.bitrate_kbps, 3_000.0);
+        let q = estimate_qoe(&path(40.0, 0.0), Kbps::new(3_000.0), 0.5);
+        assert_eq!(q.bitrate_kbps, Kbps::new(3_000.0));
         assert_eq!(q.buffering_ratio, 0.0);
         assert_eq!(q.join_time_ms, 200.0);
     }
 
     #[test]
     fn overload_throttles_bitrate_and_stalls() {
-        let q = estimate_qoe(&path(40.0, 0.0), 3_000.0, 2.0);
-        assert_eq!(q.bitrate_kbps, 1_500.0);
+        let q = estimate_qoe(&path(40.0, 0.0), Kbps::new(3_000.0), 2.0);
+        assert_eq!(q.bitrate_kbps, Kbps::new(1_500.0));
         assert!(q.buffering_ratio > 0.0);
     }
 
     #[test]
     fn loss_causes_buffering() {
-        let clean = estimate_qoe(&path(40.0, 0.0), 1_000.0, 0.5);
-        let lossy = estimate_qoe(&path(40.0, 0.1), 1_000.0, 0.5);
+        let clean = estimate_qoe(&path(40.0, 0.0), Kbps::new(1_000.0), 0.5);
+        let lossy = estimate_qoe(&path(40.0, 0.1), Kbps::new(1_000.0), 0.5);
         assert!(lossy.buffering_ratio > clean.buffering_ratio);
     }
 
     #[test]
     fn engagement_prefers_good_qoe() {
-        let good = estimate_qoe(&path(30.0, 0.0), 3_000.0, 0.5);
-        let bad = estimate_qoe(&path(300.0, 0.15), 3_000.0, 3.0);
+        let good = estimate_qoe(&path(30.0, 0.0), Kbps::new(3_000.0), 0.5);
+        let bad = estimate_qoe(&path(300.0, 0.15), Kbps::new(3_000.0), 3.0);
         assert!(engagement_score(&good) > engagement_score(&bad));
     }
 
     #[test]
     fn engagement_never_negative() {
         let terrible = Qoe {
-            bitrate_kbps: 10.0,
+            bitrate_kbps: Kbps::new(10.0),
             buffering_ratio: 1.0,
             join_time_ms: 60_000.0,
         };

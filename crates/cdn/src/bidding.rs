@@ -14,15 +14,16 @@
 
 use crate::cluster::ClusterId;
 use serde::{Deserialize, Serialize};
+use vdx_units::{Margin, UsdPerGb};
 
 /// Bidding policy parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BidPolicy {
     /// Initial and maximum price margin over cost (paper uses 1.2 markup).
-    pub max_margin: f64,
+    pub max_margin: Margin,
     /// Never bid below `min_margin × cost` (a CDN won't knowingly sell at a
     /// loss; 1.0 = at cost).
-    pub min_margin: f64,
+    pub min_margin: Margin,
     /// Multiplicative step applied to the margin after a lost bid.
     pub down_step: f64,
     /// Multiplicative step applied after a won bid.
@@ -32,8 +33,8 @@ pub struct BidPolicy {
 impl Default for BidPolicy {
     fn default() -> Self {
         BidPolicy {
-            max_margin: 1.2,
-            min_margin: 1.0,
+            max_margin: Margin::new(1.2),
+            min_margin: Margin::UNIT,
             down_step: 0.97,
             up_step: 1.01,
         }
@@ -44,7 +45,7 @@ impl Default for BidPolicy {
 #[derive(Debug, Clone)]
 pub struct BidShading {
     policy: BidPolicy,
-    margins: Vec<f64>,
+    margins: Vec<Margin>,
 }
 
 impl BidShading {
@@ -60,25 +61,25 @@ impl BidShading {
 
     /// The price this CDN bids for a cluster with internal cost
     /// `cost_per_mb`.
-    pub fn price(&self, cluster: ClusterId, cost_per_mb: f64) -> f64 {
+    pub fn price(&self, cluster: ClusterId, cost_per_mb: UsdPerGb) -> UsdPerGb {
         cost_per_mb * self.margins[cluster.index()]
     }
 
     /// Current margin for a cluster.
-    pub fn margin(&self, cluster: ClusterId) -> f64 {
+    pub fn margin(&self, cluster: ClusterId) -> Margin {
         self.margins[cluster.index()]
     }
 
     /// Records that a bid on `cluster` was accepted.
     pub fn on_accept(&mut self, cluster: ClusterId) {
         let m = &mut self.margins[cluster.index()];
-        *m = (*m * self.policy.up_step).min(self.policy.max_margin);
+        *m = m.scale(self.policy.up_step).min(self.policy.max_margin);
     }
 
     /// Records that a bid on `cluster` lost the auction.
     pub fn on_reject(&mut self, cluster: ClusterId) {
         let m = &mut self.margins[cluster.index()];
-        *m = (*m * self.policy.down_step).max(self.policy.min_margin);
+        *m = m.scale(self.policy.down_step).max(self.policy.min_margin);
     }
 }
 
@@ -89,7 +90,10 @@ mod tests {
     #[test]
     fn starts_at_max_margin() {
         let s = BidShading::new(BidPolicy::default(), 3);
-        assert_eq!(s.price(ClusterId(0), 10.0), 12.0);
+        assert_eq!(
+            s.price(ClusterId(0), UsdPerGb::per_megabit(10.0)),
+            UsdPerGb::per_megabit(10.0 * 1.2)
+        );
     }
 
     #[test]
@@ -99,10 +103,13 @@ mod tests {
             s.on_reject(ClusterId(0));
         }
         assert!(
-            (s.margin(ClusterId(0)) - 1.0).abs() < 1e-9,
+            (s.margin(ClusterId(0)).as_f64() - 1.0).abs() < 1e-9,
             "floor at min_margin"
         );
-        assert_eq!(s.price(ClusterId(0), 7.0), 7.0);
+        assert_eq!(
+            s.price(ClusterId(0), UsdPerGb::per_megabit(7.0)),
+            UsdPerGb::per_megabit(7.0)
+        );
     }
 
     #[test]
@@ -116,7 +123,7 @@ mod tests {
             s.on_accept(ClusterId(0));
         }
         assert!(s.margin(ClusterId(0)) > low);
-        assert!(s.margin(ClusterId(0)) <= 1.2 + 1e-12);
+        assert!(s.margin(ClusterId(0)).as_f64() <= 1.2 + 1e-12);
     }
 
     #[test]

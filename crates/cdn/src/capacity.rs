@@ -22,9 +22,10 @@ use crate::deploy::Fleet;
 use crate::matching::{candidate_clusters_into, Matching, MatchingConfig};
 use vdx_geo::{CityId, World};
 use vdx_netsim::Score;
+use vdx_units::Kbps;
 
-/// A demand point: a client city and its steady-state bitrate in kbit/s.
-pub type Demand = (CityId, f64);
+/// A demand point: a client city and its steady-state bitrate.
+pub type Demand = (CityId, Kbps);
 
 /// Provisioning multiple over attracted traffic (paper: 2×).
 pub const PROVISION_FACTOR: f64 = 2.0;
@@ -37,8 +38,8 @@ pub fn plan_capacities(
     fleet: &mut Fleet,
     demand: &[Demand],
     score_of: impl Fn(CityId, CityId) -> Score,
-) -> Vec<f64> {
-    let mut attracted = vec![0.0f64; fleet.clusters.len()];
+) -> Vec<Kbps> {
+    let mut attracted = vec![Kbps::ZERO; fleet.clusters.len()];
     // The preferred-cluster rule (cheapest within 2× of the best score),
     // run cdns × demand-points times through one reused scratch buffer.
     let preferred = MatchingConfig {
@@ -60,13 +61,41 @@ pub fn plan_capacities(
                 attracted[m.cluster.index()] += kbps;
             }
         }
+        // Conservation: in its solo run a CDN with any clusters at all
+        // attracts the entire workload — every demand point lands somewhere.
+        #[cfg(feature = "strict-invariants")]
+        if !fleet.cdns[cdn_idx].clusters.is_empty() {
+            let placed: f64 = fleet.cdns[cdn_idx]
+                .clusters
+                .iter()
+                .map(|c| attracted[c.index()].as_f64())
+                .sum();
+            let offered: f64 = demand.iter().map(|d| d.1.as_f64()).sum();
+            debug_assert!(
+                (placed - offered).abs() <= 1e-6 * offered.abs().max(1.0),
+                "{cdn}: solo run attracted {placed} of {offered}"
+            );
+        }
     }
     for (i, cl) in fleet.clusters.iter_mut().enumerate() {
-        cl.capacity_kbps = PROVISION_FACTOR * attracted[i];
+        cl.capacity_kbps = attracted[i] * PROVISION_FACTOR;
     }
     // Empty clusters draw from their nearest stocked sibling.
     for cdn_idx in 0..fleet.cdns.len() {
-        redistribute_empty(world, fleet, CdnId(cdn_idx as u32));
+        let cdn = CdnId(cdn_idx as u32);
+        #[cfg(feature = "strict-invariants")]
+        let before = total_capacity(fleet, cdn).as_f64();
+        redistribute_empty(world, fleet, cdn);
+        // Conservation: redistribution moves capacity between siblings but
+        // must never create or destroy it.
+        #[cfg(feature = "strict-invariants")]
+        {
+            let after = total_capacity(fleet, cdn).as_f64();
+            debug_assert!(
+                (before - after).abs() <= 1e-6 * before.abs().max(1.0),
+                "{cdn}: redistribution changed total capacity {before} -> {after}"
+            );
+        }
     }
     attracted
 }
@@ -76,18 +105,18 @@ pub fn plan_capacities(
 fn redistribute_empty(world: &World, fleet: &mut Fleet, cdn: CdnId) {
     let ids: Vec<ClusterId> = fleet.cdns[cdn.index()].clusters.clone();
     for &empty in &ids {
-        if fleet.clusters[empty.index()].capacity_kbps > 0.0 {
+        if fleet.clusters[empty.index()].capacity_kbps > Kbps::ZERO {
             continue;
         }
         let empty_city = fleet.clusters[empty.index()].city;
         let donor = ids
             .iter()
             .copied()
-            .filter(|&c| c != empty && fleet.clusters[c.index()].capacity_kbps > 0.0)
+            .filter(|&c| c != empty && fleet.clusters[c.index()].capacity_kbps > Kbps::ZERO)
             .min_by(|&a, &b| {
                 let da = world.distance_km(empty_city, fleet.clusters[a.index()].city);
                 let db = world.distance_km(empty_city, fleet.clusters[b.index()].city);
-                da.partial_cmp(&db).expect("finite").then(a.cmp(&b))
+                da.total_cmp(&db).then(a.cmp(&b))
             });
         if let Some(donor) = donor {
             let half = fleet.clusters[donor.index()].capacity_kbps / 2.0;
@@ -99,22 +128,22 @@ fn redistribute_empty(world: &World, fleet: &mut Fleet, cdn: CdnId) {
 
 /// Per-CDN median cluster capacity — the estimate used by designs that do
 /// not announce capacities. Returns 0 for cluster-less CDNs.
-pub fn median_capacity(fleet: &Fleet, cdn: CdnId) -> f64 {
-    let mut caps: Vec<f64> = fleet.clusters_of(cdn).map(|c| c.capacity_kbps).collect();
+pub fn median_capacity(fleet: &Fleet, cdn: CdnId) -> Kbps {
+    let mut caps: Vec<Kbps> = fleet.clusters_of(cdn).map(|c| c.capacity_kbps).collect();
     if caps.is_empty() {
-        return 0.0;
+        return Kbps::ZERO;
     }
-    caps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    caps.sort_by(Kbps::total_cmp);
     let n = caps.len();
     if n % 2 == 1 {
         caps[n / 2]
     } else {
-        (caps[n / 2 - 1] + caps[n / 2]) / 2.0
+        caps[n / 2 - 1].midpoint(caps[n / 2])
     }
 }
 
-/// Total provisioned capacity of a CDN in kbit/s.
-pub fn total_capacity(fleet: &Fleet, cdn: CdnId) -> f64 {
+/// Total provisioned capacity of a CDN.
+pub fn total_capacity(fleet: &Fleet, cdn: CdnId) -> Kbps {
     fleet.clusters_of(cdn).map(|c| c.capacity_kbps).sum()
 }
 
@@ -149,7 +178,7 @@ mod tests {
         let demand: Vec<Demand> = world
             .cities()
             .iter()
-            .map(|c| (c.id, 1_000.0 * c.population_weight.min(50.0)))
+            .map(|c| (c.id, Kbps::new(1_000.0 * c.population_weight.min(50.0))))
             .collect();
         (world, fleet, demand, net)
     }
@@ -159,10 +188,14 @@ mod tests {
         let (world, mut fleet, demand, net) = setup();
         let attracted =
             plan_capacities(&world, &mut fleet, &demand, |a, b| net.score(&world, a, b));
-        let total_demand: f64 = demand.iter().map(|d| d.1).sum();
+        let total_demand: f64 = demand.iter().map(|d| d.1.as_f64()).sum();
         for cdn in &fleet.cdns {
             // Each CDN attracted the whole workload in its solo run.
-            let cdn_attracted: f64 = cdn.clusters.iter().map(|c| attracted[c.index()]).sum();
+            let cdn_attracted: f64 = cdn
+                .clusters
+                .iter()
+                .map(|c| attracted[c.index()].as_f64())
+                .sum();
             assert!(
                 (cdn_attracted - total_demand).abs() < 1e-6,
                 "{}: attracted {} of {}",
@@ -171,7 +204,7 @@ mod tests {
                 total_demand
             );
             // Redistribution conserves the 2x total.
-            let cap = total_capacity(&fleet, cdn.id);
+            let cap = total_capacity(&fleet, cdn.id).as_f64();
             assert!(
                 (cap - PROVISION_FACTOR * total_demand).abs() < 1e-6,
                 "{}: capacity {} vs {}",
@@ -187,7 +220,7 @@ mod tests {
         let (world, mut fleet, demand, net) = setup();
         plan_capacities(&world, &mut fleet, &demand, |a, b| net.score(&world, a, b));
         for cl in &fleet.clusters {
-            assert!(cl.capacity_kbps > 0.0, "{} empty", cl.id);
+            assert!(cl.capacity_kbps > Kbps::ZERO, "{} empty", cl.id);
         }
     }
 
@@ -196,12 +229,12 @@ mod tests {
         let (world, mut fleet, demand, net) = setup();
         plan_capacities(&world, &mut fleet, &demand, |a, b| net.score(&world, a, b));
         let cdn = fleet.cdns[1].id;
-        let mut caps: Vec<f64> = fleet.clusters_of(cdn).map(|c| c.capacity_kbps).collect();
-        caps.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let mut caps: Vec<Kbps> = fleet.clusters_of(cdn).map(|c| c.capacity_kbps).collect();
+        caps.sort_by(Kbps::total_cmp);
         let expect = if caps.len() % 2 == 1 {
             caps[caps.len() / 2]
         } else {
-            (caps[caps.len() / 2 - 1] + caps[caps.len() / 2]) / 2.0
+            caps[caps.len() / 2 - 1].midpoint(caps[caps.len() / 2])
         };
         assert_eq!(median_capacity(&fleet, cdn), expect);
     }

@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 use vdx_geo::CityId;
+use vdx_units::{Kbps, UsdPerGb};
 
 /// Globally unique cluster id (index into the fleet's flat cluster list).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -52,18 +53,18 @@ pub struct Cluster {
     pub cdn: CdnId,
     /// City the cluster is deployed in.
     pub city: CityId,
-    /// Bandwidth cost, dollars per megabit delivered (relative units;
+    /// Bandwidth cost per unit of traffic delivered (relative units;
     /// the global demand-weighted average country is ~1.0).
-    pub bandwidth_cost: f64,
+    pub bandwidth_cost: UsdPerGb,
     /// Co-location (space/energy) cost, same units.
-    pub colo_cost: f64,
-    /// Provisioned capacity in kbit/s. Zero until capacity planning runs.
-    pub capacity_kbps: f64,
+    pub colo_cost: UsdPerGb,
+    /// Provisioned capacity. Zero until capacity planning runs.
+    pub capacity_kbps: Kbps,
 }
 
 impl Cluster {
-    /// Total internal cost per megabit delivered from this cluster.
-    pub fn cost_per_mb(&self) -> f64 {
+    /// Total internal cost per unit of traffic delivered from this cluster.
+    pub fn cost_per_mb(&self) -> UsdPerGb {
         self.bandwidth_cost + self.colo_cost
     }
 }
@@ -85,10 +86,10 @@ mod tests {
             id: ClusterId(0),
             cdn: CdnId(0),
             city: CityId(0),
-            bandwidth_cost: 1.5,
-            colo_cost: 0.5,
-            capacity_kbps: 0.0,
+            bandwidth_cost: UsdPerGb::per_megabit(1.5),
+            colo_cost: UsdPerGb::per_megabit(0.5),
+            capacity_kbps: Kbps::ZERO,
         };
-        assert_eq!(c.cost_per_mb(), 2.0);
+        assert_eq!(c.cost_per_mb(), UsdPerGb::per_megabit(2.0));
     }
 }

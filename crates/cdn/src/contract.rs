@@ -15,24 +15,25 @@
 use crate::cluster::CdnId;
 use crate::deploy::Fleet;
 use serde::{Deserialize, Serialize};
+use vdx_units::{Margin, UsdPerGb};
 
 /// The paper's markup factor on contract prices (§7.1).
-pub const DEFAULT_MARKUP: f64 = 1.2;
+pub const DEFAULT_MARKUP: Margin = Margin::literal(1.2);
 
 /// A flat-rate CDN–CP contract.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Contract {
     /// The CDN under contract.
     pub cdn: CdnId,
-    /// Flat price per megabit: the CDN's median cluster cost.
-    pub base_price_per_mb: f64,
+    /// Flat unit price: the CDN's median cluster cost.
+    pub base_price_per_mb: UsdPerGb,
     /// Markup factor applied when the CP is billed.
-    pub markup: f64,
+    pub markup: Margin,
 }
 
 impl Contract {
-    /// What the CP actually pays per megabit.
-    pub fn billed_price_per_mb(&self) -> f64 {
+    /// What the CP actually pays per unit of traffic.
+    pub fn billed_price_per_mb(&self) -> UsdPerGb {
         self.base_price_per_mb * self.markup
     }
 }
@@ -40,17 +41,17 @@ impl Contract {
 /// Negotiates a flat-rate contract for `cdn`: the base price is the
 /// unweighted median of the CDN's per-cluster costs (see module docs).
 /// Returns a zero-price contract for a cluster-less CDN.
-pub fn negotiate_contract(fleet: &Fleet, cdn: CdnId, markup: f64) -> Contract {
-    let mut costs: Vec<f64> = fleet.clusters_of(cdn).map(|c| c.cost_per_mb()).collect();
+pub fn negotiate_contract(fleet: &Fleet, cdn: CdnId, markup: Margin) -> Contract {
+    let mut costs: Vec<UsdPerGb> = fleet.clusters_of(cdn).map(|c| c.cost_per_mb()).collect();
     let base = if costs.is_empty() {
-        0.0
+        UsdPerGb::ZERO
     } else {
-        costs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        costs.sort_by(UsdPerGb::total_cmp);
         let n = costs.len();
         if n % 2 == 1 {
             costs[n / 2]
         } else {
-            (costs[n / 2 - 1] + costs[n / 2]) / 2.0
+            costs[n / 2 - 1].midpoint(costs[n / 2])
         }
     };
     Contract {
@@ -66,6 +67,7 @@ mod tests {
     use crate::cluster::{Cluster, ClusterId};
     use crate::deploy::{Cdn, DeploymentModel, Fleet};
     use vdx_geo::CityId;
+    use vdx_units::Kbps;
 
     fn fleet_with_costs(costs: &[f64]) -> Fleet {
         let clusters: Vec<Cluster> = costs
@@ -75,9 +77,9 @@ mod tests {
                 id: ClusterId(i as u32),
                 cdn: CdnId(0),
                 city: CityId(i as u32),
-                bandwidth_cost: cost,
-                colo_cost: 0.0,
-                capacity_kbps: 0.0,
+                bandwidth_cost: UsdPerGb::per_megabit(cost),
+                colo_cost: UsdPerGb::ZERO,
+                capacity_kbps: Kbps::ZERO,
             })
             .collect();
         Fleet {
@@ -94,15 +96,15 @@ mod tests {
     fn contract_price_is_median_cluster_cost() {
         let fleet = fleet_with_costs(&[1.0, 10.0, 3.0]);
         let c = negotiate_contract(&fleet, CdnId(0), DEFAULT_MARKUP);
-        assert_eq!(c.base_price_per_mb, 3.0);
-        assert!((c.billed_price_per_mb() - 3.6).abs() < 1e-12);
+        assert_eq!(c.base_price_per_mb, UsdPerGb::per_megabit(3.0));
+        assert!((c.billed_price_per_mb().as_per_megabit() - 3.6).abs() < 1e-12);
     }
 
     #[test]
     fn even_cluster_count_averages_middle_pair() {
         let fleet = fleet_with_costs(&[1.0, 2.0, 4.0, 10.0]);
         let c = negotiate_contract(&fleet, CdnId(0), DEFAULT_MARKUP);
-        assert_eq!(c.base_price_per_mb, 3.0);
+        assert_eq!(c.base_price_per_mb, UsdPerGb::per_megabit(3.0));
     }
 
     #[test]
@@ -111,18 +113,22 @@ mod tests {
         // equal to their contract price … and thus they profit."
         let fleet = fleet_with_costs(&[2.5]);
         let c = negotiate_contract(&fleet, CdnId(0), DEFAULT_MARKUP);
-        assert_eq!(c.base_price_per_mb, 2.5);
+        assert_eq!(c.base_price_per_mb, UsdPerGb::per_megabit(2.5));
     }
 
     #[test]
     fn remote_clusters_inflate_a_distributed_cdns_price() {
         // The §7.1 mechanism: the same cheap metro clusters, with a tail of
         // expensive remote ones, produce a higher flat price.
-        let metro_only = negotiate_contract(&fleet_with_costs(&[1.0, 1.1, 1.2]), CdnId(0), 1.2);
+        let metro_only = negotiate_contract(
+            &fleet_with_costs(&[1.0, 1.1, 1.2]),
+            CdnId(0),
+            Margin::new(1.2),
+        );
         let distributed = negotiate_contract(
             &fleet_with_costs(&[1.0, 1.1, 1.2, 4.0, 6.0, 9.0, 12.0]),
             CdnId(0),
-            1.2,
+            Margin::new(1.2),
         );
         assert!(distributed.base_price_per_mb > metro_only.base_price_per_mb);
     }
@@ -132,6 +138,6 @@ mod tests {
         let mut fleet = fleet_with_costs(&[1.0]);
         fleet.cdns[0].clusters.clear();
         let c = negotiate_contract(&fleet, CdnId(0), DEFAULT_MARKUP);
-        assert_eq!(c.base_price_per_mb, 0.0);
+        assert_eq!(c.base_price_per_mb, UsdPerGb::ZERO);
     }
 }

@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use vdx_geo::{CityId, World};
+use vdx_units::UsdPerGb;
 
 /// Cost-model parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -48,7 +49,7 @@ pub fn bandwidth_cost(
     config: &CostConfig,
     seed: u64,
     salt: u64,
-) -> f64 {
+) -> UsdPerGb {
     let mean = world.country_of(city).cost_index;
     let mut rng = StdRng::seed_from_u64(
         seed ^ (city.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
@@ -62,15 +63,22 @@ pub fn bandwidth_cost(
     // Lognormal, mean-corrected (E[exp(σN − σ²/2)] = 1) so the country mean
     // is preserved while individual clusters spread multiplicatively.
     let sigma = config.bandwidth_sigma;
-    mean * (sigma * normal.clamp(-2.5, 2.5) - sigma * sigma / 2.0).exp()
+    UsdPerGb::per_megabit(mean * (sigma * normal.clamp(-2.5, 2.5) - sigma * sigma / 2.0).exp())
 }
 
 /// Co-location cost at `city` given `cdns_at_site` co-located CDNs:
 /// proportional to the country cost, decreasing with `ln(1 + n)` — "more
 /// CDNs are located in places that are inexpensive to serve from".
-pub fn colo_cost(world: &World, city: CityId, config: &CostConfig, cdns_at_site: usize) -> f64 {
+pub fn colo_cost(
+    world: &World,
+    city: CityId,
+    config: &CostConfig,
+    cdns_at_site: usize,
+) -> UsdPerGb {
     let country = world.country_of(city).cost_index;
-    config.colo_base_fraction * country / (1.0 + (1.0 + cdns_at_site as f64).ln())
+    UsdPerGb::per_megabit(
+        config.colo_base_fraction * country / (1.0 + (1.0 + cdns_at_site as f64).ln()),
+    )
 }
 
 #[cfg(test)]
@@ -103,7 +111,7 @@ mod tests {
         let city = CityId(10);
         let mean = w.country_of(city).cost_index;
         let avg: f64 = (0..2000)
-            .map(|s| bandwidth_cost(&w, city, &cfg, 7, s))
+            .map(|s| bandwidth_cost(&w, city, &cfg, 7, s).as_per_megabit())
             .sum::<f64>()
             / 2000.0;
         assert!((avg / mean - 1.0).abs() < 0.15, "avg {avg} vs mean {mean}");
@@ -114,7 +122,7 @@ mod tests {
         let w = world();
         let cfg = CostConfig::default();
         for s in 0..200 {
-            assert!(bandwidth_cost(&w, CityId(0), &cfg, 3, s) > 0.0);
+            assert!(bandwidth_cost(&w, CityId(0), &cfg, 3, s) > UsdPerGb::ZERO);
         }
     }
 
@@ -124,7 +132,7 @@ mod tests {
         let w = world();
         let cfg = CostConfig::default();
         let draws: Vec<f64> = (0..200)
-            .map(|s| bandwidth_cost(&w, CityId(5), &cfg, 9, s))
+            .map(|s| bandwidth_cost(&w, CityId(5), &cfg, 9, s).as_per_megabit())
             .collect();
         let max = draws.iter().copied().fold(f64::MIN, f64::max);
         let min = draws.iter().copied().fold(f64::MAX, f64::min);
@@ -139,7 +147,7 @@ mod tests {
         let lonely = colo_cost(&w, CityId(3), &cfg, 0);
         let crowded = colo_cost(&w, CityId(3), &cfg, 20);
         assert!(crowded < lonely);
-        assert!(crowded > 0.0);
+        assert!(crowded > UsdPerGb::ZERO);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use vdx_geo::{CityId, Region, World};
+use vdx_units::Kbps;
 
 /// How a CDN deploys its clusters.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -291,7 +292,7 @@ fn assemble(
                 // transit deals.
                 bandwidth_cost: bandwidth_cost(world, city, cost, seed, id.0 as u64),
                 colo_cost: colo_cost(world, city, cost, n_colo),
-                capacity_kbps: 0.0,
+                capacity_kbps: Kbps::ZERO,
             });
             cluster_ids.push(id);
         }
@@ -391,7 +392,10 @@ mod tests {
         // §7.1: "More distributed CDNs … have more variability in cluster
         // cost as they are in many more remote regions."
         let spread = |cdn: &Cdn| -> f64 {
-            let costs: Vec<f64> = fleet.clusters_of(cdn.id).map(|c| c.cost_per_mb()).collect();
+            let costs: Vec<f64> = fleet
+                .clusters_of(cdn.id)
+                .map(|c| c.cost_per_mb().as_per_megabit())
+                .collect();
             let max = costs.iter().copied().fold(f64::MIN, f64::max);
             let min = costs.iter().copied().fold(f64::MAX, f64::min);
             max / min
@@ -440,10 +444,14 @@ mod tests {
         // Co-location costs at shared sites went down (or stayed equal
         // where no newcomer landed): compare total colo cost of the first
         // 14 CDNs' clusters.
-        let before: f64 = fleet.clusters.iter().map(|c| c.colo_cost).sum();
+        let before: f64 = fleet
+            .clusters
+            .iter()
+            .map(|c| c.colo_cost.as_per_megabit())
+            .sum();
         let after: f64 = expanded.clusters[..fleet.clusters.len()]
             .iter()
-            .map(|c| c.colo_cost)
+            .map(|c| c.colo_cost.as_per_megabit())
             .sum();
         assert!(after < before, "colo before {before}, after {after}");
     }

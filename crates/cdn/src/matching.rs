@@ -15,6 +15,7 @@ use crate::deploy::Fleet;
 use serde::{Deserialize, Serialize};
 use vdx_geo::CityId;
 use vdx_netsim::Score;
+use vdx_units::{Kbps, UsdPerGb};
 
 /// Matching-rule parameters.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -61,10 +62,10 @@ pub struct Matching {
     pub cluster: ClusterId,
     /// Estimated performance score for this client (lower is better).
     pub score: Score,
-    /// The cluster's internal cost per megabit.
-    pub cost_per_mb: f64,
-    /// The cluster's provisioned capacity in kbit/s.
-    pub capacity_kbps: f64,
+    /// The cluster's internal cost per unit of traffic.
+    pub cost_per_mb: UsdPerGb,
+    /// The cluster's provisioned capacity.
+    pub capacity_kbps: Kbps,
 }
 
 /// Computes a CDN's candidate clusters for a client city, per the rule in
@@ -118,8 +119,7 @@ pub fn candidate_clusters_into(
     // Cheapest first; ties broken by score then id for determinism.
     out.sort_unstable_by(|a, b| {
         a.cost_per_mb
-            .partial_cmp(&b.cost_per_mb)
-            .expect("costs are finite")
+            .total_cmp(&b.cost_per_mb)
             .then(a.score.total_cmp(&b.score))
             .then(a.cluster.cmp(&b.cluster))
     });
@@ -180,9 +180,9 @@ mod tests {
                 id: ClusterId(i as u32),
                 cdn: CdnId(0),
                 city: CityId(i as u32),
-                bandwidth_cost: cost,
-                colo_cost: 0.0,
-                capacity_kbps: cap,
+                bandwidth_cost: UsdPerGb::per_megabit(cost),
+                colo_cost: UsdPerGb::ZERO,
+                capacity_kbps: Kbps::new(cap),
             })
             .collect();
         Fleet {
@@ -255,8 +255,8 @@ mod tests {
     fn matchings_carry_cost_and_capacity() {
         let f = fleet(&[(2.5, 777.0)]);
         let m = candidate_clusters(&f, CdnId(0), scorer(&[10.0]), &MatchingConfig::default());
-        assert_eq!(m[0].cost_per_mb, 2.5);
-        assert_eq!(m[0].capacity_kbps, 777.0);
+        assert_eq!(m[0].cost_per_mb, UsdPerGb::per_megabit(2.5));
+        assert_eq!(m[0].capacity_kbps, Kbps::new(777.0));
     }
 
     #[test]

@@ -19,34 +19,35 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use vdx_cdn::{CdnId, Fleet};
 use vdx_geo::{CountryId, World};
+use vdx_units::{Kbps, Usd};
 
 /// Money/traffic totals for one party (a CDN or a country).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct Ledger {
-    /// Brokered traffic served, kbit/s.
-    pub traffic_kbps: f64,
+    /// Brokered traffic served.
+    pub traffic_kbps: Kbps,
     /// Revenue per second (price × traffic).
-    pub revenue: f64,
+    pub revenue: Usd,
     /// Internal cost per second (cluster cost × traffic).
-    pub cost: f64,
+    pub cost: Usd,
 }
 
 impl Ledger {
     /// Profit per second.
-    pub fn profit(&self) -> f64 {
+    pub fn profit(&self) -> Usd {
         self.revenue - self.cost
     }
 
     /// Price-to-cost ratio; `None` when no traffic (no cost) was served.
     pub fn price_to_cost(&self) -> Option<f64> {
-        if self.cost > 0.0 {
-            Some(self.revenue / self.cost)
+        if self.cost > Usd::ZERO {
+            Some(self.revenue.ratio_to(self.cost))
         } else {
             None
         }
     }
 
-    fn add(&mut self, traffic_kbps: f64, revenue: f64, cost: f64) {
+    fn add(&mut self, traffic_kbps: Kbps, revenue: Usd, cost: Usd) {
         self.traffic_kbps += traffic_kbps;
         self.revenue += revenue;
         self.cost += cost;
@@ -73,7 +74,7 @@ pub struct Settlement {
 
 impl Settlement {
     /// Total profit across all CDNs.
-    pub fn total_profit(&self) -> f64 {
+    pub fn total_profit(&self) -> Usd {
         self.per_cdn.iter().map(|c| c.ledger.profit()).sum()
     }
 
@@ -81,7 +82,7 @@ impl Settlement {
     pub fn losing_cdns(&self) -> usize {
         self.per_cdn
             .iter()
-            .filter(|c| c.ledger.cost > 0.0 && c.ledger.profit() < 0.0)
+            .filter(|c| c.ledger.cost > Usd::ZERO && c.ledger.profit() < Usd::ZERO)
             .count()
     }
 }
@@ -107,10 +108,10 @@ pub fn settle(outcome: &RoundOutcome, world: &World, fleet: &Fleet) -> Settlemen
         let option = &outcome.problem.options[g][choice];
         let group = &outcome.problem.groups[g];
         let cluster = &fleet.clusters[option.cluster.index()];
-        let mbps = group.demand_kbps / 1_000.0;
+        let volume = group.demand_kbps.volume();
 
-        let revenue = option.price_per_mb * mbps;
-        let cost = cluster.cost_per_mb() * mbps;
+        let revenue = option.price_per_mb.charge(volume);
+        let cost = cluster.cost_per_mb().charge(volume);
 
         per_cdn[option.cdn.index()]
             .ledger
@@ -119,6 +120,24 @@ pub fn settle(outcome: &RoundOutcome, world: &World, fleet: &Fleet) -> Settlemen
             .entry(world.country_of(cluster.city).id)
             .or_default()
             .add(group.demand_kbps, revenue, cost);
+    }
+    // Double-entry balance: the per-CDN and per-country books record the
+    // same payments, so their totals must agree exactly (same additions in
+    // a different grouping, tolerance only for reassociation).
+    #[cfg(feature = "strict-invariants")]
+    {
+        let cdn_rev: f64 = per_cdn.iter().map(|c| c.ledger.revenue.as_f64()).sum();
+        let country_rev: f64 = per_country.values().map(|l| l.revenue.as_f64()).sum();
+        debug_assert!(
+            (cdn_rev - country_rev).abs() <= 1e-6 * cdn_rev.abs().max(1.0),
+            "settlement books disagree: per-CDN revenue {cdn_rev} vs per-country {country_rev}"
+        );
+        let cdn_cost: f64 = per_cdn.iter().map(|c| c.ledger.cost.as_f64()).sum();
+        let country_cost: f64 = per_country.values().map(|l| l.cost.as_f64()).sum();
+        debug_assert!(
+            (cdn_cost - country_cost).abs() <= 1e-6 * cdn_cost.abs().max(1.0),
+            "settlement books disagree: per-CDN cost {cdn_cost} vs per-country {country_cost}"
+        );
     }
     Settlement {
         per_cdn,
@@ -149,7 +168,7 @@ mod tests {
         };
         let out = run_decision_round(design, &inputs, |a, b| eco.net.score(&eco.world, a, b));
         let s = settle(&out, &eco.world, &eco.fleet);
-        let demand: f64 = eco.groups.iter().map(|g| g.demand_kbps).sum();
+        let demand: f64 = eco.groups.iter().map(|g| g.demand_kbps.as_f64()).sum();
         (s, demand)
     }
 
@@ -157,8 +176,16 @@ mod tests {
     fn traffic_is_conserved_per_cdn_and_country() {
         for design in [Design::Brokered, Design::Marketplace] {
             let (s, demand) = settle_design(19, design);
-            let cdn_total: f64 = s.per_cdn.iter().map(|c| c.ledger.traffic_kbps).sum();
-            let country_total: f64 = s.per_country.values().map(|l| l.traffic_kbps).sum();
+            let cdn_total: f64 = s
+                .per_cdn
+                .iter()
+                .map(|c| c.ledger.traffic_kbps.as_f64())
+                .sum();
+            let country_total: f64 = s
+                .per_country
+                .values()
+                .map(|l| l.traffic_kbps.as_f64())
+                .sum();
             assert!((cdn_total - demand).abs() < 1e-6, "{design}");
             assert!((country_total - demand).abs() < 1e-6, "{design}");
         }
@@ -170,9 +197,9 @@ mod tests {
         // to make profits, regardless of its deployment style."
         let (s, _) = settle_design(19, Design::Marketplace);
         for c in &s.per_cdn {
-            if c.ledger.cost > 0.0 {
+            if c.ledger.cost > Usd::ZERO {
                 assert!(
-                    c.ledger.profit() > 0.0,
+                    c.ledger.profit() > Usd::ZERO,
                     "{} lost money under Marketplace: {:?}",
                     c.cdn,
                     c.ledger
@@ -202,13 +229,13 @@ mod tests {
         let worst_brokered = brokered
             .per_cdn
             .iter()
-            .map(|c| c.ledger.profit())
+            .map(|c| c.ledger.profit().as_f64())
             .fold(f64::INFINITY, f64::min);
         let worst_market = market
             .per_cdn
             .iter()
-            .filter(|c| c.ledger.cost > 0.0)
-            .map(|c| c.ledger.profit())
+            .filter(|c| c.ledger.cost > Usd::ZERO)
+            .map(|c| c.ledger.profit().as_f64())
             .fold(f64::INFINITY, f64::min);
         assert!(
             worst_market > worst_brokered,
@@ -219,8 +246,8 @@ mod tests {
     #[test]
     fn ledger_arithmetic() {
         let mut l = Ledger::default();
-        l.add(1_000.0, 12.0, 10.0);
-        assert_eq!(l.profit(), 2.0);
+        l.add(Kbps::new(1_000.0), Usd::new(12.0), Usd::new(10.0));
+        assert_eq!(l.profit(), Usd::new(2.0));
         assert_eq!(l.price_to_cost(), Some(1.2));
         assert_eq!(Ledger::default().price_to_cost(), None);
     }

@@ -33,6 +33,7 @@ use vdx_cdn::{
 use vdx_geo::{CityId, World};
 use vdx_netsim::Score;
 use vdx_obs::{Event, NoopProbe, Probe, ScopedTimer};
+use vdx_units::{Kbps, Margin, UsdPerGb};
 
 /// Everything a Decision Protocol round needs to see.
 pub struct RoundInputs<'a> {
@@ -44,9 +45,8 @@ pub struct RoundInputs<'a> {
     pub contracts: &'a [Contract],
     /// The broker's client groups (the Gather output).
     pub groups: &'a [ClientGroup],
-    /// True background load per cluster, kbit/s (from
-    /// [`assign_background`]).
-    pub background_load_kbps: &'a [f64],
+    /// True background load per cluster (from [`assign_background`]).
+    pub background_load_kbps: &'a [Kbps],
     /// The content provider's goals.
     pub policy: CpPolicy,
     /// Solver choice.
@@ -56,7 +56,7 @@ pub struct RoundInputs<'a> {
     pub bid_count: Option<usize>,
     /// Per-cluster price margins from bid shading; `None` means the flat
     /// 1.2 markup everywhere.
-    pub margins: Option<&'a [f64]>,
+    pub margins: Option<&'a [Margin]>,
 }
 
 /// Caller-assigned identifier for one Decision Protocol round, journaled
@@ -150,7 +150,7 @@ pub fn run_decision_round_probed(
             probe.emit(Event::SharePublished {
                 round,
                 shares: inputs.groups.len() as u64,
-                demand_kbps: inputs.groups.iter().map(|g| g.demand_kbps).sum(),
+                demand_kbps: inputs.groups.iter().map(|g| g.demand_kbps.as_f64()).sum(),
             });
         }
     }
@@ -164,7 +164,7 @@ pub fn run_decision_round_probed(
     };
 
     // Per-CDN median capacity estimates for capacity-blind designs.
-    let medians: Vec<f64> = fleet
+    let medians: Vec<Kbps> = fleet
         .cdns
         .iter()
         .map(|cdn| median_capacity(fleet, cdn.id))
@@ -237,7 +237,7 @@ pub fn run_decision_round_probed(
         });
         // Sorted scan: HashMap iteration order varies across processes and
         // would break journal byte-determinism.
-        let mut loads: Vec<(ClusterId, f64)> = assignment
+        let mut loads: Vec<(ClusterId, Kbps)> = assignment
             .cluster_load_kbps
             .iter()
             .map(|(c, l)| (*c, *l))
@@ -250,8 +250,8 @@ pub fn run_decision_round_probed(
                 probe.emit(Event::ClusterCongested {
                     round,
                     cluster: cluster.index() as u32,
-                    load_kbps: with_background,
-                    capacity_kbps,
+                    load_kbps: with_background.as_f64(),
+                    capacity_kbps: capacity_kbps.as_f64(),
                 });
             }
         }
@@ -274,8 +274,8 @@ fn announced_price(
     inputs: &RoundInputs<'_>,
     cdn: CdnId,
     cluster: ClusterId,
-    cost_per_mb: f64,
-) -> f64 {
+    cost_per_mb: UsdPerGb,
+) -> UsdPerGb {
     if design == Design::Omniscient {
         // The upper bound differs from Marketplace only in its unrestricted
         // candidate set; prices keep the same markup so the optimization is
@@ -298,14 +298,14 @@ fn believed_capacity(
     inputs: &RoundInputs<'_>,
     cdn: CdnId,
     cluster: ClusterId,
-    medians: &[f64],
-) -> f64 {
+    medians: &[Kbps],
+) -> Kbps {
     if !design.announces_capacity() {
         return medians[cdn.index()];
     }
     let gross = inputs.fleet.clusters[cluster.index()].capacity_kbps;
     if design.capacity_is_residual() {
-        (gross - inputs.background_load_kbps[cluster.index()]).max(0.0)
+        gross.saturating_sub(inputs.background_load_kbps[cluster.index()])
     } else {
         gross
     }
@@ -320,19 +320,19 @@ pub fn assign_background(
     world: &World,
     fleet: &Fleet,
     groups: &[ClientGroup],
-    background_kbps: &[f64],
+    background_kbps: &[Kbps],
     seed: u64,
     score_of: impl Fn(CityId, CityId) -> Score,
-) -> Vec<f64> {
+) -> Vec<Kbps> {
     let _ = world;
     let mut rng = StdRng::seed_from_u64(seed ^ 0xB6_0000);
     let weights: Vec<f64> = fleet
         .cdns
         .iter()
-        .map(|c| total_capacity(fleet, c.id).max(1e-9))
+        .map(|c| total_capacity(fleet, c.id).as_f64().max(1e-9))
         .collect();
     let total_w: f64 = weights.iter().sum();
-    let mut load = vec![0.0f64; fleet.clusters.len()];
+    let mut load = vec![Kbps::ZERO; fleet.clusters.len()];
     // The preferred-cluster rule through one reused scratch buffer.
     let preferred_config = MatchingConfig {
         score_ratio: 2.0,
@@ -340,8 +340,8 @@ pub fn assign_background(
     };
     let mut scratch: Vec<Matching> = Vec::new();
     for (i, group) in groups.iter().enumerate() {
-        let demand = background_kbps.get(i).copied().unwrap_or(0.0);
-        if demand <= 0.0 {
+        let demand = background_kbps.get(i).copied().unwrap_or(Kbps::ZERO);
+        if demand <= Kbps::ZERO {
             continue;
         }
         for half in 0..2 {
@@ -386,7 +386,7 @@ pub(crate) mod tests {
         pub fleet: Fleet,
         pub contracts: Vec<Contract>,
         pub groups: Vec<ClientGroup>,
-        pub background: Vec<f64>,
+        pub background: Vec<Kbps>,
         pub net: NetModel,
     }
 
@@ -463,8 +463,13 @@ pub(crate) mod tests {
         for design in Design::TABLE3 {
             let out = run(&eco, design);
             assert_eq!(out.assignment.choice.len(), eco.groups.len(), "{design}");
-            let placed: f64 = out.assignment.cluster_load_kbps.values().sum();
-            let demand: f64 = eco.groups.iter().map(|g| g.demand_kbps).sum();
+            let placed: f64 = out
+                .assignment
+                .cluster_load_kbps
+                .values()
+                .map(|k| k.as_f64())
+                .sum();
+            let demand: f64 = eco.groups.iter().map(|g| g.demand_kbps.as_f64()).sum();
             assert!(
                 (placed - demand).abs() < 1e-6,
                 "{design}: {placed} vs {demand}"
@@ -502,7 +507,8 @@ pub(crate) mod tests {
         for opts in &out.problem.options {
             for o in opts {
                 let cost = eco.fleet.clusters[o.cluster.index()].cost_per_mb();
-                assert!((o.price_per_mb - cost * DEFAULT_MARKUP).abs() < 1e-9);
+                let expect = (cost * DEFAULT_MARKUP).as_per_megabit();
+                assert!((o.price_per_mb.as_per_megabit() - expect).abs() < 1e-9);
             }
         }
     }
@@ -515,7 +521,8 @@ pub(crate) mod tests {
         for opts in &out.problem.options {
             for o in opts {
                 let cost = eco.fleet.clusters[o.cluster.index()].cost_per_mb();
-                assert!((o.price_per_mb - cost * DEFAULT_MARKUP).abs() < 1e-9);
+                let expect = (cost * DEFAULT_MARKUP).as_per_megabit();
+                assert!((o.price_per_mb.as_per_megabit() - expect).abs() < 1e-9);
             }
         }
         // Strictly more options than any restricted design.
@@ -550,7 +557,7 @@ pub(crate) mod tests {
         for opts in &marketplace.problem.options {
             for o in opts {
                 let gross = eco.fleet.clusters[o.cluster.index()].capacity_kbps;
-                let residual = (gross - eco.background[o.cluster.index()]).max(0.0);
+                let residual = gross.saturating_sub(eco.background[o.cluster.index()]);
                 assert_eq!(
                     o.believed_capacity_kbps, residual,
                     "Marketplace sees residual"
@@ -600,12 +607,12 @@ pub(crate) mod tests {
     #[test]
     fn background_assignment_conserves_demand() {
         let eco = build_eco(13);
-        let bg_kbps: Vec<f64> = eco.groups.iter().map(|g| g.demand_kbps * 3.0).collect();
+        let bg_kbps: Vec<Kbps> = eco.groups.iter().map(|g| g.demand_kbps * 3.0).collect();
         let load = assign_background(&eco.world, &eco.fleet, &eco.groups, &bg_kbps, 5, |a, b| {
             eco.net.score(&eco.world, a, b)
         });
-        let placed: f64 = load.iter().sum();
-        let expect: f64 = bg_kbps.iter().sum();
+        let placed: f64 = load.iter().map(|k| k.as_f64()).sum();
+        let expect: f64 = bg_kbps.iter().map(|k| k.as_f64()).sum();
         assert!((placed - expect).abs() < 1e-6);
         // Deterministic.
         let load2 = assign_background(&eco.world, &eco.fleet, &eco.groups, &bg_kbps, 5, |a, b| {

@@ -24,6 +24,7 @@ use vdx_netsim::Score;
 use vdx_obs::{Event as ObsEvent, Probe};
 use vdx_proto::endpoint::{Endpoint, Event, RequestId};
 use vdx_proto::{AcceptEntry, Bid, ChannelStats, Link, Message, Share, SimTime};
+use vdx_units::{Kbps, Margin, UsdPerGb};
 
 /// A source of client→site performance scores (the Estimate step).
 pub trait ScoreSource {
@@ -70,17 +71,17 @@ pub struct CdnAgent {
     endpoint: Endpoint,
     shading: BidShading,
     matching: MatchingConfig,
-    /// This CDN's own (non-broker) commitments per cluster, kbit/s; bids
-    /// announce residual capacity (gross − committed).
-    committed_kbps: Vec<f64>,
+    /// This CDN's own (non-broker) commitments per cluster; bids announce
+    /// residual capacity (gross − committed).
+    committed_kbps: Vec<Kbps>,
     /// Which Table 2 row the agent bids by (defaults to Marketplace).
     design: Design,
     /// Flat contract price announced by designs without dynamic pricing;
     /// set by [`CdnAgent::with_design`].
-    contract_price_per_mb: Option<f64>,
+    contract_price_per_mb: Option<UsdPerGb>,
     /// Capacity announced by capacity-blind designs (the broker's §5.1
     /// per-CDN median estimate); set by [`CdnAgent::with_design`].
-    median_capacity_kbps: f64,
+    median_capacity_kbps: Kbps,
 }
 
 impl CdnAgent {
@@ -93,7 +94,7 @@ impl CdnAgent {
         bid_policy: BidPolicy,
         matching: MatchingConfig,
         num_clusters: usize,
-        committed_kbps: Vec<f64>,
+        committed_kbps: Vec<Kbps>,
     ) -> CdnAgent {
         CdnAgent {
             cdn,
@@ -103,7 +104,7 @@ impl CdnAgent {
             committed_kbps,
             design: Design::Marketplace,
             contract_price_per_mb: None,
-            median_capacity_kbps: 0.0,
+            median_capacity_kbps: Kbps::ZERO,
         }
     }
 
@@ -119,8 +120,8 @@ impl CdnAgent {
     pub fn with_design(
         mut self,
         design: Design,
-        contract_price_per_mb: f64,
-        median_capacity_kbps: f64,
+        contract_price_per_mb: UsdPerGb,
+        median_capacity_kbps: Kbps,
     ) -> CdnAgent {
         self.design = design;
         self.contract_price_per_mb = Some(contract_price_per_mb);
@@ -129,7 +130,7 @@ impl CdnAgent {
     }
 
     /// Current learned margin for one of this CDN's clusters.
-    pub fn margin(&self, cluster: ClusterId) -> f64 {
+    pub fn margin(&self, cluster: ClusterId) -> Margin {
         self.shading.margin(cluster)
     }
 
@@ -189,7 +190,7 @@ impl CdnAgent {
                     .committed_kbps
                     .get(m.cluster.index())
                     .copied()
-                    .unwrap_or(0.0);
+                    .unwrap_or(Kbps::ZERO);
                 let gross = fleet.clusters[m.cluster.index()].capacity_kbps;
                 // Announcement rules mirror the pure decision round's
                 // `announced_price` / `believed_capacity` exactly, so a
@@ -206,16 +207,18 @@ impl CdnAgent {
                 let capacity_kbps = if !self.design.announces_capacity() {
                     self.median_capacity_kbps
                 } else if self.design.capacity_is_residual() {
-                    (gross - committed).max(0.0)
+                    gross.saturating_sub(committed)
                 } else {
                     gross
                 };
+                // The wire format stays plain f64 (schema stability); the
+                // typed quantities convert loss-free at this boundary.
                 bids.push(Bid {
                     cluster_id: m.cluster.0 as u64,
                     share_id: share.share_id,
                     performance_estimate: m.score.value(),
-                    capacity_kbps,
-                    price_per_mb,
+                    capacity_kbps: capacity_kbps.as_f64(),
+                    price_per_mb: price_per_mb.as_per_megabit(),
                 });
             }
         }
@@ -320,7 +323,7 @@ impl ExchangeBroker {
             self.probe.emit(ObsEvent::SharePublished {
                 round: id,
                 shares: groups.len() as u64,
-                demand_kbps: groups.iter().map(|g| g.demand_kbps).sum(),
+                demand_kbps: groups.iter().map(|g| g.demand_kbps.as_f64()).sum(),
             });
         }
         let shares: Vec<Share> = groups
@@ -331,7 +334,7 @@ impl ExchangeBroker {
                 location: g.city.0,
                 isp: 0,
                 content_id: 0,
-                data_size_kbps: g.demand_kbps,
+                data_size_kbps: g.demand_kbps.as_f64(),
                 client_count: g.sessions,
             })
             .collect();
@@ -395,8 +398,8 @@ impl ExchangeBroker {
                     cdn: CdnId(cdn_idx as u32),
                     cluster: ClusterId(bid.cluster_id as u32),
                     score: Score(bid.performance_estimate),
-                    price_per_mb: bid.price_per_mb,
-                    believed_capacity_kbps: bid.capacity_kbps,
+                    price_per_mb: UsdPerGb::per_megabit(bid.price_per_mb),
+                    believed_capacity_kbps: Kbps::new(bid.capacity_kbps),
                 });
             }
         }
@@ -768,8 +771,8 @@ mod tests {
                     cluster_id: o.cluster.0 as u64,
                     share_id: g as u64,
                     performance_estimate: o.score.value(),
-                    capacity_kbps: o.believed_capacity_kbps,
-                    price_per_mb: o.price_per_mb,
+                    capacity_kbps: o.believed_capacity_kbps.as_f64(),
+                    price_per_mb: o.price_per_mb.as_per_megabit(),
                 });
             }
         }

@@ -33,6 +33,8 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub use vdx_units as units;
+
 pub mod accounting;
 pub mod decision;
 pub mod delivery;

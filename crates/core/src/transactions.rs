@@ -21,27 +21,28 @@ use vdx_broker::{optimize, BrokerProblem};
 use vdx_cdn::CdnId;
 use vdx_geo::CityId;
 use vdx_netsim::Score;
+use vdx_units::Kbps;
 
 /// How a CDN decides whether to commit to a proposed mapping.
 pub trait CommitPolicy {
-    /// `loads` is the per-cluster load (kbit/s) the proposal puts on this
-    /// CDN's clusters (true background included). Return `false` to veto.
-    fn approves(&mut self, cdn: CdnId, loads: &HashMap<vdx_cdn::ClusterId, f64>) -> bool;
+    /// `loads` is the per-cluster load the proposal puts on this CDN's
+    /// clusters (true background included). Return `false` to veto.
+    fn approves(&mut self, cdn: CdnId, loads: &HashMap<vdx_cdn::ClusterId, Kbps>) -> bool;
 }
 
 /// The honest policy: approve iff no own cluster exceeds true capacity.
 pub struct HonestCommit<'a> {
     /// The fleet whose capacities are checked.
     pub fleet: &'a vdx_cdn::Fleet,
-    /// Background load per cluster, kbit/s.
-    pub background: &'a [f64],
+    /// Background load per cluster.
+    pub background: &'a [Kbps],
 }
 
 impl CommitPolicy for HonestCommit<'_> {
-    fn approves(&mut self, cdn: CdnId, loads: &HashMap<vdx_cdn::ClusterId, f64>) -> bool {
+    fn approves(&mut self, cdn: CdnId, loads: &HashMap<vdx_cdn::ClusterId, Kbps>) -> bool {
         loads.iter().all(|(cluster, load)| {
             let cl = &self.fleet.clusters[cluster.index()];
-            cl.cdn != cdn || load + self.background[cluster.index()] <= cl.capacity_kbps
+            cl.cdn != cdn || *load + self.background[cluster.index()] <= cl.capacity_kbps
         })
     }
 }
@@ -54,7 +55,7 @@ pub struct ObstinateCommit {
 }
 
 impl CommitPolicy for ObstinateCommit {
-    fn approves(&mut self, _cdn: CdnId, _loads: &HashMap<vdx_cdn::ClusterId, f64>) -> bool {
+    fn approves(&mut self, _cdn: CdnId, _loads: &HashMap<vdx_cdn::ClusterId, Kbps>) -> bool {
         if self.vetoes > 0 {
             self.vetoes -= 1;
             false
@@ -96,12 +97,13 @@ pub fn run_transactions(
     let mut outcome = crate::decision::run_decision_round(Design::Transactions, inputs, &score_of);
     for round in 1..=max_rounds {
         // Per-CDN view of the proposal.
-        let mut per_cdn_loads: Vec<HashMap<vdx_cdn::ClusterId, f64>> =
+        let mut per_cdn_loads: Vec<HashMap<vdx_cdn::ClusterId, Kbps>> =
             vec![HashMap::new(); inputs.fleet.cdns.len()];
         for (g, &choice) in outcome.assignment.choice.iter().enumerate() {
             let o = &outcome.problem.options[g][choice];
-            *per_cdn_loads[o.cdn.index()].entry(o.cluster).or_insert(0.0) +=
-                outcome.problem.groups[g].demand_kbps;
+            *per_cdn_loads[o.cdn.index()]
+                .entry(o.cluster)
+                .or_insert(Kbps::ZERO) += outcome.problem.groups[g].demand_kbps;
         }
         let vetoes: Vec<CdnId> = inputs
             .fleet

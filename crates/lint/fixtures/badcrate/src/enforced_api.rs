@@ -1,0 +1,22 @@
+//! Seeded rule-1 violations: raw f64 money/bandwidth in public APIs.
+//! The fixture test maps this file onto an enforced path
+//! (`crates/cdn/src/cost.rs`) before running the rules.
+
+/// Violation: money parameter and return as raw f64.
+pub fn quote_price(base_price_usd: f64, demand_kbps: f64) -> f64 {
+    base_price_usd * demand_kbps
+}
+
+/// Violation: bandwidth field as raw f64.
+pub struct FixtureCluster {
+    pub capacity_kbps: f64,
+    pub score: f64,
+}
+
+/// Violation: money constant as raw f64.
+pub const FLOOR_PRICE: f64 = 0.001;
+
+/// Not a violation: dimensionless f64 under a non-quantity name.
+pub fn blend_ratio(alpha: f64) -> f64 {
+    alpha
+}

@@ -1,0 +1,14 @@
+//! Seeded rule-4 violation: an `Event` variant missing from the schema
+//! table in `DESIGN-excerpt.md`. The fixture test maps this file onto
+//! `crates/obs/src/event.rs` before running the rules.
+
+#[derive(Debug)]
+#[serde(tag = "ev", rename_all = "snake_case")]
+pub enum Event {
+    /// Documented in the excerpt table.
+    RunHeader { schema: u32 },
+    /// Documented in the excerpt table.
+    RoundStarted { round: u64, design: String },
+    /// Violation: not documented in the excerpt table.
+    UndocumentedProbe { value: f64 },
+}

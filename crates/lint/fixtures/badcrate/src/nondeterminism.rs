@@ -1,0 +1,34 @@
+//! Seeded rule-2 violations: unseeded RNG and wall-clock reads in
+//! non-test code. (This file is never compiled; the lint lexes it.)
+
+pub fn roll() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}
+
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+pub fn elapsed() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn reseed() -> StdRng {
+    StdRng::from_entropy()
+}
+
+// Mentioning thread_rng or Instant::now in comments must NOT trip the
+// rule, and neither must the string literal below.
+pub fn doc_only() -> &'static str {
+    "call sites of thread_rng and Instant::now are linted"
+}
+
+#[cfg(test)]
+mod tests {
+    // Exempt: test code may use wall clocks and entropy.
+    fn inside_tests() {
+        let _ = std::time::Instant::now();
+        let _ = rand::thread_rng();
+    }
+}

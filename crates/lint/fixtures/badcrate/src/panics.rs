@@ -1,0 +1,30 @@
+//! Seeded rule-3 violations: unwrap/panic!-family in library non-test
+//! code. (This file is never compiled; the lint lexes it.)
+
+pub fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn explode() {
+    panic!("fixture panic");
+}
+
+pub fn later() {
+    todo!()
+}
+
+// Sanctioned forms that must NOT trip the rule.
+pub fn sanctioned(x: Option<u32>) -> u32 {
+    let a = x.unwrap_or(7);
+    let b = x.unwrap_or_default();
+    let c = x.expect("invariant: fixture always passes Some");
+    a + b + c
+}
+
+#[cfg(test)]
+mod tests {
+    fn inside_tests() {
+        None::<u32>.unwrap();
+        panic!("tests may panic");
+    }
+}

@@ -1,0 +1,242 @@
+//! vdx-lint: the workspace static-analysis pass (DESIGN.md §10).
+//!
+//! Run from anywhere in the workspace:
+//!
+//! ```text
+//! cargo run -p vdx-lint --release
+//! ```
+//!
+//! Scans every `.rs` file under `crates/*/src` and the root `src/`,
+//! enforces the four VDX domain rules (unit-typed public APIs,
+//! determinism, panic discipline, journal-schema coverage), subtracts
+//! the allowlists under `lint/allow/`, writes a machine-readable report
+//! to `target/vdx-lint-report.json`, and exits non-zero on any
+//! non-allowlisted finding.
+
+mod report;
+mod rules;
+mod scan;
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use report::{render_json, Allowlist, Finding};
+use rules::{Config, ScannedFile};
+use scan::SourceFile;
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Some(r) => r,
+        None => {
+            eprintln!("vdx-lint: cannot locate the workspace root (no Cargo.toml found)");
+            return ExitCode::FAILURE;
+        }
+    };
+    let files = match collect_workspace_files(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("vdx-lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let design_md = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+    let mut findings = rules::run_all(&files, &Config::workspace(), design_md.as_deref());
+
+    // Subtract the per-rule allowlists.
+    for f in &mut findings {
+        let allow = root.join("lint/allow").join(format!("{}.txt", f.rule));
+        if Allowlist::load(&allow).covers(f) {
+            f.allowed = true;
+        }
+    }
+
+    let json = render_json(&findings, files.len());
+    let report_path = root.join("target/vdx-lint-report.json");
+    if std::fs::create_dir_all(root.join("target")).is_ok() {
+        if let Err(e) = std::fs::write(&report_path, &json) {
+            eprintln!("vdx-lint: cannot write {}: {e}", report_path.display());
+        }
+    }
+
+    print_summary(&findings, files.len(), &report_path);
+    if findings.iter().any(|f| !f.allowed) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_summary(findings: &[Finding], files: usize, report_path: &Path) {
+    let violations: Vec<&Finding> = findings.iter().filter(|f| !f.allowed).collect();
+    let allowed = findings.len() - violations.len();
+    for f in &violations {
+        println!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        if !f.snippet.is_empty() {
+            println!("    {}", f.snippet);
+        }
+        println!("    allowlist key: {}", f.key());
+    }
+    println!(
+        "vdx-lint: {} files scanned, {} violation(s), {} allowlisted ({})",
+        files,
+        violations.len(),
+        allowed,
+        report_path.display()
+    );
+}
+
+/// The workspace root: walk up from `CARGO_MANIFEST_DIR` (when run via
+/// cargo) or the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn workspace_root() -> Option<PathBuf> {
+    let start = std::env::var_os("CARGO_MANIFEST_DIR")
+        .map(PathBuf::from)
+        .or_else(|| std::env::current_dir().ok())?;
+    let mut dir = start.as_path();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        dir = dir.parent()?;
+    }
+}
+
+/// Collects and lexes every `.rs` source file of the workspace packages:
+/// `crates/<name>/src/**` plus the root package's `src/**`.
+fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<ScannedFile>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in std::fs::read_dir(&crates_dir)? {
+            let pkg = entry?.path();
+            let src = pkg.join("src");
+            if src.is_dir() {
+                // A package with no lib.rs only builds binary targets.
+                let bin_only = !src.join("lib.rs").is_file();
+                collect_rs_files(root, &src, bin_only, &mut files)?;
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        let bin_only = !root_src.join("lib.rs").is_file();
+        collect_rs_files(root, &root_src, bin_only, &mut files)?;
+    }
+    files.sort_by(|a, b| a.source.rel_path.cmp(&b.source.rel_path));
+    Ok(files)
+}
+
+fn collect_rs_files(
+    root: &Path,
+    dir: &Path,
+    pkg_bin_only: bool,
+    out: &mut Vec<ScannedFile>,
+) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs_files(root, &path, pkg_bin_only, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let is_bin = pkg_bin_only || rel.contains("/src/bin/");
+            let src = std::fs::read_to_string(&path)?;
+            out.push(ScannedFile {
+                source: SourceFile::parse(&rel, &src),
+                is_bin,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod fixture_tests {
+    //! The seeded-violation fixture: `fixtures/badcrate` contains at
+    //! least one violation of every rule; the lint must find them all,
+    //! and must run clean over the real workspace (the same invocation
+    //! `scripts/verify.sh` gates on).
+
+    use super::*;
+
+    fn fixture_root() -> PathBuf {
+        // CARGO_MANIFEST_DIR when run via cargo; relative to the
+        // workspace root when the test binary is built directly.
+        option_env!("CARGO_MANIFEST_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| workspace_root().expect("in workspace").join("crates/lint"))
+            .join("fixtures/badcrate")
+    }
+
+    fn scan_fixture() -> Vec<ScannedFile> {
+        let root = fixture_root();
+        let mut files = Vec::new();
+        collect_rs_files(&root, &root.join("src"), false, &mut files).expect("fixture readable");
+        // Map fixture paths onto enforced workspace paths so the
+        // workspace Config applies to them.
+        for f in &mut files {
+            f.source.rel_path = f
+                .source
+                .rel_path
+                .replace("src/enforced_api.rs", "crates/cdn/src/cost.rs")
+                .replace("src/event.rs", "crates/obs/src/event.rs");
+        }
+        files
+    }
+
+    fn violations_of<'f>(findings: &'f [Finding], rule: &str) -> Vec<&'f Finding> {
+        findings.iter().filter(|f| f.rule == rule).collect()
+    }
+
+    #[test]
+    fn fixture_trips_every_rule() {
+        let files = scan_fixture();
+        let md = std::fs::read_to_string(fixture_root().join("DESIGN-excerpt.md"))
+            .expect("fixture schema table");
+        let findings = rules::run_all(&files, &Config::workspace(), Some(&md));
+        for rule in ["raw-f64", "determinism", "no-panics", "event-schema"] {
+            assert!(
+                !violations_of(&findings, rule).is_empty(),
+                "fixture crate must trip rule {rule}: {findings:#?}"
+            );
+        }
+        // And none of them are pre-allowed.
+        assert!(findings.iter().all(|f| !f.allowed));
+    }
+
+    #[test]
+    fn fixture_test_code_is_exempt() {
+        let files = scan_fixture();
+        let findings = rules::run_all(&files, &Config::workspace(), None);
+        assert!(
+            findings.iter().all(|f| f.context != "inside_tests"),
+            "test-module code must be exempt: {findings:#?}"
+        );
+    }
+
+    #[test]
+    fn workspace_is_clean_modulo_allowlists() {
+        let root = workspace_root().expect("workspace root");
+        let files = collect_workspace_files(&root).expect("workspace readable");
+        assert!(files.len() > 50, "expected the full workspace source set");
+        let design_md = std::fs::read_to_string(root.join("DESIGN.md")).ok();
+        let findings = rules::run_all(&files, &Config::workspace(), design_md.as_deref());
+        let open: Vec<&Finding> = findings
+            .iter()
+            .filter(|f| {
+                let allow = root.join("lint/allow").join(format!("{}.txt", f.rule));
+                !Allowlist::load(&allow).covers(f)
+            })
+            .collect();
+        assert!(
+            open.is_empty(),
+            "workspace has non-allowlisted lint violations: {open:#?}"
+        );
+    }
+}

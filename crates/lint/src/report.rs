@@ -1,0 +1,167 @@
+//! Findings, allowlists, and the machine-readable JSON report.
+//!
+//! Allowlist format (one file per rule under `lint/allow/`): `#` comment
+//! lines, blank lines, and one key per entry. A key is
+//! `<workspace-relative path>:<context>` where the context is the
+//! enclosing function (rules 2–3), the offending item name (rules 1 and
+//! 4), or `*` to allow a whole file. Keys deliberately avoid line
+//! numbers so entries survive unrelated edits.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// One rule violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Rule identifier (`raw-f64`, `determinism`, `no-panics`,
+    /// `event-schema`).
+    pub rule: &'static str,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Allowlist context (enclosing fn or item name; see module docs).
+    pub context: String,
+    /// Human-readable description.
+    pub message: String,
+    /// Trimmed source line.
+    pub snippet: String,
+    /// True when an allowlist entry covers this finding.
+    pub allowed: bool,
+}
+
+impl Finding {
+    /// The allowlist key that would suppress this finding.
+    pub fn key(&self) -> String {
+        format!("{}:{}", self.file, self.context)
+    }
+}
+
+/// A parsed allowlist: the set of permitted keys.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    entries: BTreeSet<String>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text (see module docs for the format).
+    pub fn parse(text: &str) -> Allowlist {
+        let entries = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(str::to_string)
+            .collect();
+        Allowlist { entries }
+    }
+
+    /// Loads `path`, treating a missing file as an empty allowlist.
+    pub fn load(path: &Path) -> Allowlist {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Allowlist::parse(&text),
+            Err(_) => Allowlist::default(),
+        }
+    }
+
+    /// True when `finding` is covered by an entry (exact key or
+    /// whole-file `path:*`).
+    pub fn covers(&self, finding: &Finding) -> bool {
+        self.entries.contains(&finding.key())
+            || self.entries.contains(&format!("{}:*", finding.file))
+    }
+
+    /// Entry count (for the report summary).
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+/// Escapes a string for embedding in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the machine-readable report consumed by `scripts/verify.sh`
+/// and CI tooling.
+pub fn render_json(findings: &[Finding], files_scanned: usize) -> String {
+    let violations = findings.iter().filter(|f| !f.allowed).count();
+    let allowed = findings.len() - violations;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+    let _ = writeln!(out, "  \"violations\": {violations},");
+    let _ = writeln!(out, "  \"allowlisted\": {allowed},");
+    out.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"context\": \"{}\", \
+             \"allowed\": {}, \"message\": \"{}\", \"snippet\": \"{}\"}}",
+            json_escape(f.rule),
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.context),
+            f.allowed,
+            json_escape(&f.message),
+            json_escape(&f.snippet),
+        );
+        out.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, context: &str) -> Finding {
+        Finding {
+            rule: "no-panics",
+            file: file.to_string(),
+            line: 3,
+            context: context.to_string(),
+            message: "m".to_string(),
+            snippet: "s".to_string(),
+            allowed: false,
+        }
+    }
+
+    #[test]
+    fn allowlist_matches_exact_and_wildcard_keys() {
+        let a = Allowlist::parse("# comment\n\ncrates/x/src/a.rs:f\ncrates/y/src/b.rs:*\n");
+        assert_eq!(a.len(), 2);
+        assert!(a.covers(&finding("crates/x/src/a.rs", "f")));
+        assert!(!a.covers(&finding("crates/x/src/a.rs", "g")));
+        assert!(a.covers(&finding("crates/y/src/b.rs", "anything")));
+    }
+
+    #[test]
+    fn json_report_counts_and_escapes() {
+        let mut f = finding("a.rs", "f");
+        f.snippet = "say \"hi\"\\".to_string();
+        let mut g = finding("b.rs", "g");
+        g.allowed = true;
+        let json = render_json(&[f, g], 7);
+        assert!(json.contains("\"files_scanned\": 7"));
+        assert!(json.contains("\"violations\": 1"));
+        assert!(json.contains("\"allowlisted\": 1"));
+        assert!(json.contains("say \\\"hi\\\"\\\\"));
+    }
+}

@@ -1,0 +1,599 @@
+//! The four VDX domain rules (DESIGN.md §10).
+//!
+//! 1. `raw-f64` — public APIs in money/bandwidth-bearing modules must not
+//!    pass raw `f64` under a money/bandwidth name; those quantities ride
+//!    the `vdx-core::units` newtypes.
+//! 2. `determinism` — no unseeded RNG or wall-clock reads outside
+//!    `vdx-obs` timing and test code.
+//! 3. `no-panics` — no `unwrap()`/`panic!`-family macros in library-crate
+//!    non-test code; `expect("invariant message")` is the sanctioned form.
+//! 4. `event-schema` — every `obs::Event` variant appears in the
+//!    DESIGN.md §7 journal-schema table.
+
+use crate::report::Finding;
+use crate::scan::{SourceFile, Token};
+
+/// Identifier fragments that mark a quantity as money or bandwidth.
+const QUANTITY_KEYWORDS: &[&str] = &[
+    "price", "cost", "revenue", "bill", "charge", "usd", "profit", "payment", "fee", "kbps",
+    "gbps", "bandwidth", "traffic", "demand", "capacity", "volume",
+];
+
+/// Wall-clock / entropy calls forbidden by the determinism rule.
+const NONDETERMINISM_CALLS: &[&str] = &["thread_rng", "from_entropy"];
+
+/// `Type::now()` receivers forbidden by the determinism rule.
+const NONDETERMINISM_NOW_TYPES: &[&str] = &["SystemTime", "Instant"];
+
+/// Rule configuration: which files each rule covers.
+#[derive(Debug)]
+pub struct Config {
+    /// Files (workspace-relative) whose public APIs rule 1 enforces; an
+    /// entry ending in `/` covers the whole directory.
+    pub enforced_apis: Vec<String>,
+    /// Files exempt from the determinism rule (the timing module that
+    /// legitimately owns the monotonic clock).
+    pub determinism_exempt: Vec<String>,
+}
+
+impl Config {
+    /// The workspace policy from ISSUE/DESIGN: units in `cdn::{cost,
+    /// bidding,capacity,contract}`, `broker::{optimize,qoe}`, all of
+    /// `solver`, and `core::{accounting,exchange,transactions}`; the
+    /// monotonic clock lives in `vdx-obs::timing` only.
+    pub fn workspace() -> Config {
+        Config {
+            enforced_apis: vec![
+                "crates/cdn/src/cost.rs".into(),
+                "crates/cdn/src/bidding.rs".into(),
+                "crates/cdn/src/capacity.rs".into(),
+                "crates/cdn/src/contract.rs".into(),
+                "crates/broker/src/optimize.rs".into(),
+                "crates/broker/src/qoe.rs".into(),
+                "crates/solver/src/".into(),
+                "crates/core/src/accounting.rs".into(),
+                "crates/core/src/exchange.rs".into(),
+                "crates/core/src/transactions.rs".into(),
+            ],
+            determinism_exempt: vec!["crates/obs/src/timing.rs".into()],
+        }
+    }
+
+    fn api_enforced(&self, rel_path: &str) -> bool {
+        self.enforced_apis
+            .iter()
+            .any(|e| rel_path == e || (e.ends_with('/') && rel_path.starts_with(e.as_str())))
+    }
+
+    fn determinism_enforced(&self, rel_path: &str) -> bool {
+        !self.determinism_exempt.iter().any(|e| rel_path == e)
+    }
+}
+
+/// A scanned source file plus the crate-level facts rules need.
+#[derive(Debug)]
+pub struct ScannedFile {
+    /// The lexed file.
+    pub source: SourceFile,
+    /// True when the file belongs to a binary target (`src/bin/` or a
+    /// package with no `src/lib.rs`); exempt from the no-panics rule.
+    pub is_bin: bool,
+}
+
+/// Runs every rule over `files` and returns all findings, sorted by
+/// (file, line).
+pub fn run_all(files: &[ScannedFile], cfg: &Config, design_md: Option<&str>) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for f in files {
+        if cfg.api_enforced(&f.source.rel_path) {
+            check_raw_f64(&f.source, &mut findings);
+        }
+        if cfg.determinism_enforced(&f.source.rel_path) {
+            check_determinism(&f.source, &mut findings);
+        }
+        if !f.is_bin {
+            check_no_panics(&f.source, &mut findings);
+        }
+    }
+    if let Some(md) = design_md {
+        if let Some(event_rs) = files
+            .iter()
+            .find(|f| f.source.rel_path == "crates/obs/src/event.rs")
+        {
+            check_event_schema(&event_rs.source, md, &mut findings);
+        }
+    }
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings
+}
+
+fn keyword_of(ident: &str) -> Option<&'static str> {
+    let lower = ident.to_ascii_lowercase();
+    QUANTITY_KEYWORDS.iter().find(|k| lower.contains(*k)).copied()
+}
+
+/// Rule 1: raw `f64` under a money/bandwidth name in a public signature.
+pub fn check_raw_f64(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if f.test_mask[i] || toks[i].text != "pub" {
+            i += 1;
+            continue;
+        }
+        // Skip a `pub(crate)`-style visibility qualifier.
+        let mut j = i + 1;
+        if toks.get(j).map(|t| t.text.as_str()) == Some("(") {
+            while j < toks.len() && toks[j].text != ")" {
+                j += 1;
+            }
+            j += 1;
+        }
+        match toks.get(j).map(|t| t.text.as_str()) {
+            Some("fn") => {
+                check_pub_fn(f, j, out);
+            }
+            Some("const") | Some("static") => {
+                // `pub const NAME: f64 = ...;`
+                if let (Some(name), Some(colon), Some(ty)) =
+                    (toks.get(j + 1), toks.get(j + 2), toks.get(j + 3))
+                {
+                    if name.is_ident && colon.text == ":" && ty.text == "f64" {
+                        if let Some(kw) = keyword_of(&name.text) {
+                            out.push(raw_f64_finding(f, name, kw, "constant"));
+                        }
+                    }
+                }
+            }
+            Some(_) if toks[j].is_ident => {
+                // A `pub name: Type` struct field (a lone `:`, not `::`).
+                if toks.get(j + 1).map(|t| t.text.as_str()) == Some(":")
+                    && toks.get(j + 2).map(|t| t.text.as_str()) != Some(":")
+                {
+                    let name = &toks[j];
+                    let ty_has_f64 = field_type_tokens(toks, j + 2)
+                        .iter()
+                        .any(|t| t.text == "f64");
+                    if ty_has_f64 {
+                        if let Some(kw) = keyword_of(&name.text) {
+                            out.push(raw_f64_finding(f, name, kw, "field"));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i = j + 1;
+    }
+}
+
+/// Tokens of a struct-field type: from `start` to the `,` or `}` that
+/// closes the field at nesting depth 0.
+fn field_type_tokens<'t>(toks: &'t [Token], start: usize) -> &'t [Token] {
+    let mut depth = 0i32;
+    for (n, t) in toks[start..].iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" | "{" => depth += 1,
+            ")" | "]" | ">" | "}" if depth > 0 => depth -= 1,
+            "," | "}" | ";" if depth == 0 => return &toks[start..start + n],
+            _ => {}
+        }
+    }
+    &toks[start..]
+}
+
+/// Checks one `pub fn` signature starting at the `fn` token.
+fn check_pub_fn(f: &SourceFile, fn_idx: usize, out: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    let Some(name) = toks.get(fn_idx + 1).filter(|t| t.is_ident) else {
+        return;
+    };
+    // Signature tokens: up to the body `{` or trait-decl `;`.
+    let mut end = fn_idx;
+    while end < toks.len() && toks[end].text != "{" && toks[end].text != ";" {
+        end += 1;
+    }
+    let sig = &toks[fn_idx..end];
+    // Parameters: the span inside the outermost parens.
+    let Some(open) = sig.iter().position(|t| t.text == "(") else {
+        return;
+    };
+    let mut depth = 0i32;
+    let mut close = open;
+    for (n, t) in sig[open..].iter().enumerate() {
+        match t.text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    close = open + n;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Split params at top-level commas; a param is `pattern: Type`.
+    let params = &sig[open + 1..close];
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    let mut spans = Vec::new();
+    for (n, t) in params.iter().enumerate() {
+        match t.text.as_str() {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth -= 1,
+            "," if depth == 0 => {
+                spans.push(&params[start..n]);
+                start = n + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < params.len() {
+        spans.push(&params[start..]);
+    }
+    for span in spans {
+        let Some(colon) = span.iter().position(|t| t.text == ":") else {
+            continue;
+        };
+        let Some(pname) = span[..colon].iter().rev().find(|t| t.is_ident) else {
+            continue;
+        };
+        if span[colon..].iter().any(|t| t.text == "f64") {
+            if let Some(kw) = keyword_of(&pname.text) {
+                out.push(Finding {
+                    rule: "raw-f64",
+                    file: f.rel_path.clone(),
+                    line: pname.line,
+                    context: name.text.clone(),
+                    message: format!(
+                        "parameter `{}` of pub fn `{}` passes a {}-like quantity as raw f64; \
+                         use a vdx-core::units newtype",
+                        pname.text, name.text, kw
+                    ),
+                    snippet: f.snippet(pname.line),
+                    allowed: false,
+                });
+            }
+        }
+    }
+    // Return type: after `->`, attributed to the fn name.
+    if let Some(arrow) = sig.iter().position(|t| t.text == "-") {
+        if sig.get(arrow + 1).map(|t| t.text.as_str()) == Some(">")
+            && sig[arrow..].iter().any(|t| t.text == "f64")
+        {
+            if let Some(kw) = keyword_of(&name.text) {
+                out.push(Finding {
+                    rule: "raw-f64",
+                    file: f.rel_path.clone(),
+                    line: name.line,
+                    context: name.text.clone(),
+                    message: format!(
+                        "pub fn `{}` returns a {}-like quantity as raw f64; \
+                         use a vdx-core::units newtype",
+                        name.text, kw
+                    ),
+                    snippet: f.snippet(name.line),
+                    allowed: false,
+                });
+            }
+        }
+    }
+}
+
+fn raw_f64_finding(f: &SourceFile, name: &Token, kw: &str, what: &str) -> Finding {
+    Finding {
+        rule: "raw-f64",
+        file: f.rel_path.clone(),
+        line: name.line,
+        context: name.text.clone(),
+        message: format!(
+            "pub {what} `{}` stores a {kw}-like quantity as raw f64; \
+             use a vdx-core::units newtype",
+            name.text
+        ),
+        snippet: f.snippet(name.line),
+        allowed: false,
+    }
+}
+
+/// Rule 2: unseeded RNG / wall-clock reads outside timing + test code.
+pub fn check_determinism(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask[i] || !t.is_ident {
+            continue;
+        }
+        let call = if NONDETERMINISM_CALLS.contains(&t.text.as_str()) {
+            Some(t.text.clone())
+        } else if NONDETERMINISM_NOW_TYPES.contains(&t.text.as_str())
+            && toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
+            && toks.get(i + 3).map(|t| t.text.as_str()) == Some("now")
+        {
+            Some(format!("{}::now", t.text))
+        } else {
+            None
+        };
+        if let Some(call) = call {
+            out.push(Finding {
+                rule: "determinism",
+                file: f.rel_path.clone(),
+                line: t.line,
+                context: f.fn_context[i].clone(),
+                message: format!(
+                    "`{call}` is nondeterministic; use a seeded RNG or caller-passed SimTime \
+                     (vdx-obs timing and test code are exempt)"
+                ),
+                snippet: f.snippet(t.line),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// Rule 3: `unwrap()` / `panic!`-family macros in library non-test code.
+pub fn check_no_panics(f: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &f.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if f.test_mask[i] || !t.is_ident {
+            continue;
+        }
+        let hit = match t.text.as_str() {
+            "unwrap" => {
+                // `.unwrap()` — a method call with no arguments.
+                i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
+                    && toks.get(i + 2).map(|t| t.text.as_str()) == Some(")")
+            }
+            "panic" | "todo" | "unimplemented" => {
+                toks.get(i + 1).map(|t| t.text.as_str()) == Some("!")
+            }
+            _ => false,
+        };
+        if hit {
+            out.push(Finding {
+                rule: "no-panics",
+                file: f.rel_path.clone(),
+                line: t.line,
+                context: f.fn_context[i].clone(),
+                message: format!(
+                    "`{}` in library non-test code; return a typed error or use \
+                     expect(\"<invariant>\") stating why this cannot fail",
+                    if t.text == "unwrap" {
+                        ".unwrap()".to_string()
+                    } else {
+                        format!("{}!", t.text)
+                    }
+                ),
+                snippet: f.snippet(t.line),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// Rule 4: every `Event` variant appears in the DESIGN.md §7 table.
+pub fn check_event_schema(event_rs: &SourceFile, design_md: &str, out: &mut Vec<Finding>) {
+    let variants = event_variants(event_rs);
+    let documented = documented_tags(design_md);
+    for (name, line) in variants {
+        let tag = camel_to_snake(&name);
+        if !documented.contains(&tag) {
+            out.push(Finding {
+                rule: "event-schema",
+                file: event_rs.rel_path.clone(),
+                line,
+                context: name.clone(),
+                message: format!(
+                    "Event::{name} (journal tag `{tag}`) is missing from the DESIGN.md §7 \
+                     journal-schema table"
+                ),
+                snippet: event_rs.snippet(line),
+                allowed: false,
+            });
+        }
+    }
+}
+
+/// Extracts `(variant name, line)` pairs from `pub enum Event { ... }`.
+fn event_variants(f: &SourceFile) -> Vec<(String, usize)> {
+    let toks = &f.tokens;
+    let Some(start) = toks.windows(3).position(|w| {
+        w[0].text == "pub" && w[1].text == "enum" && w[2].text == "Event"
+    }) else {
+        return Vec::new();
+    };
+    let mut variants = Vec::new();
+    let mut depth = 0i32;
+    let mut i = start + 3;
+    while i < toks.len() {
+        match toks[i].text.as_str() {
+            "{" | "(" => depth += 1,
+            "}" | ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "#" if depth == 1 => {
+                // Skip `#[...]` attribute contents.
+                if toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
+                    let mut adepth = 0i32;
+                    i += 1;
+                    while i < toks.len() {
+                        match toks[i].text.as_str() {
+                            "[" => adepth += 1,
+                            "]" => {
+                                adepth -= 1;
+                                if adepth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            _ if depth == 1 && toks[i].is_ident => {
+                let next = toks.get(i + 1).map(|t| t.text.as_str());
+                if matches!(next, Some("{") | Some("(") | Some(",") | Some("}")) {
+                    variants.push((toks[i].text.clone(), toks[i].line));
+                    // Skip any payload block so field names are not
+                    // mistaken for variants.
+                    if matches!(next, Some("{") | Some("(")) {
+                        let mut vdepth = 0i32;
+                        i += 1;
+                        while i < toks.len() {
+                            match toks[i].text.as_str() {
+                                "{" | "(" => vdepth += 1,
+                                "}" | ")" => {
+                                    vdepth -= 1;
+                                    if vdepth == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    variants
+}
+
+/// Backtick-quoted tags from DESIGN.md table rows (`| `tag` | ... |`).
+fn documented_tags(design_md: &str) -> Vec<String> {
+    let mut tags = Vec::new();
+    for line in design_md.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let Some(first_cell) = line.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = first_cell.trim();
+        if let Some(tag) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            tags.push(tag.to_string());
+        }
+    }
+    tags
+}
+
+/// `RunHeader` → `run_header` (serde's snake_case rename rule).
+fn camel_to_snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan(path: &str, src: &str) -> SourceFile {
+        SourceFile::parse(path, src)
+    }
+
+    #[test]
+    fn raw_f64_flags_money_params_fields_and_returns() {
+        let src = "pub fn charge(price_per_mb: f64) -> f64 { price_per_mb }\n\
+                   pub fn total_cost(x: u32) -> f64 { 0.0 }\n\
+                   pub struct A { pub capacity_kbps: f64, pub score: f64 }\n\
+                   pub const BASE_PRICE: f64 = 1.0;";
+        let mut out = Vec::new();
+        check_raw_f64(&scan("crates/cdn/src/cost.rs", src), &mut out);
+        let contexts: Vec<&str> = out.iter().map(|f| f.context.as_str()).collect();
+        // `charge` is flagged twice: once for the parameter, once for
+        // the money-named return type.
+        assert_eq!(
+            contexts,
+            vec!["charge", "charge", "total_cost", "capacity_kbps", "BASE_PRICE"],
+            "{out:#?}"
+        );
+    }
+
+    #[test]
+    fn raw_f64_ignores_dimensionless_and_private_items() {
+        let src = "pub fn objective(&self) -> f64 { 0.0 }\n\
+                   fn charge(price: f64) -> f64 { price }\n\
+                   pub struct B { pub ratio: f64 }";
+        let mut out = Vec::new();
+        check_raw_f64(&scan("crates/solver/src/gap.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn determinism_flags_rng_and_clocks_outside_tests() {
+        let src = "fn a() { let r = rand::thread_rng(); }\n\
+                   fn b() { let t = std::time::SystemTime::now(); }\n\
+                   fn c() { let t = Instant::now(); }\n\
+                   fn d() { let r = StdRng::from_entropy(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { let r = rand::thread_rng(); } }";
+        let mut out = Vec::new();
+        check_determinism(&scan("crates/sim/src/x.rs", src), &mut out);
+        let ctx: Vec<&str> = out.iter().map(|f| f.context.as_str()).collect();
+        assert_eq!(ctx, vec!["a", "b", "c", "d"], "{out:#?}");
+    }
+
+    #[test]
+    fn determinism_ignores_comments_and_strings() {
+        let src = "// thread_rng in a comment\nfn a() { let s = \"Instant::now\"; }";
+        let mut out = Vec::new();
+        check_determinism(&scan("crates/sim/src/x.rs", src), &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn no_panics_flags_unwrap_and_panic_family() {
+        let src = "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
+                   fn b() { panic!(\"boom\"); }\n\
+                   fn c() { todo!() }\n\
+                   fn ok(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
+                   fn ok2(x: Option<u32>) -> u32 { x.expect(\"invariant: caller checked\") }\n\
+                   #[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }";
+        let mut out = Vec::new();
+        check_no_panics(&scan("crates/cdn/src/y.rs", src), &mut out);
+        let ctx: Vec<&str> = out.iter().map(|f| f.context.as_str()).collect();
+        assert_eq!(ctx, vec!["a", "b", "c"], "{out:#?}");
+    }
+
+    #[test]
+    fn event_schema_reports_undocumented_variants() {
+        let src = "#[derive(Serialize)]\n#[serde(tag = \"ev\")]\npub enum Event {\n\
+                   RunHeader { schema: u32 },\n\
+                   RoundStarted { round: u64 },\n\
+                   SecretEvent { x: u32 },\n}";
+        let md = "| `ev` tag | Emitted by |\n|---|---|\n\
+                  | `run_header` | repro |\n| `round_started` | core |\n";
+        let mut out = Vec::new();
+        check_event_schema(&scan("crates/obs/src/event.rs", src), md, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].context, "SecretEvent");
+        assert!(out[0].message.contains("`secret_event`"));
+    }
+
+    #[test]
+    fn camel_to_snake_matches_serde() {
+        assert_eq!(camel_to_snake("RunHeader"), "run_header");
+        assert_eq!(camel_to_snake("CdnOutage"), "cdn_outage");
+        assert_eq!(camel_to_snake("WireDrops"), "wire_drops");
+    }
+}

@@ -1,0 +1,377 @@
+//! Source-file model for the lint rules.
+//!
+//! The rules do not need full Rust parsing — they need a token stream with
+//! comments and literal *contents* removed (so `// thread_rng` in a doc
+//! comment is not a finding), a per-line "is this test code" mask (so
+//! `#[cfg(test)]` modules and `#[test]` functions are exempt), and the
+//! name of the enclosing `fn` for stable allowlist keys. A hand-rolled
+//! lexer provides all three without any dependency.
+
+/// One lexed token of sanitized source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text (literal contents are blanked to `""`/`''` by the
+    /// sanitizer before lexing, so string tokens carry no payload).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// True for identifier/keyword tokens.
+    pub is_ident: bool,
+}
+
+/// A lexed, sanitized source file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+    /// Raw source lines (for report snippets).
+    pub lines: Vec<String>,
+    /// Token stream of the sanitized source.
+    pub tokens: Vec<Token>,
+    /// `test_mask[i]` is true when token `i` sits inside `#[cfg(test)]`
+    /// or `#[test]` code.
+    pub test_mask: Vec<bool>,
+    /// `fn_context[i]` names the innermost enclosing function of token
+    /// `i`, or the empty string at module level.
+    pub fn_context: Vec<String>,
+}
+
+impl SourceFile {
+    /// Lexes `src`; `rel_path` is recorded for findings.
+    pub fn parse(rel_path: &str, src: &str) -> SourceFile {
+        let sanitized = sanitize(src);
+        let tokens = lex(&sanitized);
+        let test_mask = mark_test_code(&tokens);
+        let fn_context = mark_fn_context(&tokens);
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            lines: src.lines().map(str::to_string).collect(),
+            tokens,
+            test_mask,
+            fn_context,
+        }
+    }
+
+    /// The raw source line (1-based), trimmed, for report snippets.
+    pub fn snippet(&self, line: usize) -> String {
+        self.lines
+            .get(line.saturating_sub(1))
+            .map(|l| l.trim().to_string())
+            .unwrap_or_default()
+    }
+}
+
+/// Replaces comment text and string/char literal contents with spaces,
+/// preserving every newline so token line numbers match the raw source.
+fn sanitize(src: &str) -> String {
+    let bytes: Vec<char> = src.chars().collect();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if bytes.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        if bytes[i] == '\n' {
+                            out.push('\n');
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                out.push('"');
+                i += 1;
+                while i < bytes.len() && bytes[i] != '"' {
+                    if bytes[i] == '\\' {
+                        i += 1;
+                    }
+                    if bytes.get(i) == Some(&'\n') {
+                        out.push('\n');
+                    }
+                    i += 1;
+                }
+                out.push('"');
+                i += 1;
+            }
+            'r' if matches!(bytes.get(i + 1), Some('"') | Some('#')) => {
+                // Raw string: r"..." or r#"..."# etc.
+                let mut hashes = 0;
+                let mut j = i + 1;
+                while bytes.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if bytes.get(j) == Some(&'"') {
+                    out.push('"');
+                    j += 1;
+                    'raw: while j < bytes.len() {
+                        if bytes[j] == '"' {
+                            let mut k = 0;
+                            while k < hashes && bytes.get(j + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                j += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        if bytes[j] == '\n' {
+                            out.push('\n');
+                        }
+                        j += 1;
+                    }
+                    out.push('"');
+                    i = j;
+                } else {
+                    out.push(c);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                // Char literal vs lifetime: a lifetime is `'ident` not
+                // followed by a closing quote.
+                let next = bytes.get(i + 1).copied().unwrap_or(' ');
+                let after = bytes.get(i + 2).copied().unwrap_or(' ');
+                let is_lifetime =
+                    (next.is_alphabetic() || next == '_') && after != '\'' && next != '\\';
+                if is_lifetime {
+                    out.push('\'');
+                    i += 1;
+                } else {
+                    out.push('\'');
+                    i += 1;
+                    while i < bytes.len() && bytes[i] != '\'' {
+                        if bytes[i] == '\\' {
+                            i += 1;
+                        }
+                        i += 1;
+                    }
+                    out.push('\'');
+                    i += 1;
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Splits sanitized source into identifier and punctuation tokens.
+fn lex(sanitized: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let chars: Vec<char> = sanitized.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphanumeric() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token {
+                text: chars[start..i].iter().collect(),
+                line,
+                is_ident: true,
+            });
+        } else {
+            tokens.push(Token {
+                text: c.to_string(),
+                line,
+                is_ident: false,
+            });
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Marks every token inside `#[cfg(test)]` items and `#[test]` functions.
+fn mark_test_code(tokens: &[Token]) -> Vec<bool> {
+    let mut mask = vec![false; tokens.len()];
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_test_attribute(tokens, i) {
+            // Mark from the attribute through the end of the item it
+            // decorates: scan to the first `{` at depth 0 (relative to
+            // here), then to its matching `}`. Items ending in `;`
+            // (e.g. `#[cfg(test)] use ...;`) stop at the `;`.
+            let mut j = i;
+            let mut depth = 0i32;
+            let mut entered = false;
+            while j < tokens.len() {
+                match tokens[j].text.as_str() {
+                    "{" => {
+                        depth += 1;
+                        entered = true;
+                    }
+                    "}" => {
+                        depth -= 1;
+                        if entered && depth == 0 {
+                            break;
+                        }
+                    }
+                    ";" if !entered && depth == 0 => break,
+                    _ => {}
+                }
+                j += 1;
+            }
+            for m in mask.iter_mut().take((j + 1).min(tokens.len())).skip(i) {
+                *m = true;
+            }
+            i = j + 1;
+        } else {
+            i += 1;
+        }
+    }
+    mask
+}
+
+/// True when tokens at `i` start `#[test]`, `#[cfg(test)]`, or
+/// `#[cfg(any/all(... test ...))]`.
+fn is_test_attribute(tokens: &[Token], i: usize) -> bool {
+    if tokens.get(i).map(|t| t.text.as_str()) != Some("#")
+        || tokens.get(i + 1).map(|t| t.text.as_str()) != Some("[")
+    {
+        return false;
+    }
+    // Collect the attribute token texts up to the matching `]`.
+    let mut depth = 0i32;
+    let mut body = Vec::new();
+    for t in &tokens[i + 1..] {
+        match t.text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => body.push(t.text.as_str()),
+        }
+    }
+    match body.first().copied() {
+        Some("test") => body.len() == 1,
+        Some("cfg") => body.contains(&"test"),
+        _ => false,
+    }
+}
+
+/// Names the innermost enclosing `fn` for every token.
+fn mark_fn_context(tokens: &[Token]) -> Vec<String> {
+    let mut ctx = vec![String::new(); tokens.len()];
+    // Stack of (fn name, brace depth at which its body opened).
+    let mut stack: Vec<(String, i32)> = Vec::new();
+    let mut depth = 0i32;
+    let mut pending: Option<String> = None;
+    for (i, t) in tokens.iter().enumerate() {
+        match t.text.as_str() {
+            "{" => {
+                depth += 1;
+                if let Some(name) = pending.take() {
+                    stack.push((name, depth));
+                }
+            }
+            "}" => {
+                if let Some((_, d)) = stack.last() {
+                    if *d == depth {
+                        stack.pop();
+                    }
+                }
+                depth -= 1;
+            }
+            ";" => {
+                // `fn f(...);` in a trait: the pending fn never opens.
+                pending = None;
+            }
+            "fn" if t.is_ident => {
+                if let Some(name) = tokens.get(i + 1) {
+                    if name.is_ident {
+                        pending = Some(name.text.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+        if let Some((name, _)) = stack.last() {
+            ctx[i] = name.clone();
+        }
+    }
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_strips_comments_and_literals() {
+        let src = "let a = \"thread_rng\"; // Instant::now\n/* panic! */ let b = 'x';";
+        let s = sanitize(src);
+        assert!(!s.contains("thread_rng"));
+        assert!(!s.contains("Instant"));
+        assert!(!s.contains("panic"));
+        assert_eq!(s.matches('\n').count(), src.matches('\n').count());
+    }
+
+    #[test]
+    fn sanitize_handles_raw_strings_and_lifetimes() {
+        let src = "fn f<'a>(x: &'a str) { let s = r#\"panic!(\"boom\")\"#; }";
+        let s = sanitize(src);
+        assert!(!s.contains("panic"));
+        assert!(s.contains("'a"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_modules() {
+        let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }";
+        let f = SourceFile::parse("x.rs", src);
+        let unwraps: Vec<(usize, bool)> = f
+            .tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.text == "unwrap")
+            .map(|(i, t)| (t.line, f.test_mask[i]))
+            .collect();
+        assert_eq!(unwraps, vec![(1, false), (3, true)]);
+    }
+
+    #[test]
+    fn fn_context_names_enclosing_function() {
+        let src = "fn outer() { helper(); }\nfn inner() { other(); }";
+        let f = SourceFile::parse("x.rs", src);
+        let ctx_of = |name: &str| -> String {
+            f.tokens
+                .iter()
+                .enumerate()
+                .find(|(_, t)| t.text == name)
+                .map(|(i, _)| f.fn_context[i].clone())
+                .expect("token present")
+        };
+        assert_eq!(ctx_of("helper"), "outer");
+        assert_eq!(ctx_of("other"), "inner");
+    }
+}

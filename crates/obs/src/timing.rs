@@ -39,6 +39,10 @@ impl<'a> ScopedTimer<'a> {
         ScopedTimer {
             registry,
             name,
+            // The sanctioned monotonic-clock read: timing probes measure the
+            // run, they never feed results (vdx-lint `determinism` exempts
+            // this file; see DESIGN.md §10).
+            #[allow(clippy::disallowed_methods)]
             start: Instant::now(),
         }
     }
@@ -73,6 +77,8 @@ impl Stopwatch {
     /// Starts the stopwatch.
     pub fn start() -> Stopwatch {
         Stopwatch {
+            // Sanctioned monotonic-clock read, as above.
+            #[allow(clippy::disallowed_methods)]
             start: Instant::now(),
         }
     }

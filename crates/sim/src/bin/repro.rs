@@ -68,6 +68,9 @@ fn with_threads<R>(threads: Option<usize>, f: impl FnOnce() -> R) -> R {
 
 /// Wall-clock start of the run, Unix milliseconds (zeroed by the journal
 /// determinism tooling; see `Event::zero_wall_clock`).
+// Allowed wall-clock read: the run-header timestamp is zeroed before any
+// byte-identity comparison (vdx-lint allowlist entry; DESIGN.md §10).
+#[allow(clippy::disallowed_methods)]
 fn unix_ms() -> u64 {
     std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)

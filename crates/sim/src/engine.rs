@@ -22,7 +22,7 @@ use crate::scenario::Scenario;
 use rayon::prelude::*;
 use vdx_broker::CpPolicy;
 use vdx_core::{Design, RoundId, RoundOutcome};
-use vdx_obs::{MemoryProbe, NoopProbe, Probe};
+use vdx_obs::{MemoryProbe, NoopProbe};
 
 /// One independent decision round an experiment wants run.
 #[derive(Debug, Clone, Copy)]

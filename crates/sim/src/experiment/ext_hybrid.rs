@@ -49,9 +49,13 @@ pub fn run(scenario: &Scenario) -> HybridResult {
         let settled = settle(outcome, &scenario.world, &scenario.fleet);
         SchemeOutcome {
             name: name.to_string(),
-            cp_bill: settled.per_cdn.iter().map(|c| c.ledger.revenue).sum(),
+            cp_bill: settled
+                .per_cdn
+                .iter()
+                .map(|c| c.ledger.revenue.as_f64())
+                .sum(),
             losing_cdns: settled.losing_cdns(),
-            total_profit: settled.total_profit(),
+            total_profit: settled.total_profit().as_f64(),
         }
     };
     HybridResult {

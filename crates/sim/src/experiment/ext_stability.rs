@@ -62,7 +62,7 @@ fn churn_series(scenario: &Scenario, rounds: usize, learn: bool) -> Vec<f64> {
                 }
             })
             .collect();
-        let margins: Vec<f64> = (0..scenario.fleet.clusters.len())
+        let margins: Vec<vdx_units::Margin> = (0..scenario.fleet.clusters.len())
             .map(|i| shading.margin(vdx_cdn::ClusterId(i as u32)))
             .collect();
         let inputs = RoundInputs {
@@ -93,7 +93,7 @@ fn churn_series(scenario: &Scenario, rounds: usize, learn: bool) -> Vec<f64> {
         let mut traffic = vec![0.0f64; scenario.fleet.cdns.len()];
         for (g, &choice) in outcome.assignment.choice.iter().enumerate() {
             let o = &outcome.problem.options[g][choice];
-            traffic[o.cdn.index()] += groups[g].demand_kbps;
+            traffic[o.cdn.index()] += groups[g].demand_kbps.as_f64();
         }
         if let Some(prev) = &prev_traffic {
             let moved: f64 = traffic

@@ -81,10 +81,10 @@ pub fn render_cdn_views(result: &AccountingResult) -> String {
                 .price_to_cost()
                 .map(|r| format!("{r:.2}"))
                 .unwrap_or_else(|| "-".into()),
-            format!("{:.0}", b.ledger.traffic_kbps),
-            format!("{:.0}", v.ledger.traffic_kbps),
-            format!("{:+.2}", b.ledger.profit()),
-            format!("{:+.2}", v.ledger.profit()),
+            format!("{:.0}", b.ledger.traffic_kbps.as_f64()),
+            format!("{:.0}", v.ledger.traffic_kbps.as_f64()),
+            format!("{:+.2}", b.ledger.profit().as_f64()),
+            format!("{:+.2}", v.ledger.profit().as_f64()),
         ]);
     }
     let mut out = render_table(
@@ -129,10 +129,10 @@ pub fn render_country_views(result: &AccountingResult) -> String {
             b.price_to_cost()
                 .map(|r| format!("{r:.2}"))
                 .unwrap_or_else(|| "-".into()),
-            format!("{:.0}", b.traffic_kbps),
-            format!("{:.0}", v.traffic_kbps),
-            format!("{:+.2}", b.profit()),
-            format!("{:+.2}", v.profit()),
+            format!("{:.0}", b.traffic_kbps.as_f64()),
+            format!("{:.0}", v.traffic_kbps.as_f64()),
+            format!("{:+.2}", b.profit().as_f64()),
+            format!("{:+.2}", v.profit().as_f64()),
         ]);
     }
     render_table(
@@ -157,7 +157,12 @@ mod tests {
         assert!(r.brokered.losing_cdns() >= 1, "Brokered losers expected");
         assert_eq!(r.vdx.losing_cdns(), 0, "VDX losers: {:#?}", r.vdx.per_cdn);
         // Traffic is conserved between the two worlds.
-        let t = |s: &Settlement| -> f64 { s.per_cdn.iter().map(|c| c.ledger.traffic_kbps).sum() };
+        let t = |s: &Settlement| -> f64 {
+            s.per_cdn
+                .iter()
+                .map(|c| c.ledger.traffic_kbps.as_f64())
+                .sum()
+        };
         assert!((t(&r.brokered) - t(&r.vdx)).abs() < 1e-6);
         assert!(render_cdn_views(&r).contains("losing CDNs"));
     }
@@ -176,8 +181,8 @@ mod tests {
                     .iter()
                     .position(|&c| c == country)
                     .expect("country in union");
-                num += r.country_cost_index[pos] * ledger.traffic_kbps;
-                den += ledger.traffic_kbps;
+                num += r.country_cost_index[pos] * ledger.traffic_kbps.as_f64();
+                den += ledger.traffic_kbps.as_f64();
             }
             num / den.max(1e-9)
         };
@@ -193,9 +198,9 @@ mod tests {
     fn fig15_vdx_profits_everywhere_it_serves() {
         let r = result();
         for (country, ledger) in &r.vdx.per_country {
-            if ledger.cost > 0.0 {
+            if ledger.cost > vdx_core::units::Usd::ZERO {
                 assert!(
-                    ledger.profit() > 0.0,
+                    ledger.profit() > vdx_core::units::Usd::ZERO,
                     "VDX loses money in {country}: {ledger:?}"
                 );
             }

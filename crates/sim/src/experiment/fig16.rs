@@ -48,8 +48,8 @@ pub fn run(scenario: &Scenario, n: usize) -> Fig16Result {
         let row = (
             cdn.id.to_string(),
             cdn.model.label().to_string(),
-            brokered.per_cdn[i].ledger.profit(),
-            vdx.per_cdn[i].ledger.profit(),
+            brokered.per_cdn[i].ledger.profit().as_f64(),
+            vdx.per_cdn[i].ledger.profit().as_f64(),
         );
         if i < n_traditional {
             traditional.push(row);

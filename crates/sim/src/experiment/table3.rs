@@ -77,14 +77,14 @@ pub fn render(result: &Table3Result) -> String {
     )
 }
 
-/// Convenience accessor by design name.
-pub fn metrics_of<'a>(result: &'a Table3Result, name: &str) -> &'a DesignMetrics {
-    &result
+/// Convenience accessor by design name; `None` when the table has no
+/// row under that name.
+pub fn metrics_of<'a>(result: &'a Table3Result, name: &str) -> Option<&'a DesignMetrics> {
+    result
         .rows
         .iter()
         .find(|(n, _)| n == name)
-        .unwrap_or_else(|| panic!("no design named {name}"))
-        .1
+        .map(|(_, m)| m)
 }
 
 #[cfg(test)]
@@ -96,10 +96,10 @@ mod tests {
         let s: &Scenario = crate::scenario::shared_small();
         let r = run(&s);
         assert_eq!(r.rows.len(), 8);
-        let brokered = metrics_of(&r, "Brokered");
-        let multicluster100 = metrics_of(&r, "Multicluster (100)");
-        let marketplace = metrics_of(&r, "Marketplace");
-        let omniscient = metrics_of(&r, "Omniscient");
+        let brokered = metrics_of(&r, "Brokered").expect("row exists");
+        let multicluster100 = metrics_of(&r, "Multicluster (100)").expect("row exists");
+        let marketplace = metrics_of(&r, "Marketplace").expect("row exists");
+        let omniscient = metrics_of(&r, "Omniscient").expect("row exists");
 
         // Multicluster buys performance (score/distance) over Brokered.
         assert!(multicluster100.score <= brokered.score);

@@ -210,8 +210,8 @@ fn bids_by_cdn(problem: &BrokerProblem, cdns: usize) -> Vec<Vec<Bid>> {
                     cluster_id: o.cluster.0 as u64,
                     share_id: g as u64,
                     performance_estimate: o.score.value(),
-                    capacity_kbps: o.believed_capacity_kbps,
-                    price_per_mb: o.price_per_mb,
+                    capacity_kbps: o.believed_capacity_kbps.as_f64(),
+                    price_per_mb: o.price_per_mb.as_per_megabit(),
                 });
             }
         }

@@ -68,7 +68,7 @@ pub fn compute(input: &MetricsInput<'_>) -> DesignMetrics {
         let cluster = &s.fleet.clusters[option.cluster.index()];
         let weight = group.sessions as u64;
 
-        cost_samples.push((cluster.cost_per_mb(), weight));
+        cost_samples.push((cluster.cost_per_mb().as_per_megabit(), weight));
         score_samples.push((option.score.value(), weight));
         distance_samples.push((s.world.distance_miles(group.city, cluster.city), weight));
 
@@ -84,12 +84,15 @@ pub fn compute(input: &MetricsInput<'_>) -> DesignMetrics {
     // traffic.
     let mut load_pcts: Vec<(f64, u64)> = Vec::new();
     for (cluster, brokered) in &out.assignment.cluster_load_kbps {
-        if *brokered <= 0.0 {
+        if *brokered <= vdx_units::Kbps::ZERO {
             continue;
         }
         let cl = &s.fleet.clusters[cluster.index()];
-        let load = brokered + s.background_load[cluster.index()];
-        load_pcts.push((100.0 * load / cl.capacity_kbps.max(1e-9), 1));
+        let load = *brokered + s.background_load[cluster.index()];
+        load_pcts.push((
+            100.0 * load.as_f64() / cl.capacity_kbps.as_f64().max(1e-9),
+            1,
+        ));
     }
 
     DesignMetrics {

@@ -31,6 +31,7 @@ use vdx_geo::{CityId, World, WorldConfig};
 use vdx_netsim::{NetModel, NetModelConfig, Score, ScoreMatrix};
 use vdx_obs::Probe;
 use vdx_trace::{BrokerTrace, BrokerTraceConfig};
+use vdx_units::Kbps;
 
 /// Scenario scale and seeds.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -104,10 +105,10 @@ pub struct Scenario {
     pub contracts: Vec<Contract>,
     /// The broker's client groups.
     pub groups: Vec<ClientGroup>,
-    /// Per-group background demand, kbit/s.
-    pub background_kbps: Vec<f64>,
-    /// Per-cluster background load, kbit/s.
-    pub background_load: Vec<f64>,
+    /// Per-group background demand.
+    pub background_kbps: Vec<Kbps>,
+    /// Per-cluster background load.
+    pub background_load: Vec<Kbps>,
     /// Observability probe; the default no-op keeps rounds pure.
     probe: Arc<dyn Probe>,
     /// Precomputed (client city × cluster city) scores; every score the
@@ -285,8 +286,8 @@ impl Scenario {
         run_decision_round_probed(design, &inputs, |a, b| self.score_of(a, b), round, probe)
     }
 
-    /// Total brokered demand, kbit/s.
-    pub fn brokered_demand_kbps(&self) -> f64 {
+    /// Total brokered demand.
+    pub fn brokered_demand_kbps(&self) -> Kbps {
         self.groups.iter().map(|g| g.demand_kbps).sum()
     }
 }
@@ -323,13 +324,13 @@ mod tests {
         assert_eq!(s.fleet.cdns.len(), 7);
         assert_eq!(s.groups.len(), s.background_kbps.len());
         assert_eq!(s.background_load.len(), s.fleet.clusters.len());
-        assert!(s.brokered_demand_kbps() > 0.0);
+        assert!(s.brokered_demand_kbps() > Kbps::ZERO);
         // Capacities planned and contracts negotiated for every CDN.
         for cl in &s.fleet.clusters {
-            assert!(cl.capacity_kbps > 0.0);
+            assert!(cl.capacity_kbps > Kbps::ZERO);
         }
         for c in &s.contracts {
-            assert!(c.base_price_per_mb > 0.0);
+            assert!(c.base_price_per_mb > vdx_core::units::UsdPerGb::ZERO);
         }
     }
 

@@ -27,6 +27,9 @@ fn journaled_run(path: &Path) {
         experiment: "determinism".into(),
         seed: 2017,
         scale: "small".into(),
+        // Wall-clock read deliberate here: the test proves zero_wall_clock
+        // scrubs it, so journals stay byte-identical across runs.
+        #[allow(clippy::disallowed_methods)]
         started_unix_ms: std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)

@@ -190,6 +190,7 @@ pub fn solve_unit_assignment(
 mod tests {
     use super::*;
     use crate::gap::{AssignmentProblem, CandidateOption};
+    use vdx_units::Kbps;
     use crate::milp::MilpConfig;
 
     #[test]
@@ -244,7 +245,7 @@ mod tests {
             }
             let mut buckets = Vec::new();
             let mut values = Vec::new();
-            let mut gap = AssignmentProblem::new(caps.iter().map(|&c| c as f64).collect());
+            let mut gap = AssignmentProblem::new(caps.iter().map(|&c| Kbps::new(c as f64)).collect());
             for _ in 0..clients {
                 let bs: Vec<usize> = (0..nbuckets).collect();
                 let vs: Vec<f64> = bs
@@ -257,7 +258,7 @@ mod tests {
                         .map(|(&b, &v)| CandidateOption {
                             bucket: b,
                             value: v,
-                            load: 1.0,
+                            load: Kbps::new(1.0),
                         })
                         .collect(),
                 );

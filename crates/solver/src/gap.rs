@@ -25,6 +25,7 @@
 use crate::milp::{solve_milp_with_stats, MilpConfig, MilpOutcome};
 use crate::model::{LinearProgram, Relation};
 use crate::stats::SolveStats;
+use vdx_units::Kbps;
 
 /// One candidate option for a client.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -34,7 +35,7 @@ pub struct CandidateOption {
     /// Contribution to the objective if chosen (higher is better).
     pub value: f64,
     /// Load placed on the bucket if chosen (e.g. the client's bitrate).
-    pub load: f64,
+    pub load: Kbps,
 }
 
 /// A generalized assignment problem.
@@ -43,7 +44,7 @@ pub struct AssignmentProblem {
     /// Candidate options per client; every client must have ≥ 1 option.
     pub options: Vec<Vec<CandidateOption>>,
     /// Capacity per bucket.
-    pub capacities: Vec<f64>,
+    pub capacities: Vec<Kbps>,
 }
 
 /// A complete assignment: for each client, the index into its option list.
@@ -57,7 +58,7 @@ pub struct Assignment {
 
 impl AssignmentProblem {
     /// Creates a problem with the given bucket capacities.
-    pub fn new(capacities: Vec<f64>) -> AssignmentProblem {
+    pub fn new(capacities: Vec<Kbps>) -> AssignmentProblem {
         AssignmentProblem {
             options: Vec::new(),
             capacities,
@@ -79,7 +80,7 @@ impl AssignmentProblem {
                 "bucket {} out of range",
                 o.bucket
             );
-            assert!(o.load >= 0.0, "loads must be non-negative");
+            assert!(o.load >= Kbps::ZERO, "loads must be non-negative");
         }
         self.options.push(options);
         self.options.len() - 1
@@ -100,21 +101,36 @@ impl AssignmentProblem {
     }
 
     /// Load placed on each bucket by a choice vector.
-    pub fn bucket_loads(&self, choice: &[usize]) -> Vec<f64> {
-        let mut loads = vec![0.0; self.capacities.len()];
+    pub fn bucket_loads(&self, choice: &[usize]) -> Vec<Kbps> {
+        let mut loads = vec![Kbps::ZERO; self.capacities.len()];
         for (c, &o) in choice.iter().enumerate() {
             let opt = self.options[c][o];
             loads[opt.bucket] += opt.load;
+        }
+        // Conservation: the demand placed by the choice vector must equal
+        // the load that lands on buckets — any drift is an accounting bug.
+        #[cfg(feature = "strict-invariants")]
+        {
+            let placed: f64 = choice
+                .iter()
+                .enumerate()
+                .map(|(c, &o)| self.options[c][o].load.as_f64())
+                .sum();
+            let landed: f64 = loads.iter().map(|l| l.as_f64()).sum();
+            debug_assert!(
+                (placed - landed).abs() <= 1e-6 * placed.abs().max(1.0),
+                "bucket loads lost demand: placed {placed}, landed {landed}"
+            );
         }
         loads
     }
 
     /// Whether a choice vector respects all (believed) capacities.
-    pub fn respects_capacities(&self, choice: &[usize], tol: f64) -> bool {
+    pub fn respects_capacities(&self, choice: &[usize], tol: Kbps) -> bool {
         self.bucket_loads(choice)
             .iter()
             .zip(&self.capacities)
-            .all(|(l, c)| *l <= c + tol)
+            .all(|(l, c)| *l <= *c + tol)
     }
 
     /// Regret-ordered greedy construction (see module docs). Always returns
@@ -194,9 +210,11 @@ impl AssignmentProblem {
                         continue;
                     }
                     let fits = if o.bucket == cur.bucket {
-                        loads[o.bucket] - cur.load + o.load <= self.capacities[o.bucket] + 1e-9
+                        (loads[o.bucket] - cur.load + o.load).as_f64()
+                            <= self.capacities[o.bucket].as_f64() + 1e-9
                     } else {
-                        loads[o.bucket] + o.load <= self.capacities[o.bucket] + 1e-9
+                        (loads[o.bucket] + o.load).as_f64()
+                            <= self.capacities[o.bucket].as_f64() + 1e-9
                     };
                     if fits {
                         loads[cur.bucket] -= cur.load;
@@ -258,13 +276,13 @@ impl AssignmentProblem {
             let mut coeffs = Vec::new();
             for (c, opts) in self.options.iter().enumerate() {
                 for (i, o) in opts.iter().enumerate() {
-                    if o.bucket == b && o.load > 0.0 {
-                        coeffs.push((var_of[c][i], o.load));
+                    if o.bucket == b && o.load > Kbps::ZERO {
+                        coeffs.push((var_of[c][i], o.load.as_f64()));
                     }
                 }
             }
             if !coeffs.is_empty() {
-                lp.add_constraint(coeffs, Relation::Le, cap);
+                lp.add_constraint(coeffs, Relation::Le, cap.as_f64());
             }
         }
         let all_vars: Vec<usize> = (0..num_vars).collect();
@@ -285,10 +303,10 @@ impl AssignmentProblem {
     }
 }
 
-fn overload_ratio(o: CandidateOption, remaining: &[f64], capacities: &[f64]) -> f64 {
-    let cap = capacities[o.bucket].max(1e-12);
+fn overload_ratio(o: CandidateOption, remaining: &[Kbps], capacities: &[Kbps]) -> f64 {
+    let cap = capacities[o.bucket].as_f64().max(1e-12);
     // How far past capacity this bucket would go, relative to capacity.
-    ((o.load - remaining[o.bucket]).max(0.0)) / cap
+    (o.load.as_f64() - remaining[o.bucket].as_f64()).max(0.0) / cap
 }
 
 #[cfg(test)]
@@ -299,36 +317,40 @@ mod tests {
         CandidateOption {
             bucket,
             value,
-            load,
+            load: Kbps::new(load),
         }
+    }
+
+    fn caps(v: &[f64]) -> Vec<Kbps> {
+        v.iter().map(|&c| Kbps::new(c)).collect()
     }
 
     #[test]
     fn greedy_prefers_value_within_capacity() {
-        let mut p = AssignmentProblem::new(vec![10.0, 10.0]);
+        let mut p = AssignmentProblem::new(caps(&[10.0, 10.0]));
         p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
         p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
         let a = p.solve_greedy();
         // Both fit on bucket 0 (8 <= 10): both take the high-value option.
         assert_eq!(a.objective, 10.0);
-        assert!(p.respects_capacities(&a.choice, 1e-9));
+        assert!(p.respects_capacities(&a.choice, Kbps::new(1e-9)));
     }
 
     #[test]
     fn greedy_splits_when_capacity_binds() {
-        let mut p = AssignmentProblem::new(vec![4.0, 10.0]);
+        let mut p = AssignmentProblem::new(caps(&[4.0, 10.0]));
         p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
         p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 1.0, 4.0)]);
         let a = p.solve_greedy();
         // Client 1 has regret 4 (5-1) > client 0's regret 2, so client 1
         // grabs bucket 0; client 0 falls to bucket 1. Total 5 + 3 = 8.
         assert_eq!(a.objective, 8.0);
-        assert!(p.respects_capacities(&a.choice, 1e-9));
+        assert!(p.respects_capacities(&a.choice, Kbps::new(1e-9)));
     }
 
     #[test]
     fn greedy_overloads_least_when_forced() {
-        let mut p = AssignmentProblem::new(vec![1.0, 100.0]);
+        let mut p = AssignmentProblem::new(caps(&[1.0, 100.0]));
         p.add_client(vec![opt(0, 9.0, 5.0), opt(1, 8.0, 5.0)]);
         let a = p.solve_greedy();
         // Nothing fits bucket 0 (cap 1), bucket 1 fits: overload ratio 0.
@@ -337,7 +359,7 @@ mod tests {
 
     #[test]
     fn local_search_improves_bad_start() {
-        let mut p = AssignmentProblem::new(vec![10.0, 10.0]);
+        let mut p = AssignmentProblem::new(caps(&[10.0, 10.0]));
         p.add_client(vec![opt(0, 1.0, 2.0), opt(1, 9.0, 2.0)]);
         let start = Assignment {
             choice: vec![0],
@@ -350,17 +372,17 @@ mod tests {
 
     #[test]
     fn local_search_respects_capacity() {
-        let mut p = AssignmentProblem::new(vec![2.0, 10.0]);
+        let mut p = AssignmentProblem::new(caps(&[2.0, 10.0]));
         p.add_client(vec![opt(0, 9.0, 2.0), opt(1, 5.0, 2.0)]);
         p.add_client(vec![opt(0, 9.0, 2.0), opt(1, 5.0, 2.0)]);
         let a = p.solve_heuristic();
-        assert!(p.respects_capacities(&a.choice, 1e-9));
+        assert!(p.respects_capacities(&a.choice, Kbps::new(1e-9)));
         assert_eq!(a.objective, 14.0); // one on each bucket
     }
 
     #[test]
     fn exact_matches_brute_force_small() {
-        let mut p = AssignmentProblem::new(vec![5.0, 5.0, 5.0]);
+        let mut p = AssignmentProblem::new(caps(&[5.0, 5.0, 5.0]));
         p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 3.0, 3.0), opt(2, 1.0, 3.0)]);
         p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 2.0, 3.0), opt(2, 1.0, 3.0)]);
         p.add_client(vec![opt(0, 5.0, 3.0), opt(1, 2.0, 3.0), opt(2, 2.0, 3.0)]);
@@ -371,7 +393,7 @@ mod tests {
             for b in 0..3 {
                 for c in 0..3 {
                     let choice = vec![a, b, c];
-                    if p.respects_capacities(&choice, 1e-9) {
+                    if p.respects_capacities(&choice, Kbps::new(1e-9)) {
                         best = best.max(p.value_of(&choice));
                     }
                 }
@@ -383,7 +405,7 @@ mod tests {
             exact.objective,
             best
         );
-        assert!(p.respects_capacities(&exact.choice, 1e-6));
+        assert!(p.respects_capacities(&exact.choice, Kbps::new(1e-6)));
     }
 
     #[test]
@@ -395,7 +417,7 @@ mod tests {
         for _ in 0..20 {
             let buckets = rng.gen_range(2..5);
             let mut p =
-                AssignmentProblem::new((0..buckets).map(|_| rng.gen_range(5.0..20.0)).collect());
+                AssignmentProblem::new((0..buckets).map(|_| Kbps::new(rng.gen_range(5.0..20.0))).collect());
             let clients = rng.gen_range(3..8);
             for _ in 0..clients {
                 let k = rng.gen_range(1..=buckets);
@@ -409,7 +431,7 @@ mod tests {
                 // The heuristic may overload capacity as a last resort (a
                 // broker must place every client); only a *feasible*
                 // heuristic solution is bounded by the exact optimum.
-                if p.respects_capacities(&heur.choice, 1e-9) {
+                if p.respects_capacities(&heur.choice, Kbps::new(1e-9)) {
                     assert!(heur.objective <= exact.objective + 1e-6);
                     if exact.objective.abs() > 1e-9 {
                         total_gap += (exact.objective - heur.objective) / exact.objective.abs();
@@ -423,29 +445,29 @@ mod tests {
 
     #[test]
     fn bucket_loads_accounting() {
-        let mut p = AssignmentProblem::new(vec![10.0, 10.0]);
+        let mut p = AssignmentProblem::new(caps(&[10.0, 10.0]));
         p.add_client(vec![opt(0, 1.0, 3.0)]);
         p.add_client(vec![opt(0, 1.0, 4.0), opt(1, 1.0, 4.0)]);
         let loads = p.bucket_loads(&[0, 1]);
-        assert_eq!(loads, vec![3.0, 4.0]);
+        assert_eq!(loads, vec![Kbps::new(3.0), Kbps::new(4.0)]);
     }
 
     #[test]
     #[should_panic(expected = "at least one option")]
     fn empty_options_panics() {
-        AssignmentProblem::new(vec![1.0]).add_client(vec![]);
+        AssignmentProblem::new(caps(&[1.0])).add_client(vec![]);
     }
 
     #[test]
     #[should_panic(expected = "out of range")]
     fn bad_bucket_panics() {
-        AssignmentProblem::new(vec![1.0]).add_client(vec![opt(5, 1.0, 1.0)]);
+        AssignmentProblem::new(caps(&[1.0])).add_client(vec![opt(5, 1.0, 1.0)]);
     }
 
     #[test]
     fn exact_with_stats_reports_effort_and_tight_gap() {
         use crate::stats::SolveStats;
-        let mut p = AssignmentProblem::new(vec![5.0, 5.0]);
+        let mut p = AssignmentProblem::new(caps(&[5.0, 5.0]));
         p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 3.0, 3.0)]);
         p.add_client(vec![opt(0, 4.0, 3.0), opt(1, 2.0, 3.0)]);
         let mut stats = SolveStats::new();

@@ -4,6 +4,7 @@
 
 use proptest::prelude::*;
 use vdx_solver::flow::solve_unit_assignment;
+use vdx_units::Kbps;
 use vdx_solver::{
     solve_lp, solve_milp, AssignmentProblem, CandidateOption, LinearProgram, LpOutcome, MilpConfig,
     MilpOutcome, Relation,
@@ -127,12 +128,12 @@ proptest! {
         let caps = vec![cap0, cap1];
         let flow = solve_unit_assignment(&buckets, &vals, &caps);
 
-        let mut gap = AssignmentProblem::new(vec![cap0 as f64, cap1 as f64]);
+        let mut gap = AssignmentProblem::new(vec![Kbps::new(cap0 as f64), Kbps::new(cap1 as f64)]);
         for v in &vals {
             gap.add_client(
                 v.iter()
                     .enumerate()
-                    .map(|(b, &value)| CandidateOption { bucket: b, value, load: 1.0 })
+                    .map(|(b, &value)| CandidateOption { bucket: b, value, load: Kbps::new(1.0) })
                     .collect(),
             );
         }
@@ -154,13 +155,13 @@ proptest! {
         loads in proptest::collection::vec(0.5f64..5.0, 1..10),
         seed in any::<u32>(),
     ) {
-        let mut p = AssignmentProblem::new(caps.clone());
+        let mut p = AssignmentProblem::new(caps.iter().map(|&c| Kbps::new(c)).collect());
         for (i, load) in loads.iter().enumerate() {
             let options: Vec<CandidateOption> = (0..caps.len())
                 .map(|b| CandidateOption {
                     bucket: b,
                     value: ((seed as usize + i * 3 + b * 7) % 11) as f64,
-                    load: *load,
+                    load: Kbps::new(*load),
                 })
                 .collect();
             p.add_client(options);
@@ -174,5 +175,45 @@ proptest! {
         // Local search never hurts.
         let improved = p.improve_local(a1.clone(), 4);
         prop_assert!(improved.objective >= a1.objective - 1e-9);
+    }
+
+    /// On feasible instances (every bucket alone can hold the whole
+    /// workload) no solver may oversubscribe, and the demand placed by a
+    /// choice vector must land on buckets in full — the conservation
+    /// invariant the `strict-invariants` feature also checks inside
+    /// `bucket_loads` via `debug_assert!`.
+    #[test]
+    fn solvers_conserve_demand_and_never_oversubscribe(
+        n_buckets in 2usize..5,
+        loads in proptest::collection::vec(0.5f64..4.0, 1..8),
+        headroom in 0.0f64..10.0,
+        seed in any::<u32>(),
+    ) {
+        let offered: f64 = loads.iter().sum();
+        let caps: Vec<Kbps> = (0..n_buckets)
+            .map(|_| Kbps::new(offered + headroom))
+            .collect();
+        let mut p = AssignmentProblem::new(caps);
+        for (i, load) in loads.iter().enumerate() {
+            p.add_client(
+                (0..n_buckets)
+                    .map(|b| CandidateOption {
+                        bucket: b,
+                        value: ((seed as usize + i * 5 + b * 3) % 13) as f64,
+                        load: Kbps::new(*load),
+                    })
+                    .collect(),
+            );
+        }
+        let tol = Kbps::new(1e-9);
+        for a in [p.solve_greedy(), p.solve_heuristic()] {
+            prop_assert!(p.respects_capacities(&a.choice, tol));
+            let landed: f64 = p.bucket_loads(&a.choice).iter().map(|l| l.as_f64()).sum();
+            prop_assert!((landed - offered).abs() <= 1e-6 * offered.max(1.0),
+                "placed {offered} but buckets hold {landed}");
+        }
+        if let Some(exact) = p.solve_exact(&MilpConfig::default()) {
+            prop_assert!(p.respects_capacities(&exact.choice, tol));
+        }
     }
 }

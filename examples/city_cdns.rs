@@ -52,10 +52,10 @@ fn main() {
         println!(
             "{:<10} {:>12.0} {:>+12.3} {:>12.0} {:>+12.3}{}",
             cdn.id.to_string(),
-            b.traffic_kbps,
-            b.profit(),
-            v.traffic_kbps,
-            v.profit(),
+            b.traffic_kbps.as_f64(),
+            b.profit().as_f64(),
+            v.traffic_kbps.as_f64(),
+            v.profit().as_f64(),
             if matches!(cdn.model, DeploymentModel::CityCentric { .. }) {
                 "  (city)"
             } else {
@@ -67,11 +67,11 @@ fn main() {
     let city_range = base.fleet.cdns.len()..expanded.fleet.cdns.len();
     let losing_city_brk = city_range
         .clone()
-        .filter(|&i| brokered.per_cdn[i].ledger.profit() < 0.0)
+        .filter(|&i| brokered.per_cdn[i].ledger.profit() < vdx::core::units::Usd::ZERO)
         .count();
     let served_city_brk = city_range
         .clone()
-        .filter(|&i| brokered.per_cdn[i].ledger.traffic_kbps > 0.0)
+        .filter(|&i| brokered.per_cdn[i].ledger.traffic_kbps > vdx::core::units::Kbps::ZERO)
         .count();
     println!(
         "\ncity CDNs under Brokered: {served_city_brk}/{n} served traffic, {losing_city_brk} lost money \

@@ -99,7 +99,7 @@ fn main() {
         settled
             .per_cdn
             .iter()
-            .filter(|c| c.ledger.traffic_kbps > 0.0)
+            .filter(|c| c.ledger.traffic_kbps > vdx::core::units::Kbps::ZERO)
             .count(),
         settled.losing_cdns()
     );

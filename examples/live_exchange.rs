@@ -89,9 +89,9 @@ fn main() {
         }
         println!(
             "round {round}: decided {} groups in {} virtual ms, objective {:.0}",
-            result.choice.len(),
+            result.assignment.choice.len(),
             clock - started - 2_000,
-            result.objective
+            result.assignment.objective
         );
     }
 
@@ -102,7 +102,7 @@ fn main() {
         let margins: Vec<f64> = scenario.fleet.cdns[i]
             .clusters
             .iter()
-            .map(|&c| agent.margin(c))
+            .map(|&c| agent.margin(c).as_f64())
             .collect();
         let min = margins.iter().copied().fold(f64::MAX, f64::min);
         let max = margins.iter().copied().fold(f64::MIN, f64::max);

@@ -54,12 +54,12 @@ fn main() {
     println!("\nper-CDN profit under VDX (per second of steady-state delivery):");
     for cdn_ledger in &settled.per_cdn {
         let l = &cdn_ledger.ledger;
-        if l.traffic_kbps > 0.0 {
+        if l.traffic_kbps > vdx::core::units::Kbps::ZERO {
             println!(
                 "  {}: {:>10.0} kbps -> profit {:+.3}",
                 cdn_ledger.cdn,
-                l.traffic_kbps,
-                l.profit()
+                l.traffic_kbps.as_f64(),
+                l.profit().as_f64()
             );
         }
     }

@@ -10,6 +10,9 @@ cargo fmt --all --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> vdx-lint (unit-typed APIs, determinism, no-panics, event schema)"
+cargo run -p vdx-lint --release
+
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
@@ -21,6 +24,9 @@ cargo test -q
 
 echo "==> cargo test -q --no-default-features -p vdx-sim (serial engine)"
 cargo test -q --no-default-features -p vdx-sim
+
+echo "==> cargo test -q --features strict-invariants (conservation guards live)"
+cargo test -q --features vdx-solver/strict-invariants,vdx-cdn/strict-invariants -p vdx-solver -p vdx-cdn
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run

@@ -14,10 +14,15 @@ fn scenario() -> &'static Scenario {
 #[test]
 fn every_design_places_every_client() {
     let s = scenario();
-    let demand: f64 = s.groups.iter().map(|g| g.demand_kbps).sum();
+    let demand: f64 = s.groups.iter().map(|g| g.demand_kbps.as_f64()).sum();
     for design in Design::TABLE3 {
         let outcome = s.run(design, CpPolicy::balanced());
-        let placed: f64 = outcome.assignment.cluster_load_kbps.values().sum();
+        let placed: f64 = outcome
+            .assignment
+            .cluster_load_kbps
+            .values()
+            .map(|l| l.as_f64())
+            .sum();
         assert!(
             (placed - demand).abs() < 1e-6,
             "{design}: placed {placed} of {demand} kbps"
@@ -40,14 +45,18 @@ fn settlement_conserves_traffic_and_money_flows() {
     ] {
         let outcome = s.run(design, CpPolicy::balanced());
         let settled = settle(&outcome, &s.world, &s.fleet);
-        let demand: f64 = s.groups.iter().map(|g| g.demand_kbps).sum();
-        let cdn_traffic: f64 = settled.per_cdn.iter().map(|c| c.ledger.traffic_kbps).sum();
-        let country_traffic: f64 = settled.per_country.values().map(|l| l.traffic_kbps).sum();
+        let demand: f64 = s.groups.iter().map(|g| g.demand_kbps.as_f64()).sum();
+        let cdn_traffic: f64 = settled
+            .per_cdn
+            .iter()
+            .map(|c| c.ledger.traffic_kbps.as_f64())
+            .sum();
+        let country_traffic: f64 = settled.per_country.values().map(|l| l.traffic_kbps.as_f64()).sum();
         assert!((cdn_traffic - demand).abs() < 1e-6, "{design}");
         assert!((cdn_traffic - country_traffic).abs() < 1e-6, "{design}");
         // Revenue and cost also agree between the two aggregations.
-        let cdn_rev: f64 = settled.per_cdn.iter().map(|c| c.ledger.revenue).sum();
-        let country_rev: f64 = settled.per_country.values().map(|l| l.revenue).sum();
+        let cdn_rev: f64 = settled.per_cdn.iter().map(|c| c.ledger.revenue.as_f64()).sum();
+        let country_rev: f64 = settled.per_country.values().map(|l| l.revenue.as_f64()).sum();
         assert!((cdn_rev - country_rev).abs() < 1e-6, "{design}");
     }
 }
@@ -102,7 +111,7 @@ fn decision_round_via_facade_prelude() {
     let outcome = s.run(Design::BestLookup, CpPolicy::performance_first());
     assert_eq!(outcome.assignment.choice.len(), s.groups.len());
     let settled = settle(&outcome, &s.world, &s.fleet);
-    assert!(settled.total_profit().is_finite());
+    assert!(settled.total_profit().as_f64().is_finite());
 }
 
 #[test]
@@ -121,8 +130,8 @@ fn qoe_pipeline_produces_reasonable_experience() {
             + s.background_load[option.cluster.index()];
         let qoe = vdx::broker::qoe::estimate_qoe(
             &path,
-            group.bitrate_kbps as f64,
-            load / cluster.capacity_kbps.max(1e-9),
+            vdx::core::units::Kbps::new(group.bitrate_kbps as f64),
+            load.as_f64() / cluster.capacity_kbps.as_f64().max(1e-9),
         );
         total += 1;
         if qoe.buffering_ratio < 0.1 && qoe.join_time_ms < 2_000.0 {

@@ -110,8 +110,8 @@ fn section7_country_economics() {
         let mut num = 0.0;
         let mut den = 0.0;
         for (&country, ledger) in &settled.per_country {
-            num += s.world.country(country).cost_index * ledger.traffic_kbps;
-            den += ledger.traffic_kbps;
+            num += s.world.country(country).cost_index * ledger.traffic_kbps.as_f64();
+            den += ledger.traffic_kbps.as_f64();
         }
         num / den
     };
@@ -121,8 +121,11 @@ fn section7_country_economics() {
     );
     // And still profits wherever it serves.
     for (country, ledger) in &vdx.per_country {
-        if ledger.cost > 0.0 {
-            assert!(ledger.profit() > 0.0, "VDX loses in {country}");
+        if ledger.cost > vdx::core::units::Usd::ZERO {
+            assert!(
+                ledger.profit() > vdx::core::units::Usd::ZERO,
+                "VDX loses in {country}"
+            );
         }
     }
 }
@@ -145,7 +148,7 @@ fn section72_city_cdns() {
     );
     for i in s.fleet.cdns.len()..expanded.fleet.cdns.len() {
         assert!(
-            brokered.per_cdn[i].ledger.profit() >= 0.0,
+            brokered.per_cdn[i].ledger.profit() >= vdx::core::units::Usd::ZERO,
             "city CDN {i} lost money under Brokered"
         );
     }

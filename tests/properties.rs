@@ -191,20 +191,22 @@ proptest! {
         client_loads in proptest::collection::vec(0.5f64..3.0, 1..6),
         seed in any::<u32>(),
     ) {
-        let mut problem = AssignmentProblem::new(caps.clone());
+        let mut problem = AssignmentProblem::new(
+            caps.iter().copied().map(vdx::core::units::Kbps::new).collect(),
+        );
         let nb = caps.len();
         for (i, load) in client_loads.iter().enumerate() {
             let options: Vec<CandidateOption> = (0..nb)
                 .map(|b| CandidateOption {
                     bucket: b,
                     value: ((seed as usize + i * 7 + b * 13) % 17) as f64,
-                    load: *load,
+                    load: vdx::core::units::Kbps::new(*load),
                 })
                 .collect();
             problem.add_client(options);
         }
         let heur = problem.solve_heuristic();
-        if problem.respects_capacities(&heur.choice, 1e-9) {
+        if problem.respects_capacities(&heur.choice, vdx::core::units::Kbps::new(1e-9)) {
             if let Some(exact) = problem.solve_exact(&MilpConfig::default()) {
                 prop_assert!(heur.objective <= exact.objective + 1e-6);
             }
