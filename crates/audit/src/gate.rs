@@ -1,0 +1,369 @@
+//! The regression gate: compares a current run's Table-3 metrics and
+//! wall times against the committed `BENCH_experiments.json` baseline
+//! and fails beyond configurable thresholds.
+//!
+//! Threshold policy (DESIGN.md §11): a metric regresses only when it is
+//! worse than baseline by **both** the relative tolerance and an
+//! absolute floor. The floors absorb the rounding of the rendered
+//! baseline values (4 significant digits for cost, integer percents and
+//! miles), so a byte-identical rerun can never trip the gate. Wall
+//! times are compared loosely (CI machines vary) and only when the
+//! baseline actually recorded them. `load_pct` is utilization, not a
+//! quality metric, so the gate tracks it in the report but never fails
+//! on it.
+
+use crate::model::{BaselineReport, BenchEntry, Table3Row};
+use crate::render::{fmt, render_table};
+
+/// Gate thresholds. Defaults are deliberately loose enough for
+/// cross-machine noise yet tight enough to catch real fidelity drift.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Relative tolerance for Table-3 metrics, percent of baseline.
+    pub metric_tol_pct: f64,
+    /// Relative tolerance for wall times, percent of baseline (wall
+    /// clocks vary wildly across machines, so the default is 200%).
+    pub wall_tol_pct: f64,
+    /// Absolute wall-time slack, milliseconds; a run must exceed both
+    /// this and the relative tolerance to fail.
+    pub wall_floor_ms: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            metric_tol_pct: 5.0,
+            wall_tol_pct: 200.0,
+            wall_floor_ms: 250,
+        }
+    }
+}
+
+/// Absolute floors per Table-3 metric, matched to the rendered rounding
+/// of the committed baseline (see module docs).
+fn metric_floor(metric: &str) -> f64 {
+    match metric {
+        "cost" => 0.005,
+        "score" => 0.5,
+        "distance_miles" => 5.0,
+        "congested_pct" => 0.5,
+        _ => 0.0,
+    }
+}
+
+/// One gate comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateCheck {
+    /// What was compared (e.g. `Brokered cost`).
+    pub name: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value (`NaN` when the design/entry is missing).
+    pub current: f64,
+    /// The worst value that still passes.
+    pub limit: f64,
+    /// Whether the check passed.
+    pub ok: bool,
+}
+
+/// The gate's verdict: every check plus skip notes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateOutcome {
+    /// All comparisons, in baseline order.
+    pub checks: Vec<GateCheck>,
+    /// Comparisons that were skipped and why (never failures).
+    pub notes: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when every check passed.
+    pub fn passed(&self) -> bool {
+        self.checks.iter().all(|c| c.ok)
+    }
+
+    /// Failed checks, for error reporting.
+    pub fn failures(&self) -> Vec<&GateCheck> {
+        self.checks.iter().filter(|c| !c.ok).collect()
+    }
+
+    /// Renders the verdict as a fixed-width report.
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .checks
+            .iter()
+            .map(|c| {
+                vec![
+                    c.name.clone(),
+                    fmt(c.baseline),
+                    if c.current.is_nan() {
+                        "missing".into()
+                    } else {
+                        fmt(c.current)
+                    },
+                    fmt(c.limit),
+                    if c.ok { "ok" } else { "FAIL" }.into(),
+                ]
+            })
+            .collect();
+        let mut out = render_table(
+            "regression gate",
+            &["check", "baseline", "current", "limit", "status"],
+            &rows,
+        );
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        let failed = self.failures().len();
+        if failed == 0 {
+            out.push_str("gate: PASS\n");
+        } else {
+            out.push_str(&format!("gate: FAIL ({failed} check(s) regressed)\n"));
+        }
+        out
+    }
+}
+
+/// "Worse is larger" comparison with a relative tolerance and an
+/// absolute floor: fails only past `base + max(base*tol%, floor)`.
+fn check_upper(name: String, base: f64, current: f64, tol_pct: f64, floor: f64) -> GateCheck {
+    let slack = (base.abs() * tol_pct / 100.0).max(floor);
+    let limit = base + slack;
+    GateCheck {
+        name,
+        baseline: base,
+        current,
+        limit,
+        ok: !current.is_nan() && current <= limit,
+    }
+}
+
+/// "Worse is smaller" comparison (QoE score): fails only below
+/// `base - max(base*tol%, floor)`.
+fn check_lower(name: String, base: f64, current: f64, tol_pct: f64, floor: f64) -> GateCheck {
+    let slack = (base.abs() * tol_pct / 100.0).max(floor);
+    let limit = base - slack;
+    GateCheck {
+        name,
+        baseline: base,
+        current,
+        limit,
+        ok: !current.is_nan() && current >= limit,
+    }
+}
+
+/// Compares the current run against the baseline under `cfg`.
+///
+/// `current_table3` comes from a fresh `table3` run at the baseline's
+/// seed and scale; `current_entries` holds re-timed wall entries and
+/// may be empty (wall comparison is then skipped with a note, as when
+/// the baseline itself has no entries).
+pub fn compare(
+    baseline: &BaselineReport,
+    current_table3: &[Table3Row],
+    current_entries: &[BenchEntry],
+    cfg: &GateConfig,
+) -> GateOutcome {
+    let mut outcome = GateOutcome {
+        checks: Vec::new(),
+        notes: Vec::new(),
+    };
+    if baseline.table3.is_empty() {
+        outcome
+            .notes
+            .push("baseline has no table3 rows; fidelity comparison skipped".into());
+    }
+    for base in &baseline.table3 {
+        let current = current_table3.iter().find(|r| r.design == base.design);
+        let (cost, score, dist, congested) = match current {
+            Some(r) => (r.cost, r.score, r.distance_miles, r.congested_pct),
+            None => (f64::NAN, f64::NAN, f64::NAN, f64::NAN),
+        };
+        let tol = cfg.metric_tol_pct;
+        outcome.checks.push(check_upper(
+            format!("{} cost", base.design),
+            base.cost,
+            cost,
+            tol,
+            metric_floor("cost"),
+        ));
+        outcome.checks.push(check_lower(
+            format!("{} score", base.design),
+            base.score,
+            score,
+            tol,
+            metric_floor("score"),
+        ));
+        outcome.checks.push(check_upper(
+            format!("{} distance", base.design),
+            base.distance_miles,
+            dist,
+            tol,
+            metric_floor("distance_miles"),
+        ));
+        outcome.checks.push(check_upper(
+            format!("{} congested", base.design),
+            base.congested_pct,
+            congested,
+            tol,
+            metric_floor("congested_pct"),
+        ));
+    }
+    if baseline.entries.is_empty() {
+        outcome
+            .notes
+            .push("baseline has no wall-time entries; wall comparison skipped".into());
+    } else if current_entries.is_empty() {
+        outcome
+            .notes
+            .push("current run was not re-timed; wall comparison skipped".into());
+    } else {
+        for base in &baseline.entries {
+            let Some(current) = current_entries.iter().find(|e| e.name == base.name) else {
+                outcome
+                    .notes
+                    .push(format!("no current timing for `{}`; skipped", base.name));
+                continue;
+            };
+            let base_ms = base.parallel_ms as f64;
+            let mut check = check_upper(
+                format!("{} wall_ms", base.name),
+                base_ms,
+                current.parallel_ms as f64,
+                cfg.wall_tol_pct,
+                0.0,
+            );
+            // The absolute floor gates the wall check separately: a slow
+            // run only fails when it is also `wall_floor_ms` past base.
+            if !check.ok && (current.parallel_ms as f64) <= base_ms + cfg.wall_floor_ms as f64 {
+                check.ok = true;
+            }
+            outcome.checks.push(check);
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> BaselineReport {
+        BaselineReport {
+            schema: 2,
+            scale: "full".into(),
+            seed: 2017,
+            threads: 0,
+            git_commit: "abc123".into(),
+            entries: Vec::new(),
+            table3: vec![
+                Table3Row {
+                    design: "Brokered".into(),
+                    cost: 0.2927,
+                    score: 17.88,
+                    distance_miles: 248.0,
+                    load_pct: 7.0,
+                    congested_pct: 0.0,
+                },
+                Table3Row {
+                    design: "Marketplace".into(),
+                    cost: 0.2808,
+                    score: 16.55,
+                    distance_miles: 160.0,
+                    load_pct: 5.0,
+                    congested_pct: 0.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn identical_run_passes() {
+        let base = baseline();
+        let out = compare(&base, &base.table3, &[], &GateConfig::default());
+        assert!(out.passed(), "{}", out.render());
+        assert_eq!(out.checks.len(), 8, "4 checks x 2 designs");
+        assert!(out.render().contains("gate: PASS"));
+        assert!(
+            out.notes
+                .iter()
+                .any(|n| n.contains("wall comparison skipped")),
+            "empty baseline entries skip the wall half"
+        );
+    }
+
+    #[test]
+    fn rounding_noise_within_floors_passes() {
+        let base = baseline();
+        let mut current = base.table3.clone();
+        // Within the floors even where the relative tolerance is tiny
+        // (congested baseline is 0.0, so only the floor protects it).
+        current[0].cost += 0.004;
+        current[0].congested_pct = 0.4;
+        current[1].score -= 0.4;
+        let out = compare(&base, &current, &[], &GateConfig::default());
+        assert!(out.passed(), "{}", out.render());
+    }
+
+    #[test]
+    fn cost_regression_beyond_threshold_fails() {
+        let base = baseline();
+        let mut current = base.table3.clone();
+        current[0].cost = 0.36; // ~+23% on Brokered
+        let out = compare(&base, &current, &[], &GateConfig::default());
+        assert!(!out.passed());
+        let failures = out.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].name, "Brokered cost");
+        assert!(out.render().contains("gate: FAIL"));
+    }
+
+    #[test]
+    fn score_drop_beyond_threshold_fails() {
+        let base = baseline();
+        let mut current = base.table3.clone();
+        current[1].score = 14.0; // -15% QoE on Marketplace
+        let out = compare(&base, &current, &[], &GateConfig::default());
+        assert_eq!(out.failures().len(), 1);
+        assert_eq!(out.failures()[0].name, "Marketplace score");
+    }
+
+    #[test]
+    fn missing_design_fails() {
+        let base = baseline();
+        let current = vec![base.table3[0].clone()];
+        let out = compare(&base, &current, &[], &GateConfig::default());
+        assert!(!out.passed());
+        assert_eq!(out.failures().len(), 4, "all Marketplace checks fail");
+        assert!(out.render().contains("missing"));
+    }
+
+    #[test]
+    fn wall_times_compare_with_floor_and_tolerance() {
+        let mut base = baseline();
+        base.entries = vec![BenchEntry {
+            name: "table3".into(),
+            serial_ms: 1000,
+            parallel_ms: 400,
+            speedup: 2.5,
+        }];
+        let cfg = GateConfig::default();
+        // 1.5x slower: within the 200% tolerance, passes.
+        let close = vec![BenchEntry {
+            name: "table3".into(),
+            serial_ms: 1000,
+            parallel_ms: 600,
+            speedup: 1.67,
+        }];
+        assert!(compare(&base, &base.table3, &close, &cfg).passed());
+        // Past both the 200% tolerance and the floor: fails.
+        let slow = vec![BenchEntry {
+            name: "table3".into(),
+            serial_ms: 9000,
+            parallel_ms: 5000,
+            speedup: 1.8,
+        }];
+        let out = compare(&base, &base.table3, &slow, &cfg);
+        assert_eq!(out.failures().len(), 1);
+        assert_eq!(out.failures()[0].name, "table3 wall_ms");
+    }
+}

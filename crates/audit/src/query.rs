@@ -1,0 +1,570 @@
+//! The cross-run query layer: every question `repro audit query` can
+//! answer, computed from the store's fact tables.
+//!
+//! All queries are deterministic: grouping preserves first-seen order
+//! (run-id order underneath) and explicit sorts break ties by name, so
+//! two invocations over the same store render byte-identical output.
+
+use std::collections::HashMap;
+
+use crate::model::RunKind;
+use crate::render::fmt;
+use crate::store::{Store, NO_CDN};
+
+/// One cross-run question the audit store can answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Every ingested run with its provenance metadata.
+    Runs,
+    /// Mean decision-round objective per design per commit, with the
+    /// delta against the first ingested commit.
+    ObjectiveDelta,
+    /// Solver effort per run: exact-mode share, pivots, B&B nodes, gap.
+    SolverDrift,
+    /// Wire-loss hot spots per CDN link, aggregated across runs.
+    Hotspots,
+    /// Per-design fault-sensitivity league table: objective of faulted
+    /// vs clean rounds.
+    FaultLeague,
+    /// Wall-time trend across runs and bench entries.
+    WallTrend,
+    /// Table-3 metric deltas per design across bench runs.
+    Table3Delta,
+}
+
+/// Every query, in report order.
+pub const ALL_QUERIES: &[QueryKind] = &[
+    QueryKind::Runs,
+    QueryKind::ObjectiveDelta,
+    QueryKind::SolverDrift,
+    QueryKind::Hotspots,
+    QueryKind::FaultLeague,
+    QueryKind::WallTrend,
+    QueryKind::Table3Delta,
+];
+
+impl QueryKind {
+    /// The CLI name (`repro audit query <name>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            QueryKind::Runs => "runs",
+            QueryKind::ObjectiveDelta => "objective-delta",
+            QueryKind::SolverDrift => "solver-drift",
+            QueryKind::Hotspots => "hotspots",
+            QueryKind::FaultLeague => "fault-league",
+            QueryKind::WallTrend => "wall-trend",
+            QueryKind::Table3Delta => "table3-delta",
+        }
+    }
+
+    /// One-line description for `--help`-style listings.
+    pub fn describe(self) -> &'static str {
+        match self {
+            QueryKind::Runs => "every ingested run with its provenance metadata",
+            QueryKind::ObjectiveDelta => "mean round objective per design per commit, vs first",
+            QueryKind::SolverDrift => "solver effort per run: exact share, pivots, B&B, gap",
+            QueryKind::Hotspots => "wire-loss hot spots per CDN link, across runs",
+            QueryKind::FaultLeague => "per-design objective of faulted vs clean rounds",
+            QueryKind::WallTrend => "wall-time trend across runs and bench entries",
+            QueryKind::Table3Delta => "Table-3 metric deltas per design across bench runs",
+        }
+    }
+
+    /// Parses a CLI name.
+    pub fn parse(s: &str) -> Option<QueryKind> {
+        ALL_QUERIES.iter().copied().find(|q| q.name() == s)
+    }
+}
+
+/// A rendered-ready query answer: a titled table of string cells.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows; every row has `headers.len()` cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+fn headers(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| (*s).to_string()).collect()
+}
+
+/// Runs one query against the store.
+pub fn run(store: &Store, kind: QueryKind) -> QueryResult {
+    match kind {
+        QueryKind::Runs => runs(store),
+        QueryKind::ObjectiveDelta => objective_delta(store),
+        QueryKind::SolverDrift => solver_drift(store),
+        QueryKind::Hotspots => hotspots(store),
+        QueryKind::FaultLeague => fault_league(store),
+        QueryKind::WallTrend => wall_trend(store),
+        QueryKind::Table3Delta => table3_delta(store),
+    }
+}
+
+fn commit_of(store: &Store, run: u64) -> &str {
+    store
+        .runs()
+        .get(run as usize)
+        .map_or("unknown", |m| m.git_commit.as_str())
+}
+
+fn runs(store: &Store) -> QueryResult {
+    let rows = store
+        .runs()
+        .iter()
+        .map(|m| {
+            vec![
+                m.run_id.to_string(),
+                m.kind.as_str().to_string(),
+                m.experiment.clone(),
+                m.seed.to_string(),
+                m.scale.clone(),
+                format!("v{}", m.schema),
+                m.threads.to_string(),
+                m.git_commit.clone(),
+                m.wall_ms.to_string(),
+                m.events.to_string(),
+                m.source.clone(),
+            ]
+        })
+        .collect();
+    QueryResult {
+        title: "runs".into(),
+        headers: headers(&[
+            "run",
+            "kind",
+            "experiment",
+            "seed",
+            "scale",
+            "schema",
+            "threads",
+            "commit",
+            "wall_ms",
+            "events",
+            "source",
+        ]),
+        rows,
+    }
+}
+
+fn objective_delta(store: &Store) -> QueryResult {
+    let t = store.table("rounds");
+    let (c_run, c_design, c_obj) = (t.col("run"), t.col("design"), t.col("objective"));
+    // (design, commit) -> (sum, count), insertion-ordered.
+    let mut order: Vec<(String, String)> = Vec::new();
+    let mut agg: HashMap<(String, String), (f64, u64)> = HashMap::new();
+    for row in 0..t.rows() {
+        let key = (
+            t.s(c_design, row).to_string(),
+            commit_of(store, t.u(c_run, row)).to_string(),
+        );
+        if !agg.contains_key(&key) {
+            order.push(key.clone());
+        }
+        let entry = agg.entry(key).or_insert((0.0, 0));
+        entry.0 += t.f(c_obj, row);
+        entry.1 += 1;
+    }
+    // Baseline per design = its first-seen commit.
+    let mut baseline: HashMap<&str, f64> = HashMap::new();
+    let mut rows = Vec::new();
+    for (design, commit) in &order {
+        let (sum, count) = agg[&(design.clone(), commit.clone())];
+        let mean = sum / count as f64;
+        let base = *baseline.entry(design.as_str()).or_insert(mean);
+        let delta = mean - base;
+        let pct = if base.abs() > f64::EPSILON {
+            100.0 * delta / base
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            design.clone(),
+            commit.clone(),
+            count.to_string(),
+            fmt(mean),
+            fmt(delta),
+            format!("{pct:+.2}%"),
+        ]);
+    }
+    QueryResult {
+        title: "objective-delta (per design, per commit, vs first commit)".into(),
+        headers: headers(&[
+            "design",
+            "commit",
+            "rounds",
+            "mean_obj",
+            "delta",
+            "delta_pct",
+        ]),
+        rows,
+    }
+}
+
+fn solver_drift(store: &Store) -> QueryResult {
+    let t = store.table("rounds");
+    let (c_run, c_mode, c_pivots) = (t.col("run"), t.col("mode"), t.col("pivots"));
+    let (c_bnb, c_gap) = (t.col("bnb_nodes"), t.col("gap"));
+    let mut rows = Vec::new();
+    for meta in store.runs() {
+        let (start, end) = store.run_range("rounds", meta.run_id);
+        if start == end {
+            continue;
+        }
+        let n = (end - start) as f64;
+        let mut exact = 0u64;
+        let (mut pivots, mut bnb) = (0u64, 0u64);
+        let (mut gap_sum, mut gap_n) = (0.0f64, 0u64);
+        for row in start..end {
+            if t.u(c_run, row) != meta.run_id {
+                continue;
+            }
+            if t.s(c_mode, row) == "exact" {
+                exact += 1;
+            }
+            pivots += t.u(c_pivots, row);
+            bnb += t.u(c_bnb, row);
+            let gap = t.f(c_gap, row);
+            if gap >= 0.0 {
+                gap_sum += gap;
+                gap_n += 1;
+            }
+        }
+        rows.push(vec![
+            meta.run_id.to_string(),
+            meta.git_commit.clone(),
+            format!("{}", end - start),
+            format!("{:.0}%", 100.0 * exact as f64 / n),
+            fmt(pivots as f64 / n),
+            fmt(bnb as f64 / n),
+            if gap_n > 0 {
+                fmt(gap_sum / gap_n as f64)
+            } else {
+                "-".into()
+            },
+        ]);
+    }
+    QueryResult {
+        title: "solver-drift (effort per run)".into(),
+        headers: headers(&[
+            "run",
+            "commit",
+            "rounds",
+            "exact",
+            "mean_pivots",
+            "mean_bnb",
+            "mean_gap",
+        ]),
+        rows,
+    }
+}
+
+fn hotspots(store: &Store) -> QueryResult {
+    let t = store.table("wire");
+    let (c_cdn, c_link) = (t.col("cdn"), t.col("link_dropped"));
+    let (c_corrupt, c_ooo) = (t.col("corrupt_discarded"), t.col("out_of_order"));
+    let mut agg: HashMap<u64, (u64, u64, u64, u64)> = HashMap::new();
+    for row in 0..t.rows() {
+        let e = agg.entry(t.u(c_cdn, row)).or_insert((0, 0, 0, 0));
+        e.0 += 1;
+        e.1 += t.u(c_link, row);
+        e.2 += t.u(c_corrupt, row);
+        e.3 += t.u(c_ooo, row);
+    }
+    let mut entries: Vec<(u64, (u64, u64, u64, u64))> = agg.into_iter().collect();
+    // Worst links first; CDN id breaks ties deterministically.
+    entries.sort_by_key(|(cdn, (_, l, c, o))| (std::cmp::Reverse(l + c + o), *cdn));
+    let rows = entries
+        .into_iter()
+        .map(|(cdn, (rounds, l, c, o))| {
+            vec![
+                if cdn == NO_CDN {
+                    "-".into()
+                } else {
+                    cdn.to_string()
+                },
+                rounds.to_string(),
+                l.to_string(),
+                c.to_string(),
+                o.to_string(),
+                (l + c + o).to_string(),
+            ]
+        })
+        .collect();
+    QueryResult {
+        title: "hotspots (wire losses per CDN link, all runs)".into(),
+        headers: headers(&[
+            "cdn",
+            "rounds",
+            "link_dropped",
+            "corrupt",
+            "out_of_order",
+            "total",
+        ]),
+        rows,
+    }
+}
+
+fn fault_league(store: &Store) -> QueryResult {
+    let faults = store.table("faults");
+    let (cf_run, cf_round) = (faults.col("run"), faults.col("round"));
+    let mut faulted: HashMap<(u64, u64), u64> = HashMap::new();
+    for row in 0..faults.rows() {
+        *faulted
+            .entry((faults.u(cf_run, row), faults.u(cf_round, row)))
+            .or_insert(0) += 1;
+    }
+    let t = store.table("rounds");
+    let (c_run, c_round) = (t.col("run"), t.col("round"));
+    let (c_design, c_obj) = (t.col("design"), t.col("objective"));
+    struct League {
+        clean: u64,
+        faulted: u64,
+        faults: u64,
+        obj_clean: f64,
+        obj_faulted: f64,
+    }
+    let mut order: Vec<String> = Vec::new();
+    let mut agg: HashMap<String, League> = HashMap::new();
+    for row in 0..t.rows() {
+        let design = t.s(c_design, row).to_string();
+        if !agg.contains_key(&design) {
+            order.push(design.clone());
+        }
+        let entry = agg.entry(design).or_insert(League {
+            clean: 0,
+            faulted: 0,
+            faults: 0,
+            obj_clean: 0.0,
+            obj_faulted: 0.0,
+        });
+        let key = (t.u(c_run, row), t.u(c_round, row));
+        let obj = t.f(c_obj, row);
+        match faulted.get(&key) {
+            Some(n) => {
+                entry.faulted += 1;
+                entry.faults += n;
+                entry.obj_faulted += obj;
+            }
+            None => {
+                entry.clean += 1;
+                entry.obj_clean += obj;
+            }
+        }
+    }
+    let mut rows = Vec::new();
+    for design in &order {
+        let l = &agg[design];
+        let mean_clean = if l.clean > 0 {
+            l.obj_clean / l.clean as f64
+        } else {
+            0.0
+        };
+        let mean_faulted = if l.faulted > 0 {
+            l.obj_faulted / l.faulted as f64
+        } else {
+            0.0
+        };
+        let sensitivity = if l.clean > 0 && l.faulted > 0 && mean_clean.abs() > f64::EPSILON {
+            format!("{:+.2}%", 100.0 * (mean_faulted - mean_clean) / mean_clean)
+        } else {
+            "-".into()
+        };
+        rows.push(vec![
+            design.clone(),
+            l.clean.to_string(),
+            l.faulted.to_string(),
+            l.faults.to_string(),
+            if l.clean > 0 {
+                fmt(mean_clean)
+            } else {
+                "-".into()
+            },
+            if l.faulted > 0 {
+                fmt(mean_faulted)
+            } else {
+                "-".into()
+            },
+            sensitivity,
+        ]);
+    }
+    QueryResult {
+        title: "fault-league (objective under faults, per design)".into(),
+        headers: headers(&[
+            "design",
+            "clean_rounds",
+            "faulted_rounds",
+            "faults",
+            "obj_clean",
+            "obj_faulted",
+            "sensitivity",
+        ]),
+        rows,
+    }
+}
+
+fn wall_trend(store: &Store) -> QueryResult {
+    let mut rows = Vec::new();
+    let bench = store.table("bench");
+    let (c_exp, c_serial) = (bench.col("experiment"), bench.col("serial_ms"));
+    let (c_par, c_speedup) = (bench.col("parallel_ms"), bench.col("speedup"));
+    for meta in store.runs() {
+        match meta.kind {
+            RunKind::Journal => {
+                if meta.wall_ms > 0 {
+                    rows.push(vec![
+                        meta.run_id.to_string(),
+                        meta.git_commit.clone(),
+                        meta.threads.to_string(),
+                        meta.experiment.clone(),
+                        meta.wall_ms.to_string(),
+                        "-".into(),
+                    ]);
+                }
+            }
+            RunKind::Bench => {
+                let (start, end) = store.run_range("bench", meta.run_id);
+                for row in start..end {
+                    rows.push(vec![
+                        meta.run_id.to_string(),
+                        meta.git_commit.clone(),
+                        meta.threads.to_string(),
+                        bench.s(c_exp, row).to_string(),
+                        format!("{}/{}", bench.u(c_serial, row), bench.u(c_par, row)),
+                        format!("{:.2}x", bench.f(c_speedup, row)),
+                    ]);
+                }
+            }
+        }
+    }
+    QueryResult {
+        title: "wall-trend (wall_ms per run; serial/parallel for bench)".into(),
+        headers: headers(&[
+            "run",
+            "commit",
+            "threads",
+            "experiment",
+            "wall_ms",
+            "speedup",
+        ]),
+        rows,
+    }
+}
+
+fn table3_delta(store: &Store) -> QueryResult {
+    let t = store.table("table3");
+    let (c_run, c_design) = (t.col("run"), t.col("design"));
+    let (c_cost, c_score) = (t.col("cost"), t.col("score"));
+    // Baseline per design = its row in the earliest run that has one.
+    let mut baseline: HashMap<String, (f64, f64)> = HashMap::new();
+    let mut rows = Vec::new();
+    for row in 0..t.rows() {
+        let design = t.s(c_design, row).to_string();
+        let (cost, score) = (t.f(c_cost, row), t.f(c_score, row));
+        let (b_cost, b_score) = *baseline.entry(design.clone()).or_insert((cost, score));
+        let d_cost = if b_cost.abs() > f64::EPSILON {
+            format!("{:+.2}%", 100.0 * (cost - b_cost) / b_cost)
+        } else {
+            "-".into()
+        };
+        let d_score = if b_score.abs() > f64::EPSILON {
+            format!("{:+.2}%", 100.0 * (score - b_score) / b_score)
+        } else {
+            "-".into()
+        };
+        rows.push(vec![
+            design,
+            t.u(c_run, row).to_string(),
+            commit_of(store, t.u(c_run, row)).to_string(),
+            fmt(cost),
+            fmt(score),
+            d_cost,
+            d_score,
+        ]);
+    }
+    QueryResult {
+        title: "table3-delta (cost/QoE per design across bench runs)".into(),
+        headers: headers(&[
+            "design", "run", "commit", "cost", "score", "d_cost", "d_score",
+        ]),
+        rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::IngestOutcome;
+    use crate::testutil::{golden_journal, temp_store};
+
+    #[test]
+    fn query_names_parse_and_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for q in ALL_QUERIES {
+            assert_eq!(QueryKind::parse(q.name()), Some(*q));
+            assert!(seen.insert(q.name()), "duplicate query name {}", q.name());
+            assert!(!q.describe().is_empty());
+        }
+        assert_eq!(QueryKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn cross_run_queries_answer_from_two_same_seed_journals() {
+        let (dir, mut store) = temp_store("query-cross");
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        std::fs::write(&a, golden_journal("commit-aaa", 0.0)).expect("fixture writes");
+        // Same seed, later commit, slightly worse objective.
+        std::fs::write(&b, golden_journal("commit-bbb", 10.0)).expect("fixture writes");
+        assert!(matches!(
+            store.ingest(&a).expect("ingest a"),
+            IngestOutcome::Ingested { run_id: 0, .. }
+        ));
+        assert!(matches!(
+            store.ingest(&b).expect("ingest b"),
+            IngestOutcome::Ingested { run_id: 1, .. }
+        ));
+
+        let runs = run(&store, QueryKind::Runs);
+        assert_eq!(runs.rows.len(), 2);
+        assert_eq!(runs.rows[0][7], "commit-aaa");
+        assert_eq!(runs.rows[1][7], "commit-bbb");
+
+        let delta = run(&store, QueryKind::ObjectiveDelta);
+        // Two designs × two commits.
+        assert_eq!(delta.rows.len(), 4, "{delta:?}");
+        let marketplace_b = delta
+            .rows
+            .iter()
+            .find(|r| r[0] == "Marketplace" && r[1] == "commit-bbb")
+            .expect("row exists");
+        assert_eq!(marketplace_b[4], fmt(10.0), "objective drifted by +10");
+
+        let drift = run(&store, QueryKind::SolverDrift);
+        assert_eq!(drift.rows.len(), 2);
+        assert_eq!(drift.rows[0][3], "50%", "1 of 2 rounds ran exact");
+
+        let hot = run(&store, QueryKind::Hotspots);
+        assert_eq!(hot.rows.len(), 1, "one CDN link dropped packets");
+        assert_eq!(hot.rows[0][0], "5");
+        assert_eq!(hot.rows[0][5], "94", "2 runs x (31+4+12)");
+
+        let league = run(&store, QueryKind::FaultLeague);
+        let brokered = league
+            .rows
+            .iter()
+            .find(|r| r[0] == "Brokered")
+            .expect("row exists");
+        assert_eq!(brokered[1], "0", "both Brokered rounds were faulted");
+        assert_eq!(brokered[2], "2");
+
+        let wall = run(&store, QueryKind::WallTrend);
+        assert_eq!(wall.rows.len(), 2, "both journals recorded wall_ms");
+        assert_eq!(wall.rows[0][4], "950");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,66 @@
+//! The full cross-run report: every query in [`crate::query::ALL_QUERIES`],
+//! rendered in order. Queries with no rows render a `(no rows)` note
+//! instead of disappearing, so the report's shape is stable.
+
+use crate::query::{self, ALL_QUERIES};
+use crate::render::render_query;
+use crate::store::Store;
+
+/// Renders the whole report for a store.
+pub fn report(store: &Store) -> String {
+    let mut out = format!(
+        "audit store: {} ({} run(s) ingested)\n\n",
+        store.dir().display(),
+        store.runs().len()
+    );
+    for (i, kind) in ALL_QUERIES.iter().enumerate() {
+        if i > 0 {
+            out.push('\n');
+        }
+        out.push_str(&render_query(&query::run(store, *kind)));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{golden_journal, temp_store};
+
+    #[test]
+    fn report_answers_cross_run_queries_from_two_same_seed_journals() {
+        let (dir, mut store) = temp_store("report");
+        let a = dir.join("a.jsonl");
+        let b = dir.join("b.jsonl");
+        std::fs::write(&a, golden_journal("commit-aaa", 0.0)).expect("fixture writes");
+        std::fs::write(&b, golden_journal("commit-bbb", 10.0)).expect("fixture writes");
+        store.ingest(&a).expect("ingest a");
+        store.ingest(&b).expect("ingest b");
+
+        let text = report(&store);
+        // Acceptance: at least 4 cross-run queries answered with rows.
+        let answered = [
+            "== runs ==",
+            "== objective-delta",
+            "== solver-drift",
+            "== hotspots",
+            "== fault-league",
+            "== wall-trend",
+        ];
+        for title in answered {
+            let section = text
+                .split("== ")
+                .find(|s| format!("== {s}").starts_with(title))
+                .unwrap_or_else(|| panic!("missing section {title}"));
+            assert!(
+                !section.contains("(no rows)"),
+                "section {title} should have rows:\n{section}"
+            );
+        }
+        // No bench report ingested, so table3-delta is honestly empty.
+        assert!(text.contains("== table3-delta"));
+        assert!(text.contains("commit-aaa") && text.contains("commit-bbb"));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

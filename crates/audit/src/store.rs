@@ -1,0 +1,789 @@
+//! The embedded audit store: ingest, persistence and indexed access.
+//!
+//! On disk a store is a directory (by convention `results/audit/`):
+//!
+//! ```text
+//! results/audit/
+//! ├── manifest.json   # store schema + one RunMeta object per run
+//! ├── audit.idx       # binary index: per-table, per-run row ranges
+//! └── tables/
+//!     ├── rounds.tbl  # binary columnar tables (magic VDXTBL1)
+//!     ├── wire.tbl
+//!     ├── faults.tbl
+//!     ├── timings.tbl
+//!     ├── bench.tbl
+//!     └── table3.tbl
+//! ```
+//!
+//! Ingest is idempotent: artifacts are keyed by an FNV-1a content hash,
+//! so re-ingesting a file the store has already seen is a no-op. Each
+//! ingest appends one contiguous row range per table; the index maps
+//! `(table, run)` to that range so per-run queries slice instead of
+//! scanning.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+use crate::json::Json;
+use crate::model::{content_hash, BaselineReport, RunKind, RunMeta};
+use crate::table::{ColType, Table, Value};
+
+/// Highest journal schema version this crate can ingest. Kept in lock
+/// step with `vdx-obs::SCHEMA_VERSION` (a const assertion in `vdx-sim`
+/// enforces the equality at build time).
+pub const SUPPORTED_JOURNAL_SCHEMA: u32 = 3;
+
+/// Store format version written to `manifest.json`.
+pub const STORE_SCHEMA: u32 = 1;
+
+/// `u64` sentinel for "no CDN" in the faults table.
+pub const NO_CDN: u64 = u64::MAX;
+
+/// Result of one [`Store::ingest`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IngestOutcome {
+    /// The artifact was new; its rows were appended under `run_id`.
+    Ingested {
+        /// The run id assigned to the artifact.
+        run_id: u64,
+        /// Fact rows appended across all tables.
+        rows: u64,
+    },
+    /// The artifact's content hash was already in the store.
+    Duplicate {
+        /// The run id of the earlier ingest.
+        run_id: u64,
+    },
+}
+
+/// The audit store: run metadata, fact tables and the per-run row index.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    runs: Vec<RunMeta>,
+    tables: Vec<Table>,
+    /// `ranges[t][r]` = the `[start, end)` row range of run `r` in
+    /// table `t`.
+    ranges: Vec<Vec<(u64, u64)>>,
+}
+
+const INDEX_MAGIC: &[u8; 8] = b"VDXIDX1\n";
+
+/// Fixed table schemas; every store has exactly this set.
+fn empty_tables() -> Vec<Table> {
+    vec![
+        Table::new(
+            "rounds",
+            &[
+                ("run", ColType::U64),
+                ("round", ColType::U64),
+                ("design", ColType::Str),
+                ("groups", ColType::U64),
+                ("cdns", ColType::U64),
+                ("mode", ColType::Str),
+                ("pivots", ColType::U64),
+                ("bnb_nodes", ColType::U64),
+                ("gap", ColType::F64),
+                ("objective", ColType::F64),
+                ("options", ColType::U64),
+                ("congested", ColType::U64),
+            ],
+        ),
+        Table::new(
+            "wire",
+            &[
+                ("run", ColType::U64),
+                ("round", ColType::U64),
+                ("cdn", ColType::U64),
+                ("link_dropped", ColType::U64),
+                ("corrupt_discarded", ColType::U64),
+                ("out_of_order", ColType::U64),
+            ],
+        ),
+        Table::new(
+            "faults",
+            &[
+                ("run", ColType::U64),
+                ("round", ColType::U64),
+                ("kind", ColType::Str),
+                ("cdn", ColType::U64),
+                ("amount", ColType::U64),
+                ("note", ColType::Str),
+            ],
+        ),
+        Table::new(
+            "timings",
+            &[
+                ("run", ColType::U64),
+                ("kind", ColType::Str),
+                ("name", ColType::Str),
+                ("count", ColType::U64),
+                ("mean", ColType::F64),
+                ("p50", ColType::F64),
+                ("p95", ColType::F64),
+                ("p99", ColType::F64),
+                ("value", ColType::U64),
+            ],
+        ),
+        Table::new(
+            "bench",
+            &[
+                ("run", ColType::U64),
+                ("experiment", ColType::Str),
+                ("serial_ms", ColType::U64),
+                ("parallel_ms", ColType::U64),
+                ("speedup", ColType::F64),
+            ],
+        ),
+        Table::new(
+            "table3",
+            &[
+                ("run", ColType::U64),
+                ("design", ColType::Str),
+                ("cost", ColType::F64),
+                ("score", ColType::F64),
+                ("distance_miles", ColType::F64),
+                ("load_pct", ColType::F64),
+                ("congested_pct", ColType::F64),
+            ],
+        ),
+    ]
+}
+
+impl Store {
+    /// Opens the store at `dir`, loading any persisted state; a missing
+    /// or empty directory yields an empty store.
+    pub fn open(dir: &Path) -> Result<Store, String> {
+        let mut store = Store {
+            dir: dir.to_path_buf(),
+            runs: Vec::new(),
+            tables: empty_tables(),
+            ranges: Vec::new(),
+        };
+        store.ranges = vec![Vec::new(); store.tables.len()];
+        let manifest_path = dir.join("manifest.json");
+        if !manifest_path.exists() {
+            return Ok(store);
+        }
+        let text = std::fs::read_to_string(&manifest_path)
+            .map_err(|e| format!("cannot read {}: {e}", manifest_path.display()))?;
+        let manifest = Json::parse(&text).map_err(|e| format!("manifest.json: {e}"))?;
+        let schema = manifest.u64_or("schema", 0);
+        if schema != u64::from(STORE_SCHEMA) {
+            return Err(format!(
+                "audit store at {} has schema v{schema}, this binary supports v{STORE_SCHEMA}; \
+                 delete the directory and re-ingest",
+                dir.display()
+            ));
+        }
+        match manifest.get("runs") {
+            Some(Json::Arr(items)) => {
+                for item in items {
+                    let meta = RunMeta::from_json(item)
+                        .ok_or_else(|| "manifest.json: malformed run entry".to_string())?;
+                    store.runs.push(meta);
+                }
+            }
+            _ => return Err("manifest.json: missing runs array".into()),
+        }
+        for table in store.tables.iter_mut() {
+            let path = dir.join("tables").join(format!("{}.tbl", table.name));
+            let bytes =
+                std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let decoded = Table::decode(&bytes).map_err(|e| format!("{}: {e}", path.display()))?;
+            if decoded.name != table.name {
+                return Err(format!("{}: wrong table name", path.display()));
+            }
+            *table = decoded;
+        }
+        store.ranges = Store::read_index(&dir.join("audit.idx"), &store.tables)?;
+        for per_table in &store.ranges {
+            if per_table.len() != store.runs.len() {
+                return Err("audit.idx: run count disagrees with manifest.json".into());
+            }
+        }
+        Ok(store)
+    }
+
+    fn read_index(path: &Path, tables: &[Table]) -> Result<Vec<Vec<(u64, u64)>>, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let err = |m: &str| format!("{}: {m}", path.display());
+        if bytes.len() < INDEX_MAGIC.len() || &bytes[..INDEX_MAGIC.len()] != INDEX_MAGIC {
+            return Err(err("bad magic"));
+        }
+        let mut pos = INDEX_MAGIC.len();
+        let take_u64 = |pos: &mut usize| -> Result<u64, String> {
+            let end = *pos + 8;
+            let slice = bytes.get(*pos..end).ok_or_else(|| err("truncated"))?;
+            let mut buf = [0u8; 8];
+            buf.copy_from_slice(slice);
+            *pos = end;
+            Ok(u64::from_le_bytes(buf))
+        };
+        let n_tables = take_u64(&mut pos)? as usize;
+        if n_tables != tables.len() {
+            return Err(err("table count mismatch"));
+        }
+        let mut ranges = Vec::with_capacity(n_tables);
+        for table in tables {
+            let n_runs = take_u64(&mut pos)? as usize;
+            let mut per_run = Vec::with_capacity(n_runs);
+            for _ in 0..n_runs {
+                let start = take_u64(&mut pos)?;
+                let end = take_u64(&mut pos)?;
+                if start > end || end > table.rows() as u64 {
+                    return Err(err("row range out of bounds"));
+                }
+                per_run.push((start, end));
+            }
+            ranges.push(per_run);
+        }
+        if pos != bytes.len() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(ranges)
+    }
+
+    /// Persists the store to its directory (created if needed). Files
+    /// are rewritten whole; the formats are deterministic, so saving an
+    /// unchanged store is byte-stable.
+    pub fn save(&self) -> Result<(), String> {
+        let tables_dir = self.dir.join("tables");
+        std::fs::create_dir_all(&tables_dir)
+            .map_err(|e| format!("cannot create {}: {e}", tables_dir.display()))?;
+        let runs = self.runs.iter().map(RunMeta::to_json).collect();
+        let manifest = Json::Obj(vec![
+            ("schema".into(), Json::Num(f64::from(STORE_SCHEMA))),
+            ("runs".into(), Json::Arr(runs)),
+        ])
+        .render_pretty();
+        let manifest_path = self.dir.join("manifest.json");
+        std::fs::write(&manifest_path, manifest)
+            .map_err(|e| format!("cannot write {}: {e}", manifest_path.display()))?;
+        for table in &self.tables {
+            let path = tables_dir.join(format!("{}.tbl", table.name));
+            std::fs::write(&path, table.encode())
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        }
+        let mut idx = Vec::new();
+        idx.extend_from_slice(INDEX_MAGIC);
+        idx.extend_from_slice(&(self.tables.len() as u64).to_le_bytes());
+        for per_table in &self.ranges {
+            idx.extend_from_slice(&(per_table.len() as u64).to_le_bytes());
+            for (start, end) in per_table {
+                idx.extend_from_slice(&start.to_le_bytes());
+                idx.extend_from_slice(&end.to_le_bytes());
+            }
+        }
+        let idx_path = self.dir.join("audit.idx");
+        std::fs::write(&idx_path, idx)
+            .map_err(|e| format!("cannot write {}: {e}", idx_path.display()))?;
+        Ok(())
+    }
+
+    /// Ingests one artifact — a `.jsonl` journal or a bench-report
+    /// `.json` — appending its facts under a fresh run id. Re-ingesting
+    /// a byte-identical file is a no-op ([`IngestOutcome::Duplicate`]).
+    pub fn ingest(&mut self, path: &Path) -> Result<IngestOutcome, String> {
+        let bytes =
+            std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let hash = content_hash(&bytes);
+        if let Some(existing) = self.runs.iter().find(|r| r.hash == hash) {
+            return Ok(IngestOutcome::Duplicate {
+                run_id: existing.run_id,
+            });
+        }
+        let text =
+            String::from_utf8(bytes).map_err(|_| format!("{}: not UTF-8", path.display()))?;
+        let source = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let run_id = self.runs.len() as u64;
+        let starts: Vec<u64> = self.tables.iter().map(|t| t.rows() as u64).collect();
+        let is_journal = path.extension().is_some_and(|e| e == "jsonl")
+            || text.lines().next().is_some_and(|l| l.contains("\"ev\""));
+        let meta = if is_journal {
+            self.ingest_journal(&text, run_id, &source, &hash)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+        } else {
+            self.ingest_bench(&text, run_id, &source, &hash)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+        };
+        let mut rows = 0;
+        for (t, table) in self.tables.iter().enumerate() {
+            let end = table.rows() as u64;
+            self.ranges[t].push((starts[t], end));
+            rows += end - starts[t];
+        }
+        self.runs.push(meta);
+        Ok(IngestOutcome::Ingested { run_id, rows })
+    }
+
+    fn ingest_journal(
+        &mut self,
+        text: &str,
+        run_id: u64,
+        source: &str,
+        hash: &str,
+    ) -> Result<RunMeta, String> {
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let first = lines.next().ok_or_else(|| "empty journal".to_string())?;
+        let header = Json::parse(first).map_err(|e| format!("line 1: {e}"))?;
+        if header.get("ev").and_then(Json::as_str) != Some("run_header") {
+            return Err("journal does not start with a run_header event".into());
+        }
+        let schema = header.u64_or("schema", 0);
+        if schema > u64::from(SUPPORTED_JOURNAL_SCHEMA) {
+            return Err(format!(
+                "journal schema v{schema} is newer than this binary supports \
+                 (v{SUPPORTED_JOURNAL_SCHEMA}); rebuild against the current vdx-obs"
+            ));
+        }
+        let mut meta = RunMeta {
+            run_id,
+            kind: RunKind::Journal,
+            source: source.to_string(),
+            hash: hash.to_string(),
+            experiment: header.str_or("experiment", "unknown"),
+            seed: header.u64_or("seed", 0),
+            scale: header.str_or("scale", "unknown"),
+            schema,
+            threads: header.u64_or("threads", 0),
+            git_commit: header.str_or("git_commit", "unknown"),
+            wall_ms: 0,
+            events: 1,
+        };
+        // Per-round aggregate, keyed by round id in first-seen order.
+        struct Round {
+            round: u64,
+            design: String,
+            groups: u64,
+            cdns: u64,
+            mode: String,
+            pivots: u64,
+            bnb_nodes: u64,
+            gap: f64,
+            objective: f64,
+            options: u64,
+            congested: u64,
+        }
+        let mut rounds: Vec<Round> = Vec::new();
+        let mut by_round: HashMap<u64, usize> = HashMap::new();
+        let mut retransmit_events = 0u64;
+        let mut retransmitted_frames = 0u64;
+        let mut sessions_moved = 0u64;
+        for (n, line) in lines.enumerate() {
+            let v = Json::parse(line).map_err(|e| format!("line {}: {e}", n + 2))?;
+            meta.events += 1;
+            let Some(ev) = v.get("ev").and_then(Json::as_str) else {
+                continue;
+            };
+            let round = v.u64_or("round", 0);
+            match ev {
+                "round_started" => {
+                    by_round.insert(round, rounds.len());
+                    rounds.push(Round {
+                        round,
+                        design: v.str_or("design", "unknown"),
+                        groups: v.u64_or("groups", 0),
+                        cdns: v.u64_or("cdns", 0),
+                        mode: "none".into(),
+                        pivots: 0,
+                        bnb_nodes: 0,
+                        gap: -1.0,
+                        objective: 0.0,
+                        options: 0,
+                        congested: 0,
+                    });
+                }
+                "solver_stats" => {
+                    if let Some(&i) = by_round.get(&round) {
+                        let r = &mut rounds[i];
+                        r.mode = v.str_or("mode", "none");
+                        r.pivots += v.u64_or("pivots", 0);
+                        r.bnb_nodes += v.u64_or("bnb_nodes", 0);
+                        r.gap = v.f64_or("optimality_gap", -1.0);
+                    }
+                }
+                "round_completed" => {
+                    if let Some(&i) = by_round.get(&round) {
+                        let r = &mut rounds[i];
+                        r.objective = v.f64_or("objective", 0.0);
+                        r.options = v.u64_or("options", 0);
+                    }
+                }
+                "cluster_congested" => {
+                    if let Some(&i) = by_round.get(&round) {
+                        rounds[i].congested += 1;
+                    }
+                }
+                "wire_drops" => {
+                    self.table_mut("wire").push(&[
+                        Value::U(run_id),
+                        Value::U(round),
+                        Value::U(v.u64_or("cdn", NO_CDN)),
+                        Value::U(v.u64_or("link_dropped", 0)),
+                        Value::U(v.u64_or("corrupt_discarded", 0)),
+                        Value::U(v.u64_or("out_of_order", 0)),
+                    ]);
+                }
+                "fault_plan_applied" => {
+                    let note = format!(
+                        "drop={} corrupt={} delay_ms={} outage={}",
+                        v.f64_or("drop_chance", 0.0),
+                        v.f64_or("corrupt_chance", 0.0),
+                        v.u64_or("delay_ms", 0),
+                        v.get("exchange_outage").and_then(Json::as_bool) == Some(true),
+                    );
+                    let amount = v.u64_or("failed_cdns", 0);
+                    self.push_fault(run_id, round, "fault_plan", NO_CDN, amount, &note);
+                }
+                "cdn_outage" => {
+                    self.push_fault(run_id, round, "cdn_outage", v.u64_or("cdn", NO_CDN), 1, "");
+                }
+                "exchange_outage" => {
+                    self.push_fault(run_id, round, "exchange_outage", NO_CDN, 1, "");
+                }
+                "deadline_missed" => {
+                    let amount = v.u64_or("missing_cdns", 0);
+                    self.push_fault(run_id, round, "deadline_missed", NO_CDN, amount, "");
+                }
+                "stale_bids_reused" => {
+                    let cdn = v.u64_or("cdn", NO_CDN);
+                    let amount = v.u64_or("bids", 0);
+                    let note = format!("age_rounds={}", v.u64_or("age_rounds", 0));
+                    self.push_fault(run_id, round, "stale_bids_reused", cdn, amount, &note);
+                }
+                "design_fallback" => {
+                    let note = format!(
+                        "{} -> {}: {}",
+                        v.str_or("from", "?"),
+                        v.str_or("to", "?"),
+                        v.str_or("reason", "?"),
+                    );
+                    self.push_fault(run_id, round, "design_fallback", NO_CDN, 1, &note);
+                }
+                "phase_finished" => {
+                    let phase = v.str_or("phase", "unknown");
+                    self.push_timing(run_id, "phase", &phase, 1, v.u64_or("wall_us", 0));
+                }
+                "timing_summary" => {
+                    let name = v.str_or("name", "unknown");
+                    self.table_mut("timings").push(&[
+                        Value::U(run_id),
+                        Value::S("hist"),
+                        Value::S(&name),
+                        Value::U(v.u64_or("count", 0)),
+                        Value::F(v.f64_or("mean_us", 0.0)),
+                        Value::F(v.f64_or("p50_us", 0.0)),
+                        Value::F(v.f64_or("p95_us", 0.0)),
+                        Value::F(v.f64_or("p99_us", 0.0)),
+                        Value::U(0),
+                    ]);
+                }
+                "counter_snapshot" => {
+                    let name = v.str_or("name", "unknown");
+                    self.push_timing(run_id, "counter", &name, 1, v.u64_or("value", 0));
+                }
+                "frame_retransmitted" => {
+                    retransmit_events += 1;
+                    retransmitted_frames += v.u64_or("frames", 0);
+                }
+                "session_moved" => {
+                    sessions_moved += v.u64_or("moved", 0);
+                }
+                "experiment_finished" => {
+                    meta.wall_ms = v.u64_or("wall_ms", 0);
+                }
+                _ => {}
+            }
+        }
+        // Journal-derived aggregates ride the timings table as counters.
+        if retransmit_events > 0 {
+            self.push_timing(
+                run_id,
+                "counter",
+                "journal.retransmit_events",
+                1,
+                retransmit_events,
+            );
+            self.push_timing(
+                run_id,
+                "counter",
+                "journal.retransmitted_frames",
+                1,
+                retransmitted_frames,
+            );
+        }
+        if sessions_moved > 0 {
+            self.push_timing(
+                run_id,
+                "counter",
+                "journal.sessions_moved",
+                1,
+                sessions_moved,
+            );
+        }
+        for r in &rounds {
+            self.table_mut("rounds").push(&[
+                Value::U(run_id),
+                Value::U(r.round),
+                Value::S(&r.design),
+                Value::U(r.groups),
+                Value::U(r.cdns),
+                Value::S(&r.mode),
+                Value::U(r.pivots),
+                Value::U(r.bnb_nodes),
+                Value::F(r.gap),
+                Value::F(r.objective),
+                Value::U(r.options),
+                Value::U(r.congested),
+            ]);
+        }
+        Ok(meta)
+    }
+
+    fn ingest_bench(
+        &mut self,
+        text: &str,
+        run_id: u64,
+        source: &str,
+        hash: &str,
+    ) -> Result<RunMeta, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        let report = BaselineReport::from_json(&json)
+            .ok_or_else(|| "not a bench report (expected entries/table3)".to_string())?;
+        for e in &report.entries {
+            self.table_mut("bench").push(&[
+                Value::U(run_id),
+                Value::S(&e.name),
+                Value::U(e.serial_ms),
+                Value::U(e.parallel_ms),
+                Value::F(e.speedup),
+            ]);
+        }
+        for r in &report.table3 {
+            self.table_mut("table3").push(&[
+                Value::U(run_id),
+                Value::S(&r.design),
+                Value::F(r.cost),
+                Value::F(r.score),
+                Value::F(r.distance_miles),
+                Value::F(r.load_pct),
+                Value::F(r.congested_pct),
+            ]);
+        }
+        Ok(RunMeta {
+            run_id,
+            kind: RunKind::Bench,
+            source: source.to_string(),
+            hash: hash.to_string(),
+            experiment: "bench".into(),
+            seed: report.seed,
+            scale: report.scale.clone(),
+            schema: report.schema,
+            threads: report.threads,
+            git_commit: report.git_commit.clone(),
+            wall_ms: report.entries.iter().map(|e| e.parallel_ms).sum(),
+            events: 0,
+        })
+    }
+
+    fn push_fault(&mut self, run: u64, round: u64, kind: &str, cdn: u64, amount: u64, note: &str) {
+        self.table_mut("faults").push(&[
+            Value::U(run),
+            Value::U(round),
+            Value::S(kind),
+            Value::U(cdn),
+            Value::U(amount),
+            Value::S(note),
+        ]);
+    }
+
+    fn push_timing(&mut self, run: u64, kind: &str, name: &str, count: u64, value: u64) {
+        self.table_mut("timings").push(&[
+            Value::U(run),
+            Value::S(kind),
+            Value::S(name),
+            Value::U(count),
+            Value::F(0.0),
+            Value::F(0.0),
+            Value::F(0.0),
+            Value::F(0.0),
+            Value::U(value),
+        ]);
+    }
+
+    fn table_mut(&mut self, name: &str) -> &mut Table {
+        self.tables
+            .iter_mut()
+            .find(|t| t.name == name)
+            .expect("the fixed table set contains every name ingest uses")
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Metadata of every ingested run, in run-id order.
+    pub fn runs(&self) -> &[RunMeta] {
+        &self.runs
+    }
+
+    /// A fact table by name (`rounds`, `wire`, `faults`, `timings`,
+    /// `bench`, `table3`).
+    pub fn table(&self, name: &str) -> &Table {
+        self.tables
+            .iter()
+            .find(|t| t.name == name)
+            .expect("the fixed table set contains every queried name")
+    }
+
+    /// The `[start, end)` row range of `run_id` in `table` (empty range
+    /// when the run contributed no rows).
+    pub fn run_range(&self, table: &str, run_id: u64) -> (usize, usize) {
+        let t = self
+            .tables
+            .iter()
+            .position(|t| t.name == table)
+            .expect("the fixed table set contains every queried name");
+        match self.ranges[t].get(run_id as usize) {
+            Some((start, end)) => (*start as usize, *end as usize),
+            None => (0, 0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{golden_journal, temp_store};
+
+    fn write_journal(dir: &Path, name: &str, content: &str) -> PathBuf {
+        std::fs::create_dir_all(dir).expect("temp dir creates");
+        let path = dir.join(name);
+        std::fs::write(&path, content).expect("journal fixture writes");
+        path
+    }
+
+    #[test]
+    fn golden_journal_ingest_builds_expected_rows() {
+        let (dir, mut store) = temp_store("store-golden");
+        let journal = write_journal(&dir, "a.jsonl", &golden_journal("abc123", 0.0));
+        let outcome = store.ingest(&journal).expect("ingests");
+        assert!(matches!(outcome, IngestOutcome::Ingested { run_id: 0, .. }));
+
+        let meta = &store.runs()[0];
+        assert_eq!(meta.experiment, "table3");
+        assert_eq!(meta.seed, 2017);
+        assert_eq!(meta.schema, 3);
+        assert_eq!(meta.threads, 2);
+        assert_eq!(meta.git_commit, "abc123");
+        assert_eq!(meta.wall_ms, 950);
+        assert_eq!(meta.events, 17);
+
+        let rounds = store.table("rounds");
+        assert_eq!(rounds.rows(), 2);
+        assert_eq!(rounds.s(rounds.col("design"), 0), "Marketplace");
+        assert_eq!(rounds.f(rounds.col("objective"), 0), 123.5);
+        assert_eq!(rounds.f(rounds.col("gap"), 0), 0.0);
+        assert_eq!(rounds.s(rounds.col("mode"), 1), "heuristic");
+        assert_eq!(rounds.f(rounds.col("gap"), 1), -1.0, "null gap -> sentinel");
+        assert_eq!(rounds.u(rounds.col("congested"), 1), 1);
+
+        let wire = store.table("wire");
+        assert_eq!(wire.rows(), 1);
+        assert_eq!(wire.u(wire.col("link_dropped"), 0), 31);
+
+        let faults = store.table("faults");
+        assert_eq!(faults.rows(), 2);
+        assert_eq!(faults.s(faults.col("kind"), 0), "fault_plan");
+        assert_eq!(faults.s(faults.col("kind"), 1), "cdn_outage");
+        assert_eq!(faults.u(faults.col("cdn"), 1), 3);
+        assert_eq!(faults.u(faults.col("cdn"), 0), NO_CDN);
+
+        let timings = store.table("timings");
+        // phase + hist + counter + 2 retransmit aggregates.
+        assert_eq!(timings.rows(), 5);
+        let (start, end) = store.run_range("rounds", 0);
+        assert_eq!((start, end), (0, 2));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_is_idempotent_and_survives_reopen() {
+        let (dir, mut store) = temp_store("store-idem");
+        let journal = write_journal(&dir, "a.jsonl", &golden_journal("abc123", 0.0));
+        store.ingest(&journal).expect("first ingest");
+        let rows_before = store.table("rounds").rows();
+        assert_eq!(
+            store.ingest(&journal).expect("second ingest"),
+            IngestOutcome::Duplicate { run_id: 0 }
+        );
+        assert_eq!(store.table("rounds").rows(), rows_before);
+        store.save().expect("saves");
+
+        // Reopen from disk: same runs, same rows, still a duplicate.
+        let mut reopened = Store::open(&dir).expect("reopens");
+        assert_eq!(reopened.runs().len(), 1);
+        assert_eq!(reopened.table("rounds").rows(), rows_before);
+        assert_eq!(
+            reopened.ingest(&journal).expect("third ingest"),
+            IngestOutcome::Duplicate { run_id: 0 }
+        );
+
+        // A different commit's journal is new content, so it ingests.
+        let journal_b = write_journal(&dir, "b.jsonl", &golden_journal("def456", 0.0));
+        assert!(matches!(
+            reopened.ingest(&journal_b).expect("ingests"),
+            IngestOutcome::Ingested { run_id: 1, .. }
+        ));
+        assert_eq!(reopened.run_range("rounds", 1), (2, 4));
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn newer_schema_journals_are_rejected() {
+        let (dir, mut store) = temp_store("store-newer");
+        let too_new = golden_journal("abc123", 0.0).replace("\"schema\":3", "\"schema\":99");
+        let journal = write_journal(&dir, "new.jsonl", &too_new);
+        let err = store.ingest(&journal).expect_err("must reject");
+        assert!(err.contains("schema v99"), "{err}");
+        assert!(err.contains("v3"), "{err}");
+        assert!(store.runs().is_empty(), "nothing was ingested");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_report_ingest_fills_bench_and_table3() {
+        let (dir, mut store) = temp_store("store-bench");
+        let report = r#"{
+            "schema": 2, "scale": "full", "seed": 2017, "threads": 0,
+            "git_commit": "abc123",
+            "entries": [
+                {"name": "table3", "serial_ms": 9000, "parallel_ms": 3000, "speedup": 3.0}
+            ],
+            "table3": [
+                {"design": "Brokered", "cost": 0.2927, "score": 17.88,
+                 "distance_miles": 248, "load_pct": 7, "congested_pct": 0}
+            ]
+        }"#;
+        let path = dir.join("BENCH_experiments.json");
+        std::fs::write(&path, report).expect("report fixture writes");
+        store.ingest(&path).expect("ingests");
+        assert_eq!(store.runs()[0].kind, RunKind::Bench);
+        assert_eq!(store.runs()[0].wall_ms, 3000);
+        let t3 = store.table("table3");
+        assert_eq!(t3.rows(), 1);
+        assert_eq!(t3.s(t3.col("design"), 0), "Brokered");
+        assert_eq!(t3.f(t3.col("cost"), 0), 0.2927);
+        let bench = store.table("bench");
+        assert_eq!(bench.u(bench.col("serial_ms"), 0), 9000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,415 @@
+//! Columnar fact tables and their on-disk binary format.
+//!
+//! A [`Table`] is a named set of typed columns of equal length; strings
+//! are dictionary-encoded per table (a `u32` id into the table's string
+//! dictionary), so grouping by design/CDN/phase compares integers, not
+//! strings. Tables serialize to little-endian binary files under
+//! `results/audit/tables/` (magic `VDXTBL1\n`); the row ranges belonging
+//! to each ingested run live in the store's index file, so per-run
+//! slicing never scans (see [`crate::store`]).
+
+use std::collections::HashMap;
+
+/// The type of one column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// Unsigned 64-bit integers (ids, counts; `u64::MAX` is the schema's
+    /// "not applicable" sentinel).
+    U64,
+    /// 64-bit floats (objectives, metrics; `f64::NAN` never appears —
+    /// "no value" is encoded as `-1.0` where the schema allows it).
+    F64,
+    /// Dictionary-encoded strings.
+    Str,
+}
+
+/// One typed column's values.
+#[derive(Debug, Clone)]
+pub enum ColData {
+    /// Values of a [`ColType::U64`] column.
+    U64(Vec<u64>),
+    /// Values of a [`ColType::F64`] column.
+    F64(Vec<f64>),
+    /// Dictionary ids of a [`ColType::Str`] column.
+    Str(Vec<u32>),
+}
+
+/// One named column.
+#[derive(Debug, Clone)]
+pub struct Column {
+    /// Column name (stable; part of the on-disk format).
+    pub name: String,
+    /// The values, one per table row.
+    pub data: ColData,
+}
+
+/// One cell value being pushed into a table.
+#[derive(Debug, Clone, Copy)]
+pub enum Value<'a> {
+    /// An integer cell.
+    U(u64),
+    /// A float cell.
+    F(f64),
+    /// A string cell (interned into the table dictionary).
+    S(&'a str),
+}
+
+/// A named columnar table: equal-length typed columns plus a string
+/// dictionary.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table name (stable; part of the on-disk format).
+    pub name: String,
+    /// The columns, in schema order.
+    pub cols: Vec<Column>,
+    dict: Vec<String>,
+    dict_ids: HashMap<String, u32>,
+}
+
+/// Errors decoding a table file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDecodeError(pub String);
+
+impl std::fmt::Display for TableDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "table file corrupt: {}", self.0)
+    }
+}
+
+impl std::error::Error for TableDecodeError {}
+
+const MAGIC: &[u8; 8] = b"VDXTBL1\n";
+
+impl Table {
+    /// Creates an empty table with the given column schema.
+    pub fn new(name: &str, schema: &[(&str, ColType)]) -> Table {
+        Table {
+            name: name.to_string(),
+            cols: schema
+                .iter()
+                .map(|(col_name, ty)| Column {
+                    name: (*col_name).to_string(),
+                    data: match ty {
+                        ColType::U64 => ColData::U64(Vec::new()),
+                        ColType::F64 => ColData::F64(Vec::new()),
+                        ColType::Str => ColData::Str(Vec::new()),
+                    },
+                })
+                .collect(),
+            dict: Vec::new(),
+            dict_ids: HashMap::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.cols.first().map_or(0, |c| match &c.data {
+            ColData::U64(v) => v.len(),
+            ColData::F64(v) => v.len(),
+            ColData::Str(v) => v.len(),
+        })
+    }
+
+    /// Appends one row. The row arity and cell types must match the
+    /// schema the table was created with.
+    pub fn push(&mut self, row: &[Value<'_>]) {
+        assert_eq!(row.len(), self.cols.len(), "row arity mismatch");
+        // Intern first: splitting the loop keeps the borrow checker happy
+        // about `self.intern` while a column is borrowed.
+        let ids: Vec<Option<u32>> = row
+            .iter()
+            .map(|cell| match cell {
+                Value::S(s) => Some(self.intern(s)),
+                _ => None,
+            })
+            .collect();
+        for ((col, cell), id) in self.cols.iter_mut().zip(row).zip(ids) {
+            match (&mut col.data, cell) {
+                (ColData::U64(v), Value::U(x)) => v.push(*x),
+                (ColData::F64(v), Value::F(x)) => v.push(*x),
+                (ColData::Str(v), Value::S(_)) => {
+                    v.push(id.expect("interned above for every Value::S cell"));
+                }
+                _ => unreachable!(
+                    "cell type mismatch in table {} column {}: rows come from the fixed \
+                     ingest schemas",
+                    self.name, col.name
+                ),
+            }
+        }
+    }
+
+    fn intern(&mut self, s: &str) -> u32 {
+        if let Some(id) = self.dict_ids.get(s) {
+            return *id;
+        }
+        let id = u32::try_from(self.dict.len()).expect("dictionary stays far below 2^32 entries");
+        self.dict.push(s.to_string());
+        self.dict_ids.insert(s.to_string(), id);
+        id
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> usize {
+        self.cols
+            .iter()
+            .position(|c| c.name == name)
+            .expect("column names come from the fixed ingest schemas")
+    }
+
+    /// Integer cell at (column index, row).
+    pub fn u(&self, col: usize, row: usize) -> u64 {
+        match &self.cols[col].data {
+            ColData::U64(v) => v[row],
+            _ => unreachable!("column {} is u64-typed by schema", self.cols[col].name),
+        }
+    }
+
+    /// Float cell at (column index, row).
+    pub fn f(&self, col: usize, row: usize) -> f64 {
+        match &self.cols[col].data {
+            ColData::F64(v) => v[row],
+            _ => unreachable!("column {} is f64-typed by schema", self.cols[col].name),
+        }
+    }
+
+    /// String cell at (column index, row).
+    pub fn s(&self, col: usize, row: usize) -> &str {
+        match &self.cols[col].data {
+            ColData::Str(v) => &self.dict[v[row] as usize],
+            _ => unreachable!("column {} is str-typed by schema", self.cols[col].name),
+        }
+    }
+
+    /// Serializes the table to its binary file format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_str(&mut out, &self.name);
+        put_u64(&mut out, self.rows() as u64);
+        put_u32(&mut out, self.cols.len() as u32);
+        put_u32(&mut out, self.dict.len() as u32);
+        for entry in &self.dict {
+            put_str(&mut out, entry);
+        }
+        for col in &self.cols {
+            put_str(&mut out, &col.name);
+            match &col.data {
+                ColData::U64(v) => {
+                    out.push(0);
+                    for x in v {
+                        put_u64(&mut out, *x);
+                    }
+                }
+                ColData::F64(v) => {
+                    out.push(1);
+                    for x in v {
+                        put_u64(&mut out, x.to_bits());
+                    }
+                }
+                ColData::Str(v) => {
+                    out.push(2);
+                    for x in v {
+                        put_u32(&mut out, *x);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Decodes a table from its binary file format.
+    pub fn decode(bytes: &[u8]) -> Result<Table, TableDecodeError> {
+        let mut pos = 0usize;
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(TableDecodeError("bad magic".into()));
+        }
+        pos += MAGIC.len();
+        let name = take_str(bytes, &mut pos)?;
+        let rows = take_u64(bytes, &mut pos)? as usize;
+        let n_cols = take_u32(bytes, &mut pos)? as usize;
+        let n_dict = take_u32(bytes, &mut pos)? as usize;
+        let mut dict = Vec::with_capacity(n_dict);
+        for _ in 0..n_dict {
+            dict.push(take_str(bytes, &mut pos)?);
+        }
+        let mut cols = Vec::with_capacity(n_cols);
+        for _ in 0..n_cols {
+            let col_name = take_str(bytes, &mut pos)?;
+            let tag = *bytes
+                .get(pos)
+                .ok_or_else(|| TableDecodeError("truncated column tag".into()))?;
+            pos += 1;
+            let data = match tag {
+                0 => {
+                    let mut v = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        v.push(take_u64(bytes, &mut pos)?);
+                    }
+                    ColData::U64(v)
+                }
+                1 => {
+                    let mut v = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        v.push(f64::from_bits(take_u64(bytes, &mut pos)?));
+                    }
+                    ColData::F64(v)
+                }
+                2 => {
+                    let mut v = Vec::with_capacity(rows);
+                    for _ in 0..rows {
+                        let id = take_u32(bytes, &mut pos)?;
+                        if id as usize >= dict.len() {
+                            return Err(TableDecodeError("dictionary id out of range".into()));
+                        }
+                        v.push(id);
+                    }
+                    ColData::Str(v)
+                }
+                other => return Err(TableDecodeError(format!("unknown column tag {other}"))),
+            };
+            cols.push(Column {
+                name: col_name,
+                data,
+            });
+        }
+        if pos != bytes.len() {
+            return Err(TableDecodeError("trailing bytes".into()));
+        }
+        let dict_ids = dict
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.clone(), i as u32))
+            .collect();
+        Ok(Table {
+            name,
+            cols,
+            dict,
+            dict_ids,
+        })
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, TableDecodeError> {
+    let end = *pos + 4;
+    if end > bytes.len() {
+        return Err(TableDecodeError("truncated u32".into()));
+    }
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, TableDecodeError> {
+    let end = *pos + 8;
+    if end > bytes.len() {
+        return Err(TableDecodeError("truncated u64".into()));
+    }
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&bytes[*pos..end]);
+    *pos = end;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn take_str(bytes: &[u8], pos: &mut usize) -> Result<String, TableDecodeError> {
+    let len = take_u32(bytes, pos)? as usize;
+    let end = *pos + len;
+    if end > bytes.len() {
+        return Err(TableDecodeError("truncated string".into()));
+    }
+    let s = std::str::from_utf8(&bytes[*pos..end])
+        .map_err(|_| TableDecodeError("non-UTF-8 string".into()))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(
+            "rounds",
+            &[
+                ("run", ColType::U64),
+                ("design", ColType::Str),
+                ("objective", ColType::F64),
+            ],
+        );
+        t.push(&[Value::U(0), Value::S("Marketplace"), Value::F(123.5)]);
+        t.push(&[Value::U(0), Value::S("Brokered"), Value::F(140.25)]);
+        t.push(&[Value::U(1), Value::S("Marketplace"), Value::F(122.0)]);
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = sample();
+        assert_eq!(t.rows(), 3);
+        let design = t.col("design");
+        assert_eq!(t.s(design, 0), "Marketplace");
+        assert_eq!(t.s(design, 2), "Marketplace");
+        assert_eq!(t.u(t.col("run"), 2), 1);
+        assert_eq!(t.f(t.col("objective"), 1), 140.25);
+    }
+
+    #[test]
+    fn dictionary_interning_reuses_ids() {
+        let t = sample();
+        match &t.cols[t.col("design")].data {
+            ColData::Str(ids) => assert_eq!(ids, &vec![0, 1, 0]),
+            _ => panic!("design is a string column"),
+        }
+    }
+
+    #[test]
+    fn binary_round_trip_is_exact() {
+        let t = sample();
+        let bytes = t.encode();
+        let back = Table::decode(&bytes).expect("decodes");
+        assert_eq!(back.name, t.name);
+        assert_eq!(back.rows(), t.rows());
+        for col in 0..t.cols.len() {
+            assert_eq!(back.cols[col].name, t.cols[col].name);
+        }
+        assert_eq!(back.s(back.col("design"), 1), "Brokered");
+        assert_eq!(back.f(back.col("objective"), 0), 123.5);
+        // Re-encoding is byte-identical (the store rewrites files whole).
+        assert_eq!(back.encode(), bytes);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let t = sample();
+        let bytes = t.encode();
+        assert!(Table::decode(&bytes[..bytes.len() - 1]).is_err());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] = b'X';
+        assert!(Table::decode(&bad_magic).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(Table::decode(&trailing).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "cell type mismatch")]
+    fn type_mismatch_panics() {
+        let mut t = Table::new("t", &[("a", ColType::U64)]);
+        t.push(&[Value::F(1.0)]);
+    }
+}

@@ -1,0 +1,76 @@
+//! Shared test fixtures: the golden v3 journal and temp-store helpers.
+//! Compiled only under `cfg(test)`.
+
+use std::path::PathBuf;
+
+use crate::store::Store;
+
+/// A hand-written golden schema-v3 journal: header, two rounds (the
+/// second with an injected fault, wire drops and a retransmission),
+/// timings, terminal record. `objective_shift` nudges both round
+/// objectives so two fixtures can model drift between commits.
+pub(crate) fn golden_journal(commit: &str, objective_shift: f64) -> String {
+    let obj0 = 123.5 + objective_shift;
+    let obj1 = 140.25 + objective_shift;
+    [
+        format!(
+            "{{\"ev\":\"run_header\",\"schema\":3,\"experiment\":\"table3\",\
+             \"seed\":2017,\"scale\":\"small\",\"started_unix_ms\":0,\
+             \"threads\":2,\"git_commit\":\"{commit}\"}}"
+        ),
+        "{\"ev\":\"phase_started\",\"phase\":\"build_scenario\"}".into(),
+        "{\"ev\":\"phase_finished\",\"phase\":\"build_scenario\",\"wall_us\":1500}".into(),
+        "{\"ev\":\"round_started\",\"round\":0,\"design\":\"Marketplace\",\
+         \"groups\":412,\"cdns\":14}"
+            .into(),
+        "{\"ev\":\"solver_stats\",\"round\":0,\"mode\":\"exact\",\"pivots\":900,\
+         \"bnb_nodes\":3,\"optimality_gap\":0.0,\"objective\":123.5}"
+            .into(),
+        format!(
+            "{{\"ev\":\"round_completed\",\"round\":0,\"objective\":{obj0},\
+             \"options\":3512}}"
+        ),
+        "{\"ev\":\"round_started\",\"round\":1,\"design\":\"Brokered\",\
+         \"groups\":412,\"cdns\":14}"
+            .into(),
+        "{\"ev\":\"fault_plan_applied\",\"round\":1,\"drop_chance\":0.15,\
+         \"corrupt_chance\":0.0,\"delay_ms\":20,\"jitter_ms\":0,\
+         \"exchange_outage\":false,\"failed_cdns\":1,\"deadline_ms\":3000}"
+            .into(),
+        "{\"ev\":\"cdn_outage\",\"round\":1,\"cdn\":3}".into(),
+        "{\"ev\":\"wire_drops\",\"round\":1,\"cdn\":5,\"link_dropped\":31,\
+         \"corrupt_discarded\":4,\"out_of_order\":12}"
+            .into(),
+        "{\"ev\":\"frame_retransmitted\",\"at_ms\":230,\"frames\":5}".into(),
+        "{\"ev\":\"solver_stats\",\"round\":1,\"mode\":\"heuristic\",\"pivots\":120,\
+         \"bnb_nodes\":0,\"optimality_gap\":null,\"objective\":140.25}"
+            .into(),
+        format!(
+            "{{\"ev\":\"round_completed\",\"round\":1,\"objective\":{obj1},\
+             \"options\":2900}}"
+        ),
+        "{\"ev\":\"cluster_congested\",\"round\":1,\"cluster\":9,\
+         \"load_kbps\":2e6,\"capacity_kbps\":1.8e6}"
+            .into(),
+        "{\"ev\":\"timing_summary\",\"name\":\"core.decision_round\",\"count\":2,\
+         \"mean_us\":1500.0,\"p50_us\":1400.0,\"p95_us\":2000.0,\"p99_us\":2100.0}"
+            .into(),
+        "{\"ev\":\"counter_snapshot\",\"name\":\"proto.retransmits\",\"value\":12}".into(),
+        "{\"ev\":\"experiment_finished\",\"experiment\":\"table3\",\"wall_ms\":950,\
+         \"events\":16}"
+            .into(),
+    ]
+    .join("\n")
+        + "\n"
+}
+
+/// Creates a fresh temp directory (wiping any stale one) and opens an
+/// empty store in it.
+pub(crate) fn temp_store(tag: &str) -> (PathBuf, Store) {
+    let mut p = std::env::temp_dir();
+    p.push(format!("vdx-audit-{}-{tag}", std::process::id()));
+    std::fs::remove_dir_all(&p).ok();
+    std::fs::create_dir_all(&p).expect("temp dir creates");
+    let store = Store::open(&p).expect("opens empty");
+    (p, store)
+}

@@ -15,8 +15,22 @@ use crate::scan::{SourceFile, Token};
 
 /// Identifier fragments that mark a quantity as money or bandwidth.
 const QUANTITY_KEYWORDS: &[&str] = &[
-    "price", "cost", "revenue", "bill", "charge", "usd", "profit", "payment", "fee", "kbps",
-    "gbps", "bandwidth", "traffic", "demand", "capacity", "volume",
+    "price",
+    "cost",
+    "revenue",
+    "bill",
+    "charge",
+    "usd",
+    "profit",
+    "payment",
+    "fee",
+    "kbps",
+    "gbps",
+    "bandwidth",
+    "traffic",
+    "demand",
+    "capacity",
+    "volume",
 ];
 
 /// Wall-clock / entropy calls forbidden by the determinism rule.
@@ -109,7 +123,10 @@ pub fn run_all(files: &[ScannedFile], cfg: &Config, design_md: Option<&str>) -> 
 
 fn keyword_of(ident: &str) -> Option<&'static str> {
     let lower = ident.to_ascii_lowercase();
-    QUANTITY_KEYWORDS.iter().find(|k| lower.contains(*k)).copied()
+    QUANTITY_KEYWORDS
+        .iter()
+        .find(|k| lower.contains(*k))
+        .copied()
 }
 
 /// Rule 1: raw `f64` under a money/bandwidth name in a public signature.
@@ -374,23 +391,56 @@ pub fn check_no_panics(f: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-/// Rule 4: every `Event` variant appears in the DESIGN.md §7 table.
+/// Rule 4, forward half: every `Event` variant appears in the DESIGN.md
+/// §7 table. Reverse half: every tag documented under a "journal schema"
+/// heading still has an `Event` variant behind it (stale docs).
 pub fn check_event_schema(event_rs: &SourceFile, design_md: &str, out: &mut Vec<Finding>) {
     let variants = event_variants(event_rs);
     let documented = documented_tags(design_md);
-    for (name, line) in variants {
-        let tag = camel_to_snake(&name);
+    for (name, line) in &variants {
+        let tag = camel_to_snake(name);
         if !documented.contains(&tag) {
             out.push(Finding {
                 rule: "event-schema",
                 file: event_rs.rel_path.clone(),
-                line,
+                line: *line,
                 context: name.clone(),
                 message: format!(
                     "Event::{name} (journal tag `{tag}`) is missing from the DESIGN.md §7 \
                      journal-schema table"
                 ),
-                snippet: event_rs.snippet(line),
+                snippet: event_rs.snippet(*line),
+                allowed: false,
+            });
+        }
+    }
+    // Reverse: only tables under a heading that mentions "journal
+    // schema" are event tables; other backticked first cells (CLI
+    // flags, module names) are none of this rule's business.
+    let variant_tags: Vec<String> = variants
+        .iter()
+        .map(|(name, _)| camel_to_snake(name))
+        .collect();
+    if variant_tags.is_empty() {
+        return;
+    }
+    for (tag, line) in journal_schema_tags(design_md) {
+        if !variant_tags.contains(&tag) {
+            out.push(Finding {
+                rule: "event-schema",
+                file: "DESIGN.md".to_string(),
+                line,
+                context: tag.clone(),
+                message: format!(
+                    "journal tag `{tag}` is documented in a DESIGN.md journal-schema table \
+                     but no Event variant serializes to it; drop the stale row or restore \
+                     the variant"
+                ),
+                snippet: design_md
+                    .lines()
+                    .nth(line.saturating_sub(1))
+                    .map(|l| l.trim().to_string())
+                    .unwrap_or_default(),
                 allowed: false,
             });
         }
@@ -400,9 +450,10 @@ pub fn check_event_schema(event_rs: &SourceFile, design_md: &str, out: &mut Vec<
 /// Extracts `(variant name, line)` pairs from `pub enum Event { ... }`.
 fn event_variants(f: &SourceFile) -> Vec<(String, usize)> {
     let toks = &f.tokens;
-    let Some(start) = toks.windows(3).position(|w| {
-        w[0].text == "pub" && w[1].text == "enum" && w[2].text == "Event"
-    }) else {
+    let Some(start) = toks
+        .windows(3)
+        .position(|w| w[0].text == "pub" && w[1].text == "enum" && w[2].text == "Event")
+    else {
         return Vec::new();
     };
     let mut variants = Vec::new();
@@ -488,6 +539,33 @@ fn documented_tags(design_md: &str) -> Vec<String> {
     tags
 }
 
+/// Backtick-quoted first-cell tags (with their 1-based line) from table
+/// rows inside sections whose heading mentions "journal schema"
+/// (case-insensitive). A section runs from its heading to the next
+/// heading of any level.
+fn journal_schema_tags(design_md: &str) -> Vec<(String, usize)> {
+    let mut tags = Vec::new();
+    let mut in_schema_section = false;
+    for (idx, raw) in design_md.lines().enumerate() {
+        let line = raw.trim();
+        if line.starts_with('#') {
+            in_schema_section = line.to_ascii_lowercase().contains("journal schema");
+            continue;
+        }
+        if !in_schema_section || !line.starts_with('|') {
+            continue;
+        }
+        let Some(first_cell) = line.trim_start_matches('|').split('|').next() else {
+            continue;
+        };
+        let cell = first_cell.trim();
+        if let Some(tag) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+            tags.push((tag.to_string(), idx + 1));
+        }
+    }
+    tags
+}
+
 /// `RunHeader` → `run_header` (serde's snake_case rename rule).
 fn camel_to_snake(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 4);
@@ -525,7 +603,13 @@ mod tests {
         // the money-named return type.
         assert_eq!(
             contexts,
-            vec!["charge", "charge", "total_cost", "capacity_kbps", "BASE_PRICE"],
+            vec![
+                "charge",
+                "charge",
+                "total_cost",
+                "capacity_kbps",
+                "BASE_PRICE"
+            ],
             "{out:#?}"
         );
     }
@@ -588,6 +672,29 @@ mod tests {
         assert_eq!(out.len(), 1, "{out:#?}");
         assert_eq!(out[0].context, "SecretEvent");
         assert!(out[0].message.contains("`secret_event`"));
+    }
+
+    #[test]
+    fn event_schema_reports_stale_documented_tags() {
+        let src = "pub enum Event {\n\
+                   RunHeader { schema: u32 },\n\
+                   RoundStarted { round: u64 },\n}";
+        // `ghost_event` sits in a journal-schema section and must be
+        // flagged; `--seed` sits in an unrelated table and must not.
+        let md = "## 7. Journal schema (v3)\n\n\
+                  | `ev` tag | Emitted by |\n|---|---|\n\
+                  | `run_header` | repro |\n\
+                  | `round_started` | core |\n\
+                  | `ghost_event` | nobody |\n\n\
+                  ## 8. CLI flags\n\n\
+                  | flag | meaning |\n|---|---|\n| `--seed` | master seed |\n";
+        let mut out = Vec::new();
+        check_event_schema(&scan("crates/obs/src/event.rs", src), md, &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].file, "DESIGN.md");
+        assert_eq!(out[0].context, "ghost_event");
+        assert_eq!(out[0].line, 7);
+        assert!(out[0].snippet.contains("ghost_event"));
     }
 
     #[test]

@@ -21,7 +21,12 @@
 use serde::{Deserialize, Serialize};
 
 /// Journal schema version; bump when variants or fields change shape.
-pub const SCHEMA_VERSION: u32 = 2;
+///
+/// v3 added `threads` and `git_commit` to [`Event::RunHeader`] so the
+/// audit store (`vdx-audit`) can attribute runs to builds. Both carry
+/// `#[serde(default)]`, so v2 journals still parse; readers must reject
+/// journals *newer* than this constant (see `read_journal`).
+pub const SCHEMA_VERSION: u32 = 3;
 
 /// One journaled event. See the module docs for the field taxonomy and
 /// DESIGN.md §7 for one example line per variant.
@@ -40,6 +45,15 @@ pub enum Event {
         scale: String,
         /// Wall-clock start, Unix milliseconds (zeroable).
         started_unix_ms: u64,
+        /// Worker threads the run was configured with; 0 means the
+        /// ambient parallelism (no explicit `--threads`). Absent in
+        /// schema v2 journals, hence the default.
+        #[serde(default)]
+        threads: u64,
+        /// Short git commit hash of the producing build, or `unknown`
+        /// outside a checkout. Absent in schema v2 journals.
+        #[serde(default)]
+        git_commit: String,
     },
     /// A named phase (scenario build, one experiment, ...) began.
     PhaseStarted {
@@ -352,6 +366,8 @@ mod tests {
                 seed: 2017,
                 scale: "small".into(),
                 started_unix_ms: 1_700_000_000_000,
+                threads: 2,
+                git_commit: "abc123def456".into(),
             },
             Event::PhaseStarted {
                 phase: "build_scenario".into(),
@@ -496,6 +512,29 @@ mod tests {
     }
 
     #[test]
+    fn v2_run_header_without_new_fields_still_parses() {
+        // A schema-v2 journal line predates `threads`/`git_commit`; the
+        // serde defaults keep it readable.
+        let line = concat!(
+            "{\"ev\":\"run_header\",\"schema\":2,\"experiment\":\"table3\",",
+            "\"seed\":2017,\"scale\":\"full\",\"started_unix_ms\":0}"
+        );
+        let event: Event = serde_json::from_str(line).expect("v2 header parses");
+        assert_eq!(
+            event,
+            Event::RunHeader {
+                schema: 2,
+                experiment: "table3".into(),
+                seed: 2017,
+                scale: "full".into(),
+                started_unix_ms: 0,
+                threads: 0,
+                git_commit: String::new(),
+            }
+        );
+    }
+
+    #[test]
     fn zero_wall_clock_clears_exactly_the_wall_fields() {
         let mut header = Event::RunHeader {
             schema: 1,
@@ -503,6 +542,8 @@ mod tests {
             seed: 7,
             scale: "small".into(),
             started_unix_ms: 99,
+            threads: 0,
+            git_commit: "unknown".into(),
         };
         header.zero_wall_clock();
         assert!(matches!(

@@ -11,7 +11,7 @@ use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
-use crate::event::Event;
+use crate::event::{Event, SCHEMA_VERSION};
 
 /// Errors raised while writing or reading a journal.
 #[derive(Debug)]
@@ -25,6 +25,15 @@ pub enum JournalError {
         /// The serde error message.
         message: String,
     },
+    /// The journal's [`Event::RunHeader`] declares a schema newer than
+    /// this binary understands; re-record or rebuild instead of
+    /// misreading fields we do not know about.
+    Version {
+        /// Schema version declared by the journal.
+        found: u32,
+        /// Highest schema this reader supports ([`SCHEMA_VERSION`]).
+        supported: u32,
+    },
 }
 
 impl std::fmt::Display for JournalError {
@@ -34,6 +43,13 @@ impl std::fmt::Display for JournalError {
             JournalError::Parse { line, message } => {
                 write!(f, "journal line {line} is not a valid event: {message}")
             }
+            JournalError::Version { found, supported } => {
+                write!(
+                    f,
+                    "journal schema v{found} is newer than this binary supports \
+                     (v{supported}); rebuild against the current vdx-obs"
+                )
+            }
         }
     }
 }
@@ -42,7 +58,7 @@ impl std::error::Error for JournalError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             JournalError::Io(e) => Some(e),
-            JournalError::Parse { .. } => None,
+            JournalError::Parse { .. } | JournalError::Version { .. } => None,
         }
     }
 }
@@ -128,8 +144,24 @@ impl Journal {
     }
 }
 
+/// Best-effort extraction of `"schema":N` from a raw journal line, for
+/// diagnosing headers written by a *newer* schema that no longer parse
+/// as our [`Event`]. Only digits directly after the key count.
+fn sniff_schema(line: &str) -> Option<u32> {
+    let rest = &line[line.find("\"schema\":")? + "\"schema\":".len()..];
+    let rest = rest.trim_start();
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 /// Reads a journal file back into events, failing on the first malformed
 /// line. Blank lines are rejected too: a journal is events, nothing else.
+///
+/// Journals whose [`Event::RunHeader`] declares a schema newer than
+/// [`SCHEMA_VERSION`] are rejected with [`JournalError::Version`] —
+/// including when the header itself no longer parses as an [`Event`]
+/// (the schema number is sniffed from the raw first line). Older
+/// schemas read fine: new fields carry serde defaults.
 pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Event>, JournalError> {
     let file = File::open(path.as_ref())?;
     let reader = BufReader::new(file);
@@ -137,8 +169,28 @@ pub fn read_journal(path: impl AsRef<Path>) -> Result<Vec<Event>, JournalError> 
     for (idx, line) in reader.lines().enumerate() {
         let line = line?;
         match serde_json::from_str::<Event>(&line) {
-            Ok(event) => events.push(event),
+            Ok(event) => {
+                if let Event::RunHeader { schema, .. } = &event {
+                    if *schema > SCHEMA_VERSION {
+                        return Err(JournalError::Version {
+                            found: *schema,
+                            supported: SCHEMA_VERSION,
+                        });
+                    }
+                }
+                events.push(event);
+            }
             Err(e) => {
+                if idx == 0 && line.contains("\"ev\":\"run_header\"") {
+                    if let Some(found) = sniff_schema(&line) {
+                        if found > SCHEMA_VERSION {
+                            return Err(JournalError::Version {
+                                found,
+                                supported: SCHEMA_VERSION,
+                            });
+                        }
+                    }
+                }
                 return Err(JournalError::Parse {
                     line: idx + 1,
                     message: e.to_string(),
@@ -165,11 +217,13 @@ mod tests {
         let mut journal = Journal::create(&path).expect("create");
         journal
             .write(&Event::RunHeader {
-                schema: crate::event::SCHEMA_VERSION,
+                schema: SCHEMA_VERSION,
                 experiment: "test".into(),
                 seed: 1,
                 scale: "small".into(),
                 started_unix_ms: 0,
+                threads: 0,
+                git_commit: "unknown".into(),
             })
             .expect("write header");
         journal
@@ -205,6 +259,75 @@ mod tests {
             Err(JournalError::Parse { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected parse error, got {other:?}"),
         }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_schema_journal_is_rejected() {
+        let path = temp_path("future.jsonl");
+        // A parseable header from a hypothetical v99 writer: unknown
+        // fields are ignored by serde, so the version check must catch it.
+        fs::write(
+            &path,
+            concat!(
+                "{\"ev\":\"run_header\",\"schema\":99,\"experiment\":\"t\",",
+                "\"seed\":1,\"scale\":\"small\",\"started_unix_ms\":0,",
+                "\"from_the_future\":true}\n"
+            ),
+        )
+        .expect("write fixture");
+        match read_journal(&path) {
+            Err(JournalError::Version {
+                found: 99,
+                supported,
+            }) => {
+                assert_eq!(supported, SCHEMA_VERSION);
+            }
+            other => panic!("expected version error, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn newer_schema_is_sniffed_even_when_the_header_no_longer_parses() {
+        let path = temp_path("future-shape.jsonl");
+        // A v99 header that dropped the `seed` field entirely: Event
+        // deserialization fails, but the raw schema number still tells
+        // the real story.
+        fs::write(
+            &path,
+            "{\"ev\":\"run_header\",\"schema\": 99,\"experiment\":\"t\"}\n",
+        )
+        .expect("write fixture");
+        match read_journal(&path) {
+            Err(JournalError::Version { found: 99, .. }) => {}
+            other => panic!("expected version error, got {other:?}"),
+        }
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn older_v2_journal_still_reads() {
+        let path = temp_path("v2.jsonl");
+        fs::write(
+            &path,
+            concat!(
+                "{\"ev\":\"run_header\",\"schema\":2,\"experiment\":\"t\",",
+                "\"seed\":1,\"scale\":\"small\",\"started_unix_ms\":0}\n",
+                "{\"ev\":\"phase_started\",\"phase\":\"ok\"}\n"
+            ),
+        )
+        .expect("write fixture");
+        let events = read_journal(&path).expect("v2 reads");
+        assert_eq!(events.len(), 2);
+        assert!(matches!(
+            events[0],
+            Event::RunHeader {
+                schema: 2,
+                threads: 0,
+                ..
+            }
+        ));
         fs::remove_file(&path).ok();
     }
 

@@ -4,6 +4,10 @@
 //! repro <experiment> [--small] [--seed N] [--json] [--journal PATH] [--threads N]
 //! repro obs-report <journal.jsonl>
 //! repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]
+//! repro audit ingest <artifact>... [--store DIR]
+//! repro audit query <name> [--store DIR]
+//! repro audit report [--store DIR]
+//! repro audit --baseline PATH [--metric-tol PCT] [--wall-tol PCT] [--threads N]
 //!
 //! experiments: fig3 fig4 fig5 fig7 table1 table3
 //!              fig10 fig11 fig12 fig13 fig14 fig15 (aliases of the
@@ -19,10 +23,18 @@
 //!                byte-identical for any N)
 //!
 //! `bench-experiments` times table3/fig17/fig18 at 1 thread vs N threads
-//! (default: all cores) and writes the measured speedups as JSON
-//! (default: BENCH_experiments.json).
+//! (default: all cores) and writes the measured speedups plus the
+//! Table-3 fidelity rows as the v2 baseline document (default:
+//! results/BENCH_experiments.json).
+//!
+//! `audit` is the cross-run analytics layer (`vdx-audit`, DESIGN.md
+//! §11): `ingest` folds journals and bench reports into the columnar
+//! store (default: results/audit), `query`/`report` answer cross-run
+//! questions over it, and `--baseline` re-runs table3 at the baseline's
+//! seed/scale and fails on regressions beyond the thresholds.
 //! ```
 
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 use vdx_obs::{Event, Journal, JournalProbe, Probe, Stopwatch, SCHEMA_VERSION};
@@ -38,7 +50,8 @@ fn usage() -> ExitCode {
          ext-stability|ext-hybrid|ext-noise|faults|all> [--small] [--seed N] [--json] \
          [--journal PATH] [--threads N]\n\
          \x20      repro obs-report <journal.jsonl>\n\
-         \x20      repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]"
+         \x20      repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]\n\
+         \x20      repro audit <ingest|query|report|--baseline PATH> (see `repro audit`)"
     );
     ExitCode::FAILURE
 }
@@ -105,6 +118,10 @@ fn main() -> ExitCode {
         return bench_experiments(&args);
     }
 
+    if which == "audit" {
+        return audit(&args[1..]);
+    }
+
     let small = args.iter().any(|a| a == "--small");
     let json = args.iter().any(|a| a == "--json");
     let seed = args
@@ -150,6 +167,8 @@ fn main() -> ExitCode {
             seed: config.seed,
             scale: if small { "small" } else { "full" }.to_string(),
             started_unix_ms: unix_ms(),
+            threads: threads.map_or(0, |n| n as u64),
+            git_commit: git_commit(),
         });
         p.emit(Event::PhaseStarted {
             phase: "build_scenario".into(),
@@ -331,29 +350,50 @@ fn with_json<T: serde::Serialize>(mut text: String, value: &T, json: bool) -> St
     text
 }
 
-/// One experiment's serial-vs-parallel timing.
-#[derive(serde::Serialize)]
-struct BenchEntry {
-    name: String,
-    serial_ms: u64,
-    parallel_ms: u64,
-    speedup: f64,
+/// Parses the value after `--flag`, if both are present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
 }
 
-/// The `bench-experiments` output written to BENCH_experiments.json.
-#[derive(serde::Serialize)]
-struct BenchReport {
-    schema: u32,
-    scale: String,
-    seed: u64,
-    threads: usize,
-    entries: Vec<BenchEntry>,
+/// Short git commit of the surrounding checkout, for run provenance in
+/// journals and baselines. `unknown` outside a checkout or without git.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Converts a table3 run into the audit crate's baseline row shape.
+fn to_table3_rows(result: &table3::Table3Result) -> Vec<vdx_audit::Table3Row> {
+    result
+        .rows
+        .iter()
+        .map(|(design, m)| vdx_audit::Table3Row {
+            design: design.clone(),
+            cost: m.cost,
+            score: m.score,
+            distance_miles: m.distance_miles,
+            load_pct: m.load_pct,
+            congested_pct: m.congested_pct,
+        })
+        .collect()
 }
 
 /// Times the round-parallel experiments at 1 thread vs `--threads` (all
-/// cores by default) over one shared scenario, and writes the speedups as
-/// pretty JSON. Both timings run the identical code path through
-/// differently sized rayon pools, so the comparison isolates the fan-out.
+/// cores by default) over one shared scenario, then records the Table-3
+/// fidelity rows, and writes both as the pretty-JSON v2 baseline
+/// document (`vdx_audit::BaselineReport`). Both timings run the
+/// identical code path through differently sized rayon pools, so the
+/// comparison isolates the fan-out.
 fn bench_experiments(args: &[String]) -> ExitCode {
     let small = args.iter().any(|a| a == "--small");
     let seed = args
@@ -371,12 +411,8 @@ fn bench_experiments(args: &[String]) -> ExitCode {
                 .map(|n| n.get())
                 .unwrap_or(1)
         });
-    let out_path = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .cloned()
-        .unwrap_or_else(|| "BENCH_experiments.json".to_string());
+    let out_path =
+        flag_value(args, "--out").unwrap_or_else(|| "results/BENCH_experiments.json".to_string());
 
     let mut config = if small {
         ScenarioConfig::small()
@@ -415,22 +451,30 @@ fn bench_experiments(args: &[String]) -> ExitCode {
         let parallel_ms = clock.elapsed_ms();
         let speedup = serial_ms as f64 / parallel_ms.max(1) as f64;
         eprintln!("  {name}: {serial_ms} ms serial, {parallel_ms} ms on {threads} threads ({speedup:.2}x)");
-        entries.push(BenchEntry {
+        entries.push(vdx_audit::BenchEntry {
             name: name.to_string(),
             serial_ms,
             parallel_ms,
             speedup,
         });
     }
-    let report = BenchReport {
-        schema: SCHEMA_VERSION,
+    eprintln!("recording table3 fidelity rows ...");
+    let fidelity = with_threads(Some(threads), || table3::run(&scenario));
+    let report = vdx_audit::BaselineReport {
+        schema: vdx_audit::BASELINE_SCHEMA,
         scale: if small { "small" } else { "full" }.to_string(),
         seed: seed_value,
-        threads,
+        threads: threads as u64,
+        git_commit: git_commit(),
         entries,
+        table3: to_table3_rows(&fidelity),
     };
-    let mut text = serde_json::to_string_pretty(&report).expect("serializable");
-    text.push('\n');
+    let text = report.to_json_pretty();
+    if let Some(parent) = Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).ok();
+        }
+    }
     match std::fs::write(&out_path, text) {
         Ok(()) => {
             eprintln!("wrote {out_path}");
@@ -440,5 +484,155 @@ fn bench_experiments(args: &[String]) -> ExitCode {
             eprintln!("cannot write {out_path}: {e}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// `repro audit ...` — the cross-run analytics store and the regression
+/// gate (`vdx-audit`, DESIGN.md §11).
+fn audit(args: &[String]) -> ExitCode {
+    if args.iter().any(|a| a == "--baseline") {
+        return audit_gate(args);
+    }
+
+    let queries: Vec<String> = vdx_audit::ALL_QUERIES
+        .iter()
+        .map(|q| format!("  {:<16} {}", q.name(), q.describe()))
+        .collect();
+    let audit_usage = || -> ExitCode {
+        eprintln!(
+            "usage: repro audit ingest <journal.jsonl|bench.json>... [--store DIR]\n\
+             \x20      repro audit query <name> [--store DIR]\n\
+             \x20      repro audit report [--store DIR]\n\
+             \x20      repro audit --baseline PATH [--metric-tol PCT] [--wall-tol PCT] \
+             [--threads N]\n\
+             queries:\n{}",
+            queries.join("\n")
+        );
+        ExitCode::FAILURE
+    };
+
+    let store_dir = flag_value(args, "--store").unwrap_or_else(|| "results/audit".to_string());
+    let open_store =
+        || -> Result<vdx_audit::Store, String> { vdx_audit::Store::open(Path::new(&store_dir)) };
+
+    match args.first().map(String::as_str) {
+        Some("ingest") => {
+            let mut paths: Vec<String> = Vec::new();
+            let mut rest = args[1..].iter();
+            while let Some(a) = rest.next() {
+                if a == "--store" {
+                    rest.next();
+                } else {
+                    paths.push(a.clone());
+                }
+            }
+            if paths.is_empty() {
+                return audit_usage();
+            }
+            let mut store = match open_store() {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("audit: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            for path in &paths {
+                match store.ingest(Path::new(path)) {
+                    Ok(vdx_audit::IngestOutcome::Ingested { run_id, rows }) => {
+                        eprintln!("ingested {path} as run {run_id} ({rows} rows)");
+                    }
+                    Ok(vdx_audit::IngestOutcome::Duplicate { run_id }) => {
+                        eprintln!("{path} already ingested as run {run_id}; skipping");
+                    }
+                    Err(e) => {
+                        eprintln!("audit: cannot ingest {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            match store.save() {
+                Ok(()) => {
+                    eprintln!("audit store saved: {store_dir}");
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("audit: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("query") => {
+            let Some(kind) = args.get(1).and_then(|n| vdx_audit::QueryKind::parse(n)) else {
+                return audit_usage();
+            };
+            match open_store() {
+                Ok(store) => {
+                    let result = vdx_audit::query::run(&store, kind);
+                    print!("{}", vdx_audit::render::render_query(&result));
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("audit: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        Some("report") => match open_store() {
+            Ok(store) => {
+                print!("{}", vdx_audit::report(&store));
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("audit: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => audit_usage(),
+    }
+}
+
+/// `repro audit --baseline PATH`: re-runs table3 at the baseline's
+/// seed/scale and fails (exit code 1) on Table-3 regressions beyond the
+/// thresholds. Wall times are only compared when the caller re-times
+/// the experiments; the fidelity half is always checked.
+fn audit_gate(args: &[String]) -> ExitCode {
+    let Some(path) = flag_value(args, "--baseline") else {
+        eprintln!("audit: --baseline needs a path");
+        return ExitCode::FAILURE;
+    };
+    let baseline = match vdx_audit::BaselineReport::read(Path::new(&path)) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("audit: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = vdx_audit::GateConfig::default();
+    if let Some(tol) = flag_value(args, "--metric-tol").and_then(|v| v.parse::<f64>().ok()) {
+        cfg.metric_tol_pct = tol;
+    }
+    if let Some(tol) = flag_value(args, "--wall-tol").and_then(|v| v.parse::<f64>().ok()) {
+        cfg.wall_tol_pct = tol;
+    }
+    let threads = flag_value(args, "--threads").and_then(|v| v.parse::<usize>().ok());
+
+    let mut config = if baseline.scale == "small" {
+        ScenarioConfig::small()
+    } else {
+        ScenarioConfig::default()
+    };
+    config.seed = baseline.seed;
+    eprintln!(
+        "gate: rerunning table3 at scale={} seed={} against {path}",
+        baseline.scale, baseline.seed
+    );
+    let scenario = Scenario::build(config);
+    let result = with_threads(threads, || table3::run(&scenario));
+    let outcome = vdx_audit::gate::compare(&baseline, &to_table3_rows(&result), &[], &cfg);
+    print!("{}", outcome.render());
+    if outcome.passed() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

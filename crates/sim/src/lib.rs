@@ -45,3 +45,9 @@ pub mod scenario;
 
 pub use metrics::{DesignMetrics, MetricsInput};
 pub use scenario::{Scenario, ScenarioConfig};
+
+// The audit store's reader ceiling must move in lockstep with the
+// journal schema: bumping `vdx_obs::SCHEMA_VERSION` without teaching
+// `vdx-audit` the new shape would silently strand fresh journals
+// outside the store. Fail the build instead.
+const _: () = assert!(vdx_audit::SUPPORTED_JOURNAL_SCHEMA == vdx_obs::SCHEMA_VERSION);

@@ -14,19 +14,37 @@ use vdx_obs::Event;
 pub fn report(events: &[Event]) -> String {
     let mut out = String::new();
 
-    // Run identity.
+    // Run identity. Journals newer than the reader never get this far:
+    // `read_journal` rejects them with `JournalError::Version`, so the
+    // supported-version note here documents the ceiling rather than
+    // guarding it.
     for e in events {
         if let Event::RunHeader {
             schema,
             experiment,
             seed,
             scale,
+            threads,
+            git_commit,
             ..
         } = e
         {
             out.push_str(&format!(
-                "journal: experiment={experiment} seed={seed} scale={scale} schema=v{schema}\n"
+                "journal: experiment={experiment} seed={seed} scale={scale} \
+                 schema=v{schema} (reader supports <= v{})\n",
+                vdx_obs::SCHEMA_VERSION
             ));
+            let threads = if *threads == 0 {
+                "ambient".to_string()
+            } else {
+                threads.to_string()
+            };
+            let commit = if git_commit.is_empty() {
+                "unknown"
+            } else {
+                git_commit.as_str()
+            };
+            out.push_str(&format!("build: commit={commit} threads={threads}\n"));
         }
     }
     if let Some(Event::ExperimentFinished {
@@ -332,6 +350,8 @@ mod tests {
                 seed: 2017,
                 scale: "small".into(),
                 started_unix_ms: 0,
+                threads: 4,
+                git_commit: "abc123def456".into(),
             },
             Event::PhaseStarted {
                 phase: "build_scenario".into(),
@@ -440,6 +460,17 @@ mod tests {
             text.contains("experiment=table3 seed=2017 scale=small"),
             "{text}"
         );
+        assert!(
+            text.contains(&format!(
+                "schema=v{v} (reader supports <= v{v})",
+                v = vdx_obs::SCHEMA_VERSION
+            )),
+            "{text}"
+        );
+        assert!(
+            text.contains("build: commit=abc123def456 threads=4"),
+            "{text}"
+        );
         assert!(text.contains("run complete: 12 events"), "{text}");
         assert!(text.contains("== Event census =="), "{text}");
         assert!(text.contains("round_completed"), "{text}");
@@ -478,6 +509,8 @@ mod tests {
                 seed: 1,
                 scale: "small".into(),
                 started_unix_ms: 0,
+                threads: 0,
+                git_commit: String::new(),
             },
             Event::ExperimentFinished {
                 experiment: "x".into(),

@@ -34,6 +34,8 @@ fn journaled_run(path: &Path) {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis() as u64)
             .unwrap_or(0),
+        threads: 0,
+        git_commit: "test-build".into(),
     });
     let mut scenario = Scenario::build(ScenarioConfig::small());
     scenario.set_probe(probe.clone());

@@ -28,6 +28,19 @@ cargo test -q --no-default-features -p vdx-sim
 echo "==> cargo test -q --features strict-invariants (conservation guards live)"
 cargo test -q --features vdx-solver/strict-invariants,vdx-cdn/strict-invariants -p vdx-solver -p vdx-cdn
 
+echo "==> audit regression gate (Table-3 fidelity vs committed baseline)"
+cargo run -p vdx-sim --bin repro --release -- audit --baseline results/BENCH_experiments.json
+
+echo "==> audit ingest/report smoke (journal -> store -> queries)"
+rm -rf target/verify-audit
+cargo run -p vdx-sim --bin repro --release -- table3 --small \
+  --journal target/verify-audit/t3.jsonl
+cargo run -p vdx-sim --bin repro --release -- audit ingest \
+  --store target/verify-audit/store target/verify-audit/t3.jsonl
+cargo run -p vdx-sim --bin repro --release -- audit report \
+  --store target/verify-audit/store > target/verify-audit/report.txt
+grep -q "objective-delta" target/verify-audit/report.txt
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 

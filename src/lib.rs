@@ -20,6 +20,7 @@
 //! | [`proto`] | `vdx-proto` | Wire protocol: frames, messages, lossy links, reliable channels |
 //! | [`core`] | `vdx-core` | The designs, the Decision/Delivery Protocols, the marketplace, accounting |
 //! | [`sim`] | `vdx-sim` | Scenario builder, metrics, one experiment per paper table/figure |
+//! | [`audit`] | `vdx-audit` | Cross-run journal analytics: columnar store, queries, regression gate |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use vdx_audit as audit;
 pub use vdx_broker as broker;
 pub use vdx_cdn as cdn;
 pub use vdx_core as core;
