@@ -10,6 +10,9 @@ pub enum RunKind {
     Journal,
     /// A `BENCH_experiments.json` baseline report.
     Bench,
+    /// A Criterion `estimates.json` (one solver microbenchmark from
+    /// `target/criterion/<group>/<bench>/new/estimates.json`).
+    Criterion,
 }
 
 impl RunKind {
@@ -18,6 +21,7 @@ impl RunKind {
         match self {
             RunKind::Journal => "journal",
             RunKind::Bench => "bench",
+            RunKind::Criterion => "criterion",
         }
     }
 
@@ -26,6 +30,7 @@ impl RunKind {
         match s {
             "journal" => Some(RunKind::Journal),
             "bench" => Some(RunKind::Bench),
+            "criterion" => Some(RunKind::Criterion),
             _ => None,
         }
     }

@@ -30,6 +30,9 @@ pub enum QueryKind {
     WallTrend,
     /// Table-3 metric deltas per design across bench runs.
     Table3Delta,
+    /// Criterion solver-microbenchmark trend across ingested
+    /// `estimates.json` runs, vs each benchmark's first ingest.
+    SolverBench,
 }
 
 /// Every query, in report order.
@@ -41,6 +44,7 @@ pub const ALL_QUERIES: &[QueryKind] = &[
     QueryKind::FaultLeague,
     QueryKind::WallTrend,
     QueryKind::Table3Delta,
+    QueryKind::SolverBench,
 ];
 
 impl QueryKind {
@@ -54,6 +58,7 @@ impl QueryKind {
             QueryKind::FaultLeague => "fault-league",
             QueryKind::WallTrend => "wall-trend",
             QueryKind::Table3Delta => "table3-delta",
+            QueryKind::SolverBench => "solver-bench",
         }
     }
 
@@ -67,6 +72,7 @@ impl QueryKind {
             QueryKind::FaultLeague => "per-design objective of faulted vs clean rounds",
             QueryKind::WallTrend => "wall-time trend across runs and bench entries",
             QueryKind::Table3Delta => "Table-3 metric deltas per design across bench runs",
+            QueryKind::SolverBench => "criterion solver microbenchmarks, vs first ingest",
         }
     }
 
@@ -101,6 +107,7 @@ pub fn run(store: &Store, kind: QueryKind) -> QueryResult {
         QueryKind::FaultLeague => fault_league(store),
         QueryKind::WallTrend => wall_trend(store),
         QueryKind::Table3Delta => table3_delta(store),
+        QueryKind::SolverBench => solver_bench(store),
     }
 }
 
@@ -438,6 +445,8 @@ fn wall_trend(store: &Store) -> QueryResult {
                     ]);
                 }
             }
+            // Microbenchmark runs have their own trend view.
+            RunKind::Criterion => {}
         }
     }
     QueryResult {
@@ -489,6 +498,41 @@ fn table3_delta(store: &Store) -> QueryResult {
         title: "table3-delta (cost/QoE per design across bench runs)".into(),
         headers: headers(&[
             "design", "run", "commit", "cost", "score", "d_cost", "d_score",
+        ]),
+        rows,
+    }
+}
+
+fn solver_bench(store: &Store) -> QueryResult {
+    let t = store.table("criterion");
+    let (c_run, c_group, c_bench) = (t.col("run"), t.col("group"), t.col("bench"));
+    let (c_mean, c_median, c_stddev) = (t.col("mean_ns"), t.col("median_ns"), t.col("stddev_ns"));
+    // Baseline per benchmark = its mean in the earliest run that has one.
+    let mut baseline: HashMap<(String, String), f64> = HashMap::new();
+    let mut rows = Vec::new();
+    for row in 0..t.rows() {
+        let key = (t.s(c_group, row).to_string(), t.s(c_bench, row).to_string());
+        let mean = t.f(c_mean, row);
+        let base = *baseline.entry(key.clone()).or_insert(mean);
+        let delta = if base.abs() > f64::EPSILON {
+            format!("{:+.2}%", 100.0 * (mean - base) / base)
+        } else {
+            "-".into()
+        };
+        rows.push(vec![
+            key.0,
+            key.1,
+            t.u(c_run, row).to_string(),
+            fmt(mean / 1000.0),
+            fmt(t.f(c_median, row) / 1000.0),
+            fmt(t.f(c_stddev, row) / 1000.0),
+            delta,
+        ]);
+    }
+    QueryResult {
+        title: "solver-bench (criterion microbenchmarks, vs first ingest)".into(),
+        headers: headers(&[
+            "group", "bench", "run", "mean_us", "median_us", "stddev_us", "d_mean",
         ]),
         rows,
     }
@@ -564,6 +608,43 @@ mod tests {
         let wall = run(&store, QueryKind::WallTrend);
         assert_eq!(wall.rows.len(), 2, "both journals recorded wall_ms");
         assert_eq!(wall.rows[0][4], "950");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solver_bench_tracks_criterion_drift_vs_first_ingest() {
+        let (dir, mut store) = temp_store("query-solver-bench");
+        let write = |tag: &str, mean: f64| {
+            let nested = dir
+                .join(tag)
+                .join("criterion")
+                .join("bench_solver")
+                .join("gap_heuristic_300x20")
+                .join("new");
+            std::fs::create_dir_all(&nested).expect("nested dirs create");
+            let path = nested.join("estimates.json");
+            let text = format!(
+                "{{\"mean\":{{\"point_estimate\":{mean}}},\
+                 \"median\":{{\"point_estimate\":{mean}}},\
+                 \"std_dev\":{{\"point_estimate\":10.0}}}}"
+            );
+            std::fs::write(&path, text).expect("estimates fixture writes");
+            path
+        };
+        store.ingest(&write("a", 200000.0)).expect("ingest a");
+        store.ingest(&write("b", 250000.0)).expect("ingest b");
+
+        let result = run(&store, QueryKind::SolverBench);
+        assert_eq!(result.rows.len(), 2);
+        assert_eq!(result.rows[0][0], "bench_solver");
+        assert_eq!(result.rows[0][1], "gap_heuristic_300x20");
+        assert_eq!(result.rows[0][3], fmt(200.0), "ns render as us");
+        assert_eq!(result.rows[0][6], "+0.00%", "first ingest is the baseline");
+        assert_eq!(result.rows[1][6], "+25.00%", "regression is visible");
+
+        // Criterion runs stay out of wall-trend; they have their own view.
+        assert!(run(&store, QueryKind::WallTrend).rows.is_empty());
 
         std::fs::remove_dir_all(&dir).ok();
     }

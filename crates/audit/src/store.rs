@@ -12,7 +12,8 @@
 //!     ├── faults.tbl
 //!     ├── timings.tbl
 //!     ├── bench.tbl
-//!     └── table3.tbl
+//!     ├── table3.tbl
+//!     └── criterion.tbl
 //! ```
 //!
 //! Ingest is idempotent: artifacts are keyed by an FNV-1a content hash,
@@ -20,6 +21,11 @@
 //! ingest appends one contiguous row range per table; the index maps
 //! `(table, run)` to that range so per-run queries slice instead of
 //! scanning.
+//!
+//! Besides journals and bench reports, ingest recognises Criterion's
+//! `estimates.json` (from `target/criterion/<group>/<bench>/new/`), so
+//! solver microbenchmarks join the same regression surface as Table-3
+//! metrics; see the `solver-bench` query.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -31,10 +37,11 @@ use crate::table::{ColType, Table, Value};
 /// Highest journal schema version this crate can ingest. Kept in lock
 /// step with `vdx-obs::SCHEMA_VERSION` (a const assertion in `vdx-sim`
 /// enforces the equality at build time).
-pub const SUPPORTED_JOURNAL_SCHEMA: u32 = 3;
+pub const SUPPORTED_JOURNAL_SCHEMA: u32 = 4;
 
-/// Store format version written to `manifest.json`.
-pub const STORE_SCHEMA: u32 = 1;
+/// Store format version written to `manifest.json` (v2 added the
+/// `criterion` table and the `solver_resolve` journal counters).
+pub const STORE_SCHEMA: u32 = 2;
 
 /// `u64` sentinel for "no CDN" in the faults table.
 pub const NO_CDN: u64 = u64::MAX;
@@ -147,7 +154,43 @@ fn empty_tables() -> Vec<Table> {
                 ("congested_pct", ColType::F64),
             ],
         ),
+        Table::new(
+            "criterion",
+            &[
+                ("run", ColType::U64),
+                ("group", ColType::Str),
+                ("bench", ColType::Str),
+                ("mean_ns", ColType::F64),
+                ("median_ns", ColType::F64),
+                ("stddev_ns", ColType::F64),
+            ],
+        ),
     ]
+}
+
+/// Content-sniffs Criterion's `estimates.json`: a top-level `mean`
+/// object carrying a `point_estimate`. Neither journals (JSONL) nor
+/// bench reports (`entries`/`table3`) share that shape.
+fn looks_like_criterion(text: &str) -> bool {
+    Json::parse(text)
+        .ok()
+        .is_some_and(|v| v.get("mean").and_then(|m| m.get("point_estimate")).is_some())
+}
+
+/// Recovers `(group, bench)` from a Criterion artifact path of the form
+/// `…/criterion/<group>/<bench>/new/estimates.json`; `unknown` when the
+/// path does not follow that layout.
+fn criterion_names(path: &Path) -> (String, String) {
+    let parts: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    if let Some(i) = parts.iter().position(|p| p == "criterion") {
+        if i + 2 < parts.len() {
+            return (parts[i + 1].clone(), parts[i + 2].clone());
+        }
+    }
+    ("unknown".into(), "unknown".into())
 }
 
 impl Store {
@@ -307,6 +350,9 @@ impl Store {
         let meta = if is_journal {
             self.ingest_journal(&text, run_id, &source, &hash)
                 .map_err(|e| format!("{}: {e}", path.display()))?
+        } else if looks_like_criterion(&text) {
+            self.ingest_criterion(&text, path, run_id, &hash)
+                .map_err(|e| format!("{}: {e}", path.display()))?
         } else {
             self.ingest_bench(&text, run_id, &source, &hash)
                 .map_err(|e| format!("{}: {e}", path.display()))?
@@ -374,6 +420,9 @@ impl Store {
         let mut retransmit_events = 0u64;
         let mut retransmitted_frames = 0u64;
         let mut sessions_moved = 0u64;
+        let mut solver_resolves = 0u64;
+        let mut warm_eligible = 0u64;
+        let mut changed_clients = 0u64;
         for (n, line) in lines.enumerate() {
             let v = Json::parse(line).map_err(|e| format!("line {}: {e}", n + 2))?;
             meta.events += 1;
@@ -494,6 +543,13 @@ impl Store {
                 "session_moved" => {
                     sessions_moved += v.u64_or("moved", 0);
                 }
+                "solver_resolve" => {
+                    solver_resolves += 1;
+                    if v.get("warm_eligible").and_then(Json::as_bool) == Some(true) {
+                        warm_eligible += 1;
+                    }
+                    changed_clients += v.u64_or("changed_clients", 0);
+                }
                 "experiment_finished" => {
                     meta.wall_ms = v.u64_or("wall_ms", 0);
                 }
@@ -525,6 +581,13 @@ impl Store {
                 1,
                 sessions_moved,
             );
+        }
+        // Warm-start delta aggregates (schema v4 journals). Counters
+        // only — the per-round lines stay in the journal itself.
+        if solver_resolves > 0 {
+            self.push_timing(run_id, "counter", "journal.solver_resolves", 1, solver_resolves);
+            self.push_timing(run_id, "counter", "journal.warm_eligible", 1, warm_eligible);
+            self.push_timing(run_id, "counter", "journal.changed_clients", 1, changed_clients);
         }
         for r in &rounds {
             self.table_mut("rounds").push(&[
@@ -591,6 +654,49 @@ impl Store {
         })
     }
 
+    /// Ingests one Criterion `estimates.json`, appending a single row to
+    /// the `criterion` table. Group and bench names come from the path
+    /// (`…/criterion/<group>/<bench>/new/estimates.json`); the point
+    /// estimates are Criterion's, in nanoseconds.
+    fn ingest_criterion(
+        &mut self,
+        text: &str,
+        path: &Path,
+        run_id: u64,
+        hash: &str,
+    ) -> Result<RunMeta, String> {
+        let json = Json::parse(text).map_err(|e| e.to_string())?;
+        let point = |key: &str| json.get(key).map_or(0.0, |m| m.f64_or("point_estimate", 0.0));
+        let mean_ns = point("mean");
+        let median_ns = point("median");
+        let stddev_ns = point("std_dev");
+        let (group, bench) = criterion_names(path);
+        self.table_mut("criterion").push(&[
+            Value::U(run_id),
+            Value::S(&group),
+            Value::S(&bench),
+            Value::F(mean_ns),
+            Value::F(median_ns),
+            Value::F(stddev_ns),
+        ]);
+        Ok(RunMeta {
+            run_id,
+            kind: RunKind::Criterion,
+            // Every estimates.json shares a file name, so the source
+            // keeps the group/bench tail for readable `runs` output.
+            source: format!("{group}/{bench}/estimates.json"),
+            hash: hash.to_string(),
+            experiment: group,
+            seed: 0,
+            scale: "bench".into(),
+            schema: 0,
+            threads: 0,
+            git_commit: "unknown".into(),
+            wall_ms: (mean_ns / 1e6) as u64,
+            events: 0,
+        })
+    }
+
     fn push_fault(&mut self, run: u64, round: u64, kind: &str, cdn: u64, amount: u64, note: &str) {
         self.table_mut("faults").push(&[
             Value::U(run),
@@ -634,7 +740,7 @@ impl Store {
     }
 
     /// A fact table by name (`rounds`, `wire`, `faults`, `timings`,
-    /// `bench`, `table3`).
+    /// `bench`, `table3`, `criterion`).
     pub fn table(&self, name: &str) -> &Table {
         self.tables
             .iter()
@@ -754,8 +860,70 @@ mod tests {
         let journal = write_journal(&dir, "new.jsonl", &too_new);
         let err = store.ingest(&journal).expect_err("must reject");
         assert!(err.contains("schema v99"), "{err}");
-        assert!(err.contains("v3"), "{err}");
+        assert!(err.contains("v4"), "{err}");
         assert!(store.runs().is_empty(), "nothing was ingested");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn solver_resolve_events_aggregate_into_counters() {
+        let (dir, mut store) = temp_store("store-resolve");
+        // A v4 journal: the golden v3 fixture plus warm-start delta lines.
+        let mut journal = golden_journal("abc123", 0.0).replace("\"schema\":3", "\"schema\":4");
+        journal.push_str(concat!(
+            "{\"ev\":\"solver_resolve\",\"round\":0,\"changed_clients\":12,",
+            "\"changed_buckets\":2,\"warm_eligible\":false}\n",
+            "{\"ev\":\"solver_resolve\",\"round\":1,\"changed_clients\":0,",
+            "\"changed_buckets\":0,\"warm_eligible\":true}\n",
+        ));
+        let path = write_journal(&dir, "warm.jsonl", &journal);
+        store.ingest(&path).expect("v4 journals ingest");
+        let t = store.table("timings");
+        let (c_name, c_value) = (t.col("name"), t.col("value"));
+        let counter = |name: &str| {
+            (0..t.rows())
+                .find(|&r| t.s(c_name, r) == name)
+                .map(|r| t.u(c_value, r))
+        };
+        assert_eq!(counter("journal.solver_resolves"), Some(2));
+        assert_eq!(counter("journal.warm_eligible"), Some(1));
+        assert_eq!(counter("journal.changed_clients"), Some(12));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn criterion_estimates_ingest_fills_the_criterion_table() {
+        let (dir, mut store) = temp_store("store-criterion");
+        let estimates = r#"{
+            "mean":   {"point_estimate": 184213.7, "standard_error": 92.1},
+            "median": {"point_estimate": 183950.2},
+            "std_dev":{"point_estimate": 1201.4}
+        }"#;
+        let nested = dir
+            .join("criterion")
+            .join("bench_solver")
+            .join("gap_heuristic_300x20")
+            .join("new");
+        std::fs::create_dir_all(&nested).expect("nested dirs create");
+        let path = nested.join("estimates.json");
+        std::fs::write(&path, estimates).expect("estimates fixture writes");
+        store.ingest(&path).expect("estimates ingest");
+
+        let meta = &store.runs()[0];
+        assert_eq!(meta.kind, RunKind::Criterion);
+        assert_eq!(meta.experiment, "bench_solver");
+        assert_eq!(meta.source, "bench_solver/gap_heuristic_300x20/estimates.json");
+        let t = store.table("criterion");
+        assert_eq!(t.rows(), 1);
+        assert_eq!(t.s(t.col("group"), 0), "bench_solver");
+        assert_eq!(t.s(t.col("bench"), 0), "gap_heuristic_300x20");
+        assert_eq!(t.f(t.col("mean_ns"), 0), 184213.7);
+        assert_eq!(t.f(t.col("stddev_ns"), 0), 1201.4);
+        // Re-ingesting the identical file is still a duplicate no-op.
+        assert_eq!(
+            store.ingest(&path).expect("second ingest"),
+            IngestOutcome::Duplicate { run_id: 0 }
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

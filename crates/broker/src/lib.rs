@@ -32,7 +32,8 @@ pub mod stale;
 
 pub use gather::{gather_groups, synth_background, ClientGroup, GroupId};
 pub use optimize::{
-    optimize, optimize_probed, BrokerAssignment, BrokerProblem, GroupOption, OptimizeMode,
+    optimize, optimize_probed, optimize_probed_ctx, BrokerAssignment, BrokerProblem, GroupOption,
+    OptimizeContext, OptimizeMode,
 };
 pub use policy::CpPolicy;
 pub use stale::StaleBidCache;

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use vdx_cdn::{CdnId, ClusterId};
 use vdx_netsim::Score;
 use vdx_obs::{Event, Probe};
-use vdx_solver::{AssignmentProblem, CandidateOption, MilpConfig, SolveStats};
+use vdx_solver::{AssignmentProblem, CandidateOption, MilpConfig, SolveStats, SolverContext, WarmPolicy};
 use vdx_units::{Kbps, UsdPerGb};
 
 /// One candidate (from one CDN's Announce) for one client group.
@@ -40,7 +40,11 @@ pub struct GroupOption {
 }
 
 /// The broker's optimization input for one Decision Protocol round.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares groups and options exactly (bitwise on the
+/// underlying floats): the warm-start layer ([`OptimizeContext`]) uses it
+/// to recognize rounds whose input did not change at all.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BrokerProblem {
     /// The client groups.
     pub groups: Vec<ClientGroup>,
@@ -50,7 +54,7 @@ pub struct BrokerProblem {
 }
 
 /// How to solve the assignment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum OptimizeMode {
     /// Regret-greedy + local search (CDN-scale default).
     Heuristic,
@@ -59,7 +63,7 @@ pub enum OptimizeMode {
 }
 
 /// The broker's decision for a round.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BrokerAssignment {
     /// For each group, the chosen index into its option list.
     pub choice: Vec<usize>,
@@ -115,12 +119,194 @@ pub fn optimize_probed(
         "options misaligned"
     );
 
-    // Map distinct clusters to capacity buckets. The believed capacity of a
-    // cluster must be consistent across options; the first mention wins and
-    // disagreements are clamped to the minimum announced (conservative).
+    let gap = build_gap(problem, policy);
+    let (assignment, mode_name, stats) = solve_gap(&gap, mode);
+
+    if probe.enabled() {
+        probe.emit(Event::SolverStats {
+            round,
+            mode: mode_name.to_string(),
+            pivots: stats.pivots,
+            bnb_nodes: stats.bnb_nodes,
+            optimality_gap: stats.optimality_gap(assignment.objective),
+            objective: assignment.objective,
+        });
+    }
+
+    into_broker_assignment(problem, assignment)
+}
+
+/// Warm-start state one broker carries across its rounds: the solver-side
+/// [`SolverContext`] (delta detection, memoized previous problem) plus a
+/// broker-level cache of the previous round's full decision.
+///
+/// Two memoization levels stack:
+///
+/// 1. **broker-level** — when `(problem, policy, mode)` compare equal to
+///    the previous round's triple, the cached [`BrokerAssignment`] is
+///    replayed and the whole Optimize step (cluster bucketization, policy
+///    valuation, solve) is skipped. Exact by construction: the pipeline
+///    is a deterministic pure function of that triple.
+/// 2. **solver-level** — otherwise the GAP instance is rebuilt and the
+///    [`SolverContext`] tracks its delta against the previous round, so
+///    the journaled `SolverResolve` line reports exactly which clients
+///    and buckets changed.
+///
+/// The context always runs the solver under [`WarmPolicy::Exact`], so
+/// every answer — cached or not — is bit-identical to what the
+/// context-free [`optimize_probed`] returns. One context serves one
+/// sequential round stream (a shard); concurrent streams get one each.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeContext {
+    solver: SolverContext,
+    prev: Option<(BrokerProblem, CpPolicy, OptimizeMode)>,
+    cached: Option<CachedDecision>,
+}
+
+/// The previous round's decision plus the fields its `SolverStats` journal
+/// line carried, for byte-identical replay on a broker-level warm hit.
+#[derive(Debug, Clone)]
+struct CachedDecision {
+    assignment: BrokerAssignment,
+    mode_name: &'static str,
+    stats: SolveStats,
+}
+
+impl OptimizeContext {
+    /// A fresh context with reuse enabled.
+    pub fn new() -> OptimizeContext {
+        OptimizeContext {
+            solver: SolverContext::new(WarmPolicy::Exact),
+            prev: None,
+            cached: None,
+        }
+    }
+
+    /// Enables or disables reuse (both memoization levels). A disabled
+    /// context re-solves every round from scratch while still detecting
+    /// and reporting deltas — the `--solver-cold` reference path, which
+    /// must journal byte-identically to an enabled one.
+    pub fn set_reuse(&mut self, reuse: bool) {
+        self.solver.set_reuse(reuse);
+    }
+
+    /// Whether reuse is enabled.
+    pub fn reuse(&self) -> bool {
+        self.solver.reuse()
+    }
+
+    /// Cumulative warm/cold counters since the context was created.
+    pub fn stats(&self) -> &SolveStats {
+        self.solver.stats()
+    }
+}
+
+/// [`optimize_probed`] with warm-start state carried across rounds.
+///
+/// Emits one mode-independent [`Event::SolverResolve`] describing how this
+/// round's problem differs from the previous round's, then the usual
+/// [`Event::SolverStats`]. Both lines are a pure function of the round
+/// sequence: a reuse-disabled context (or the context-free entry points)
+/// journals byte-identical lines and returns bit-identical assignments —
+/// the warm path only skips *recomputing* answers determinism pins down.
+///
+/// # Panics
+/// Panics if a group has no options, or `options` is misaligned with
+/// `groups`.
+pub fn optimize_probed_ctx(
+    problem: &BrokerProblem,
+    policy: &CpPolicy,
+    mode: &OptimizeMode,
+    round: u64,
+    probe: &dyn Probe,
+    ctx: &mut OptimizeContext,
+) -> BrokerAssignment {
+    let _optimize_timer = probe
+        .enabled()
+        .then(|| vdx_obs::ScopedTimer::global("broker.optimize"));
+    assert_eq!(
+        problem.groups.len(),
+        problem.options.len(),
+        "options misaligned"
+    );
+
+    // Broker-level warm hit: the input triple is unchanged, so rebuilding
+    // the GAP and re-solving would reproduce the cached decision bit for
+    // bit. The solver context's memoized problem is also unchanged (the
+    // GAP build is deterministic in the triple), hence the empty delta.
+    if ctx.reuse()
+        && ctx.cached.is_some()
+        && ctx
+            .prev
+            .as_ref()
+            .is_some_and(|(p, pol, m)| p == problem && pol == policy && m == mode)
+    {
+        let cached = ctx.cached.as_ref().expect("checked above");
+        ctx.solver.note_warm_hit();
+        if probe.enabled() {
+            probe.emit(Event::SolverResolve {
+                round,
+                changed_clients: 0,
+                changed_buckets: 0,
+                warm_eligible: true,
+            });
+            probe.emit(Event::SolverStats {
+                round,
+                mode: cached.mode_name.to_string(),
+                pivots: cached.stats.pivots,
+                bnb_nodes: cached.stats.bnb_nodes,
+                optimality_gap: cached.stats.optimality_gap(cached.assignment.objective),
+                objective: cached.assignment.objective,
+            });
+        }
+        return cached.assignment.clone();
+    }
+
+    let gap = build_gap(problem, policy);
+    let delta = ctx.solver.peek_delta(&gap);
+    if probe.enabled() {
+        probe.emit(Event::SolverResolve {
+            round,
+            changed_clients: delta.changed_clients,
+            changed_buckets: delta.changed_buckets,
+            warm_eligible: delta.is_empty(),
+        });
+    }
+
+    let (assignment, mode_name, stats) = solve_gap(&gap, mode);
+    ctx.solver.observe(&gap, &assignment);
+
+    if probe.enabled() {
+        probe.emit(Event::SolverStats {
+            round,
+            mode: mode_name.to_string(),
+            pivots: stats.pivots,
+            bnb_nodes: stats.bnb_nodes,
+            optimality_gap: stats.optimality_gap(assignment.objective),
+            objective: assignment.objective,
+        });
+    }
+
+    let broker_assignment = into_broker_assignment(problem, assignment);
+    ctx.prev = Some((problem.clone(), *policy, mode.clone()));
+    ctx.cached = Some(CachedDecision {
+        assignment: broker_assignment.clone(),
+        mode_name,
+        stats,
+    });
+    broker_assignment
+}
+
+/// Maps a [`BrokerProblem`] onto the solver's bucketized GAP form.
+///
+/// Distinct clusters become capacity buckets. The believed capacity of a
+/// cluster must be consistent across options; the first mention wins and
+/// disagreements are clamped to the minimum announced (conservative).
+/// Deterministic in `(problem, policy)`: buckets are numbered in first
+/// mention order over the option lists.
+fn build_gap(problem: &BrokerProblem, policy: &CpPolicy) -> AssignmentProblem {
     let mut bucket_of: HashMap<ClusterId, usize> = HashMap::new();
     let mut capacities: Vec<Kbps> = Vec::new();
-    let mut cluster_of_bucket: Vec<ClusterId> = Vec::new();
     for opts in &problem.options {
         for o in opts {
             match bucket_of.get(&o.cluster) {
@@ -130,7 +316,6 @@ pub fn optimize_probed(
                 None => {
                     bucket_of.insert(o.cluster, capacities.len());
                     capacities.push(o.believed_capacity_kbps);
-                    cluster_of_bucket.push(o.cluster);
                 }
             }
         }
@@ -151,7 +336,14 @@ pub fn optimize_probed(
             .collect();
         gap.add_client(candidates);
     }
+    gap
+}
 
+/// Runs the configured solve path over a built GAP instance.
+fn solve_gap(
+    gap: &AssignmentProblem,
+    mode: &OptimizeMode,
+) -> (vdx_solver::Assignment, &'static str, SolveStats) {
     let mut stats = SolveStats::new();
     let (assignment, mode_name) = match mode {
         OptimizeMode::Heuristic => (gap.solve_heuristic(), "heuristic"),
@@ -162,18 +354,15 @@ pub fn optimize_probed(
             None => (gap.solve_heuristic(), "exact_fallback_heuristic"),
         },
     };
+    (assignment, mode_name, stats)
+}
 
-    if probe.enabled() {
-        probe.emit(Event::SolverStats {
-            round,
-            mode: mode_name.to_string(),
-            pivots: stats.pivots,
-            bnb_nodes: stats.bnb_nodes,
-            optimality_gap: stats.optimality_gap(assignment.objective),
-            objective: assignment.objective,
-        });
-    }
-
+/// Converts a solver assignment back into broker terms (per-cluster load
+/// accounting) and checks demand conservation.
+fn into_broker_assignment(
+    problem: &BrokerProblem,
+    assignment: vdx_solver::Assignment,
+) -> BrokerAssignment {
     let mut cluster_load_kbps: HashMap<ClusterId, Kbps> = HashMap::new();
     for (g, &c) in assignment.choice.iter().enumerate() {
         let o = &problem.options[g][c];
@@ -357,6 +546,158 @@ mod tests {
                 assert!((objective - probed.objective).abs() < 1e-9);
             }
             other => panic!("expected SolverStats, got {other:?}"),
+        }
+    }
+
+    /// Replays `rounds` through a context and returns the per-round
+    /// `(assignment, journaled events)` pairs.
+    fn drive_ctx(
+        ctx: &mut OptimizeContext,
+        rounds: &[(BrokerProblem, OptimizeMode)],
+    ) -> Vec<(BrokerAssignment, Vec<vdx_obs::Event>)> {
+        use vdx_obs::MemoryProbe;
+        rounds
+            .iter()
+            .enumerate()
+            .map(|(r, (problem, mode))| {
+                let probe = MemoryProbe::new();
+                let a = optimize_probed_ctx(
+                    problem,
+                    &CpPolicy::balanced(),
+                    mode,
+                    r as u64,
+                    &probe,
+                    ctx,
+                );
+                (a, probe.take())
+            })
+            .collect()
+    }
+
+    fn two_group_problem(shift: f64) -> BrokerProblem {
+        BrokerProblem {
+            groups: vec![group(0, 500.0), group(1, 800.0)],
+            options: vec![
+                vec![opt(0, 50.0 + shift, 2.0, 1_000.0), opt(1, 70.0, 0.5, 2_000.0)],
+                vec![opt(0, 45.0, 2.0, 1_000.0), opt(1, 90.0, 0.2, 2_000.0)],
+            ],
+        }
+    }
+
+    #[test]
+    fn ctx_path_emits_resolve_then_stats_and_matches_the_plain_path() {
+        let rounds = vec![
+            (two_group_problem(0.0), OptimizeMode::Heuristic),
+            (two_group_problem(0.0), OptimizeMode::Heuristic), // unchanged
+            (two_group_problem(-30.0), OptimizeMode::Heuristic), // group 0 shifts
+        ];
+        let mut ctx = OptimizeContext::new();
+        let driven = drive_ctx(&mut ctx, &rounds);
+        for ((problem, mode), (a, events)) in rounds.iter().zip(&driven) {
+            let plain = optimize(problem, &CpPolicy::balanced(), mode);
+            assert_eq!(a, &plain, "ctx answers match the context-free path");
+            assert_eq!(events.len(), 2);
+            assert_eq!(events[0].kind(), "solver_resolve");
+            assert_eq!(events[1].kind(), "solver_stats");
+        }
+        match &driven[0].1[0] {
+            Event::SolverResolve {
+                changed_clients,
+                warm_eligible,
+                ..
+            } => {
+                assert_eq!(*changed_clients, 2, "first round: everything is new");
+                assert!(!warm_eligible);
+            }
+            other => panic!("expected SolverResolve, got {other:?}"),
+        }
+        match &driven[1].1[0] {
+            Event::SolverResolve {
+                changed_clients,
+                changed_buckets,
+                warm_eligible,
+                ..
+            } => {
+                assert_eq!((*changed_clients, *changed_buckets), (0, 0));
+                assert!(warm_eligible);
+            }
+            other => panic!("expected SolverResolve, got {other:?}"),
+        }
+        match &driven[2].1[0] {
+            Event::SolverResolve {
+                changed_clients,
+                changed_buckets,
+                warm_eligible,
+                ..
+            } => {
+                assert_eq!((*changed_clients, *changed_buckets), (1, 0));
+                assert!(!warm_eligible);
+            }
+            other => panic!("expected SolverResolve, got {other:?}"),
+        }
+        assert_eq!(ctx.stats().warm_hits, 1);
+        assert_eq!(ctx.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn cold_context_journals_byte_identically_to_a_warm_one() {
+        // Three rounds, the middle one unchanged: a reuse-disabled context
+        // must emit exactly the same event lines (delta detection is a
+        // pure function of the round sequence, not the solve strategy).
+        let rounds = vec![
+            (
+                two_group_problem(0.0),
+                OptimizeMode::Exact(MilpConfig::default()),
+            ),
+            (
+                two_group_problem(0.0),
+                OptimizeMode::Exact(MilpConfig::default()),
+            ),
+            (
+                two_group_problem(-30.0),
+                OptimizeMode::Exact(MilpConfig::default()),
+            ),
+        ];
+        let mut warm = OptimizeContext::new();
+        let mut cold = OptimizeContext::new();
+        cold.set_reuse(false);
+        assert!(!cold.reuse());
+        let warm_driven = drive_ctx(&mut warm, &rounds);
+        let cold_driven = drive_ctx(&mut cold, &rounds);
+        for ((wa, we), (ca, ce)) in warm_driven.iter().zip(&cold_driven) {
+            assert_eq!(wa, ca, "assignments bit-identical");
+            // Equal Event values serialize to byte-identical journal
+            // lines (serde output is deterministic).
+            assert_eq!(we, ce, "journal events identical");
+        }
+        assert_eq!(warm.stats().warm_hits, 1);
+        assert_eq!(cold.stats().warm_hits, 0);
+        assert_eq!(cold.stats().cold_solves, 3);
+    }
+
+    #[test]
+    fn mode_change_on_an_identical_problem_is_not_a_warm_hit() {
+        // Same problem twice but heuristic → exact: the cached decision
+        // must not be replayed across a mode switch.
+        let rounds = vec![
+            (two_group_problem(0.0), OptimizeMode::Heuristic),
+            (
+                two_group_problem(0.0),
+                OptimizeMode::Exact(MilpConfig::default()),
+            ),
+        ];
+        let mut ctx = OptimizeContext::new();
+        let driven = drive_ctx(&mut ctx, &rounds);
+        assert_eq!(ctx.stats().warm_hits, 0);
+        match &driven[1].1[1] {
+            Event::SolverStats { mode, .. } => assert_eq!(mode, "exact"),
+            other => panic!("expected SolverStats, got {other:?}"),
+        }
+        // The GAP itself was unchanged, so the delta still reports empty —
+        // warm-eligibility describes the problem, not the decision taken.
+        match &driven[1].1[0] {
+            Event::SolverResolve { warm_eligible, .. } => assert!(warm_eligible),
+            other => panic!("expected SolverResolve, got {other:?}"),
         }
     }
 }

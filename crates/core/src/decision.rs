@@ -23,8 +23,8 @@ use crate::design::Design;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use vdx_broker::{
-    optimize_probed, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy, GroupOption,
-    OptimizeMode,
+    optimize_probed, optimize_probed_ctx, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy,
+    GroupOption, OptimizeContext, OptimizeMode,
 };
 use vdx_cdn::{
     candidate_clusters_into, median_capacity, total_capacity, CdnId, ClusterId, Contract, Fleet,
@@ -132,6 +132,42 @@ pub fn run_decision_round_probed(
     round: RoundId,
     probe: &dyn Probe,
 ) -> RoundOutcome {
+    round_impl(design, inputs, score_of, round, probe, None)
+}
+
+/// [`run_decision_round_probed`] with a warm-start [`OptimizeContext`]
+/// carried across rounds.
+///
+/// The Optimize step goes through
+/// [`optimize_probed_ctx`](vdx_broker::optimize_probed_ctx), which emits
+/// one extra [`Event::SolverResolve`] line per round (how the round's
+/// problem differs from the previous one — a pure function of the round
+/// sequence) and skips recomputing decisions that determinism pins down.
+/// The outcome and every journaled line are bit-identical to threading a
+/// reuse-disabled context; the context only changes how much work the
+/// round does.
+///
+/// One context serves one sequential round stream: hand each concurrent
+/// shard its own.
+pub fn run_decision_round_probed_ctx(
+    design: Design,
+    inputs: &RoundInputs<'_>,
+    score_of: impl Fn(CityId, CityId) -> Score,
+    round: RoundId,
+    probe: &dyn Probe,
+    ctx: &mut OptimizeContext,
+) -> RoundOutcome {
+    round_impl(design, inputs, score_of, round, probe, Some(ctx))
+}
+
+fn round_impl(
+    design: Design,
+    inputs: &RoundInputs<'_>,
+    score_of: impl Fn(CityId, CityId) -> Score,
+    round: RoundId,
+    probe: &dyn Probe,
+    ctx: Option<&mut OptimizeContext>,
+) -> RoundOutcome {
     let round = round.0;
     // Feed the process-wide latency histogram only on instrumented runs,
     // so unprobed callers keep pure-function semantics.
@@ -225,7 +261,10 @@ pub fn run_decision_round_probed(
         groups: inputs.groups.to_vec(),
         options,
     };
-    let assignment = optimize_probed(&problem, &inputs.policy, &inputs.mode, round, probe);
+    let assignment = match ctx {
+        Some(ctx) => optimize_probed_ctx(&problem, &inputs.policy, &inputs.mode, round, probe, ctx),
+        None => optimize_probed(&problem, &inputs.policy, &inputs.mode, round, probe),
+    };
 
     if probe.enabled() {
         let total_bids: u64 = problem.options.iter().map(|o| o.len() as u64).sum();

@@ -15,8 +15,8 @@
 use crate::design::Design;
 use std::sync::Arc;
 use vdx_broker::{
-    optimize_probed, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy, GroupOption,
-    OptimizeMode, StaleBidCache,
+    optimize_probed_ctx, BrokerAssignment, BrokerProblem, ClientGroup, CpPolicy, GroupOption,
+    OptimizeContext, OptimizeMode, StaleBidCache,
 };
 use vdx_cdn::{candidate_clusters, BidPolicy, BidShading, CdnId, ClusterId, Fleet, MatchingConfig};
 use vdx_geo::CityId;
@@ -233,6 +233,11 @@ pub struct ExchangeBroker {
     round: Option<PendingRound>,
     probe: Arc<dyn Probe>,
     rounds_started: u64,
+    /// Warm-start state across this broker's rounds. Live rounds are one
+    /// sequential stream, so one context is exactly right; it runs the
+    /// solver under the bit-exact reuse policy, keeping journals and
+    /// decisions identical to context-free solves.
+    optimize_ctx: OptimizeContext,
 }
 
 struct PendingRound {
@@ -296,7 +301,15 @@ impl ExchangeBroker {
             round: None,
             probe: vdx_obs::probe::noop(),
             rounds_started: 0,
+            optimize_ctx: OptimizeContext::new(),
         }
+    }
+
+    /// Enables or disables warm-start reuse across rounds (the
+    /// `--solver-cold` reference path re-solves every round from
+    /// scratch). Decisions and journals are identical either way.
+    pub fn set_solver_reuse(&mut self, reuse: bool) {
+        self.optimize_ctx.set_reuse(reuse);
     }
 
     /// Routes this broker's journal events (round lifecycle, auction
@@ -407,12 +420,13 @@ impl ExchangeBroker {
             groups: round.groups,
             options,
         };
-        let assignment = optimize_probed(
+        let assignment = optimize_probed_ctx(
             &problem,
             &self.config.policy,
             &self.config.mode,
             round.id,
             self.probe.as_ref(),
+            &mut self.optimize_ctx,
         );
 
         // Accept: echo every bid with its outcome to its CDN.

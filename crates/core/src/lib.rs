@@ -46,7 +46,8 @@ pub mod transactions;
 
 pub use accounting::{settle, CdnLedger, Settlement};
 pub use decision::{
-    assign_background, run_decision_round, run_decision_round_probed, RoundId, RoundInputs,
+    assign_background, run_decision_round, run_decision_round_probed,
+    run_decision_round_probed_ctx, RoundId, RoundInputs,
     RoundOutcome,
 };
 pub use design::Design;

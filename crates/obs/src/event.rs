@@ -25,8 +25,11 @@ use serde::{Deserialize, Serialize};
 /// v3 added `threads` and `git_commit` to [`Event::RunHeader`] so the
 /// audit store (`vdx-audit`) can attribute runs to builds. Both carry
 /// `#[serde(default)]`, so v2 journals still parse; readers must reject
-/// journals *newer* than this constant (see `read_journal`).
-pub const SCHEMA_VERSION: u32 = 3;
+/// journals *newer* than this constant (see `read_journal`). v4 added
+/// [`Event::SolverResolve`], the per-round problem-delta record emitted
+/// by the warm-start layer; older journals simply lack the variant, so
+/// they still parse.
+pub const SCHEMA_VERSION: u32 = 4;
 
 /// One journaled event. See the module docs for the field taxonomy and
 /// DESIGN.md §7 for one example line per variant.
@@ -104,6 +107,26 @@ pub enum Event {
         accepted: u64,
         /// Losing bids (CDNs learn from these too, §6.1).
         rejected: u64,
+    },
+    /// How one Optimize step's problem differed from the previous round's,
+    /// as seen by the warm-start layer (`vdx-solver::warm`). The fields
+    /// are a pure function of the round sequence — *not* of the solve
+    /// strategy — so warm and cold runs journal identical lines
+    /// (warm/cold/repair outcome counters stay in `SolveStats`, the
+    /// struct, and are never journaled per round).
+    SolverResolve {
+        /// Round id.
+        round: u64,
+        /// Client groups whose candidate-option rows changed since the
+        /// previous round's problem (all of them on the first round or a
+        /// shape change).
+        changed_clients: u64,
+        /// Capacity buckets whose capacity changed since the previous
+        /// round's problem (ditto).
+        changed_buckets: u64,
+        /// True when the delta is empty, i.e. a warm-start-enabled solver
+        /// may answer from its memoized solution without any solver work.
+        warm_eligible: bool,
     },
     /// Solver effort behind one Optimize step.
     SolverStats {
@@ -306,6 +329,7 @@ impl Event {
             Event::SharePublished { .. } => "share_published",
             Event::BidReceived { .. } => "bid_received",
             Event::AcceptIssued { .. } => "accept_issued",
+            Event::SolverResolve { .. } => "solver_resolve",
             Event::SolverStats { .. } => "solver_stats",
             Event::RoundCompleted { .. } => "round_completed",
             Event::SessionMoved { .. } => "session_moved",
@@ -396,6 +420,12 @@ mod tests {
                 round: 0,
                 accepted: 412,
                 rejected: 3_100,
+            },
+            Event::SolverResolve {
+                round: 1,
+                changed_clients: 3,
+                changed_buckets: 0,
+                warm_eligible: false,
             },
             Event::SolverStats {
                 round: 0,

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro <experiment> [--small] [--seed N] [--json] [--journal PATH] [--threads N]
+//!                    [--rounds N] [--solver-cold]
 //! repro obs-report <journal.jsonl>
 //! repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]
 //! repro audit ingest <artifact>... [--store DIR]
@@ -21,6 +22,13 @@
 //! --threads N    size of the round fan-out thread pool (requires the
 //!                default `parallel` feature; results and journals are
 //!                byte-identical for any N)
+//! --rounds N     (table3) run N consecutive decision rounds per design —
+//!                the warm-started round hot loop; the reported table
+//!                comes from each design's last round and is identical
+//!                for any N (default 1)
+//! --solver-cold  (table3) disable warm-start reuse: every round
+//!                re-solves from scratch. The reference path — output
+//!                and journals are byte-identical to the default
 //!
 //! `bench-experiments` times table3/fig17/fig18 at 1 thread vs N threads
 //! (default: all cores) and writes the measured speedups plus the
@@ -28,10 +36,12 @@
 //! results/BENCH_experiments.json).
 //!
 //! `audit` is the cross-run analytics layer (`vdx-audit`, DESIGN.md
-//! §11): `ingest` folds journals and bench reports into the columnar
-//! store (default: results/audit), `query`/`report` answer cross-run
-//! questions over it, and `--baseline` re-runs table3 at the baseline's
-//! seed/scale and fails on regressions beyond the thresholds.
+//! §11): `ingest` folds journals, bench reports and Criterion
+//! `target/criterion/*/*/new/estimates.json` microbenchmarks into the
+//! columnar store (default: results/audit), `query`/`report` answer
+//! cross-run questions over it (see `solver-bench` for microbenchmark
+//! drift), and `--baseline` re-runs table3 at the baseline's seed/scale
+//! and fails on regressions beyond the thresholds.
 //! ```
 
 use std::path::Path;
@@ -48,7 +58,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: repro <fig3|fig4|fig5|fig7|table1|table3|fig10..fig15|fig16|fig17|fig18|\
          ext-stability|ext-hybrid|ext-noise|faults|all> [--small] [--seed N] [--json] \
-         [--journal PATH] [--threads N]\n\
+         [--journal PATH] [--threads N] [--rounds N] [--solver-cold]\n\
          \x20      repro obs-report <journal.jsonl>\n\
          \x20      repro bench-experiments [--small] [--seed N] [--threads N] [--out PATH]\n\
          \x20      repro audit <ingest|query|report|--baseline PATH> (see `repro audit`)"
@@ -139,6 +149,14 @@ fn main() -> ExitCode {
         .position(|a| a == "--threads")
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse::<usize>().ok());
+    let rounds = args
+        .iter()
+        .position(|a| a == "--rounds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(1)
+        .max(1);
+    let solver_cold = args.iter().any(|a| a == "--solver-cold");
 
     let mut config = if small {
         ScenarioConfig::small()
@@ -225,7 +243,11 @@ fn main() -> ExitCode {
                 Some(with_json(table1::render(&r), &r, json))
             }
             "table3" => {
-                let r = table3::run(&scenario);
+                // Always the warm-start engine: with the default
+                // --rounds 1 it degenerates to one round per design,
+                // and --solver-cold flips only the reuse strategy, so
+                // output and journals never depend on either flag.
+                let r = table3::run_multi(&scenario, rounds, !solver_cold);
                 Some(with_json(table3::render(&r), &r, json))
             }
             name if accounting_aliases.contains(&name) || name == "accounting" => {
@@ -307,7 +329,7 @@ fn main() -> ExitCode {
         }
     };
 
-    drop(run_one);
+    let _ = run_one;
     drop(scenario);
     if let Some(p) = probe {
         for event in vdx_obs::metrics::global().drain() {
@@ -458,6 +480,31 @@ fn bench_experiments(args: &[String]) -> ExitCode {
             speedup,
         });
     }
+    // Warm-start vs cold re-solves on the multi-round table3 hot loop,
+    // both single-threaded so the comparison isolates the solve
+    // strategy: serial_ms is the cold path, parallel_ms the warm one.
+    const HOT_LOOP_ROUNDS: u64 = 8;
+    let name = format!("table3_rounds{HOT_LOOP_ROUNDS}_cold_vs_warm");
+    eprintln!("benchmarking {name}: cold vs warm solves ...");
+    let clock = Stopwatch::start();
+    with_threads(Some(1), || {
+        let _ = table3::run_multi(&scenario, HOT_LOOP_ROUNDS, false);
+    });
+    let cold_ms = clock.elapsed_ms();
+    let clock = Stopwatch::start();
+    with_threads(Some(1), || {
+        let _ = table3::run_multi(&scenario, HOT_LOOP_ROUNDS, true);
+    });
+    let warm_ms = clock.elapsed_ms();
+    let speedup = cold_ms as f64 / warm_ms.max(1) as f64;
+    eprintln!("  {name}: {cold_ms} ms cold, {warm_ms} ms warm ({speedup:.2}x)");
+    entries.push(vdx_audit::BenchEntry {
+        name,
+        serial_ms: cold_ms,
+        parallel_ms: warm_ms,
+        speedup,
+    });
+
     eprintln!("recording table3 fidelity rows ...");
     let fidelity = with_threads(Some(threads), || table3::run(&scenario));
     let report = vdx_audit::BaselineReport {
@@ -500,7 +547,7 @@ fn audit(args: &[String]) -> ExitCode {
         .collect();
     let audit_usage = || -> ExitCode {
         eprintln!(
-            "usage: repro audit ingest <journal.jsonl|bench.json>... [--store DIR]\n\
+            "usage: repro audit ingest <journal.jsonl|bench.json|estimates.json>... [--store DIR]\n\
              \x20      repro audit query <name> [--store DIR]\n\
              \x20      repro audit report [--store DIR]\n\
              \x20      repro audit --baseline PATH [--metric-tol PCT] [--wall-tol PCT] \

@@ -20,9 +20,9 @@
 use crate::scenario::Scenario;
 #[cfg(feature = "parallel")]
 use rayon::prelude::*;
-use vdx_broker::CpPolicy;
+use vdx_broker::{CpPolicy, OptimizeContext};
 use vdx_core::{Design, RoundId, RoundOutcome};
-use vdx_obs::{MemoryProbe, NoopProbe};
+use vdx_obs::{MemoryProbe, NoopProbe, Probe};
 
 /// One independent decision round an experiment wants run.
 #[derive(Debug, Clone, Copy)]
@@ -112,6 +112,67 @@ pub fn run_rounds(scenario: &Scenario, specs: &[RoundSpec]) -> Vec<RoundOutcome>
     }
 }
 
+/// Runs each spec as a **series** of `rounds` consecutive decision rounds
+/// sharing one warm-start [`OptimizeContext`] (the round hot loop), and
+/// returns each series' *last* outcome in spec order.
+///
+/// A series is one sequential round stream — the unit of warm-start
+/// sharing — so series fan out in parallel (one context each, no
+/// cross-thread state) while rounds within a series run in order. The
+/// series starting at `spec.round` journals round ids
+/// `spec.round .. spec.round + rounds`; callers must assign
+/// non-overlapping id blocks.
+///
+/// With `reuse` off every round re-solves from scratch (the
+/// `--solver-cold` reference); outcomes and journal bytes are identical
+/// either way, because the warm path only skips recomputing answers that
+/// determinism pins down and the journaled `SolverResolve` delta lines
+/// are a pure function of the round sequence. Per-series journal buffers
+/// are flushed in spec order, exactly like [`run_rounds`], so `--threads
+/// N` journals stay byte-identical too.
+pub fn run_series(
+    scenario: &Scenario,
+    series: &[RoundSpec],
+    rounds: u64,
+    reuse: bool,
+) -> Vec<RoundOutcome> {
+    assert!(rounds >= 1, "a series needs at least one round");
+    let run_one_series = |spec: &RoundSpec, probe: &dyn Probe| -> RoundOutcome {
+        let mut ctx = OptimizeContext::new();
+        ctx.set_reuse(reuse);
+        let mut last = None;
+        for j in 0..rounds {
+            last = Some(scenario.run_round_probed_ctx(
+                RoundId(spec.round.0 + j),
+                spec.design,
+                spec.policy,
+                spec.bid_count,
+                probe,
+                &mut ctx,
+            ));
+        }
+        last.expect("rounds >= 1")
+    };
+    let shared = scenario.probe();
+    if shared.enabled() {
+        let pairs = map_indexed(series, |spec| {
+            let buffer = MemoryProbe::new();
+            let outcome = run_one_series(spec, &buffer);
+            (outcome, buffer.take())
+        });
+        let mut outcomes = Vec::with_capacity(pairs.len());
+        for (outcome, events) in pairs {
+            for event in events {
+                shared.emit(event);
+            }
+            outcomes.push(outcome);
+        }
+        outcomes
+    } else {
+        map_indexed(series, |spec| run_one_series(spec, &NoopProbe))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,6 +216,41 @@ mod tests {
             .collect();
         // Events arrive in spec order regardless of execution schedule.
         assert_eq!(started, vec![5, 3]);
+    }
+
+    #[test]
+    fn warm_and_cold_series_agree_on_outcomes_and_journal_bytes() {
+        let mut s = crate::scenario::Scenario::build(crate::scenario::ScenarioConfig::small());
+        let probe = Arc::new(vdx_obs::MemoryProbe::new());
+        s.set_probe(probe.clone());
+        let series = [
+            RoundSpec::new(0, Design::Marketplace, CpPolicy::balanced()),
+            RoundSpec::new(3, Design::Brokered, CpPolicy::balanced()),
+        ];
+        let warm = run_series(&s, &series, 3, true);
+        let warm_events = probe.take();
+        let cold = run_series(&s, &series, 3, false);
+        let cold_events = probe.take();
+        assert_eq!(warm.len(), 2);
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(w.assignment.choice, c.assignment.choice);
+            assert_eq!(w.assignment.objective, c.assignment.objective);
+        }
+        // Equal Event values serialize identically, so this is journal
+        // byte-identity between the warm and cold strategies.
+        assert_eq!(warm_events, cold_events);
+        // The scenario is static within a series, so rounds 2.. are
+        // warm-eligible and the last outcome equals a one-round run.
+        let eligible: Vec<bool> = warm_events
+            .iter()
+            .filter_map(|e| match e {
+                Event::SolverResolve { warm_eligible, .. } => Some(*warm_eligible),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(eligible, vec![false, true, true, false, true, true]);
+        let single = s.run_round(RoundId(0), Design::Marketplace, CpPolicy::balanced());
+        assert_eq!(warm[0].assignment.choice, single.assignment.choice);
     }
 
     #[test]

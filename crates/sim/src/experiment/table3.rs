@@ -18,7 +18,7 @@
 //! reproduction target is the ordering and the zero/non-zero congestion
 //! pattern.
 
-use crate::engine::{run_rounds, RoundSpec};
+use crate::engine::{run_rounds, run_series, RoundSpec};
 use crate::metrics::{compute, DesignMetrics, MetricsInput};
 use crate::report::{fmt, render_table};
 use crate::scenario::Scenario;
@@ -43,6 +43,35 @@ pub fn run(scenario: &Scenario) -> Table3Result {
         .map(|(i, &design)| RoundSpec::new(i as u64, design, CpPolicy::balanced()))
         .collect();
     let outcomes = run_rounds(scenario, &specs);
+    let rows = Design::TABLE3
+        .iter()
+        .zip(&outcomes)
+        .map(|(&design, outcome)| {
+            let metrics = compute(&MetricsInput { scenario, outcome });
+            (design.name(), metrics)
+        })
+        .collect();
+    Table3Result { rows }
+}
+
+/// [`run`] over `rounds` consecutive decision rounds per design — the
+/// round hot loop the warm-start layer targets.
+///
+/// Each design is one series sharing one warm-start context: round ids
+/// `i·rounds ..< (i+1)·rounds` for design `i`, journaled in that order.
+/// The scenario is static across a series, so rounds after the first are
+/// warm-eligible and (with `reuse` on) short-circuit their Optimize step.
+/// The reported metrics come from each design's *last* round, which is
+/// bit-identical to its first — so the rendered Table 3 matches
+/// [`run`]'s regardless of `rounds` or `reuse` (`reuse = false` is the
+/// `--solver-cold` reference path and must also journal identically).
+pub fn run_multi(scenario: &Scenario, rounds: u64, reuse: bool) -> Table3Result {
+    let series: Vec<RoundSpec> = Design::TABLE3
+        .iter()
+        .enumerate()
+        .map(|(i, &design)| RoundSpec::new(i as u64 * rounds, design, CpPolicy::balanced()))
+        .collect();
+    let outcomes = run_series(scenario, &series, rounds, reuse);
     let rows = Design::TABLE3
         .iter()
         .zip(&outcomes)
@@ -119,5 +148,15 @@ mod tests {
             );
         }
         assert!(render(&r).contains("Marketplace"));
+    }
+
+    #[test]
+    fn multi_round_table3_renders_identically_to_single_round() {
+        let s: &Scenario = crate::scenario::shared_small();
+        let single = render(&run(s));
+        let warm = render(&run_multi(s, 3, true));
+        let cold = render(&run_multi(s, 3, false));
+        assert_eq!(single, warm, "warm multi-round table matches single");
+        assert_eq!(warm, cold, "warm and cold strategies render identically");
     }
 }

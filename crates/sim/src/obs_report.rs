@@ -93,11 +93,23 @@ pub fn report(events: &[Event]) -> String {
     let mut bnb_nodes = 0u64;
     let mut worst_gap: Option<f64> = None;
     let mut modes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut resolves = 0u64;
+    let mut warm_eligible = 0u64;
+    let mut changed_clients = 0u64;
     for e in events {
         match e {
             Event::RoundCompleted { options: o, .. } => {
                 rounds += 1;
                 options += o;
+            }
+            Event::SolverResolve {
+                warm_eligible: w,
+                changed_clients: c,
+                ..
+            } => {
+                resolves += 1;
+                warm_eligible += u64::from(*w);
+                changed_clients += c;
             }
             Event::SolverStats {
                 mode,
@@ -122,7 +134,7 @@ pub fn report(events: &[Event]) -> String {
             .map(|(m, n)| format!("{m} x{n}"))
             .collect::<Vec<_>>()
             .join(", ");
-        let solver_rows = vec![
+        let mut solver_rows = vec![
             vec!["rounds completed".to_string(), rounds.to_string()],
             vec!["options considered".to_string(), options.to_string()],
             vec!["simplex pivots".to_string(), pivots.to_string()],
@@ -140,6 +152,18 @@ pub fn report(events: &[Event]) -> String {
                 },
             ],
         ];
+        // Warm-start delta lines (schema v4 journals; a pure function of
+        // the round sequence, so warm and cold runs report identically).
+        if resolves > 0 {
+            solver_rows.push(vec![
+                "re-solves (warm-eligible)".to_string(),
+                format!("{resolves} ({warm_eligible})"),
+            ]);
+            solver_rows.push(vec![
+                "changed clients total".to_string(),
+                changed_clients.to_string(),
+            ]);
+        }
         out.push_str(&render_table(
             "Decision rounds",
             &["metric", "value"],
@@ -366,6 +390,12 @@ mod tests {
                 groups: 10,
                 cdns: 3,
             },
+            Event::SolverResolve {
+                round: 0,
+                changed_clients: 10,
+                changed_buckets: 3,
+                warm_eligible: false,
+            },
             Event::SolverStats {
                 round: 0,
                 mode: "heuristic".into(),
@@ -478,6 +508,9 @@ mod tests {
         assert!(text.contains("build_scenario"), "{text}");
         assert!(text.contains("== Decision rounds =="), "{text}");
         assert!(text.contains("heuristic x1"), "{text}");
+        assert!(text.contains("re-solves (warm-eligible)"), "{text}");
+        assert!(text.contains("1 (0)"), "{text}");
+        assert!(text.contains("changed clients total"), "{text}");
         assert!(text.contains("== Wire =="), "{text}");
         assert!(text.contains("frames retransmitted"), "{text}");
         assert!(text.contains("link fault drops"), "{text}");

@@ -286,6 +286,42 @@ impl Scenario {
         run_decision_round_probed(design, &inputs, |a, b| self.score_of(a, b), round, probe)
     }
 
+    /// [`Scenario::run_round_probed`] with a warm-start context carried
+    /// across rounds: the Optimize step short-circuits rounds whose
+    /// problem is unchanged and journals one `SolverResolve` delta line
+    /// per round. Outcomes and journal bytes are identical whether the
+    /// context has reuse enabled or not — the multi-round engine
+    /// ([`crate::engine::run_series`]) threads one context per series.
+    pub fn run_round_probed_ctx(
+        &self,
+        round: RoundId,
+        design: Design,
+        policy: CpPolicy,
+        bid_count: Option<usize>,
+        probe: &dyn Probe,
+        ctx: &mut vdx_broker::OptimizeContext,
+    ) -> RoundOutcome {
+        let inputs = RoundInputs {
+            world: &self.world,
+            fleet: &self.fleet,
+            contracts: &self.contracts,
+            groups: &self.groups,
+            background_load_kbps: &self.background_load,
+            policy,
+            mode: OptimizeMode::Heuristic,
+            bid_count,
+            margins: None,
+        };
+        vdx_core::run_decision_round_probed_ctx(
+            design,
+            &inputs,
+            |a, b| self.score_of(a, b),
+            round,
+            probe,
+            ctx,
+        )
+    }
+
     /// Total brokered demand.
     pub fn brokered_demand_kbps(&self) -> Kbps {
         self.groups.iter().map(|g| g.demand_kbps).sum()

@@ -39,7 +39,12 @@ pub struct CandidateOption {
 }
 
 /// A generalized assignment problem.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares options and capacities exactly (bitwise on the
+/// underlying floats) — the warm-start layer ([`crate::warm`]) uses it
+/// to detect unchanged rounds, and any rounding drift must register as
+/// a change.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AssignmentProblem {
     /// Candidate options per client; every client must have ≥ 1 option.
     pub options: Vec<Vec<CandidateOption>>,

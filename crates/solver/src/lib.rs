@@ -18,9 +18,13 @@
 //!   the other solvers;
 //! * [`model`] — the shared LP/constraint builder types;
 //! * [`stats`] — plain effort counters ([`SolveStats`]: simplex pivots,
-//!   branch-and-bound nodes, best bound) filled in by the `*_with_stats`
-//!   entry points, so callers can report solver work without this crate
-//!   knowing anything about event sinks.
+//!   branch-and-bound nodes, best bound, warm/cold re-solve outcomes)
+//!   filled in by the `*_with_stats` entry points, so callers can report
+//!   solver work without this crate knowing anything about event sinks;
+//! * [`warm`] — warm-started incremental re-solves: a [`SolverContext`]
+//!   carried across rounds that short-circuits unchanged problems,
+//!   optionally repairs small deltas by dual re-pricing, and otherwise
+//!   falls back to the cold pipeline bit-for-bit.
 //!
 //! The heuristic pipeline (greedy + local search) is what CDN-scale
 //! simulations use — mirroring how a production broker would trade
@@ -38,9 +42,11 @@ pub mod milp;
 pub mod model;
 pub mod simplex;
 pub mod stats;
+pub mod warm;
 
 pub use gap::{Assignment, AssignmentProblem, CandidateOption};
 pub use milp::{solve_milp, solve_milp_with_stats, MilpConfig, MilpOutcome};
 pub use model::{Constraint, LinearProgram, Relation};
 pub use simplex::{solve_lp, solve_lp_with_stats, LpOutcome, LpSolution};
 pub use stats::SolveStats;
+pub use warm::{ProblemDelta, ResolveInfo, ResolveKind, SolverContext, WarmPolicy};

@@ -14,7 +14,7 @@ use crate::stats::SolveStats;
 pub const INT_TOL: f64 = 1e-6;
 
 /// Branch-and-bound configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MilpConfig {
     /// Maximum number of LP relaxations to solve before giving up and
     /// returning the incumbent (with `proven_optimal = false`).

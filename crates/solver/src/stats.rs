@@ -23,6 +23,19 @@ pub struct SolveStats {
     /// has been solved — in particular, always `None` on pure-heuristic
     /// paths.
     pub best_bound: Option<f64>,
+    /// Re-solves answered from the warm-start context's memoized
+    /// solution (unchanged problem; no solver work at all).
+    pub warm_hits: u64,
+    /// Re-solves that ran the full cold pipeline (first solve, changed
+    /// problem under [`crate::warm::WarmPolicy::Exact`], or a repair
+    /// whose bound check failed and fell back).
+    pub cold_solves: u64,
+    /// Re-solves answered by the dual-repricing repair path
+    /// ([`crate::warm::WarmPolicy::Repair`]) with the bound check passed.
+    pub repairs: u64,
+    /// Repair attempts whose optimality bound was violated, forcing the
+    /// cold fallback (each such re-solve also counts one cold solve).
+    pub repair_fallbacks: u64,
 }
 
 impl SolveStats {
@@ -41,6 +54,10 @@ impl SolveStats {
         if self.best_bound.is_none() {
             self.best_bound = other.best_bound;
         }
+        self.warm_hits += other.warm_hits;
+        self.cold_solves += other.cold_solves;
+        self.repairs += other.repairs;
+        self.repair_fallbacks += other.repair_fallbacks;
     }
 
     /// Relative optimality gap of an incumbent objective against
@@ -65,20 +82,29 @@ mod tests {
             pivots: 3,
             bnb_nodes: 1,
             best_bound: None,
+            warm_hits: 1,
+            ..SolveStats::new()
         };
         let b = SolveStats {
             pivots: 4,
             bnb_nodes: 2,
             best_bound: Some(10.0),
+            cold_solves: 2,
+            repairs: 1,
+            repair_fallbacks: 1,
+            ..SolveStats::new()
         };
         a.merge(&b);
         assert_eq!(a.pivots, 7);
         assert_eq!(a.bnb_nodes, 3);
         assert_eq!(a.best_bound, Some(10.0));
+        assert_eq!(a.warm_hits, 1);
+        assert_eq!(a.cold_solves, 2);
+        assert_eq!(a.repairs, 1);
+        assert_eq!(a.repair_fallbacks, 1);
         let c = SolveStats {
-            pivots: 0,
-            bnb_nodes: 0,
             best_bound: Some(99.0),
+            ..SolveStats::new()
         };
         a.merge(&c);
         assert_eq!(a.best_bound, Some(10.0), "existing bound is kept");

@@ -1,0 +1,533 @@
+//! Warm-started incremental re-solves for the round hot loop.
+//!
+//! Successive Decision Protocol rounds solve [`AssignmentProblem`]s that
+//! differ by a few percent of demand — or not at all. A [`SolverContext`]
+//! carried across rounds memoizes the previous `(problem, assignment)`
+//! pair plus reusable scratch allocations, detects the delta against the
+//! incoming problem ([`ProblemDelta`]), and answers each re-solve by the
+//! cheapest sound path:
+//!
+//! * **warm hit** — the problem is bit-identical to the previous one;
+//!   return the memoized assignment. The solver is a deterministic pure
+//!   function, so this is exact by construction.
+//! * **repair** ([`WarmPolicy::Repair`] only) — a small delta is patched
+//!   by re-pricing the changed clients against bucket shadow prices
+//!   estimated from the previous solution, then polished with
+//!   [`AssignmentProblem::improve_local`]. The repaired answer is kept
+//!   only when it is feasible and within `gap_tol` of a Lagrangian upper
+//!   bound (valid for *any* non-negative prices), otherwise —
+//! * **cold solve** — the full [`AssignmentProblem::solve_heuristic`]
+//!   pipeline, exactly what a context-free caller would run.
+//!
+//! Under the default [`WarmPolicy::Exact`], every answer the context
+//! returns is bit-identical to the cold path: unchanged problems
+//! short-circuit (same bits, memoized), changed problems cold-solve.
+//! Journal-feeding callers use `Exact`; `Repair` is for benchmarks and
+//! solver-level experiments where a bounded optimality gap is acceptable.
+//!
+//! Delta detection is a pure function of the problem sequence and runs
+//! the same way whether or not reuse is enabled
+//! ([`SolverContext::set_reuse`]), so the `SolverResolve` journal events
+//! derived from it are byte-identical between warm and cold runs.
+
+use crate::gap::{Assignment, AssignmentProblem};
+use crate::stats::SolveStats;
+use vdx_units::Kbps;
+
+/// Feasibility slack shared with [`AssignmentProblem::improve_local`]'s
+/// fits-check.
+const EPS: f64 = 1e-9;
+
+/// How a [`SolverContext`] may reuse the previous round's solution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WarmPolicy {
+    /// Bit-exact reuse only: an unchanged problem returns the memoized
+    /// assignment; any change at all runs the cold pipeline. Answers are
+    /// guaranteed identical to context-free solves — the policy for
+    /// every path that feeds journals or Table 3.
+    Exact,
+    /// Additionally repair small deltas by dual re-pricing of changed
+    /// clients plus local search, falling back to a cold solve when the
+    /// repair is infeasible or its optimality bound is violated.
+    Repair {
+        /// Repair only when at most this fraction of clients changed
+        /// (larger deltas cold-solve directly).
+        max_changed_fraction: f64,
+        /// Accept a repair only when its objective is within this
+        /// relative gap of the Lagrangian upper bound.
+        gap_tol: f64,
+    },
+}
+
+impl Default for WarmPolicy {
+    fn default() -> WarmPolicy {
+        WarmPolicy::Exact
+    }
+}
+
+/// Which path answered one [`SolverContext::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResolveKind {
+    /// Unchanged problem; memoized assignment returned.
+    Warm,
+    /// Full cold pipeline (first solve, `Exact` policy with a delta, or
+    /// reuse disabled).
+    Cold,
+    /// Dual-repricing repair accepted within its bound.
+    Repaired,
+    /// Repair attempted but rejected; the answer is a cold solve.
+    RepairFellBack,
+}
+
+/// The difference between two consecutive [`AssignmentProblem`]s — a
+/// pure function of the two problems, independent of solve policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProblemDelta {
+    /// Clients whose option list changed (all of them on a shape change
+    /// or a first solve).
+    pub changed_clients: u64,
+    /// Buckets whose capacity changed (all of them on a shape change or
+    /// a first solve).
+    pub changed_buckets: u64,
+    /// Client or bucket counts differ (or there was no previous
+    /// problem), so per-index comparison is meaningless.
+    pub shape_changed: bool,
+}
+
+impl ProblemDelta {
+    /// Whether nothing changed — the warm short-circuit condition.
+    pub fn is_empty(&self) -> bool {
+        !self.shape_changed && self.changed_clients == 0 && self.changed_buckets == 0
+    }
+
+    /// Computes the delta between consecutive problems. Comparison is
+    /// exact (bitwise on the underlying floats): rounding drift must
+    /// register as a change.
+    pub fn between(prev: &AssignmentProblem, next: &AssignmentProblem) -> ProblemDelta {
+        if prev.options.len() != next.options.len()
+            || prev.capacities.len() != next.capacities.len()
+        {
+            return ProblemDelta::everything(next);
+        }
+        let changed_clients = prev
+            .options
+            .iter()
+            .zip(&next.options)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        let changed_buckets = prev
+            .capacities
+            .iter()
+            .zip(&next.capacities)
+            .filter(|(a, b)| a != b)
+            .count() as u64;
+        ProblemDelta {
+            changed_clients,
+            changed_buckets,
+            shape_changed: false,
+        }
+    }
+
+    /// The delta of a first solve: everything is new.
+    pub fn everything(next: &AssignmentProblem) -> ProblemDelta {
+        ProblemDelta {
+            changed_clients: next.options.len() as u64,
+            changed_buckets: next.capacities.len() as u64,
+            shape_changed: true,
+        }
+    }
+}
+
+/// What one [`SolverContext::solve`] call did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolveInfo {
+    /// The path that produced the answer.
+    pub kind: ResolveKind,
+    /// The detected delta against the previous problem.
+    pub delta: ProblemDelta,
+}
+
+/// Warm-start state carried across rounds: the previous
+/// `(problem, assignment)` pair, reusable scratch buffers, and
+/// cumulative [`SolveStats`] counters.
+///
+/// One context serves one sequential stream of problems (a shard); give
+/// concurrent streams a context each.
+#[derive(Debug, Clone, Default)]
+pub struct SolverContext {
+    policy: WarmPolicy,
+    /// When false, every solve runs cold — but delta detection and the
+    /// memoized-previous-problem bookkeeping still run identically, so
+    /// the observable delta sequence matches a reuse-enabled context.
+    reuse: bool,
+    prev: Option<(AssignmentProblem, Assignment)>,
+    /// Cumulative counters (warm/cold/repair outcomes plus any effort
+    /// the underlying solves record).
+    stats: SolveStats,
+    /// Scratch: per-bucket shadow prices (repair path).
+    scratch_prices: Vec<f64>,
+    /// Scratch: per-bucket loads (repair path).
+    scratch_loads: Vec<Kbps>,
+    /// Scratch: indices of changed clients (repair path).
+    scratch_changed: Vec<usize>,
+}
+
+impl SolverContext {
+    /// A fresh context with the given reuse policy and reuse enabled.
+    pub fn new(policy: WarmPolicy) -> SolverContext {
+        SolverContext {
+            policy,
+            reuse: true,
+            ..SolverContext::default()
+        }
+    }
+
+    /// Enables or disables reuse. A disabled context cold-solves every
+    /// round while keeping delta detection byte-identical to an enabled
+    /// one — the `--solver-cold` reference path.
+    pub fn set_reuse(&mut self, reuse: bool) {
+        self.reuse = reuse;
+    }
+
+    /// Whether reuse is enabled.
+    pub fn reuse(&self) -> bool {
+        self.reuse
+    }
+
+    /// Cumulative counters since the context was created.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+
+    /// The delta the next [`SolverContext::solve`] call for `problem`
+    /// would detect.
+    pub fn peek_delta(&self, problem: &AssignmentProblem) -> ProblemDelta {
+        match &self.prev {
+            Some((prev, _)) => ProblemDelta::between(prev, problem),
+            None => ProblemDelta::everything(problem),
+        }
+    }
+
+    /// Solves `problem`, reusing the previous round's solution where the
+    /// policy allows. Under [`WarmPolicy::Exact`] the returned assignment
+    /// is bit-identical to `problem.solve_heuristic()`.
+    pub fn solve(&mut self, problem: &AssignmentProblem) -> (Assignment, ResolveInfo) {
+        let delta = self.peek_delta(problem);
+        if self.reuse && delta.is_empty() {
+            self.stats.warm_hits += 1;
+            let assignment = self
+                .prev
+                .as_ref()
+                .map(|(_, a)| a.clone())
+                .expect("empty delta implies a previous solution");
+            return (
+                assignment,
+                ResolveInfo {
+                    kind: ResolveKind::Warm,
+                    delta,
+                },
+            );
+        }
+
+        let (assignment, kind) = if self.reuse {
+            match self.policy {
+                WarmPolicy::Exact => (problem.solve_heuristic(), ResolveKind::Cold),
+                WarmPolicy::Repair {
+                    max_changed_fraction,
+                    gap_tol,
+                } => self.try_repair(problem, &delta, max_changed_fraction, gap_tol),
+            }
+        } else {
+            (problem.solve_heuristic(), ResolveKind::Cold)
+        };
+        match kind {
+            ResolveKind::Repaired => self.stats.repairs += 1,
+            ResolveKind::RepairFellBack => {
+                self.stats.repair_fallbacks += 1;
+                self.stats.cold_solves += 1;
+            }
+            _ => self.stats.cold_solves += 1,
+        }
+        self.remember(problem, &assignment);
+        (assignment, ResolveInfo { kind, delta })
+    }
+
+    /// Records an externally computed solution of `problem` as the
+    /// warm-start state, counting it as one cold solve.
+    ///
+    /// For callers that answer some rounds outside this context (an exact
+    /// MILP path, or a caller-level memoization layer as in
+    /// `vdx-broker`) but still want delta detection to track the problem
+    /// sequence. The recorded assignment must actually solve `problem`.
+    pub fn observe(&mut self, problem: &AssignmentProblem, assignment: &Assignment) {
+        self.stats.cold_solves += 1;
+        self.remember(problem, assignment);
+    }
+
+    /// Counts a warm hit answered *outside* this context — a caller-level
+    /// memoization that short-circuited before even building the
+    /// [`AssignmentProblem`], so [`SolverContext::solve`] never saw it.
+    pub fn note_warm_hit(&mut self) {
+        self.stats.warm_hits += 1;
+    }
+
+    /// Stores `(problem, assignment)` as the warm-start state, reusing
+    /// the previous buffers' allocations where shapes allow.
+    fn remember(&mut self, problem: &AssignmentProblem, assignment: &Assignment) {
+        match &mut self.prev {
+            Some((p, a)) => {
+                p.clone_from(problem);
+                a.clone_from(assignment);
+            }
+            None => self.prev = Some((problem.clone(), assignment.clone())),
+        }
+    }
+
+    /// The repair path: re-price changed clients against shadow prices
+    /// estimated from the previous solution, polish locally, and keep
+    /// the result only when feasible and within `gap_tol` of the
+    /// Lagrangian upper bound.
+    fn try_repair(
+        &mut self,
+        problem: &AssignmentProblem,
+        delta: &ProblemDelta,
+        max_changed_fraction: f64,
+        gap_tol: f64,
+    ) -> (Assignment, ResolveKind) {
+        let n = problem.num_clients();
+        let eligible = !delta.shape_changed
+            && n > 0
+            && (delta.changed_clients as f64) <= max_changed_fraction * n as f64;
+        if !eligible {
+            return (problem.solve_heuristic(), ResolveKind::Cold);
+        }
+        let (prev_problem, prev_assignment) = self
+            .prev
+            .as_ref()
+            .expect("shape comparison implies a previous solution");
+
+        // Shadow prices λ_b ≥ 0 from the *previous* solution: slack
+        // buckets price at zero (complementary slackness); a tight
+        // bucket prices at the cheapest eviction among its residents —
+        // the smallest per-unit-load value a client would give up by
+        // moving to its best alternative.
+        self.scratch_prices.clear();
+        self.scratch_prices.resize(problem.capacities.len(), 0.0);
+        self.scratch_loads.clear();
+        self.scratch_loads
+            .resize(prev_problem.capacities.len(), Kbps::ZERO);
+        for (c, &o) in prev_assignment.choice.iter().enumerate() {
+            let opt = prev_problem.options[c][o];
+            self.scratch_loads[opt.bucket] += opt.load;
+        }
+        for (c, &o) in prev_assignment.choice.iter().enumerate() {
+            let chosen = prev_problem.options[c][o];
+            let b = chosen.bucket;
+            let tight =
+                self.scratch_loads[b].as_f64() + EPS >= prev_problem.capacities[b].as_f64();
+            if !tight {
+                continue;
+            }
+            let best_alt = prev_problem.options[c]
+                .iter()
+                .enumerate()
+                .filter(|&(i, opt)| i != o && opt.bucket != b)
+                .map(|(_, opt)| opt.value)
+                .fold(f64::NEG_INFINITY, f64::max);
+            if !best_alt.is_finite() {
+                continue; // captive client: no eviction possible
+            }
+            let eviction = (chosen.value - best_alt) / chosen.load.as_f64().max(1e-12);
+            let eviction = eviction.max(0.0);
+            let price = &mut self.scratch_prices[b];
+            if *price == 0.0 || eviction < *price {
+                *price = eviction;
+            }
+        }
+
+        // Patch: keep the previous choice, re-pick changed clients by
+        // reduced value (value − λ_b · load); deterministic tie-break on
+        // option index via strict `>`.
+        let mut choice = prev_assignment.choice.clone();
+        self.scratch_changed.clear();
+        for (c, (prev_opts, next_opts)) in prev_problem
+            .options
+            .iter()
+            .zip(&problem.options)
+            .enumerate()
+        {
+            if prev_opts != next_opts {
+                self.scratch_changed.push(c);
+            }
+        }
+        for &c in &self.scratch_changed {
+            let mut best = 0usize;
+            let mut best_reduced = f64::NEG_INFINITY;
+            for (i, opt) in problem.options[c].iter().enumerate() {
+                let reduced = opt.value - self.scratch_prices[opt.bucket] * opt.load.as_f64();
+                if reduced > best_reduced {
+                    best_reduced = reduced;
+                    best = i;
+                }
+            }
+            choice[c] = best;
+        }
+        let objective = problem.value_of(&choice);
+        let repaired = problem.improve_local(Assignment { choice, objective }, 8);
+
+        // Lagrangian upper bound U(λ): valid for any λ ≥ 0 because
+        // relaxing capacity into the objective can only raise the
+        // optimum — so a repair within gap_tol of U is within gap_tol
+        // of the true optimum too.
+        let mut bound: f64 = 0.0;
+        for opts in &problem.options {
+            let best = opts
+                .iter()
+                .map(|o| o.value - self.scratch_prices[o.bucket] * o.load.as_f64())
+                .fold(f64::NEG_INFINITY, f64::max);
+            bound += best;
+        }
+        for (b, cap) in problem.capacities.iter().enumerate() {
+            bound += self.scratch_prices[b] * cap.as_f64();
+        }
+        let feasible = problem.respects_capacities(&repaired.choice, Kbps::new(EPS));
+        let gap = (bound - repaired.objective) / bound.abs().max(1e-9);
+        if feasible && gap <= gap_tol {
+            (repaired, ResolveKind::Repaired)
+        } else {
+            (problem.solve_heuristic(), ResolveKind::RepairFellBack)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap::CandidateOption;
+
+    fn opt(bucket: usize, value: f64, load: f64) -> CandidateOption {
+        CandidateOption {
+            bucket,
+            value,
+            load: Kbps::new(load),
+        }
+    }
+
+    fn caps(v: &[f64]) -> Vec<Kbps> {
+        v.iter().map(|&c| Kbps::new(c)).collect()
+    }
+
+    fn sample_problem() -> AssignmentProblem {
+        let mut p = AssignmentProblem::new(caps(&[10.0, 10.0]));
+        p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
+        p.add_client(vec![opt(0, 5.0, 4.0), opt(1, 3.0, 4.0)]);
+        p.add_client(vec![opt(0, 2.0, 4.0), opt(1, 4.0, 4.0)]);
+        p
+    }
+
+    #[test]
+    fn unchanged_problem_short_circuits_to_the_memoized_assignment() {
+        let mut ctx = SolverContext::new(WarmPolicy::Exact);
+        let p = sample_problem();
+        let (first, info) = ctx.solve(&p);
+        assert_eq!(info.kind, ResolveKind::Cold);
+        assert!(info.delta.shape_changed, "first solve: everything changed");
+        let (second, info) = ctx.solve(&p.clone());
+        assert_eq!(info.kind, ResolveKind::Warm);
+        assert!(info.delta.is_empty());
+        assert_eq!(second, first);
+        assert_eq!(second, p.solve_heuristic());
+        assert_eq!(ctx.stats().warm_hits, 1);
+        assert_eq!(ctx.stats().cold_solves, 1);
+    }
+
+    #[test]
+    fn exact_policy_cold_solves_any_change() {
+        let mut ctx = SolverContext::new(WarmPolicy::Exact);
+        let mut p = sample_problem();
+        ctx.solve(&p);
+        p.options[1][0].value = 6.5;
+        let (a, info) = ctx.solve(&p);
+        assert_eq!(info.kind, ResolveKind::Cold);
+        assert_eq!(info.delta.changed_clients, 1);
+        assert_eq!(info.delta.changed_buckets, 0);
+        assert_eq!(a, p.solve_heuristic(), "bit-identical to the cold path");
+    }
+
+    #[test]
+    fn disabled_reuse_always_cold_solves_with_identical_deltas() {
+        let mut warm = SolverContext::new(WarmPolicy::Exact);
+        let mut cold = SolverContext::new(WarmPolicy::Exact);
+        cold.set_reuse(false);
+        assert!(!cold.reuse());
+        let p = sample_problem();
+        for _ in 0..3 {
+            let (wa, wi) = warm.solve(&p);
+            let (ca, ci) = cold.solve(&p);
+            assert_eq!(wa, ca, "answers agree");
+            assert_eq!(wi.delta, ci.delta, "delta sequences agree");
+        }
+        assert_eq!(cold.stats().cold_solves, 3);
+        assert_eq!(cold.stats().warm_hits, 0);
+        assert_eq!(warm.stats().warm_hits, 2);
+    }
+
+    #[test]
+    fn repair_honours_its_bound_or_falls_back() {
+        let mut ctx = SolverContext::new(WarmPolicy::Repair {
+            max_changed_fraction: 0.5,
+            gap_tol: 0.05,
+        });
+        let mut p = sample_problem();
+        ctx.solve(&p);
+        // A one-client nudge: the repair path must produce a feasible
+        // answer no worse than 5 % below the Lagrangian bound, or fall
+        // back to the cold answer — either way feasibility holds.
+        p.options[2][1].value = 4.25;
+        let (a, info) = ctx.solve(&p);
+        assert!(matches!(
+            info.kind,
+            ResolveKind::Repaired | ResolveKind::RepairFellBack
+        ));
+        assert!(p.respects_capacities(&a.choice, Kbps::new(1e-9)));
+        let cold = p.solve_heuristic();
+        assert!(
+            a.objective >= cold.objective * 0.95 - 1e-9,
+            "repair {} vs cold {}",
+            a.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn repair_skips_large_deltas() {
+        let mut ctx = SolverContext::new(WarmPolicy::Repair {
+            max_changed_fraction: 0.2,
+            gap_tol: 0.05,
+        });
+        let mut p = sample_problem();
+        ctx.solve(&p);
+        for c in 0..p.num_clients() {
+            p.options[c][0].value += 1.0;
+        }
+        let (_, info) = ctx.solve(&p);
+        assert_eq!(
+            info.kind,
+            ResolveKind::Cold,
+            "3/3 clients changed > 20 % threshold"
+        );
+    }
+
+    #[test]
+    fn shape_changes_are_everything_deltas() {
+        let mut ctx = SolverContext::new(WarmPolicy::Exact);
+        let p = sample_problem();
+        ctx.solve(&p);
+        let mut bigger = p.clone();
+        bigger.add_client(vec![opt(0, 1.0, 1.0)]);
+        let delta = ctx.peek_delta(&bigger);
+        assert!(delta.shape_changed);
+        assert_eq!(delta.changed_clients, 4);
+        assert_eq!(delta.changed_buckets, 2);
+    }
+}

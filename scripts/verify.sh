@@ -41,6 +41,25 @@ cargo run -p vdx-sim --bin repro --release -- audit report \
   --store target/verify-audit/store > target/verify-audit/report.txt
 grep -q "objective-delta" target/verify-audit/report.txt
 
+echo "==> warm-vs-cold parity smoke (multi-round table3, output + journals)"
+rm -rf target/verify-warm
+cargo run -p vdx-sim --bin repro --release -- table3 --small --rounds 4 \
+  --journal target/verify-warm/warm.jsonl > target/verify-warm/warm.txt
+cargo run -p vdx-sim --bin repro --release -- table3 --small --rounds 4 --solver-cold \
+  --journal target/verify-warm/cold.jsonl > target/verify-warm/cold.txt
+diff target/verify-warm/warm.txt target/verify-warm/cold.txt
+# Journals are byte-identical too, once the wall-clock fields (the set
+# Event::zero_wall_clock scrubs: started_unix_ms, wall_us, wall_ms and
+# the timing_summary percentiles) are stripped.
+scrub='s/"started_unix_ms":[0-9]*/"started_unix_ms":0/;
+       s/"wall_us":[0-9]*/"wall_us":0/; s/"wall_ms":[0-9]*/"wall_ms":0/;
+       s/"mean_us":[0-9.eE+-]*/"mean_us":0/; s/"p50_us":[0-9.eE+-]*/"p50_us":0/;
+       s/"p95_us":[0-9.eE+-]*/"p95_us":0/; s/"p99_us":[0-9.eE+-]*/"p99_us":0/'
+sed -e "$scrub" target/verify-warm/warm.jsonl > target/verify-warm/warm.scrubbed
+sed -e "$scrub" target/verify-warm/cold.jsonl > target/verify-warm/cold.scrubbed
+diff target/verify-warm/warm.scrubbed target/verify-warm/cold.scrubbed
+grep -q '"ev":"solver_resolve"' target/verify-warm/warm.jsonl
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 
