@@ -532,7 +532,13 @@ fn solver_bench(store: &Store) -> QueryResult {
     QueryResult {
         title: "solver-bench (criterion microbenchmarks, vs first ingest)".into(),
         headers: headers(&[
-            "group", "bench", "run", "mean_us", "median_us", "stddev_us", "d_mean",
+            "group",
+            "bench",
+            "run",
+            "mean_us",
+            "median_us",
+            "stddev_us",
+            "d_mean",
         ]),
         rows,
     }

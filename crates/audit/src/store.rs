@@ -37,7 +37,7 @@ use crate::table::{ColType, Table, Value};
 /// Highest journal schema version this crate can ingest. Kept in lock
 /// step with `vdx-obs::SCHEMA_VERSION` (a const assertion in `vdx-sim`
 /// enforces the equality at build time).
-pub const SUPPORTED_JOURNAL_SCHEMA: u32 = 4;
+pub const SUPPORTED_JOURNAL_SCHEMA: u32 = 5;
 
 /// Store format version written to `manifest.json` (v2 added the
 /// `criterion` table and the `solver_resolve` journal counters).
@@ -172,9 +172,11 @@ fn empty_tables() -> Vec<Table> {
 /// object carrying a `point_estimate`. Neither journals (JSONL) nor
 /// bench reports (`entries`/`table3`) share that shape.
 fn looks_like_criterion(text: &str) -> bool {
-    Json::parse(text)
-        .ok()
-        .is_some_and(|v| v.get("mean").and_then(|m| m.get("point_estimate")).is_some())
+    Json::parse(text).ok().is_some_and(|v| {
+        v.get("mean")
+            .and_then(|m| m.get("point_estimate"))
+            .is_some()
+    })
 }
 
 /// Recovers `(group, bench)` from a Criterion artifact path of the form
@@ -585,9 +587,21 @@ impl Store {
         // Warm-start delta aggregates (schema v4 journals). Counters
         // only — the per-round lines stay in the journal itself.
         if solver_resolves > 0 {
-            self.push_timing(run_id, "counter", "journal.solver_resolves", 1, solver_resolves);
+            self.push_timing(
+                run_id,
+                "counter",
+                "journal.solver_resolves",
+                1,
+                solver_resolves,
+            );
             self.push_timing(run_id, "counter", "journal.warm_eligible", 1, warm_eligible);
-            self.push_timing(run_id, "counter", "journal.changed_clients", 1, changed_clients);
+            self.push_timing(
+                run_id,
+                "counter",
+                "journal.changed_clients",
+                1,
+                changed_clients,
+            );
         }
         for r in &rounds {
             self.table_mut("rounds").push(&[
@@ -666,7 +680,10 @@ impl Store {
         hash: &str,
     ) -> Result<RunMeta, String> {
         let json = Json::parse(text).map_err(|e| e.to_string())?;
-        let point = |key: &str| json.get(key).map_or(0.0, |m| m.f64_or("point_estimate", 0.0));
+        let point = |key: &str| {
+            json.get(key)
+                .map_or(0.0, |m| m.f64_or("point_estimate", 0.0))
+        };
         let mean_ns = point("mean");
         let median_ns = point("median");
         let stddev_ns = point("std_dev");
@@ -912,7 +929,10 @@ mod tests {
         let meta = &store.runs()[0];
         assert_eq!(meta.kind, RunKind::Criterion);
         assert_eq!(meta.experiment, "bench_solver");
-        assert_eq!(meta.source, "bench_solver/gap_heuristic_300x20/estimates.json");
+        assert_eq!(
+            meta.source,
+            "bench_solver/gap_heuristic_300x20/estimates.json"
+        );
         let t = store.table("criterion");
         assert_eq!(t.rows(), 1);
         assert_eq!(t.s(t.col("group"), 0), "bench_solver");

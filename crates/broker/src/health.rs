@@ -1,0 +1,372 @@
+//! Per-CDN circuit breakers: the degradation ladder as an explicit
+//! health state machine.
+//!
+//! The failure-model contract (DESIGN.md §9) this module implements:
+//! a CDN that keeps missing round deadlines must stop being *waited
+//! for* — every missed deadline costs the broker the full deadline
+//! budget — but must also be re-admitted automatically once it
+//! recovers, without an operator in the loop. The classic circuit
+//! breaker fits exactly:
+//!
+//! * **`Closed`** — healthy. The broker Shares with the CDN every
+//!   round and counts consecutive failures (missed deadlines or
+//!   dropped connections). A miss while `Closed` still walks the
+//!   stale-bid rung of the ladder ([`crate::StaleBidCache`]); the
+//!   breaker only decides *participation*, never bid substitution.
+//! * **`Open`** — tripped after [`BreakerConfig::trip_after`]
+//!   consecutive failures. The CDN is excluded outright: no Share is
+//!   sent, no deadline is spent waiting, and its cached bids are not
+//!   reused (an unresponsive CDN's prices are as suspect as a down
+//!   CDN's — the `known_failed` rule of
+//!   `ExchangeBroker::finalize_at_deadline` generalized).
+//! * **`HalfOpen`** — after [`BreakerConfig::cooldown_rounds`] rounds
+//!   of exclusion the breaker admits one probe round: the CDN is
+//!   Shared with again, and this single round decides. A fresh
+//!   Announce closes the breaker (fully healthy); another miss
+//!   re-opens it for a further cool-down.
+//!
+//! Transitions are driven by *round numbers*, never the wall clock, so
+//! the machine is deterministic and the in-process reference driver
+//! and the live daemon walk bit-identical state sequences from the
+//! same failure schedule (ARCHITECTURE.md, "two drivers, one core").
+
+use serde::{Deserialize, Serialize};
+
+/// Health of one broker↔CDN relationship, circuit-breaker style.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HealthState {
+    /// Healthy: the CDN participates in every round.
+    Closed,
+    /// Tripped: the CDN is excluded from rounds entirely.
+    Open,
+    /// Probing: one trial round decides between `Closed` and `Open`.
+    HalfOpen,
+}
+
+impl HealthState {
+    /// Stable lower-case name used in journal events (`health_transition`
+    /// `from`/`to` fields) and operator reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HealthState::Closed => "closed",
+            HealthState::Open => "open",
+            HealthState::HalfOpen => "half_open",
+        }
+    }
+}
+
+/// Breaker policy knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BreakerConfig {
+    /// Consecutive failures that trip `Closed` → `Open`. A failure is a
+    /// round the CDN was asked to participate in but produced no fresh
+    /// Announce (deadline miss, disconnect, or outage).
+    pub trip_after: u32,
+    /// Rounds the breaker stays `Open` before admitting a `HalfOpen`
+    /// probe. With `cooldown_rounds = 1`, the round after the trip
+    /// already probes.
+    pub cooldown_rounds: u64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            trip_after: 3,
+            cooldown_rounds: 1,
+        }
+    }
+}
+
+/// One observed state change, for journaling (`health_transition`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// State before.
+    pub from: HealthState,
+    /// State after.
+    pub to: HealthState,
+    /// Why the transition fired (stable, lower-case snake phrase).
+    pub reason: &'static str,
+}
+
+/// A per-CDN circuit breaker (see the module docs for the contract).
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: HealthState,
+    consecutive_failures: u32,
+    /// Round the breaker last tripped `Open` in; meaningless otherwise.
+    opened_at: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker starting `Closed` (every CDN is presumed healthy).
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config,
+            state: HealthState::Closed,
+            consecutive_failures: 0,
+            opened_at: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// Consecutive failures counted so far (resets on any success).
+    pub fn consecutive_failures(&self) -> u32 {
+        self.consecutive_failures
+    }
+
+    /// Whether the broker may route traffic to (and wait on) this CDN
+    /// this round: true in `Closed` and `HalfOpen`, never while `Open`.
+    pub fn allows_route(&self) -> bool {
+        self.state != HealthState::Open
+    }
+
+    /// Whether the current round is a `HalfOpen` probe (worth a
+    /// `health_probe` journal line when it resolves).
+    pub fn is_probe(&self) -> bool {
+        self.state == HealthState::HalfOpen
+    }
+
+    /// Advances the breaker to `round` before the Share step: an `Open`
+    /// breaker whose cool-down has elapsed moves to `HalfOpen` so this
+    /// round probes the CDN.
+    pub fn begin_round(&mut self, round: u64) -> Option<HealthTransition> {
+        if self.state == HealthState::Open
+            && round.saturating_sub(self.opened_at) >= self.config.cooldown_rounds
+        {
+            return Some(self.transition(HealthState::HalfOpen, "cooldown elapsed"));
+        }
+        None
+    }
+
+    /// Records a fresh Announce from the CDN this round. Resets the
+    /// failure count; a `HalfOpen` probe success closes the breaker.
+    pub fn on_success(&mut self, _round: u64) -> Option<HealthTransition> {
+        self.consecutive_failures = 0;
+        match self.state {
+            HealthState::Closed => None,
+            // A success can only be observed in a round the CDN was
+            // routed to, so `Open` implies `HalfOpen` was entered first;
+            // tolerate a driver that skipped `begin_round` anyway.
+            HealthState::HalfOpen => Some(self.transition(HealthState::Closed, "probe succeeded")),
+            HealthState::Open => Some(self.transition(HealthState::Closed, "late success")),
+        }
+    }
+
+    /// Records a failed round (deadline miss, disconnect, outage) in
+    /// `round`. Trips `Closed` → `Open` at the threshold; a failed
+    /// `HalfOpen` probe re-opens immediately.
+    pub fn on_failure(&mut self, round: u64) -> Option<HealthTransition> {
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        match self.state {
+            HealthState::Closed => {
+                if self.consecutive_failures >= self.config.trip_after {
+                    self.opened_at = round;
+                    return Some(self.transition(HealthState::Open, "trip threshold reached"));
+                }
+                None
+            }
+            HealthState::HalfOpen => {
+                self.opened_at = round;
+                Some(self.transition(HealthState::Open, "probe failed"))
+            }
+            HealthState::Open => None,
+        }
+    }
+
+    fn transition(&mut self, to: HealthState, reason: &'static str) -> HealthTransition {
+        let from = self.state;
+        self.state = to;
+        HealthTransition { from, to, reason }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn breaker(trip_after: u32, cooldown_rounds: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            trip_after,
+            cooldown_rounds,
+        })
+    }
+
+    #[test]
+    fn starts_closed_and_routing() {
+        let b = CircuitBreaker::new(BreakerConfig::default());
+        assert_eq!(b.state(), HealthState::Closed);
+        assert!(b.allows_route());
+        assert!(!b.is_probe());
+        assert_eq!(b.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn closed_trips_open_at_the_threshold() {
+        let mut b = breaker(3, 1);
+        assert_eq!(b.on_failure(0), None);
+        assert_eq!(b.on_failure(1), None);
+        assert_eq!(b.consecutive_failures(), 2);
+        let t = b.on_failure(2).expect("third consecutive failure trips");
+        assert_eq!(t.from, HealthState::Closed);
+        assert_eq!(t.to, HealthState::Open);
+        assert_eq!(t.reason, "trip threshold reached");
+        assert!(!b.allows_route());
+    }
+
+    #[test]
+    fn success_resets_the_failure_count() {
+        let mut b = breaker(3, 1);
+        b.on_failure(0);
+        b.on_failure(1);
+        assert_eq!(b.on_success(2), None, "Closed success: no transition");
+        assert_eq!(b.consecutive_failures(), 0);
+        // The count restarts: two more failures do not trip.
+        assert_eq!(b.on_failure(3), None);
+        assert_eq!(b.on_failure(4), None);
+        assert_eq!(b.state(), HealthState::Closed);
+    }
+
+    #[test]
+    fn open_half_opens_after_the_cooldown() {
+        let mut b = breaker(1, 2);
+        b.on_failure(5);
+        assert_eq!(b.state(), HealthState::Open);
+        assert_eq!(b.begin_round(6), None, "cooldown 2: round 6 still open");
+        let t = b.begin_round(7).expect("cooldown elapsed");
+        assert_eq!(t.from, HealthState::Open);
+        assert_eq!(t.to, HealthState::HalfOpen);
+        assert_eq!(t.reason, "cooldown elapsed");
+        assert!(b.allows_route(), "half-open probes route");
+        assert!(b.is_probe());
+    }
+
+    #[test]
+    fn half_open_probe_success_closes() {
+        let mut b = breaker(1, 1);
+        b.on_failure(0);
+        b.begin_round(1).expect("half-opens");
+        let t = b.on_success(1).expect("probe success closes");
+        assert_eq!(t.from, HealthState::HalfOpen);
+        assert_eq!(t.to, HealthState::Closed);
+        assert_eq!(t.reason, "probe succeeded");
+        assert_eq!(b.consecutive_failures(), 0);
+        assert!(b.allows_route());
+    }
+
+    #[test]
+    fn half_open_probe_failure_reopens_and_restarts_the_cooldown() {
+        let mut b = breaker(1, 2);
+        b.on_failure(0);
+        b.begin_round(2).expect("half-opens");
+        let t = b.on_failure(2).expect("probe failure re-opens");
+        assert_eq!(t.from, HealthState::HalfOpen);
+        assert_eq!(t.to, HealthState::Open);
+        assert_eq!(t.reason, "probe failed");
+        // The cool-down restarts from the failed probe's round.
+        assert_eq!(b.begin_round(3), None);
+        assert!(b.begin_round(4).is_some());
+    }
+
+    #[test]
+    fn open_swallows_further_failures_without_transitions() {
+        let mut b = breaker(1, 10);
+        b.on_failure(0);
+        assert_eq!(b.on_failure(1), None);
+        assert_eq!(b.on_failure(2), None);
+        assert_eq!(b.state(), HealthState::Open);
+    }
+
+    #[test]
+    fn begin_round_is_a_noop_when_not_open() {
+        let mut b = breaker(2, 1);
+        assert_eq!(b.begin_round(0), None, "closed");
+        b.on_failure(0);
+        b.on_failure(1);
+        b.begin_round(2).expect("half-opens");
+        assert_eq!(b.begin_round(2), None, "already half-open");
+    }
+
+    #[test]
+    fn state_names_are_stable() {
+        assert_eq!(HealthState::Closed.name(), "closed");
+        assert_eq!(HealthState::Open.name(), "open");
+        assert_eq!(HealthState::HalfOpen.name(), "half_open");
+    }
+
+    /// One driver step: what the round observed for the CDN.
+    #[derive(Debug, Clone)]
+    enum Step {
+        Success,
+        Failure,
+    }
+
+    proptest! {
+        /// The routing invariant: across any failure/success schedule,
+        /// a round in which the breaker is `Open` after `begin_round`
+        /// never routes to the CDN — and conversely the breaker never
+        /// reports an observation for a round it refused to route
+        /// (mirroring how the drivers only call on_success/on_failure
+        /// for rounds the CDN was Shared with).
+        #[test]
+        fn never_routes_while_open(
+            steps in proptest::collection::vec(
+                prop_oneof![Just(Step::Success), Just(Step::Failure)],
+                1..200,
+            ),
+            trip_after in 1u32..5,
+            cooldown in 1u64..5,
+        ) {
+            let mut b = breaker(trip_after, cooldown);
+            for (round, step) in steps.iter().enumerate() {
+                let round = round as u64;
+                b.begin_round(round);
+                // Invariant under test: `allows_route` is exactly
+                // "not Open".
+                prop_assert_eq!(b.allows_route(), b.state() != HealthState::Open);
+                if !b.allows_route() {
+                    // Excluded: the round must not deliver bids from
+                    // this CDN, so the driver records nothing.
+                    continue;
+                }
+                match step {
+                    Step::Success => { b.on_success(round); }
+                    Step::Failure => { b.on_failure(round); }
+                }
+            }
+        }
+
+        /// `Open` always yields to a probe within `cooldown` rounds —
+        /// exclusion is bounded, never permanent.
+        #[test]
+        fn exclusion_is_bounded_by_the_cooldown(
+            trip_after in 1u32..4,
+            cooldown in 1u64..6,
+            rounds in 10u64..60,
+        ) {
+            let mut b = breaker(trip_after, cooldown);
+            let mut open_streak = 0u64;
+            for round in 0..rounds {
+                b.begin_round(round);
+                if b.allows_route() {
+                    open_streak = 0;
+                    // Always fail: the worst case for exclusion.
+                    b.on_failure(round);
+                } else {
+                    open_streak += 1;
+                    prop_assert!(
+                        open_streak <= cooldown,
+                        "open for {} rounds with cooldown {}",
+                        open_streak,
+                        cooldown
+                    );
+                }
+            }
+        }
+    }
+}

@@ -20,17 +20,22 @@
 //! * [`stale`] — the stale-bid cache behind the failure model's
 //!   graceful-degradation ladder (DESIGN.md §9): bounded reuse of a CDN's
 //!   last-seen bids when its Announce misses the round deadline.
+//! * [`health`] — per-CDN circuit breakers (`Closed`/`Open`/`HalfOpen`)
+//!   that recast the ladder's exclusion rung as an explicit health state
+//!   machine for long-running drivers (`vdx-exchanged`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod gather;
+pub mod health;
 pub mod optimize;
 pub mod policy;
 pub mod qoe;
 pub mod stale;
 
 pub use gather::{gather_groups, synth_background, ClientGroup, GroupId};
+pub use health::{BreakerConfig, CircuitBreaker, HealthState, HealthTransition};
 pub use optimize::{
     optimize, optimize_probed, optimize_probed_ctx, BrokerAssignment, BrokerProblem, GroupOption,
     OptimizeContext, OptimizeMode,

@@ -20,7 +20,9 @@ use std::collections::HashMap;
 use vdx_cdn::{CdnId, ClusterId};
 use vdx_netsim::Score;
 use vdx_obs::{Event, Probe};
-use vdx_solver::{AssignmentProblem, CandidateOption, MilpConfig, SolveStats, SolverContext, WarmPolicy};
+use vdx_solver::{
+    AssignmentProblem, CandidateOption, MilpConfig, SolveStats, SolverContext, WarmPolicy,
+};
 use vdx_units::{Kbps, UsdPerGb};
 
 /// One candidate (from one CDN's Announce) for one client group.
@@ -578,7 +580,10 @@ mod tests {
         BrokerProblem {
             groups: vec![group(0, 500.0), group(1, 800.0)],
             options: vec![
-                vec![opt(0, 50.0 + shift, 2.0, 1_000.0), opt(1, 70.0, 0.5, 2_000.0)],
+                vec![
+                    opt(0, 50.0 + shift, 2.0, 1_000.0),
+                    opt(1, 70.0, 0.5, 2_000.0),
+                ],
                 vec![opt(0, 45.0, 2.0, 1_000.0), opt(1, 90.0, 0.2, 2_000.0)],
             ],
         }

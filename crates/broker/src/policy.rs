@@ -47,13 +47,7 @@ impl CpPolicy {
     /// `wp·Performance` term and one `wc·Cost·Bitrate(r)` term. A group of
     /// `n` sessions therefore weighs performance `n×`, and cost by the
     /// group's total bitrate.
-    pub fn value(
-        &self,
-        score: Score,
-        price_per_mb: UsdPerGb,
-        demand: Kbps,
-        sessions: u32,
-    ) -> f64 {
+    pub fn value(&self, score: Score, price_per_mb: UsdPerGb, demand: Kbps, sessions: u32) -> f64 {
         let demand_mbps = demand.as_mbps();
         -self.wp * score.value() * sessions as f64
             - self.wc * price_per_mb.as_per_megabit() * demand_mbps
@@ -67,21 +61,55 @@ mod tests {
     #[test]
     fn better_score_wins_at_equal_price() {
         let p = CpPolicy::balanced();
-        assert!(p.value(Score(50.0), UsdPerGb::per_megabit(1.0), Kbps::new(1000.0), 1) > p.value(Score(100.0), UsdPerGb::per_megabit(1.0), Kbps::new(1000.0), 1));
+        assert!(
+            p.value(
+                Score(50.0),
+                UsdPerGb::per_megabit(1.0),
+                Kbps::new(1000.0),
+                1
+            ) > p.value(
+                Score(100.0),
+                UsdPerGb::per_megabit(1.0),
+                Kbps::new(1000.0),
+                1
+            )
+        );
     }
 
     #[test]
     fn cheaper_price_wins_at_equal_score() {
         let p = CpPolicy::balanced();
-        assert!(p.value(Score(50.0), UsdPerGb::per_megabit(0.5), Kbps::new(1000.0), 1) > p.value(Score(50.0), UsdPerGb::per_megabit(2.0), Kbps::new(1000.0), 1));
+        assert!(
+            p.value(
+                Score(50.0),
+                UsdPerGb::per_megabit(0.5),
+                Kbps::new(1000.0),
+                1
+            ) > p.value(
+                Score(50.0),
+                UsdPerGb::per_megabit(2.0),
+                Kbps::new(1000.0),
+                1
+            )
+        );
     }
 
     #[test]
     fn wc_zero_ignores_price() {
         let p = CpPolicy { wp: 1.0, wc: 0.0 };
         assert_eq!(
-            p.value(Score(50.0), UsdPerGb::per_megabit(0.5), Kbps::new(1000.0), 1),
-            p.value(Score(50.0), UsdPerGb::per_megabit(99.0), Kbps::new(1000.0), 1)
+            p.value(
+                Score(50.0),
+                UsdPerGb::per_megabit(0.5),
+                Kbps::new(1000.0),
+                1
+            ),
+            p.value(
+                Score(50.0),
+                UsdPerGb::per_megabit(99.0),
+                Kbps::new(1000.0),
+                1
+            )
         );
     }
 
@@ -92,15 +120,31 @@ mod tests {
         let slow = (Score(200.0), UsdPerGb::per_megabit(0.5));
         let perf = CpPolicy::performance_first();
         let cost = CpPolicy::cost_first();
-        assert!(perf.value(fast.0, fast.1, Kbps::new(2_000.0), 1) > perf.value(slow.0, slow.1, Kbps::new(2_000.0), 1));
-        assert!(cost.value(slow.0, slow.1, Kbps::new(2_000.0), 1) > cost.value(fast.0, fast.1, Kbps::new(2_000.0), 1));
+        assert!(
+            perf.value(fast.0, fast.1, Kbps::new(2_000.0), 1)
+                > perf.value(slow.0, slow.1, Kbps::new(2_000.0), 1)
+        );
+        assert!(
+            cost.value(slow.0, slow.1, Kbps::new(2_000.0), 1)
+                > cost.value(fast.0, fast.1, Kbps::new(2_000.0), 1)
+        );
     }
 
     #[test]
     fn cost_term_scales_with_demand() {
         let p = CpPolicy::balanced();
-        let v1 = p.value(Score(0.0), UsdPerGb::per_megabit(1.0), Kbps::new(1_000.0), 1);
-        let v2 = p.value(Score(0.0), UsdPerGb::per_megabit(1.0), Kbps::new(2_000.0), 1);
+        let v1 = p.value(
+            Score(0.0),
+            UsdPerGb::per_megabit(1.0),
+            Kbps::new(1_000.0),
+            1,
+        );
+        let v2 = p.value(
+            Score(0.0),
+            UsdPerGb::per_megabit(1.0),
+            Kbps::new(2_000.0),
+            1,
+        );
         assert!((v2 - 2.0 * v1).abs() < 1e-12);
     }
 
@@ -109,8 +153,18 @@ mod tests {
         // A group of n sessions values an option exactly n times a single
         // client with the same per-client bitrate.
         let p = CpPolicy::balanced();
-        let single = p.value(Score(80.0), UsdPerGb::per_megabit(1.5), Kbps::new(2_000.0), 1);
-        let group = p.value(Score(80.0), UsdPerGb::per_megabit(1.5), Kbps::new(20_000.0), 10);
+        let single = p.value(
+            Score(80.0),
+            UsdPerGb::per_megabit(1.5),
+            Kbps::new(2_000.0),
+            1,
+        );
+        let group = p.value(
+            Score(80.0),
+            UsdPerGb::per_megabit(1.5),
+            Kbps::new(20_000.0),
+            10,
+        );
         assert!((group - 10.0 * single).abs() < 1e-9);
     }
 }

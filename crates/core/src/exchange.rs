@@ -64,41 +64,43 @@ impl Default for ExchangeConfig {
     }
 }
 
-/// A CDN-side marketplace agent: answers Share requests with bids priced by
-/// its learned margins, and updates those margins on Accept feedback.
-pub struct CdnAgent {
+/// The transport-free heart of a CDN agent: turns Shares into bids priced
+/// by learned margins, and updates those margins on Accept feedback.
+///
+/// [`CdnAgent`] wraps this over the in-memory reliable channel; the
+/// `vdx-agent` daemon client wraps the same engine over a TCP
+/// [`vdx_proto::transport::Connection`]. Both transports therefore bid —
+/// and learn — identically, which is what makes driver parity checkable.
+pub struct BidEngine {
     cdn: CdnId,
-    endpoint: Endpoint,
     shading: BidShading,
     matching: MatchingConfig,
     /// This CDN's own (non-broker) commitments per cluster; bids announce
     /// residual capacity (gross − committed).
     committed_kbps: Vec<Kbps>,
-    /// Which Table 2 row the agent bids by (defaults to Marketplace).
+    /// Which Table 2 row the engine bids by (defaults to Marketplace).
     design: Design,
     /// Flat contract price announced by designs without dynamic pricing;
-    /// set by [`CdnAgent::with_design`].
+    /// set by [`BidEngine::with_design`].
     contract_price_per_mb: Option<UsdPerGb>,
     /// Capacity announced by capacity-blind designs (the broker's §5.1
-    /// per-CDN median estimate); set by [`CdnAgent::with_design`].
+    /// per-CDN median estimate); set by [`BidEngine::with_design`].
     median_capacity_kbps: Kbps,
 }
 
-impl CdnAgent {
-    /// Creates an agent for `cdn`. `committed_kbps` is indexed by global
+impl BidEngine {
+    /// Creates an engine for `cdn`. `committed_kbps` is indexed by global
     /// cluster id (entries for other CDNs' clusters are ignored). The
-    /// agent bids Marketplace-style; see [`CdnAgent::with_design`].
+    /// engine bids Marketplace-style; see [`BidEngine::with_design`].
     pub fn new(
         cdn: CdnId,
-        endpoint: Endpoint,
         bid_policy: BidPolicy,
         matching: MatchingConfig,
         num_clusters: usize,
         committed_kbps: Vec<Kbps>,
-    ) -> CdnAgent {
-        CdnAgent {
+    ) -> BidEngine {
+        BidEngine {
             cdn,
-            endpoint,
             shading: BidShading::new(bid_policy, num_clusters),
             matching,
             committed_kbps,
@@ -108,7 +110,7 @@ impl CdnAgent {
         }
     }
 
-    /// Configures which design's Table 2 row the agent bids by, mirroring
+    /// Configures which design's Table 2 row the engine bids by, mirroring
     /// the pure decision round's announcement rules:
     ///
     /// * designs without dynamic pricing announce `contract_price_per_mb`
@@ -122,11 +124,16 @@ impl CdnAgent {
         design: Design,
         contract_price_per_mb: UsdPerGb,
         median_capacity_kbps: Kbps,
-    ) -> CdnAgent {
+    ) -> BidEngine {
         self.design = design;
         self.contract_price_per_mb = Some(contract_price_per_mb);
         self.median_capacity_kbps = median_capacity_kbps;
         self
+    }
+
+    /// The CDN this engine bids for.
+    pub fn cdn(&self) -> CdnId {
+        self.cdn
     }
 
     /// Current learned margin for one of this CDN's clusters.
@@ -134,48 +141,13 @@ impl CdnAgent {
         self.shading.margin(cluster)
     }
 
-    /// Reliable-channel statistics for this agent's link end.
-    pub fn channel_stats(&self) -> ChannelStats {
-        self.endpoint.channel_stats()
-    }
-
-    /// Advances the agent: answers Shares with Announces, learns from
-    /// Accepts.
-    pub fn poll(
-        &mut self,
-        now: SimTime,
-        link: &mut Link,
+    /// Builds this CDN's Announce for one Share batch.
+    pub fn build_bids(
+        &self,
+        shares: &[Share],
         fleet: &Fleet,
         scores: &impl ScoreSource,
-    ) {
-        let events = self.endpoint.poll_events(now, link);
-        for event in events {
-            match event {
-                Event::Request(id, Message::Share(shares)) => {
-                    let bids = self.build_bids(&shares, fleet, scores);
-                    self.endpoint.respond(id, &Message::Announce(bids));
-                }
-                Event::OneWay(Message::Accept(entries)) => {
-                    for e in &entries {
-                        let cluster = ClusterId(e.bid.cluster_id as u32);
-                        if fleet.clusters[cluster.index()].cdn == self.cdn {
-                            if e.accepted {
-                                self.shading.on_accept(cluster);
-                            } else {
-                                self.shading.on_reject(cluster);
-                            }
-                        }
-                    }
-                }
-                // Anything else (decode errors on a lossy link surface as
-                // events too) is ignored; the reliable layer already
-                // guarantees ordered delivery of intact messages.
-                _ => {}
-            }
-        }
-    }
-
-    fn build_bids(&self, shares: &[Share], fleet: &Fleet, scores: &impl ScoreSource) -> Vec<Bid> {
+    ) -> Vec<Bid> {
         let mut bids = Vec::new();
         for share in shares {
             let client_city = CityId(share.location);
@@ -223,6 +195,98 @@ impl CdnAgent {
             }
         }
         bids
+    }
+
+    /// Updates margins from Accept feedback (§6.3 risk-averse shading).
+    /// Entries for other CDNs' clusters are ignored.
+    pub fn learn(&mut self, entries: &[AcceptEntry], fleet: &Fleet) {
+        for e in entries {
+            let cluster = ClusterId(e.bid.cluster_id as u32);
+            if fleet.clusters[cluster.index()].cdn == self.cdn {
+                if e.accepted {
+                    self.shading.on_accept(cluster);
+                } else {
+                    self.shading.on_reject(cluster);
+                }
+            }
+        }
+    }
+}
+
+/// A CDN-side marketplace agent: answers Share requests with bids priced by
+/// its learned margins, and updates those margins on Accept feedback.
+pub struct CdnAgent {
+    endpoint: Endpoint,
+    engine: BidEngine,
+}
+
+impl CdnAgent {
+    /// Creates an agent for `cdn`. `committed_kbps` is indexed by global
+    /// cluster id (entries for other CDNs' clusters are ignored). The
+    /// agent bids Marketplace-style; see [`CdnAgent::with_design`].
+    pub fn new(
+        cdn: CdnId,
+        endpoint: Endpoint,
+        bid_policy: BidPolicy,
+        matching: MatchingConfig,
+        num_clusters: usize,
+        committed_kbps: Vec<Kbps>,
+    ) -> CdnAgent {
+        CdnAgent {
+            endpoint,
+            engine: BidEngine::new(cdn, bid_policy, matching, num_clusters, committed_kbps),
+        }
+    }
+
+    /// Configures which design's Table 2 row the agent bids by; see
+    /// [`BidEngine::with_design`] for the announcement rules.
+    pub fn with_design(
+        mut self,
+        design: Design,
+        contract_price_per_mb: UsdPerGb,
+        median_capacity_kbps: Kbps,
+    ) -> CdnAgent {
+        self.engine = self
+            .engine
+            .with_design(design, contract_price_per_mb, median_capacity_kbps);
+        self
+    }
+
+    /// Current learned margin for one of this CDN's clusters.
+    pub fn margin(&self, cluster: ClusterId) -> Margin {
+        self.engine.margin(cluster)
+    }
+
+    /// Reliable-channel statistics for this agent's link end.
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.endpoint.channel_stats()
+    }
+
+    /// Advances the agent: answers Shares with Announces, learns from
+    /// Accepts.
+    pub fn poll(
+        &mut self,
+        now: SimTime,
+        link: &mut Link,
+        fleet: &Fleet,
+        scores: &impl ScoreSource,
+    ) {
+        let events = self.endpoint.poll_events(now, link);
+        for event in events {
+            match event {
+                Event::Request(id, Message::Share(shares)) => {
+                    let bids = self.engine.build_bids(&shares, fleet, scores);
+                    self.endpoint.respond(id, &Message::Announce(bids));
+                }
+                Event::OneWay(Message::Accept(entries)) => {
+                    self.engine.learn(&entries, fleet);
+                }
+                // Anything else (decode errors on a lossy link surface as
+                // events too) is ignored; the reliable layer already
+                // guarantees ordered delivery of intact messages.
+                _ => {}
+            }
+        }
     }
 }
 
@@ -289,6 +353,174 @@ pub enum DeadlineOutcome {
     /// fall back to the Brokered design for this round (flat contracts
     /// are pre-negotiated, so Brokered needs no exchange traffic).
     Fallback(DegradationReport),
+}
+
+/// One CDN's situation at a round deadline, as [`resolve_at_deadline`]
+/// sees it. Drivers map their transport's observations onto these three
+/// cases; everything downstream (the ladder, the report, the journal
+/// events) is then shared code.
+#[derive(Debug, Clone)]
+pub enum BidSource {
+    /// The CDN's Announce arrived before the deadline.
+    Fresh(Vec<Bid>),
+    /// The CDN is believed reachable but its Announce never arrived; the
+    /// ladder may substitute its cached bids while they are under TTL.
+    Silent,
+    /// The CDN is known failed (injected outage, dead connection, open
+    /// circuit breaker): excluded outright — a down CDN's cached prices
+    /// must not be reused.
+    Down,
+}
+
+/// Outcome of [`resolve_at_deadline`]: either enough information to
+/// optimize, or a design fallback.
+#[derive(Debug)]
+pub enum DeadlineResolution {
+    /// Every client group has at least one option. Per-CDN bid batches
+    /// (empty for excluded CDNs, in CDN-index order) plus the report.
+    Proceed(Vec<Vec<Bid>>, DegradationReport),
+    /// Some client group had no option at all: the caller must fall back
+    /// to the Brokered design for this round.
+    Fallback(DegradationReport),
+}
+
+/// Walks the degradation ladder of DESIGN.md §9 for one round at its
+/// deadline, given each CDN's [`BidSource`]. Shared by every driver —
+/// the in-process [`ExchangeBroker`] and the `vdx-exchanged` daemon
+/// resolve deadlines through this exact function, so their degraded
+/// rounds degrade identically.
+///
+/// Per CDN, in index order: `Fresh` bids are used as-is; a `Silent`
+/// CDN's cached bids are substituted if `cache` holds an entry under TTL
+/// as of `cache_round` (journaling [`ObsEvent::StaleBidsReused`]);
+/// anything else is excluded from the round. If any client group then
+/// has no option at all, the round cannot run under `design` and
+/// [`DeadlineResolution::Fallback`] is returned (journaling
+/// [`ObsEvent::DesignFallback`]).
+///
+/// `deadline_ms` only labels the [`ObsEvent::DeadlineMissed`] journal
+/// event (emitted when any CDN is not `Fresh`); the caller has already
+/// decided the deadline passed.
+pub fn resolve_at_deadline(
+    round_id: u64,
+    design: Design,
+    sources: Vec<BidSource>,
+    num_groups: usize,
+    cache: &StaleBidCache<Vec<Bid>>,
+    cache_round: u64,
+    deadline_ms: u64,
+    probe: &dyn Probe,
+) -> DeadlineResolution {
+    let missing = sources
+        .iter()
+        .filter(|s| !matches!(s, BidSource::Fresh(_)))
+        .count() as u64;
+    if missing > 0 && probe.enabled() {
+        probe.emit(ObsEvent::DeadlineMissed {
+            round: round_id,
+            missing_cdns: missing,
+            deadline_ms,
+        });
+    }
+    let mut report = DegradationReport::default();
+    let mut bids_per_cdn: Vec<Vec<Bid>> = Vec::with_capacity(sources.len());
+    for (i, source) in sources.into_iter().enumerate() {
+        match source {
+            BidSource::Fresh(bids) => {
+                report.fresh.push(CdnId(i as u32));
+                bids_per_cdn.push(bids);
+            }
+            BidSource::Silent => {
+                if let Some((age, bids)) = cache.fetch(i, cache_round) {
+                    if probe.enabled() {
+                        probe.emit(ObsEvent::StaleBidsReused {
+                            round: round_id,
+                            cdn: i as u32,
+                            age_rounds: age,
+                            bids: bids.len() as u64,
+                        });
+                    }
+                    report.stale.push((CdnId(i as u32), age));
+                    bids_per_cdn.push(bids.clone());
+                } else {
+                    report.excluded.push(CdnId(i as u32));
+                    bids_per_cdn.push(Vec::new());
+                }
+            }
+            BidSource::Down => {
+                report.excluded.push(CdnId(i as u32));
+                bids_per_cdn.push(Vec::new());
+            }
+        }
+    }
+    // Coverage check: every client group needs at least one option or
+    // the optimizer has nothing to choose from.
+    let mut covered = vec![false; num_groups];
+    for bid in bids_per_cdn.iter().flatten() {
+        if let Some(c) = covered.get_mut(bid.share_id as usize) {
+            *c = true;
+        }
+    }
+    if covered.iter().any(|&c| !c) {
+        if probe.enabled() {
+            probe.emit(ObsEvent::DesignFallback {
+                round: round_id,
+                from: design.name(),
+                to: Design::Brokered.name(),
+                reason: "insufficient bids at deadline".into(),
+            });
+        }
+        return DeadlineResolution::Fallback(report);
+    }
+    DeadlineResolution::Proceed(bids_per_cdn, report)
+}
+
+/// Assembles the broker's per-group candidate options from every CDN's
+/// bid batch, CDN-major (all of CDN 0's bids first, then CDN 1's, ...)
+/// — the option order every driver must produce for decisions to be
+/// comparable. Bids with out-of-range share ids are dropped.
+pub fn assemble_options(num_groups: usize, bids_per_cdn: &[Vec<Bid>]) -> Vec<Vec<GroupOption>> {
+    let mut options: Vec<Vec<GroupOption>> = vec![Vec::new(); num_groups];
+    for (cdn_idx, bids) in bids_per_cdn.iter().enumerate() {
+        for bid in bids {
+            let g = bid.share_id as usize;
+            if g >= options.len() {
+                continue; // malformed share id: drop the bid
+            }
+            options[g].push(GroupOption {
+                cdn: CdnId(cdn_idx as u32),
+                cluster: ClusterId(bid.cluster_id as u32),
+                score: Score(bid.performance_estimate),
+                price_per_mb: UsdPerGb::per_megabit(bid.price_per_mb),
+                believed_capacity_kbps: Kbps::new(bid.capacity_kbps),
+            });
+        }
+    }
+    options
+}
+
+/// Builds one CDN's Accept entries: every bid it announced, echoed with
+/// whether the Optimize step chose it.
+pub fn accept_entries(
+    problem: &BrokerProblem,
+    assignment: &BrokerAssignment,
+    cdn_idx: usize,
+    bids: &[Bid],
+) -> Vec<AcceptEntry> {
+    bids.iter()
+        .map(|bid| {
+            let g = bid.share_id as usize;
+            let accepted = g < problem.options.len() && {
+                let chosen = &problem.options[g][assignment.choice[g]];
+                chosen.cdn == CdnId(cdn_idx as u32)
+                    && chosen.cluster == ClusterId(bid.cluster_id as u32)
+            };
+            AcceptEntry {
+                bid: *bid,
+                accepted,
+            }
+        })
+        .collect()
 }
 
 impl ExchangeBroker {
@@ -390,64 +622,38 @@ impl ExchangeBroker {
             return None;
         }
         let round = self.round.take().expect("round in flight");
-        Some(self.finish_round(now, links, round))
+        let PendingRound {
+            id, groups, bids, ..
+        } = round;
+        let bids_per_cdn: Vec<Vec<Bid>> = bids
+            .into_iter()
+            .map(|b| b.expect("all announces received"))
+            .collect();
+        Some(self.finish_round(now, links, id, groups, bids_per_cdn))
     }
 
     fn finish_round(
         &mut self,
         now: SimTime,
         links: &mut [Link],
-        round: PendingRound,
+        id: u64,
+        groups: Vec<ClientGroup>,
+        bids_per_cdn: Vec<Vec<Bid>>,
     ) -> LiveRoundResult {
-        // Assemble options per group from every CDN's bids.
-        let mut options: Vec<Vec<GroupOption>> = vec![Vec::new(); round.groups.len()];
-        for (cdn_idx, bids) in round.bids.iter().enumerate() {
-            for bid in bids.as_ref().expect("all announces received") {
-                let g = bid.share_id as usize;
-                if g >= options.len() {
-                    continue; // malformed share id: drop the bid
-                }
-                options[g].push(GroupOption {
-                    cdn: CdnId(cdn_idx as u32),
-                    cluster: ClusterId(bid.cluster_id as u32),
-                    score: Score(bid.performance_estimate),
-                    price_per_mb: UsdPerGb::per_megabit(bid.price_per_mb),
-                    believed_capacity_kbps: Kbps::new(bid.capacity_kbps),
-                });
-            }
-        }
-        let problem = BrokerProblem {
-            groups: round.groups,
-            options,
-        };
+        let options = assemble_options(groups.len(), &bids_per_cdn);
+        let problem = BrokerProblem { groups, options };
         let assignment = optimize_probed_ctx(
             &problem,
             &self.config.policy,
             &self.config.mode,
-            round.id,
+            id,
             self.probe.as_ref(),
             &mut self.optimize_ctx,
         );
 
         // Accept: echo every bid with its outcome to its CDN.
-        for (cdn_idx, bids) in round.bids.iter().enumerate() {
-            let entries: Vec<AcceptEntry> = bids
-                .as_ref()
-                .expect("all announces received")
-                .iter()
-                .map(|bid| {
-                    let g = bid.share_id as usize;
-                    let accepted = g < problem.options.len() && {
-                        let chosen = &problem.options[g][assignment.choice[g]];
-                        chosen.cdn == CdnId(cdn_idx as u32)
-                            && chosen.cluster == ClusterId(bid.cluster_id as u32)
-                    };
-                    AcceptEntry {
-                        bid: *bid,
-                        accepted,
-                    }
-                })
-                .collect();
+        for (cdn_idx, bids) in bids_per_cdn.iter().enumerate() {
+            let entries = accept_entries(&problem, &assignment, cdn_idx, bids);
             self.endpoints[cdn_idx].send_oneway(&Message::Accept(entries));
             // Kick the channel so the Accept leaves promptly.
             self.endpoints[cdn_idx].poll_events(now, &mut links[cdn_idx]);
@@ -456,12 +662,12 @@ impl ExchangeBroker {
             let total_bids: u64 = problem.options.iter().map(|o| o.len() as u64).sum();
             let accepted = problem.groups.len() as u64;
             self.probe.emit(ObsEvent::AcceptIssued {
-                round: round.id,
+                round: id,
                 accepted,
                 rejected: total_bids.saturating_sub(accepted),
             });
             self.probe.emit(ObsEvent::RoundCompleted {
-                round: round.id,
+                round: id,
                 objective: assignment.objective,
                 options: total_bids,
             });
@@ -530,62 +736,94 @@ impl ExchangeBroker {
         campaign_round: u64,
         known_failed: &[usize],
     ) -> DeadlineOutcome {
-        let mut round = self.round.take().expect("round in flight");
-        let missing = round.bids.iter().filter(|b| b.is_none()).count() as u64;
-        if missing > 0 && self.probe.enabled() {
-            self.probe.emit(ObsEvent::DeadlineMissed {
-                round: round.id,
-                missing_cdns: missing,
-                deadline_ms: now.0,
-            });
+        let round = self.round.take().expect("round in flight");
+        let PendingRound {
+            id, groups, bids, ..
+        } = round;
+        let sources: Vec<BidSource> = bids
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| match slot {
+                Some(bids) => BidSource::Fresh(bids),
+                None if known_failed.contains(&i) => BidSource::Down,
+                None => BidSource::Silent,
+            })
+            .collect();
+        match resolve_at_deadline(
+            id,
+            self.design(),
+            sources,
+            groups.len(),
+            cache,
+            campaign_round,
+            now.0,
+            self.probe.as_ref(),
+        ) {
+            DeadlineResolution::Proceed(bids_per_cdn, report) => DeadlineOutcome::Completed(
+                self.finish_round(now, links, id, groups, bids_per_cdn),
+                report,
+            ),
+            DeadlineResolution::Fallback(report) => DeadlineOutcome::Fallback(report),
         }
-        let mut report = DegradationReport::default();
-        for (i, slot) in round.bids.iter_mut().enumerate() {
-            if slot.is_some() {
-                report.fresh.push(CdnId(i as u32));
-                continue;
-            }
-            if !known_failed.contains(&i) {
-                if let Some((age, bids)) = cache.fetch(i, campaign_round) {
-                    if self.probe.enabled() {
-                        self.probe.emit(ObsEvent::StaleBidsReused {
-                            round: round.id,
-                            cdn: i as u32,
-                            age_rounds: age,
-                            bids: bids.len() as u64,
-                        });
-                    }
-                    *slot = Some(bids.clone());
-                    report.stale.push((CdnId(i as u32), age));
-                    continue;
-                }
-            }
-            *slot = Some(Vec::new());
-            report.excluded.push(CdnId(i as u32));
-        }
-        // Coverage check: every client group needs at least one option or
-        // the optimizer has nothing to choose from.
-        let mut covered = vec![false; round.groups.len()];
-        for bids in round.bids.iter().flatten() {
-            for bid in bids {
-                if let Some(c) = covered.get_mut(bid.share_id as usize) {
-                    *c = true;
-                }
-            }
-        }
-        if covered.iter().any(|&c| !c) {
-            if self.probe.enabled() {
-                self.probe.emit(ObsEvent::DesignFallback {
-                    round: round.id,
-                    from: self.design().name(),
-                    to: Design::Brokered.name(),
-                    reason: "insufficient bids at deadline".into(),
-                });
-            }
-            return DeadlineOutcome::Fallback(report);
-        }
-        DeadlineOutcome::Completed(self.finish_round(now, links, round), report)
     }
+}
+
+/// How one driver round resolved, coarsely: which rung of the ladder it
+/// ended on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundResolution {
+    /// Every CDN answered in time; no degradation.
+    Fresh,
+    /// The round completed, but only after stale substitution and/or
+    /// CDN exclusion.
+    Degraded,
+    /// The round abandoned its design and ran Brokered from contracts.
+    Fallback,
+}
+
+/// The decision-quality fingerprint of one round, produced identically
+/// by every [`ExchangeDriver`]. Two drivers agree on a round exactly
+/// when these compare equal — the soak test's parity check.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriverRound {
+    /// The round id.
+    pub round: u64,
+    /// Which ladder rung the round ended on.
+    pub resolution: RoundResolution,
+    /// Per client group, the chosen `(cdn, cluster)` — the decision
+    /// itself, independent of transport, timing, or solver effort.
+    pub picks: Vec<(u32, u32)>,
+    /// The Fig 9 objective value the Optimize step achieved.
+    pub objective: f64,
+}
+
+/// A driver of Decision Protocol rounds: something that owns transport
+/// and timing and, per round, produces the broker's decision.
+///
+/// Two implementations exist — the deterministic in-process path (the
+/// reference, wrapped by `vdx-sim`'s soak harness) and the
+/// `vdx-exchanged` daemon over TCP. The determinism contract
+/// (ARCHITECTURE.md, "two drivers, one core"): both must route bid
+/// construction, deadline resolution, option assembly, and optimization
+/// through this module's shared code, so that under the same scenario
+/// and the same observed failures they emit equal [`DriverRound`]s.
+pub trait ExchangeDriver {
+    /// Runs one round and reports its decision fingerprint.
+    fn run_round(&mut self, round: u64) -> DriverRound;
+}
+
+/// Extracts the per-group `(cdn, cluster)` picks from a completed
+/// optimization — the transport-independent core of [`DriverRound`].
+pub fn picks_of(problem: &BrokerProblem, assignment: &BrokerAssignment) -> Vec<(u32, u32)> {
+    assignment
+        .choice
+        .iter()
+        .enumerate()
+        .map(|(g, &c)| {
+            let o = &problem.options[g][c];
+            (o.cdn.0, o.cluster.0)
+        })
+        .collect()
 }
 
 #[cfg(test)]

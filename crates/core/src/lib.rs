@@ -47,12 +47,13 @@ pub mod transactions;
 pub use accounting::{settle, CdnLedger, Settlement};
 pub use decision::{
     assign_background, run_decision_round, run_decision_round_probed,
-    run_decision_round_probed_ctx, RoundId, RoundInputs,
-    RoundOutcome,
+    run_decision_round_probed_ctx, RoundId, RoundInputs, RoundOutcome,
 };
 pub use design::Design;
 pub use exchange::{
-    CdnAgent, DeadlineOutcome, DegradationReport, ExchangeBroker, ExchangeConfig, LiveRoundResult,
+    accept_entries, assemble_options, picks_of, resolve_at_deadline, BidEngine, BidSource,
+    CdnAgent, DeadlineOutcome, DeadlineResolution, DegradationReport, DriverRound, ExchangeBroker,
+    ExchangeConfig, ExchangeDriver, LiveRoundResult, RoundResolution,
 };
 pub use reputation::ReputationSystem;
 pub use transactions::{run_transactions, CommitPolicy, HonestCommit, TransactionOutcome};

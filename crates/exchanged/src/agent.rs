@@ -1,0 +1,107 @@
+//! The CDN side of the daemon: connect, identify, bid, learn.
+//!
+//! An agent is deliberately thin. It connects, sends
+//! `Hello { node_id: cdn, role: 1 }`, then answers every round-stamped
+//! Share with an Announce built by a **fresh** [`BidEngine`] — the same
+//! per-round re-instantiation the fault campaign and the soak reference
+//! driver use, so bid prices cannot drift between drivers. Accepts are
+//! tallied into the [`AgentReport`].
+//!
+//! The agent computes bids from its own copy of the scenario (built
+//! from the shared seed), standing in for the CDN's private view of its
+//! clusters and costs. Fault hooks (`silent_rounds`,
+//! `disconnect_after`) exist so soak tests can script misbehaviour.
+
+use std::net::ToSocketAddrs;
+
+use vdx_core::{BidEngine, Design};
+use vdx_geo::CityId;
+use vdx_proto::{Connection, Message, TransportError};
+use vdx_sim::soak::round_engine;
+use vdx_sim::Scenario;
+
+/// What one agent run should do.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// The CDN this agent bids for.
+    pub cdn: u32,
+    /// The design whose Table 2 row shapes the announcements.
+    pub design: Design,
+    /// Rounds on which to receive the Share but send no Announce
+    /// (scripted deadline misses for soak tests).
+    pub silent_rounds: Vec<u64>,
+    /// Close the connection after answering this round (scripted
+    /// disconnect for soak tests). `None` runs until server EOF.
+    pub disconnect_after: Option<u64>,
+}
+
+impl AgentConfig {
+    /// A well-behaved agent for `cdn` under `design`.
+    pub fn new(cdn: u32, design: Design) -> AgentConfig {
+        AgentConfig {
+            cdn,
+            design,
+            silent_rounds: Vec::new(),
+            disconnect_after: None,
+        }
+    }
+}
+
+/// What an agent run did, for logs and test assertions.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AgentReport {
+    /// Rounds answered with a fresh Announce.
+    pub rounds_answered: u64,
+    /// Rounds deliberately left silent (`AgentConfig::silent_rounds`).
+    pub rounds_silent: u64,
+    /// Accept messages received.
+    pub accepts_received: u64,
+    /// Individual bids echoed back as accepted.
+    pub bids_accepted: u64,
+}
+
+/// Runs one agent to completion: until server EOF, the scripted
+/// disconnect, or a transport error.
+pub fn run_agent(
+    addr: impl ToSocketAddrs,
+    scenario: &Scenario,
+    cfg: &AgentConfig,
+) -> Result<AgentReport, TransportError> {
+    let mut conn = Connection::connect(addr)?;
+    conn.send(
+        0,
+        &Message::Hello {
+            node_id: cfg.cdn as u64,
+            role: 1,
+        },
+    )?;
+    let mut report = AgentReport::default();
+    loop {
+        match conn.recv()? {
+            Some((round, Message::Share(shares))) => {
+                if cfg.silent_rounds.contains(&round) {
+                    report.rounds_silent += 1;
+                    continue;
+                }
+                let engine: BidEngine = round_engine(scenario, cfg.design, cfg.cdn);
+                let bids = engine.build_bids(&shares, &scenario.fleet, &|a: CityId, b: CityId| {
+                    scenario.score_of(a, b)
+                });
+                conn.send(round, &Message::Announce(bids))?;
+                report.rounds_answered += 1;
+                if cfg.disconnect_after == Some(round) {
+                    let _ = conn.shutdown();
+                    return Ok(report);
+                }
+            }
+            Some((_, Message::Accept(entries))) => {
+                report.accepts_received += 1;
+                report.bids_accepted += entries.iter().filter(|e| e.accepted).count() as u64;
+            }
+            // Out-of-protocol messages are ignored; the server is the
+            // arbiter of what matters.
+            Some(_) => {}
+            None => return Ok(report),
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! `vdx-agent` — one CDN's client for the `vdx-exchanged` daemon.
+//!
+//! ```text
+//! vdx-agent --cdn N [--connect 127.0.0.1:4990] [--seed N] [--small]
+//!           [--design NAME] [--silent R1,R2,...]
+//! ```
+//!
+//! Builds the scenario from `--seed` (must match the daemon's so both
+//! sides see the same fleet), connects, and bids until the daemon
+//! closes the connection. `--silent` scripts deadline misses for
+//! operator drills (see OPERATIONS.md).
+
+use std::process::ExitCode;
+
+use vdx_core::Design;
+use vdx_exchanged::{run_agent, AgentConfig};
+use vdx_sim::{Scenario, ScenarioConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vdx-agent --cdn N [--connect A] [--seed N] [--small] \
+         [--design NAME] [--silent R1,R2,...]"
+    );
+    ExitCode::FAILURE
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Same design-name grammar as `vdx-exchanged` (see its usage line).
+fn parse_design(s: &str) -> Option<Design> {
+    let lower = s.to_ascii_lowercase();
+    if let Some(k) = lower.strip_prefix("multicluster:") {
+        return k.parse::<usize>().ok().map(Design::Multicluster);
+    }
+    match lower.as_str() {
+        "brokered" => Some(Design::Brokered),
+        "multicluster" => Some(Design::Multicluster(2)),
+        "dynamic-pricing" | "dynamicpricing" => Some(Design::DynamicPricing),
+        "dynamic-multicluster" | "dynamicmulticluster" => Some(Design::DynamicMulticluster),
+        "best-lookup" | "bestlookup" => Some(Design::BestLookup),
+        "marketplace" => Some(Design::Marketplace),
+        "transactions" => Some(Design::Transactions),
+        "omniscient" => Some(Design::Omniscient),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let Some(cdn) = flag_value(&args, "--cdn").and_then(|v| v.parse::<u32>().ok()) else {
+        return usage();
+    };
+    let addr = flag_value(&args, "--connect").unwrap_or_else(|| "127.0.0.1:4990".into());
+    let design = match flag_value(&args, "--design") {
+        None => Design::Marketplace,
+        Some(name) => match parse_design(&name) {
+            Some(d) => d,
+            None => {
+                eprintln!("unknown design: {name}");
+                return usage();
+            }
+        },
+    };
+    let silent_rounds: Vec<u64> = flag_value(&args, "--silent")
+        .map(|list| {
+            list.split(',')
+                .filter_map(|r| r.trim().parse::<u64>().ok())
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let mut config = if args.iter().any(|a| a == "--small") {
+        ScenarioConfig::small()
+    } else {
+        ScenarioConfig::default()
+    };
+    if let Some(seed) = flag_value(&args, "--seed").and_then(|v| v.parse::<u64>().ok()) {
+        config.seed = seed;
+    }
+    eprintln!("building scenario: seed {} ...", config.seed);
+    let scenario = Scenario::build(config);
+    if (cdn as usize) >= scenario.fleet.cdns.len() {
+        eprintln!(
+            "--cdn {cdn} out of range: the scenario has {} CDNs",
+            scenario.fleet.cdns.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let cfg = AgentConfig {
+        cdn,
+        design,
+        silent_rounds,
+        disconnect_after: None,
+    };
+    eprintln!("vdx-agent cdn {cdn} connecting to {addr} ...");
+    match run_agent(addr.as_str(), &scenario, &cfg) {
+        Ok(report) => {
+            eprintln!(
+                "agent done: answered {} round(s), silent on {}, {} accept message(s), \
+                 {} bid(s) accepted",
+                report.rounds_answered,
+                report.rounds_silent,
+                report.accepts_received,
+                report.bids_accepted
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("agent transport error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! `vdx-exchanged` — run the exchange daemon over a seeded scenario.
+//!
+//! ```text
+//! vdx-exchanged [--addr 127.0.0.1:4990] [--seed N] [--small]
+//!               [--design NAME] [--rounds N] [--interval-ms N]
+//!               [--deadline-ms N] [--ttl N] [--trip-after N]
+//!               [--cooldown N] [--queue-cap N]
+//!               [--min-agents N] [--wait-ms N] [--journal PATH]
+//! ```
+//!
+//! The daemon builds the scenario from `--seed`, listens on `--addr`,
+//! waits up to `--wait-ms` for `--min-agents` `vdx-agent` connections,
+//! then drives `--rounds` Decision Protocol rounds, one every
+//! `--interval-ms` (0 = back to back). See OPERATIONS.md.
+
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vdx_broker::{BreakerConfig, CpPolicy};
+use vdx_core::{Design, ExchangeDriver};
+use vdx_exchanged::{ExchangeServer, ServerOptions};
+use vdx_obs::{Event, Journal, JournalProbe, Probe, Stopwatch, SCHEMA_VERSION};
+use vdx_sim::{Scenario, ScenarioConfig};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: vdx-exchanged [--addr A] [--seed N] [--small] [--design NAME] \
+         [--rounds N] [--interval-ms N] [--deadline-ms N] [--ttl N] \
+         [--trip-after N] [--cooldown N] [--queue-cap N] [--min-agents N] \
+         [--wait-ms N] [--journal PATH]\n\
+         designs: brokered, multicluster:K, dynamic-pricing, \
+         dynamic-multicluster, best-lookup, marketplace, transactions, \
+         omniscient"
+    );
+    ExitCode::FAILURE
+}
+
+/// Parses the value after `--flag`, if both are present.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+/// Parses a design name as printed in the usage line (case-insensitive;
+/// `Design::name` spellings are also accepted).
+fn parse_design(s: &str) -> Option<Design> {
+    let lower = s.to_ascii_lowercase();
+    if let Some(k) = lower.strip_prefix("multicluster:") {
+        return k.parse::<usize>().ok().map(Design::Multicluster);
+    }
+    match lower.as_str() {
+        "brokered" => Some(Design::Brokered),
+        "multicluster" => Some(Design::Multicluster(2)),
+        "dynamic-pricing" | "dynamicpricing" => Some(Design::DynamicPricing),
+        "dynamic-multicluster" | "dynamicmulticluster" => Some(Design::DynamicMulticluster),
+        "best-lookup" | "bestlookup" => Some(Design::BestLookup),
+        "marketplace" => Some(Design::Marketplace),
+        "transactions" => Some(Design::Transactions),
+        "omniscient" => Some(Design::Omniscient),
+        _ => None,
+    }
+}
+
+/// Wall-clock start of the run, Unix milliseconds (zeroed by the journal
+/// determinism tooling; see `Event::zero_wall_clock`).
+// Allowed wall-clock read: the run-header timestamp is zeroed before any
+// byte-identity comparison (vdx-lint allowlist entry; DESIGN.md §10).
+#[allow(clippy::disallowed_methods)]
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Short git commit of the surrounding checkout, for run provenance in
+/// journals. `unknown` outside a checkout or without git.
+fn git_commit() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        return usage();
+    }
+    let parse_u64 = |flag: &str| flag_value(&args, flag).and_then(|v| v.parse::<u64>().ok());
+
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:4990".into());
+    let small = args.iter().any(|a| a == "--small");
+    let design = match flag_value(&args, "--design") {
+        None => Design::Marketplace,
+        Some(name) => match parse_design(&name) {
+            Some(d) => d,
+            None => {
+                eprintln!("unknown design: {name}");
+                return usage();
+            }
+        },
+    };
+    let rounds = parse_u64("--rounds").unwrap_or(10).max(1);
+    let interval = Duration::from_millis(parse_u64("--interval-ms").unwrap_or(0));
+    let mut opts = ServerOptions::default();
+    if let Some(ms) = parse_u64("--deadline-ms") {
+        opts.deadline = Duration::from_millis(ms.max(1));
+    }
+    if let Some(ttl) = parse_u64("--ttl") {
+        opts.stale_ttl_rounds = ttl;
+    }
+    let mut breaker = BreakerConfig::default();
+    if let Some(t) = parse_u64("--trip-after") {
+        breaker.trip_after = t.clamp(1, u32::MAX as u64) as u32;
+    }
+    if let Some(c) = parse_u64("--cooldown") {
+        breaker.cooldown_rounds = c.max(1);
+    }
+    opts.breaker = breaker;
+    if let Some(cap) = parse_u64("--queue-cap") {
+        opts.queue_cap = cap.clamp(1, 1 << 16) as usize;
+    }
+    let wait = Duration::from_millis(parse_u64("--wait-ms").unwrap_or(10_000));
+    let journal_path = flag_value(&args, "--journal");
+
+    let mut config = if small {
+        ScenarioConfig::small()
+    } else {
+        ScenarioConfig::default()
+    };
+    if let Some(seed) = parse_u64("--seed") {
+        config.seed = seed;
+    }
+
+    let run_clock = Stopwatch::start();
+    let probe: Option<Arc<JournalProbe>> = match &journal_path {
+        Some(path) => match Journal::create(path) {
+            Ok(journal) => Some(Arc::new(JournalProbe::new(journal))),
+            Err(e) => {
+                eprintln!("cannot create journal {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    if let Some(p) = &probe {
+        p.emit(Event::RunHeader {
+            schema: SCHEMA_VERSION,
+            experiment: "exchanged".into(),
+            seed: config.seed,
+            scale: if small { "small" } else { "full" }.to_string(),
+            started_unix_ms: unix_ms(),
+            threads: 0,
+            git_commit: git_commit(),
+        });
+        p.emit(Event::PhaseStarted {
+            phase: "build_scenario".into(),
+        });
+    }
+    eprintln!(
+        "building scenario: seed {} ({}) ...",
+        config.seed,
+        if small { "small" } else { "full" }
+    );
+    let build_clock = Stopwatch::start();
+    let scenario = Arc::new(Scenario::build(config));
+    if let Some(p) = &probe {
+        p.emit(Event::PhaseFinished {
+            phase: "build_scenario".into(),
+            wall_us: build_clock.elapsed_us(),
+        });
+    }
+    let num_cdns = scenario.fleet.cdns.len();
+    let min_agents = parse_u64("--min-agents")
+        .map(|n| n as usize)
+        .unwrap_or(num_cdns)
+        .min(num_cdns);
+
+    let server_probe: Arc<dyn Probe> = match &probe {
+        Some(p) => p.clone(),
+        None => vdx_obs::probe::noop(),
+    };
+    let mut server = match ExchangeServer::start(
+        addr.as_str(),
+        scenario.clone(),
+        design,
+        CpPolicy::balanced(),
+        server_probe,
+        opts,
+    ) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "vdx-exchanged listening on {} — design {}, {} CDNs, deadline {}ms",
+        server.local_addr(),
+        design.name(),
+        num_cdns,
+        opts.deadline.as_millis()
+    );
+    if min_agents > 0 {
+        eprintln!("waiting for {min_agents} agent(s) ...");
+        if !server.wait_for_agents(min_agents, wait) {
+            eprintln!(
+                "only {} of {min_agents} agents connected within {}ms; giving up",
+                server.connected_agents(),
+                wait.as_millis()
+            );
+            server.shutdown();
+            return ExitCode::FAILURE;
+        }
+    }
+
+    if let Some(p) = &probe {
+        p.emit(Event::PhaseStarted {
+            phase: "exchange_rounds".into(),
+        });
+    }
+    let rounds_clock = Stopwatch::start();
+    for round in 0..rounds {
+        let result = server.run_round(round);
+        eprintln!(
+            "round {round}: {:?} objective={:.3} picks={} agents={}",
+            result.resolution,
+            result.objective,
+            result.picks.len(),
+            server.connected_agents()
+        );
+        if round + 1 < rounds && !interval.is_zero() {
+            std::thread::sleep(interval);
+        }
+    }
+    if let Some(p) = &probe {
+        p.emit(Event::PhaseFinished {
+            phase: "exchange_rounds".into(),
+            wall_us: rounds_clock.elapsed_us(),
+        });
+    }
+    server.shutdown();
+
+    if let Some(p) = probe {
+        for event in vdx_obs::metrics::global().drain() {
+            p.emit(event);
+        }
+        let journal = match Arc::try_unwrap(p) {
+            Ok(inner) => match inner.into_journal() {
+                Ok(j) => j,
+                Err(e) => {
+                    eprintln!("journal write errors: {e}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => {
+                eprintln!("journal probe still shared; cannot finish the journal");
+                return ExitCode::FAILURE;
+            }
+        };
+        let path = journal.path().display().to_string();
+        if let Err(e) = journal.finish("exchanged", run_clock.elapsed_ms()) {
+            eprintln!("failed to finish journal: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("journal written: {path}");
+    }
+    ExitCode::SUCCESS
+}

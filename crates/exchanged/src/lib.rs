@@ -1,0 +1,39 @@
+//! # vdx-exchanged — the exchange as a long-running daemon
+//!
+//! Everything else in this workspace drives Decision Protocol rounds
+//! in-process: the round is a function call, failures are injected, and
+//! the whole run is deterministic down to the journal bytes. This crate
+//! is the *second driver* over the same `vdx-core` round logic
+//! (ARCHITECTURE.md, "two drivers, one core"): a persistent broker
+//! process that speaks the `vdx-proto` Decision Protocol over real TCP
+//! sockets to separately-running CDN agents.
+//!
+//! * [`server`] — the daemon: one listener, one reader thread per
+//!   connected agent with a bounded inbound queue, and a round loop
+//!   that Shares, collects Announces until a wall-clock deadline, and
+//!   resolves what is missing through the shared degradation ladder
+//!   ([`vdx_core::resolve_at_deadline`]). Health-based routing recasts
+//!   the ladder's exclusion rung as per-CDN circuit breakers
+//!   ([`vdx_broker::CircuitBreaker`]): repeated silence opens the
+//!   breaker, an open breaker is not routed to at all, and a half-open
+//!   probe readmits the CDN.
+//! * [`agent`] — the CDN side: connect, identify via `Hello`, answer
+//!   each Share with a fresh [`vdx_core::BidEngine`] Announce, and
+//!   learn outcomes from Accepts.
+//!
+//! The binaries `vdx-exchanged` and `vdx-agent` wrap these over a
+//! scenario built from a shared seed; OPERATIONS.md is the operator
+//! manual. The crate's soak test replays a `vdx-sim` [`SoakPlan`]
+//! (`vdx_sim::soak`) against both this daemon and the transport-free
+//! reference driver and asserts the per-round decisions are equal.
+//!
+//! [`SoakPlan`]: vdx_sim::soak::SoakPlan
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod agent;
+pub mod server;
+
+pub use agent::{run_agent, AgentConfig, AgentReport};
+pub use server::{ExchangeServer, ServerOptions};

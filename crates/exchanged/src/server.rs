@@ -1,0 +1,642 @@
+//! The exchange daemon: Decision Protocol rounds over live sockets with
+//! health-based routing.
+//!
+//! ## Structure
+//!
+//! One accept thread polls the listener; each accepted connection gets a
+//! handshake-and-read thread that forwards round-stamped messages into a
+//! **bounded** queue (`ServerOptions::queue_cap`). When an agent floods
+//! faster than the round loop drains, the reader emits one
+//! `conn_backpressure` event and then *blocks* on the queue — the TCP
+//! window stalls the sender; nothing is dropped and memory stays
+//! bounded.
+//!
+//! The round loop itself runs on the caller's thread
+//! ([`ExchangeServer::run_round`], the [`ExchangeDriver`] contract):
+//! Share to every routable CDN, collect Announces until the wall-clock
+//! deadline, classify each CDN as fresh / silent / down, and resolve
+//! through [`vdx_core::resolve_at_deadline`] — the exact ladder code the
+//! in-process driver uses, which is what makes the soak parity test
+//! possible.
+//!
+//! ## Health-based routing
+//!
+//! Each CDN has a [`CircuitBreaker`]. A round the CDN was asked to
+//! participate in but produced no fresh Announce (deadline miss,
+//! disconnect) counts as a failure; `trip_after` consecutive failures
+//! open the breaker. An **open** breaker is not routed to at all — no
+//! Share is sent, the CDN is excluded as [`BidSource::Down`], and its
+//! cached bids are *not* reused (a down CDN's prices are stale in the
+//! dangerous sense). After `cooldown_rounds` the breaker admits one
+//! half-open probe round; a fresh Announce closes it, another miss
+//! re-opens it. Transitions and probe outcomes are journaled as
+//! `health_transition` / `health_probe` events.
+//!
+//! ## Determinism
+//!
+//! The daemon is *wall-clock bound* (the deadline is real time), so its
+//! journals are not byte-reproducible the way in-process runs are. Its
+//! **decisions** are still deterministic in the inputs: given the same
+//! scenario and the same per-round set of fresh Announces, every
+//! [`DriverRound`] it emits equals the transport-free reference
+//! driver's (`vdx_sim::soak`). The monotonic clock is only read through
+//! [`vdx_obs::Stopwatch`], the workspace's sanctioned timing type.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use vdx_broker::{
+    optimize_probed_ctx, BreakerConfig, BrokerProblem, CircuitBreaker, CpPolicy, OptimizeContext,
+    OptimizeMode, StaleBidCache,
+};
+use vdx_core::{
+    accept_entries, assemble_options, picks_of, resolve_at_deadline, BidSource, DeadlineResolution,
+    Design, DriverRound, ExchangeDriver, RoundId, RoundResolution,
+};
+use vdx_obs::{Event, Probe, Stopwatch};
+use vdx_proto::{Bid, Connection, Message};
+use vdx_sim::soak::shares_of;
+use vdx_sim::Scenario;
+
+/// Daemon knobs; [`ServerOptions::default`] matches the soak defaults.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerOptions {
+    /// Wall-clock Announce deadline per round.
+    pub deadline: Duration,
+    /// Bounded inbound queue depth per agent connection.
+    pub queue_cap: usize,
+    /// Circuit-breaker thresholds (shared by all CDNs).
+    pub breaker: BreakerConfig,
+    /// Stale-bid cache TTL, rounds.
+    pub stale_ttl_rounds: u64,
+    /// How long a connecting agent may take to send its `Hello`.
+    pub handshake_timeout: Duration,
+}
+
+impl Default for ServerOptions {
+    fn default() -> ServerOptions {
+        ServerOptions {
+            deadline: Duration::from_millis(3_000),
+            queue_cap: 64,
+            breaker: BreakerConfig::default(),
+            stale_ttl_rounds: 2,
+            handshake_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+/// How often a blocked reader or the accept loop re-checks for work.
+const POLL: Duration = Duration::from_millis(10);
+/// Reader-side socket timeout: the granularity at which a reader notices
+/// the shutdown flag.
+const READ_TICK: Duration = Duration::from_millis(100);
+
+/// One connected agent, owned by its CDN's slot: the write half plus the
+/// receiving end of the reader thread's queue.
+struct AgentSlot {
+    writer: Connection,
+    rx: Receiver<(u64, Message)>,
+    /// Cleared by the reader thread when it exits (EOF, error, shutdown).
+    alive: Arc<AtomicBool>,
+}
+
+/// State shared between the round loop, the accept thread, and every
+/// reader thread.
+struct Shared {
+    /// One slot per CDN, indexed by CDN id.
+    slots: Vec<Mutex<Option<AgentSlot>>>,
+    probe: Arc<dyn Probe>,
+    /// Monotonic run clock; `conn_*` events carry its reading as `at_ms`
+    /// (zeroed by the journal determinism tooling like every wall field).
+    clock: Stopwatch,
+    shutdown: AtomicBool,
+    queue_cap: usize,
+    handshake_timeout: Duration,
+    /// Reader threads park their handles here so shutdown can join them.
+    readers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Shared {
+    fn emit(&self, event: Event) {
+        if self.probe.enabled() {
+            self.probe.emit(event);
+        }
+    }
+}
+
+/// The daemon. Owns the scenario (ground truth for Gather/score data),
+/// the per-CDN breakers, the stale-bid cache, and the listener; rounds
+/// are driven by calling [`ExchangeDriver::run_round`].
+pub struct ExchangeServer {
+    scenario: Arc<Scenario>,
+    design: Design,
+    policy: CpPolicy,
+    opts: ServerOptions,
+    shared: Arc<Shared>,
+    cache: StaleBidCache<Vec<Bid>>,
+    breakers: Vec<CircuitBreaker>,
+    ctx: OptimizeContext,
+    accept_thread: Option<JoinHandle<()>>,
+    addr: SocketAddr,
+}
+
+impl ExchangeServer {
+    /// Binds `addr` and starts accepting agent connections. Rounds do
+    /// not run until the caller drives them.
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        scenario: Arc<Scenario>,
+        design: Design,
+        policy: CpPolicy,
+        probe: Arc<dyn Probe>,
+        opts: ServerOptions,
+    ) -> std::io::Result<ExchangeServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let n = scenario.fleet.cdns.len();
+        let shared = Arc::new(Shared {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            probe,
+            clock: Stopwatch::start(),
+            shutdown: AtomicBool::new(false),
+            queue_cap: opts.queue_cap,
+            handshake_timeout: opts.handshake_timeout,
+            readers: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept_thread = std::thread::spawn(move || accept_loop(listener, accept_shared));
+        Ok(ExchangeServer {
+            cache: StaleBidCache::new(n, opts.stale_ttl_rounds),
+            breakers: (0..n).map(|_| CircuitBreaker::new(opts.breaker)).collect(),
+            scenario,
+            design,
+            policy,
+            opts,
+            shared,
+            ctx: OptimizeContext::new(),
+            accept_thread: Some(accept_thread),
+            addr,
+        })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Number of agents currently connected and alive.
+    pub fn connected_agents(&self) -> usize {
+        self.shared
+            .slots
+            .iter()
+            .filter(|slot| {
+                slot.lock()
+                    .expect("slot lock poisoned")
+                    .as_ref()
+                    .is_some_and(|s| s.alive.load(Ordering::SeqCst))
+            })
+            .count()
+    }
+
+    /// Current health state of one CDN's breaker.
+    pub fn breaker(&self, cdn: usize) -> &CircuitBreaker {
+        &self.breakers[cdn]
+    }
+
+    /// Blocks until at least `count` agents are connected, or `timeout`
+    /// elapses. Returns whether the quorum was reached.
+    pub fn wait_for_agents(&self, count: usize, timeout: Duration) -> bool {
+        let clock = Stopwatch::start();
+        loop {
+            if self.connected_agents() >= count {
+                return true;
+            }
+            if clock.elapsed_ms() >= timeout.as_millis() as u64 {
+                return false;
+            }
+            std::thread::sleep(POLL);
+        }
+    }
+
+    /// Stops accepting, closes every agent connection, and joins all
+    /// daemon threads. After this returns no thread of the server holds
+    /// the probe any more, so the caller can finish its journal.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        for (cdn, slot) in self.shared.slots.iter().enumerate() {
+            let mut slot = slot.lock().expect("slot lock poisoned");
+            if let Some(s) = slot.take() {
+                let _ = s.writer.shutdown();
+                self.shared.emit(Event::ConnClosed {
+                    at_ms: self.shared.clock.elapsed_ms(),
+                    cdn: cdn as u32,
+                    reason: "shutdown".into(),
+                });
+            }
+        }
+        let handles: Vec<JoinHandle<()>> = {
+            let mut readers = self.shared.readers.lock().expect("readers lock poisoned");
+            readers.drain(..).collect()
+        };
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Classification bookkeeping for one CDN at the deadline: emits the
+    /// breaker observation's events and returns the [`BidSource`].
+    fn observe_failure(&mut self, round: u64, cdn: usize, source: BidSource) -> BidSource {
+        let breaker = &mut self.breakers[cdn];
+        let probing = breaker.is_probe();
+        let transition = breaker.on_failure(round);
+        if probing {
+            self.shared.emit(Event::HealthProbe {
+                round,
+                cdn: cdn as u32,
+                success: false,
+            });
+        }
+        if let Some(t) = transition {
+            self.shared.emit(Event::HealthTransition {
+                round,
+                cdn: cdn as u32,
+                from: t.from.name().into(),
+                to: t.to.name().into(),
+                reason: t.reason.into(),
+            });
+        }
+        source
+    }
+}
+
+impl ExchangeDriver for ExchangeServer {
+    fn run_round(&mut self, round: u64) -> DriverRound {
+        let scenario = self.scenario.clone();
+        let n = self.breakers.len();
+        for (cdn, b) in self.breakers.iter_mut().enumerate() {
+            if let Some(t) = b.begin_round(round) {
+                self.shared.emit(Event::HealthTransition {
+                    round,
+                    cdn: cdn as u32,
+                    from: t.from.name().into(),
+                    to: t.to.name().into(),
+                    reason: t.reason.into(),
+                });
+            }
+        }
+        self.shared.emit(Event::RoundStarted {
+            round,
+            design: self.design.name(),
+            groups: scenario.groups.len() as u64,
+            cdns: n as u64,
+        });
+        self.shared.emit(Event::SharePublished {
+            round,
+            shares: scenario.groups.len() as u64,
+            demand_kbps: scenario.groups.iter().map(|g| g.demand_kbps.as_f64()).sum(),
+        });
+        let share_msg = Message::Share(shares_of(&scenario));
+
+        // Share to every routable, connected CDN. An open breaker means
+        // no Share at all; a dead or unwritable connection drops the
+        // slot here.
+        let mut routed = vec![false; n];
+        for cdn in 0..n {
+            if !self.breakers[cdn].allows_route() {
+                continue;
+            }
+            let mut slot = self.shared.slots[cdn].lock().expect("slot lock poisoned");
+            let mut drop_reason: Option<&str> = None;
+            if let Some(s) = slot.as_mut() {
+                if !s.alive.load(Ordering::SeqCst) {
+                    // Reader already reported the close; just reap.
+                    drop_reason = Some("");
+                } else if s.writer.send(round, &share_msg).is_err() {
+                    drop_reason = Some("write error");
+                } else {
+                    routed[cdn] = true;
+                }
+            }
+            if let Some(reason) = drop_reason {
+                *slot = None;
+                if !reason.is_empty() {
+                    self.shared.emit(Event::ConnClosed {
+                        at_ms: self.shared.clock.elapsed_ms(),
+                        cdn: cdn as u32,
+                        reason: reason.into(),
+                    });
+                }
+            }
+        }
+
+        // Collect Announces until the deadline. A participant leaves the
+        // pending set by answering this round or by disconnecting.
+        let deadline_ms = self.opts.deadline.as_millis() as u64;
+        let deadline = Stopwatch::start();
+        let mut answers: Vec<Option<Vec<Bid>>> = vec![None; n];
+        let mut dead = vec![false; n];
+        let mut pending: Vec<usize> = (0..n).filter(|&c| routed[c]).collect();
+        while !pending.is_empty() && deadline.elapsed_ms() < deadline_ms {
+            let mut progressed = false;
+            pending.retain(|&cdn| {
+                let slot = self.shared.slots[cdn].lock().expect("slot lock poisoned");
+                let Some(s) = slot.as_ref() else {
+                    dead[cdn] = true;
+                    return false;
+                };
+                loop {
+                    match s.rx.try_recv() {
+                        Ok((r, Message::Announce(bids))) if r == round => {
+                            answers[cdn] = Some(bids);
+                            progressed = true;
+                            return false;
+                        }
+                        // A stale round's late Announce, or an
+                        // out-of-protocol message: discard and keep
+                        // draining.
+                        Ok(_) => continue,
+                        Err(TryRecvError::Empty) => return true,
+                        Err(TryRecvError::Disconnected) => {
+                            dead[cdn] = true;
+                            progressed = true;
+                            return false;
+                        }
+                    }
+                }
+            });
+            if !progressed {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+
+        // Classify, in CDN index order, making exactly one breaker
+        // observation per CDN that was routed to (or should have been).
+        let mut sources: Vec<BidSource> = Vec::with_capacity(n);
+        for cdn in 0..n {
+            if !routed[cdn] {
+                if self.breakers[cdn].allows_route() {
+                    // Routable but not connected: a failure observation,
+                    // excluded outright.
+                    sources.push(self.observe_failure(round, cdn, BidSource::Down));
+                } else {
+                    // Open breaker: deliberately not consulted, no
+                    // observation to make.
+                    sources.push(BidSource::Down);
+                }
+                continue;
+            }
+            match answers[cdn].take() {
+                Some(bids) => {
+                    let breaker = &mut self.breakers[cdn];
+                    let probing = breaker.is_probe();
+                    let transition = breaker.on_success(round);
+                    self.shared.emit(Event::BidReceived {
+                        round,
+                        cdn: cdn as u32,
+                        bids: bids.len() as u64,
+                    });
+                    if probing {
+                        self.shared.emit(Event::HealthProbe {
+                            round,
+                            cdn: cdn as u32,
+                            success: true,
+                        });
+                    }
+                    if let Some(t) = transition {
+                        self.shared.emit(Event::HealthTransition {
+                            round,
+                            cdn: cdn as u32,
+                            from: t.from.name().into(),
+                            to: t.to.name().into(),
+                            reason: t.reason.into(),
+                        });
+                    }
+                    sources.push(BidSource::Fresh(bids));
+                }
+                None if dead[cdn] => {
+                    sources.push(self.observe_failure(round, cdn, BidSource::Down));
+                }
+                None => {
+                    sources.push(self.observe_failure(round, cdn, BidSource::Silent));
+                }
+            }
+        }
+
+        match resolve_at_deadline(
+            round,
+            self.design,
+            sources,
+            scenario.groups.len(),
+            &self.cache,
+            round,
+            deadline_ms,
+            self.shared.probe.as_ref(),
+        ) {
+            DeadlineResolution::Proceed(bids_per_cdn, report) => {
+                // Only fresh bids refresh the cache, and only because
+                // the round completed under its design.
+                for cdn in &report.fresh {
+                    self.cache
+                        .store(cdn.index(), round, bids_per_cdn[cdn.index()].clone());
+                }
+                let options = assemble_options(scenario.groups.len(), &bids_per_cdn);
+                let problem = BrokerProblem {
+                    groups: scenario.groups.clone(),
+                    options,
+                };
+                let assignment = optimize_probed_ctx(
+                    &problem,
+                    &self.policy,
+                    &OptimizeMode::Heuristic,
+                    round,
+                    self.shared.probe.as_ref(),
+                    &mut self.ctx,
+                );
+                for cdn in 0..n {
+                    let entries = accept_entries(&problem, &assignment, cdn, &bids_per_cdn[cdn]);
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    let mut slot = self.shared.slots[cdn].lock().expect("slot lock poisoned");
+                    if let Some(s) = slot.as_mut() {
+                        if s.alive.load(Ordering::SeqCst) {
+                            // Accept delivery is best-effort: a failure
+                            // here is next round's routing problem.
+                            let _ = s.writer.send(round, &Message::Accept(entries));
+                        }
+                    }
+                }
+                let total_bids: u64 = problem.options.iter().map(|o| o.len() as u64).sum();
+                let accepted = problem.groups.len() as u64;
+                self.shared.emit(Event::AcceptIssued {
+                    round,
+                    accepted,
+                    rejected: total_bids.saturating_sub(accepted),
+                });
+                self.shared.emit(Event::RoundCompleted {
+                    round,
+                    objective: assignment.objective,
+                    options: total_bids,
+                });
+                DriverRound {
+                    round,
+                    resolution: if report.is_clean() {
+                        RoundResolution::Fresh
+                    } else {
+                        RoundResolution::Degraded
+                    },
+                    picks: picks_of(&problem, &assignment),
+                    objective: assignment.objective,
+                }
+            }
+            DeadlineResolution::Fallback(_) => {
+                let outcome = scenario.run_round_probed(
+                    RoundId(round),
+                    Design::Brokered,
+                    self.policy,
+                    None,
+                    self.shared.probe.as_ref(),
+                );
+                DriverRound {
+                    round,
+                    resolution: RoundResolution::Fallback,
+                    picks: picks_of(&outcome.problem, &outcome.assignment),
+                    objective: outcome.assignment.objective,
+                }
+            }
+        }
+    }
+}
+
+/// Accepts connections until shutdown; each goes to its own
+/// handshake-and-read thread.
+fn accept_loop(listener: TcpListener, shared: Arc<Shared>) {
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, peer)) => {
+                let conn_shared = shared.clone();
+                let handle =
+                    std::thread::spawn(move || serve_connection(stream, peer, conn_shared));
+                shared
+                    .readers
+                    .lock()
+                    .expect("readers lock poisoned")
+                    .push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    }
+}
+
+/// Handshakes one inbound connection and, if it identifies as a known
+/// CDN, pumps its messages into the slot queue until EOF, error, or
+/// shutdown.
+fn serve_connection(stream: TcpStream, peer: SocketAddr, shared: Arc<Shared>) {
+    let Ok(mut conn) = Connection::new(stream) else {
+        return;
+    };
+    if conn
+        .set_read_timeout(Some(shared.handshake_timeout))
+        .is_err()
+    {
+        return;
+    }
+    // First message must be `Hello { role: CDN }` with an in-range id;
+    // anything else is dropped without a slot.
+    let cdn = match conn.recv() {
+        Ok(Some((_, Message::Hello { node_id, role: 1 })))
+            if (node_id as usize) < shared.slots.len() =>
+        {
+            node_id as usize
+        }
+        _ => return,
+    };
+    let Ok(writer) = conn.try_clone() else { return };
+    let (tx, rx) = std::sync::mpsc::sync_channel::<(u64, Message)>(shared.queue_cap);
+    let alive = Arc::new(AtomicBool::new(true));
+    {
+        let mut slot = shared.slots[cdn].lock().expect("slot lock poisoned");
+        if slot
+            .as_ref()
+            .is_some_and(|s| s.alive.load(Ordering::SeqCst))
+        {
+            // The CDN already has a live connection; refuse the new one.
+            return;
+        }
+        *slot = Some(AgentSlot {
+            writer,
+            rx,
+            alive: alive.clone(),
+        });
+    }
+    shared.emit(Event::ConnAccepted {
+        at_ms: shared.clock.elapsed_ms(),
+        cdn: cdn as u32,
+        peer: peer.to_string(),
+    });
+    if conn.set_read_timeout(Some(READ_TICK)).is_err() {
+        alive.store(false, Ordering::SeqCst);
+        return;
+    }
+    let mut warned_backpressure = false;
+    loop {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn.recv() {
+            Ok(Some(msg)) => match tx.try_send(msg) {
+                Ok(()) => {}
+                Err(TrySendError::Full(msg)) => {
+                    if !warned_backpressure {
+                        warned_backpressure = true;
+                        shared.emit(Event::ConnBackpressure {
+                            at_ms: shared.clock.elapsed_ms(),
+                            cdn: cdn as u32,
+                            queued: shared.queue_cap as u64,
+                        });
+                    }
+                    // Block until the round loop drains; the agent's TCP
+                    // window stalls behind us. Nothing is dropped.
+                    if tx.send(msg).is_err() {
+                        break;
+                    }
+                }
+                Err(TrySendError::Disconnected(_)) => break,
+            },
+            Ok(None) => {
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.emit(Event::ConnClosed {
+                        at_ms: shared.clock.elapsed_ms(),
+                        cdn: cdn as u32,
+                        reason: "eof".into(),
+                    });
+                }
+                break;
+            }
+            Err(e) if e.is_timeout() => continue,
+            Err(_) => {
+                if !shared.shutdown.load(Ordering::SeqCst) {
+                    shared.emit(Event::ConnClosed {
+                        at_ms: shared.clock.elapsed_ms(),
+                        cdn: cdn as u32,
+                        reason: "read error".into(),
+                    });
+                }
+                break;
+            }
+        }
+    }
+    alive.store(false, Ordering::SeqCst);
+}

@@ -1,0 +1,223 @@
+//! Soak test: the live daemon and the transport-free reference driver
+//! replay the same fault campaign and must produce identical decisions.
+//!
+//! This is the "two drivers, one core" contract (ARCHITECTURE.md) made
+//! executable: [`DriverRound`] is a transport- and timing-independent
+//! fingerprint of each round's decision, and the two drivers' sequences
+//! must compare equal — same ladder rungs, same picks, same objectives,
+//! through stale substitution, breaker trips, half-open recovery, and
+//! Brokered fallback.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vdx_broker::{BreakerConfig, CpPolicy, HealthState};
+use vdx_core::{Design, DriverRound, ExchangeDriver, RoundResolution};
+use vdx_exchanged::{run_agent, AgentConfig, ExchangeServer, ServerOptions};
+use vdx_sim::soak::{run_reference, SoakPlan, SoakRound};
+use vdx_sim::{Scenario, ScenarioConfig};
+
+fn small_scenario(seed: u64) -> Scenario {
+    let mut config = ScenarioConfig::small();
+    config.seed = seed;
+    Scenario::build(config)
+}
+
+fn plan_of(silences: Vec<Vec<u32>>, ttl: u64, breaker: BreakerConfig) -> SoakPlan {
+    SoakPlan {
+        rounds: silences
+            .into_iter()
+            .map(|silent| SoakRound { silent })
+            .collect(),
+        stale_ttl_rounds: ttl,
+        deadline_ms: 1_500,
+        breaker,
+    }
+}
+
+fn server_options(plan: &SoakPlan) -> ServerOptions {
+    ServerOptions {
+        deadline: Duration::from_millis(plan.deadline_ms),
+        stale_ttl_rounds: plan.stale_ttl_rounds,
+        breaker: plan.breaker,
+        ..ServerOptions::default()
+    }
+}
+
+/// Starts the server plus one well-behaved-or-scripted agent thread per
+/// CDN, waits for the full quorum, and returns the live rounds.
+fn run_live(
+    scenario: &Arc<Scenario>,
+    plan: &SoakPlan,
+    configure: impl Fn(usize) -> AgentConfig,
+) -> Vec<DriverRound> {
+    let mut server = ExchangeServer::start(
+        "127.0.0.1:0",
+        scenario.clone(),
+        Design::Marketplace,
+        CpPolicy::balanced(),
+        vdx_obs::probe::noop(),
+        server_options(plan),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let n = scenario.fleet.cdns.len();
+    let agents: Vec<_> = (0..n)
+        .map(|cdn| {
+            let sc = scenario.clone();
+            let cfg = configure(cdn);
+            std::thread::spawn(move || run_agent(addr, &sc, &cfg))
+        })
+        .collect();
+    assert!(
+        server.wait_for_agents(n, Duration::from_secs(10)),
+        "agents failed to connect"
+    );
+    let live: Vec<DriverRound> = (0..plan.rounds.len() as u64)
+        .map(|r| server.run_round(r))
+        .collect();
+    server.shutdown();
+    for a in agents {
+        a.join()
+            .expect("agent thread panicked")
+            .expect("agent transport error");
+    }
+    live
+}
+
+/// The per-CDN silence schedule implied by a plan.
+fn silent_rounds_for(plan: &SoakPlan, cdn: u32) -> Vec<u64> {
+    (0..plan.rounds.len() as u64)
+        .filter(|&r| plan.silent(r).contains(&cdn))
+        .collect()
+}
+
+#[test]
+fn daemon_decisions_match_the_reference_driver_round_for_round() {
+    let scenario = Arc::new(small_scenario(90217));
+    let all: Vec<u32> = (0..scenario.fleet.cdns.len() as u32).collect();
+    // A campaign that walks every ladder rung and every breaker state:
+    // one CDN silent long enough to trip (stale → stale → excluded →
+    // open → half-open probe → recovery), then total silence past the
+    // TTL (fallback), an all-open round, and a full recovery.
+    let plan = plan_of(
+        vec![
+            vec![],      // 0: fresh (fills the cache)
+            vec![0],     // 1: stale substitution, failure 1
+            vec![0],     // 2: stale substitution, failure 2
+            vec![0],     // 3: cache beyond TTL: excluded; trips -> Open
+            vec![],      // 4: breaker Open: excluded without being asked
+            vec![],      // 5: half-open probe succeeds -> Closed, fresh
+            all.clone(), // 6: all silent -> all stale
+            all.clone(), // 7: all silent -> all stale (age 2)
+            all.clone(), // 8: all silent, cache dry -> Brokered fallback
+            vec![],      // 9: every breaker Open -> Brokered fallback
+            vec![],      // 10: all probes succeed -> fresh again
+        ],
+        2,
+        BreakerConfig {
+            trip_after: 3,
+            cooldown_rounds: 2,
+        },
+    );
+    let reference = run_reference(
+        &scenario,
+        Design::Marketplace,
+        CpPolicy::balanced(),
+        plan.clone(),
+        vdx_obs::probe::noop(),
+    );
+    let expected: Vec<RoundResolution> = vec![
+        RoundResolution::Fresh,
+        RoundResolution::Degraded,
+        RoundResolution::Degraded,
+        RoundResolution::Degraded,
+        RoundResolution::Degraded,
+        RoundResolution::Fresh,
+        RoundResolution::Degraded,
+        RoundResolution::Degraded,
+        RoundResolution::Fallback,
+        RoundResolution::Fallback,
+        RoundResolution::Fresh,
+    ];
+    assert_eq!(
+        reference.iter().map(|r| r.resolution).collect::<Vec<_>>(),
+        expected,
+        "the reference driver should walk the scripted ladder"
+    );
+
+    let live = run_live(&scenario, &plan, |cdn| AgentConfig {
+        cdn: cdn as u32,
+        design: Design::Marketplace,
+        silent_rounds: silent_rounds_for(&plan, cdn as u32),
+        disconnect_after: None,
+    });
+    assert_eq!(
+        live, reference,
+        "daemon decisions diverged from the reference"
+    );
+}
+
+#[test]
+fn a_disconnected_agent_is_excluded_and_its_breaker_opens() {
+    let scenario = Arc::new(small_scenario(3141));
+    let n = scenario.fleet.cdns.len();
+    let plan = plan_of(
+        vec![vec![], vec![], vec![]],
+        2,
+        BreakerConfig {
+            trip_after: 1,
+            cooldown_rounds: 10,
+        },
+    );
+    let mut server = ExchangeServer::start(
+        "127.0.0.1:0",
+        scenario.clone(),
+        Design::Marketplace,
+        CpPolicy::balanced(),
+        vdx_obs::probe::noop(),
+        server_options(&plan),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr();
+    let agents: Vec<_> = (0..n)
+        .map(|cdn| {
+            let sc = scenario.clone();
+            let cfg = AgentConfig {
+                cdn: cdn as u32,
+                design: Design::Marketplace,
+                silent_rounds: Vec::new(),
+                // CDN 0 hangs up right after answering round 0.
+                disconnect_after: (cdn == 0).then_some(0),
+            };
+            std::thread::spawn(move || run_agent(addr, &sc, &cfg))
+        })
+        .collect();
+    assert!(server.wait_for_agents(n, Duration::from_secs(10)));
+
+    let r0 = server.run_round(0);
+    assert_eq!(r0.resolution, RoundResolution::Fresh);
+
+    // Give the reader thread a moment to notice the hangup so round 1
+    // sees a dead slot rather than waiting out the deadline.
+    std::thread::sleep(Duration::from_millis(400));
+    let r1 = server.run_round(1);
+    assert_eq!(r1.resolution, RoundResolution::Degraded);
+    assert!(
+        r1.picks.iter().all(|&(cdn, _)| cdn != 0),
+        "a disconnected CDN must not win any group"
+    );
+    assert_eq!(server.breaker(0).state(), HealthState::Open);
+
+    // Round 2: the breaker is open, CDN 0 is not even consulted.
+    let r2 = server.run_round(2);
+    assert_eq!(r2.resolution, RoundResolution::Degraded);
+    assert!(r2.picks.iter().all(|&(cdn, _)| cdn != 0));
+
+    server.shutdown();
+    for a in agents {
+        a.join()
+            .expect("agent thread panicked")
+            .expect("agent transport error");
+    }
+}

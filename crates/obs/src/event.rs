@@ -28,8 +28,13 @@ use serde::{Deserialize, Serialize};
 /// journals *newer* than this constant (see `read_journal`). v4 added
 /// [`Event::SolverResolve`], the per-round problem-delta record emitted
 /// by the warm-start layer; older journals simply lack the variant, so
-/// they still parse.
-pub const SCHEMA_VERSION: u32 = 4;
+/// they still parse. v5 added the daemon connection-lifecycle events
+/// ([`Event::ConnAccepted`], [`Event::ConnClosed`],
+/// [`Event::ConnBackpressure`]) and the circuit-breaker health events
+/// ([`Event::HealthTransition`], [`Event::HealthProbe`]) emitted by
+/// `vdx-exchanged`; in-process runs never emit them, so their journals
+/// change only in the header's `schema` field.
+pub const SCHEMA_VERSION: u32 = 5;
 
 /// One journaled event. See the module docs for the field taxonomy and
 /// DESIGN.md §7 for one example line per variant.
@@ -285,6 +290,60 @@ pub enum Event {
         /// Decoded one-line classification (`DATA seq=5 [Share x412]`...).
         summary: String,
     },
+    /// The daemon accepted a CDN agent connection (after its `Hello`).
+    ConnAccepted {
+        /// Daemon wall clock, ms since daemon start (zeroable).
+        at_ms: u64,
+        /// The CDN the agent identified as.
+        cdn: u32,
+        /// Peer socket address, `ip:port`.
+        peer: String,
+    },
+    /// A CDN agent connection ended (EOF, error, or daemon shutdown).
+    ConnClosed {
+        /// Daemon wall clock, ms since daemon start (zeroable).
+        at_ms: u64,
+        /// The CDN whose connection closed.
+        cdn: u32,
+        /// Why it closed (`eof`, `read error`, `shutdown`, ...).
+        reason: String,
+    },
+    /// A connection's bounded inbound queue filled; the reader thread
+    /// stalled on the socket until the round loop drained it (the
+    /// daemon's backpressure mechanism — nothing is dropped).
+    ConnBackpressure {
+        /// Daemon wall clock, ms since daemon start (zeroable).
+        at_ms: u64,
+        /// The CDN whose queue filled.
+        cdn: u32,
+        /// Messages queued when the stall began (the queue capacity).
+        queued: u64,
+    },
+    /// A per-CDN circuit breaker changed health state (DESIGN.md §9's
+    /// exclusion rung as an explicit state machine; see
+    /// `vdx-broker::health`).
+    HealthTransition {
+        /// Round id at which the transition fired.
+        round: u64,
+        /// The CDN whose breaker moved.
+        cdn: u32,
+        /// State before (`closed`, `open`, `half_open`).
+        from: String,
+        /// State after.
+        to: String,
+        /// Why (`trip threshold reached`, `cooldown elapsed`, ...).
+        reason: String,
+    },
+    /// A half-open breaker's probe round resolved.
+    HealthProbe {
+        /// Round id of the probe.
+        round: u64,
+        /// The probed CDN.
+        cdn: u32,
+        /// True when the probe Announce arrived in time (breaker closes);
+        /// false when it missed (breaker reopens).
+        success: bool,
+    },
     /// Summary of one named timing histogram (from the metrics registry).
     TimingSummary {
         /// Histogram name (e.g. `core.decision_round`).
@@ -344,6 +403,11 @@ impl Event {
             Event::FrameRetransmitted { .. } => "frame_retransmitted",
             Event::PayloadFragmented { .. } => "payload_fragmented",
             Event::WirePacket { .. } => "wire_packet",
+            Event::ConnAccepted { .. } => "conn_accepted",
+            Event::ConnClosed { .. } => "conn_closed",
+            Event::ConnBackpressure { .. } => "conn_backpressure",
+            Event::HealthTransition { .. } => "health_transition",
+            Event::HealthProbe { .. } => "health_probe",
             Event::TimingSummary { .. } => "timing_summary",
             Event::CounterSnapshot { .. } => "counter_snapshot",
             Event::ExperimentFinished { .. } => "experiment_finished",
@@ -359,6 +423,9 @@ impl Event {
                 started_unix_ms, ..
             } => *started_unix_ms = 0,
             Event::PhaseFinished { wall_us, .. } => *wall_us = 0,
+            Event::ConnAccepted { at_ms, .. } => *at_ms = 0,
+            Event::ConnClosed { at_ms, .. } => *at_ms = 0,
+            Event::ConnBackpressure { at_ms, .. } => *at_ms = 0,
             Event::TimingSummary {
                 mean_us,
                 p50_us,
@@ -500,6 +567,33 @@ mod tests {
                 dir: "A->B".into(),
                 bytes: 64,
                 summary: "DATA seq=5 [Share x412]".into(),
+            },
+            Event::ConnAccepted {
+                at_ms: 12,
+                cdn: 3,
+                peer: "127.0.0.1:54022".into(),
+            },
+            Event::ConnClosed {
+                at_ms: 90_000,
+                cdn: 3,
+                reason: "eof".into(),
+            },
+            Event::ConnBackpressure {
+                at_ms: 45_000,
+                cdn: 1,
+                queued: 64,
+            },
+            Event::HealthTransition {
+                round: 7,
+                cdn: 2,
+                from: "closed".into(),
+                to: "open".into(),
+                reason: "trip threshold reached".into(),
+            },
+            Event::HealthProbe {
+                round: 9,
+                cdn: 2,
+                success: true,
             },
             Event::TimingSummary {
                 name: "core.decision_round".into(),

@@ -19,6 +19,9 @@
 //!   threads, fully deterministic;
 //! * [`endpoint`] — request/response correlation on top of the reliable
 //!   channel, used by the live marketplace example;
+//! * [`transport`] — blocking TCP transport carrying round-stamped
+//!   messages inside the same CRC frames, for the long-running
+//!   `vdx-exchanged` daemon and its `vdx-agent` peers;
 //! * [`wirelog`] — pcap-flavoured packet capture with hexdumps and
 //!   message classification (smoltcp's `--pcap`, in spirit).
 //!
@@ -37,12 +40,14 @@ pub mod frame;
 pub mod link;
 pub mod message;
 pub mod reliable;
+pub mod transport;
 pub mod wirelog;
 
 pub use frame::{crc32, Frame, FrameDecoder, FrameError, PROTOCOL_VERSION};
 pub use link::{FaultConfig, Link, LinkEnd};
 pub use message::{AcceptEntry, Bid, Message, Share, WireError};
 pub use reliable::{ChannelStats, ReliableChannel, ReliableConfig};
+pub use transport::{Connection, TransportError};
 pub use wirelog::WireLog;
 
 /// Milliseconds since an arbitrary epoch. All protocol timers use this.

@@ -109,11 +109,7 @@ pub fn render(result: &Table3Result) -> String {
 /// Convenience accessor by design name; `None` when the table has no
 /// row under that name.
 pub fn metrics_of<'a>(result: &'a Table3Result, name: &str) -> Option<&'a DesignMetrics> {
-    result
-        .rows
-        .iter()
-        .find(|(n, _)| n == name)
-        .map(|(_, m)| m)
+    result.rows.iter().find(|(n, _)| n == name).map(|(_, m)| m)
 }
 
 #[cfg(test)]

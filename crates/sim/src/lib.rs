@@ -20,6 +20,9 @@
 //!   Brokered fallback; clean rounds take the pure fast path.
 //! * [`replay`] — time-stepped trace replay: periodic Decision Protocol
 //!   rounds over the live session population (the dynamics §5.1 elides).
+//! * [`soak`] — the daemon soak harness: a transport-free reference
+//!   driver that replays a `SoakPlan` through the same shared round
+//!   logic as `vdx-exchanged`, for decision-quality parity tests.
 //! * [`report`] — plain-text table/series rendering shared by the `repro`
 //!   binary and the benches.
 //! * [`obs_report`] — operator summary of a `vdx-obs` flight-recorder
@@ -42,6 +45,7 @@ pub mod obs_report;
 pub mod replay;
 pub mod report;
 pub mod scenario;
+pub mod soak;
 
 pub use metrics::{DesignMetrics, MetricsInput};
 pub use scenario::{Scenario, ScenarioConfig};

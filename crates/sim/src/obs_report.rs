@@ -281,6 +281,85 @@ pub fn report(events: &[Event]) -> String {
         out.push('\n');
     }
 
+    // Daemon connection lifecycle and CDN health (schema v5; only
+    // `vdx-exchanged` journals carry these). One row per CDN that ever
+    // appeared in a conn_* or health_* event. "last state" is the
+    // breaker state after the journal's final transition for that CDN —
+    // CDNs with connections but no transitions have been healthy
+    // (closed) throughout.
+    #[derive(Default)]
+    struct CdnHealth {
+        accepted: u64,
+        closed: u64,
+        last_close_reason: Option<String>,
+        backpressure: u64,
+        transitions: u64,
+        last_state: Option<String>,
+        probes_ok: u64,
+        probes_failed: u64,
+    }
+    let mut health: BTreeMap<u32, CdnHealth> = BTreeMap::new();
+    for e in events {
+        match e {
+            Event::ConnAccepted { cdn, .. } => health.entry(*cdn).or_default().accepted += 1,
+            Event::ConnClosed { cdn, reason, .. } => {
+                let h = health.entry(*cdn).or_default();
+                h.closed += 1;
+                h.last_close_reason = Some(reason.clone());
+            }
+            Event::ConnBackpressure { cdn, .. } => {
+                health.entry(*cdn).or_default().backpressure += 1
+            }
+            Event::HealthTransition { cdn, to, .. } => {
+                let h = health.entry(*cdn).or_default();
+                h.transitions += 1;
+                h.last_state = Some(to.clone());
+            }
+            Event::HealthProbe { cdn, success, .. } => {
+                let h = health.entry(*cdn).or_default();
+                if *success {
+                    h.probes_ok += 1;
+                } else {
+                    h.probes_failed += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    if !health.is_empty() {
+        let rows: Vec<Vec<String>> = health
+            .iter()
+            .map(|(cdn, h)| {
+                vec![
+                    format!("CDN {cdn}"),
+                    h.accepted.to_string(),
+                    match &h.last_close_reason {
+                        Some(reason) => format!("{} ({reason})", h.closed),
+                        None => h.closed.to_string(),
+                    },
+                    h.backpressure.to_string(),
+                    h.transitions.to_string(),
+                    h.last_state.clone().unwrap_or_else(|| "closed".into()),
+                    format!("{}/{}", h.probes_ok, h.probes_ok + h.probes_failed),
+                ]
+            })
+            .collect();
+        out.push_str(&render_table(
+            "Daemon connections & health",
+            &[
+                "cdn",
+                "conns",
+                "closes",
+                "backpressure",
+                "transitions",
+                "last state",
+                "probes ok",
+            ],
+            &rows,
+        ));
+        out.push('\n');
+    }
+
     // Congestion and replay churn.
     let congested = events
         .iter()
@@ -452,6 +531,40 @@ mod tests {
                 fragments: 7,
                 bytes: 200_000,
             },
+            Event::ConnAccepted {
+                at_ms: 5,
+                cdn: 1,
+                peer: "127.0.0.1:50000".into(),
+            },
+            Event::ConnBackpressure {
+                at_ms: 40,
+                cdn: 1,
+                queued: 64,
+            },
+            Event::HealthTransition {
+                round: 0,
+                cdn: 1,
+                from: "closed".into(),
+                to: "open".into(),
+                reason: "trip threshold reached".into(),
+            },
+            Event::HealthProbe {
+                round: 2,
+                cdn: 1,
+                success: true,
+            },
+            Event::HealthTransition {
+                round: 2,
+                cdn: 1,
+                from: "half_open".into(),
+                to: "closed".into(),
+                reason: "probe succeeded".into(),
+            },
+            Event::ConnClosed {
+                at_ms: 90,
+                cdn: 1,
+                reason: "shutdown".into(),
+            },
             Event::SessionMoved {
                 bin: 1,
                 moved: 2,
@@ -519,6 +632,13 @@ mod tests {
         assert!(text.contains("== Faults =="), "{text}");
         assert!(text.contains("stale-bid reuses"), "{text}");
         assert!(text.contains("design fallbacks"), "{text}");
+        assert!(text.contains("== Daemon connections & health =="), "{text}");
+        assert!(
+            text.contains("1 (shutdown)"),
+            "close count with reason: {text}"
+        );
+        assert!(text.contains("closed"), "last state after recovery: {text}");
+        assert!(text.contains("1/1"), "probe tally: {text}");
         assert!(text.contains("== Load & churn =="), "{text}");
         assert!(text.contains("0.2500"), "moved fraction 2/8: {text}");
         assert!(text.contains("== Timings"), "{text}");
@@ -554,6 +674,10 @@ mod tests {
         let text = report(&events);
         assert!(!text.contains("== Wire =="), "{text}");
         assert!(!text.contains("== Faults =="), "{text}");
+        assert!(
+            !text.contains("== Daemon connections & health =="),
+            "{text}"
+        );
         assert!(!text.contains("== Timings"), "{text}");
         assert!(!text.contains("== Phases =="), "{text}");
     }

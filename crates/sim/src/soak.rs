@@ -1,0 +1,541 @@
+//! The soak harness: a transport-free reference driver for the
+//! `vdx-exchanged` daemon, plus the plan format both sides replay.
+//!
+//! The daemon is a *second driver* over the same `vdx-core` round logic
+//! as the in-process engine (ARCHITECTURE.md, "two drivers, one core").
+//! Its soak test replays a [`SoakPlan`] twice — once through
+//! [`SimReferenceDriver`] here, once against the live TCP server with
+//! real `vdx-agent` processes silenced on the same rounds — and asserts
+//! the two [`vdx_core::DriverRound`] sequences are equal.
+//!
+//! The reference driver therefore models exactly the daemon's
+//! *observable* semantics, built from the same shared pieces:
+//!
+//! * per-CDN [`CircuitBreaker`]s decide routing (`Open` ⇒ the CDN gets
+//!   no Share and is excluded outright);
+//! * a silent CDN is a failure observation, then resolves through
+//!   [`vdx_core::resolve_at_deadline`] (stale reuse under TTL, else
+//!   exclusion, else Brokered fallback);
+//! * bids come from [`BidEngine`], re-instantiated fresh every round —
+//!   matching both the fault campaign's per-round agents and the
+//!   daemon agent's default (no cross-round margin learning), so bid
+//!   prices cannot drift between the drivers;
+//! * fresh bids refresh the stale cache only when the round actually
+//!   completes under its design (a fallback round stores nothing),
+//!   mirroring `run_campaign`.
+
+use crate::faults::FaultPlan;
+use crate::scenario::Scenario;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use vdx_broker::{
+    optimize_probed_ctx, BreakerConfig, BrokerProblem, CircuitBreaker, CpPolicy, OptimizeContext,
+    OptimizeMode, StaleBidCache,
+};
+use vdx_cdn::{median_capacity, BidPolicy, CdnId, MatchingConfig};
+use vdx_core::{
+    assemble_options, picks_of, resolve_at_deadline, BidEngine, BidSource, DeadlineResolution,
+    Design, DriverRound, ExchangeDriver, RoundId, RoundResolution,
+};
+use vdx_geo::CityId;
+use vdx_obs::{Event, Probe};
+use vdx_proto::{Bid, Share};
+
+/// The matching rule a design's CDN agents apply (identical to the pure
+/// decision round's). Shared by the fault campaign, this reference
+/// driver, and the `vdx-agent` daemon client.
+pub fn matching_for(design: Design) -> MatchingConfig {
+    if design == Design::Omniscient {
+        MatchingConfig::unrestricted()
+    } else {
+        MatchingConfig::default().with_max_candidates(design.max_candidates())
+    }
+}
+
+/// Builds the round's Share batch from the scenario's client groups —
+/// `share_id` = group index, the id convention every driver uses.
+pub fn shares_of(scenario: &Scenario) -> Vec<Share> {
+    scenario
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(i, g)| Share {
+            share_id: i as u64,
+            location: g.city.0,
+            isp: 0,
+            content_id: 0,
+            data_size_kbps: g.demand_kbps.as_f64(),
+            client_count: g.sessions,
+        })
+        .collect()
+}
+
+/// Builds one CDN's per-round bid engine, configured exactly like the
+/// fault campaign's per-round agents (and the daemon's `vdx-agent`).
+pub fn round_engine(scenario: &Scenario, design: Design, cdn: u32) -> BidEngine {
+    BidEngine::new(
+        CdnId(cdn),
+        BidPolicy::default(),
+        matching_for(design),
+        scenario.fleet.clusters.len(),
+        scenario.background_load.clone(),
+    )
+    .with_design(
+        design,
+        scenario.contracts[cdn as usize].billed_price_per_mb(),
+        median_capacity(&scenario.fleet, CdnId(cdn)),
+    )
+}
+
+/// What one soak round injects: the CDNs whose agents stay silent (they
+/// receive the Share but never Announce).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SoakRound {
+    /// CDNs that do not answer this round.
+    pub silent: Vec<u32>,
+}
+
+/// A full soak campaign: per-round silences plus the ladder knobs both
+/// drivers must share for their decisions to be comparable.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SoakPlan {
+    /// One entry per round, in order. Rounds beyond the list are clean.
+    pub rounds: Vec<SoakRound>,
+    /// Stale-bid cache TTL, in rounds.
+    pub stale_ttl_rounds: u64,
+    /// The daemon's wall deadline per round, ms. The reference driver
+    /// has no clock; it uses this only to label `deadline_missed`
+    /// journal events identically.
+    pub deadline_ms: u64,
+    /// Circuit-breaker thresholds, shared by both drivers.
+    pub breaker: BreakerConfig,
+}
+
+impl SoakPlan {
+    /// A plan of `rounds` clean rounds with default ladder knobs.
+    pub fn clean(rounds: usize) -> SoakPlan {
+        SoakPlan {
+            rounds: vec![SoakRound::default(); rounds],
+            stale_ttl_rounds: 2,
+            deadline_ms: 3_000,
+            breaker: BreakerConfig::default(),
+        }
+    }
+
+    /// The CDNs silent on `round` (empty past the end of the plan).
+    pub fn silent(&self, round: u64) -> &[u32] {
+        self.rounds
+            .get(round as usize)
+            .map(|r| r.silent.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Derives a soak plan from a fault campaign, translating each
+    /// round's faults into what a daemon would *observe*: a failed CDN's
+    /// agent answers nothing, a fully-lossy link delivers nothing, and
+    /// an exchange outage silences everyone (the daemon cannot observe
+    /// its own outage, so the nearest observable is total silence —
+    /// which walks the same ladder to the same Brokered fallback once
+    /// the cache runs dry). Partial loss/delay/jitter do not translate:
+    /// TCP repairs them below the message layer.
+    pub fn from_faults(plan: &FaultPlan, num_cdns: u32) -> SoakPlan {
+        SoakPlan {
+            rounds: plan
+                .rounds
+                .iter()
+                .map(|f| SoakRound {
+                    silent: if f.exchange_outage || f.drop_chance >= 1.0 {
+                        (0..num_cdns).collect()
+                    } else {
+                        f.failed_cdns.clone()
+                    },
+                })
+                .collect(),
+            stale_ttl_rounds: plan.stale_ttl_rounds,
+            deadline_ms: plan.deadline_ms,
+            breaker: BreakerConfig::default(),
+        }
+    }
+}
+
+/// The in-process reference driver: replays a [`SoakPlan`] through the
+/// exact shared round logic the daemon uses, without sockets or clocks.
+/// See the module docs for the semantics it models.
+pub struct SimReferenceDriver<'a> {
+    scenario: &'a Scenario,
+    design: Design,
+    policy: CpPolicy,
+    plan: SoakPlan,
+    cache: StaleBidCache<Vec<Bid>>,
+    breakers: Vec<CircuitBreaker>,
+    ctx: OptimizeContext,
+    probe: Arc<dyn Probe>,
+}
+
+impl<'a> SimReferenceDriver<'a> {
+    /// Creates a reference driver over `scenario` for `design`.
+    pub fn new(
+        scenario: &'a Scenario,
+        design: Design,
+        policy: CpPolicy,
+        plan: SoakPlan,
+        probe: Arc<dyn Probe>,
+    ) -> SimReferenceDriver<'a> {
+        let n = scenario.fleet.cdns.len();
+        SimReferenceDriver {
+            scenario,
+            design,
+            policy,
+            cache: StaleBidCache::new(n, plan.stale_ttl_rounds),
+            breakers: (0..n).map(|_| CircuitBreaker::new(plan.breaker)).collect(),
+            plan,
+            ctx: OptimizeContext::new(),
+            probe,
+        }
+    }
+
+    /// Current health state of one CDN's breaker (for tests/reports).
+    pub fn breaker(&self, cdn: usize) -> &CircuitBreaker {
+        &self.breakers[cdn]
+    }
+}
+
+impl ExchangeDriver for SimReferenceDriver<'_> {
+    fn run_round(&mut self, round: u64) -> DriverRound {
+        let scenario = self.scenario;
+        let n = self.breakers.len();
+        for (cdn, b) in self.breakers.iter_mut().enumerate() {
+            if let Some(t) = b.begin_round(round) {
+                if self.probe.enabled() {
+                    self.probe.emit(Event::HealthTransition {
+                        round,
+                        cdn: cdn as u32,
+                        from: t.from.name().into(),
+                        to: t.to.name().into(),
+                        reason: t.reason.into(),
+                    });
+                }
+            }
+        }
+        if self.probe.enabled() {
+            self.probe.emit(Event::RoundStarted {
+                round,
+                design: self.design.name(),
+                groups: scenario.groups.len() as u64,
+                cdns: n as u64,
+            });
+            self.probe.emit(Event::SharePublished {
+                round,
+                shares: scenario.groups.len() as u64,
+                demand_kbps: scenario.groups.iter().map(|g| g.demand_kbps.as_f64()).sum(),
+            });
+        }
+        let shares = shares_of(scenario);
+        let silent = self.plan.silent(round).to_vec();
+        let mut sources: Vec<BidSource> = Vec::with_capacity(n);
+        for (cdn, breaker) in self.breakers.iter_mut().enumerate() {
+            if !breaker.allows_route() {
+                // Open: no Share was routed, no observation to make.
+                sources.push(BidSource::Down);
+                continue;
+            }
+            let probing = breaker.is_probe();
+            if silent.contains(&(cdn as u32)) {
+                let transition = breaker.on_failure(round);
+                if self.probe.enabled() {
+                    if probing {
+                        self.probe.emit(Event::HealthProbe {
+                            round,
+                            cdn: cdn as u32,
+                            success: false,
+                        });
+                    }
+                    if let Some(t) = transition {
+                        self.probe.emit(Event::HealthTransition {
+                            round,
+                            cdn: cdn as u32,
+                            from: t.from.name().into(),
+                            to: t.to.name().into(),
+                            reason: t.reason.into(),
+                        });
+                    }
+                }
+                sources.push(BidSource::Silent);
+            } else {
+                let engine = round_engine(scenario, self.design, cdn as u32);
+                let bids = engine.build_bids(&shares, &scenario.fleet, &|a: CityId, b: CityId| {
+                    scenario.score_of(a, b)
+                });
+                let transition = breaker.on_success(round);
+                if self.probe.enabled() {
+                    self.probe.emit(Event::BidReceived {
+                        round,
+                        cdn: cdn as u32,
+                        bids: bids.len() as u64,
+                    });
+                    if probing {
+                        self.probe.emit(Event::HealthProbe {
+                            round,
+                            cdn: cdn as u32,
+                            success: true,
+                        });
+                    }
+                    if let Some(t) = transition {
+                        self.probe.emit(Event::HealthTransition {
+                            round,
+                            cdn: cdn as u32,
+                            from: t.from.name().into(),
+                            to: t.to.name().into(),
+                            reason: t.reason.into(),
+                        });
+                    }
+                }
+                sources.push(BidSource::Fresh(bids));
+            }
+        }
+        match resolve_at_deadline(
+            round,
+            self.design,
+            sources,
+            scenario.groups.len(),
+            &self.cache,
+            round,
+            self.plan.deadline_ms,
+            self.probe.as_ref(),
+        ) {
+            DeadlineResolution::Proceed(bids_per_cdn, report) => {
+                // Only fresh bids refresh the cache, and only when the
+                // round completed under its design.
+                for cdn in &report.fresh {
+                    self.cache
+                        .store(cdn.index(), round, bids_per_cdn[cdn.index()].clone());
+                }
+                let options = assemble_options(scenario.groups.len(), &bids_per_cdn);
+                let problem = BrokerProblem {
+                    groups: scenario.groups.clone(),
+                    options,
+                };
+                let assignment = optimize_probed_ctx(
+                    &problem,
+                    &self.policy,
+                    &OptimizeMode::Heuristic,
+                    round,
+                    self.probe.as_ref(),
+                    &mut self.ctx,
+                );
+                if self.probe.enabled() {
+                    let total_bids: u64 = problem.options.iter().map(|o| o.len() as u64).sum();
+                    let accepted = problem.groups.len() as u64;
+                    self.probe.emit(Event::AcceptIssued {
+                        round,
+                        accepted,
+                        rejected: total_bids.saturating_sub(accepted),
+                    });
+                    self.probe.emit(Event::RoundCompleted {
+                        round,
+                        objective: assignment.objective,
+                        options: total_bids,
+                    });
+                }
+                DriverRound {
+                    round,
+                    resolution: if report.is_clean() {
+                        RoundResolution::Fresh
+                    } else {
+                        RoundResolution::Degraded
+                    },
+                    picks: picks_of(&problem, &assignment),
+                    objective: assignment.objective,
+                }
+            }
+            DeadlineResolution::Fallback(_) => {
+                let outcome = scenario.run_round_probed(
+                    RoundId(round),
+                    Design::Brokered,
+                    self.policy,
+                    None,
+                    self.probe.as_ref(),
+                );
+                DriverRound {
+                    round,
+                    resolution: RoundResolution::Fallback,
+                    picks: picks_of(&outcome.problem, &outcome.assignment),
+                    objective: outcome.assignment.objective,
+                }
+            }
+        }
+    }
+}
+
+/// Replays the whole plan through the reference driver, returning one
+/// [`DriverRound`] per plan round.
+pub fn run_reference(
+    scenario: &Scenario,
+    design: Design,
+    policy: CpPolicy,
+    plan: SoakPlan,
+    probe: Arc<dyn Probe>,
+) -> Vec<DriverRound> {
+    let rounds = plan.rounds.len() as u64;
+    let mut driver = SimReferenceDriver::new(scenario, design, policy, plan, probe);
+    (0..rounds).map(|r| driver.run_round(r)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioConfig;
+    use vdx_broker::HealthState;
+
+    fn small_scenario() -> Scenario {
+        let mut config = ScenarioConfig::small();
+        config.seed = 4242;
+        Scenario::build(config)
+    }
+
+    fn plan(rounds: Vec<Vec<u32>>) -> SoakPlan {
+        SoakPlan {
+            rounds: rounds
+                .into_iter()
+                .map(|silent| SoakRound { silent })
+                .collect(),
+            stale_ttl_rounds: 2,
+            deadline_ms: 1_000,
+            breaker: BreakerConfig {
+                trip_after: 2,
+                cooldown_rounds: 2,
+            },
+        }
+    }
+
+    #[test]
+    fn clean_soak_rounds_are_fresh_and_match_the_pure_objective() {
+        let scenario = small_scenario();
+        let policy = CpPolicy::balanced();
+        let rounds = run_reference(
+            &scenario,
+            Design::Marketplace,
+            policy,
+            plan(vec![vec![], vec![]]),
+            vdx_obs::probe::noop(),
+        );
+        assert_eq!(rounds.len(), 2);
+        for r in &rounds {
+            assert_eq!(r.resolution, RoundResolution::Fresh);
+            assert_eq!(r.picks.len(), scenario.groups.len());
+        }
+        let pure = scenario.run_round_probed(
+            RoundId(0),
+            Design::Marketplace,
+            policy,
+            None,
+            vdx_obs::probe::noop().as_ref(),
+        );
+        assert!(
+            (rounds[0].objective - pure.assignment.objective).abs() < 1e-6,
+            "soak {} vs pure {}",
+            rounds[0].objective,
+            pure.assignment.objective
+        );
+    }
+
+    #[test]
+    fn a_silent_round_degrades_to_stale_reuse_and_recovers() {
+        let scenario = small_scenario();
+        let rounds = run_reference(
+            &scenario,
+            Design::Marketplace,
+            CpPolicy::balanced(),
+            plan(vec![vec![], vec![0], vec![]]),
+            vdx_obs::probe::noop(),
+        );
+        assert_eq!(rounds[0].resolution, RoundResolution::Fresh);
+        assert_eq!(rounds[1].resolution, RoundResolution::Degraded);
+        assert_eq!(rounds[2].resolution, RoundResolution::Fresh);
+        // The stale substitution reuses round 0's bids, so round 1's
+        // decision equals round 0's.
+        assert_eq!(rounds[1].picks, rounds[0].picks);
+    }
+
+    #[test]
+    fn sustained_silence_trips_the_breaker_then_a_probe_recovers_it() {
+        let scenario = small_scenario();
+        let soak = plan(vec![
+            vec![],  // 0: all fresh (fills the cache)
+            vec![0], // 1: silent -> stale reuse, failure 1
+            vec![0], // 2: silent -> stale reuse, failure 2 -> Open
+            vec![],  // 3: Open (cooldown 2) -> excluded without observation
+            vec![],  // 4: cooldown elapsed -> HalfOpen probe succeeds -> Closed
+            vec![],  // 5: fresh again
+        ]);
+        let policy = CpPolicy::balanced();
+        let mut driver = SimReferenceDriver::new(
+            &scenario,
+            Design::Marketplace,
+            policy,
+            soak,
+            vdx_obs::probe::noop(),
+        );
+        let r: Vec<DriverRound> = (0..6).map(|i| driver.run_round(i)).collect();
+        assert_eq!(r[0].resolution, RoundResolution::Fresh);
+        assert_eq!(r[1].resolution, RoundResolution::Degraded);
+        assert_eq!(r[2].resolution, RoundResolution::Degraded);
+        // Round 3: breaker is Open, CDN 0 excluded outright even though
+        // its agent would have answered.
+        assert_eq!(r[3].resolution, RoundResolution::Degraded);
+        assert_eq!(driver.breaker(0).state(), HealthState::Closed);
+        assert_eq!(r[4].resolution, RoundResolution::Fresh);
+        assert_eq!(r[5].resolution, RoundResolution::Fresh);
+    }
+
+    #[test]
+    fn total_silence_past_the_ttl_falls_back_to_brokered() {
+        let scenario = small_scenario();
+        let n = scenario.fleet.cdns.len() as u32;
+        let all: Vec<u32> = (0..n).collect();
+        // Rounds 0-1 fill nothing (everyone silent from the start): the
+        // cache is empty, every CDN is excluded, no group has options.
+        let rounds = run_reference(
+            &scenario,
+            Design::Marketplace,
+            CpPolicy::balanced(),
+            plan(vec![all.clone(), all]),
+            vdx_obs::probe::noop(),
+        );
+        assert_eq!(rounds[0].resolution, RoundResolution::Fallback);
+        assert_eq!(rounds[1].resolution, RoundResolution::Fallback);
+        assert_eq!(rounds[0].picks.len(), scenario.groups.len());
+    }
+
+    #[test]
+    fn from_faults_translates_outages_and_blackouts_to_silence() {
+        use crate::faults::{FaultPlan, RoundFaults};
+        let fault_plan = FaultPlan {
+            rounds: vec![
+                RoundFaults::none(),
+                RoundFaults {
+                    failed_cdns: vec![1, 2],
+                    ..RoundFaults::none()
+                },
+                RoundFaults {
+                    exchange_outage: true,
+                    ..RoundFaults::none()
+                },
+                RoundFaults {
+                    drop_chance: 1.0,
+                    ..RoundFaults::none()
+                },
+            ],
+            seed: 7,
+            stale_ttl_rounds: 3,
+            deadline_ms: 500,
+        };
+        let soak = SoakPlan::from_faults(&fault_plan, 4);
+        assert!(soak.rounds[0].silent.is_empty());
+        assert_eq!(soak.rounds[1].silent, vec![1, 2]);
+        assert_eq!(soak.rounds[2].silent, vec![0, 1, 2, 3]);
+        assert_eq!(soak.rounds[3].silent, vec![0, 1, 2, 3]);
+        assert_eq!(soak.stale_ttl_rounds, 3);
+        assert_eq!(soak.deadline_ms, 500);
+    }
+}

@@ -221,13 +221,21 @@ fn warm_started_table3_journals_are_byte_identical_to_cold_across_threads() {
         .count();
     assert_eq!(resolves, 8 * 3, "one delta line per design per round");
     assert!(
-        events
-            .iter()
-            .any(|e| matches!(e, Event::SolverResolve { warm_eligible: true, .. })),
+        events.iter().any(|e| matches!(
+            e,
+            Event::SolverResolve {
+                warm_eligible: true,
+                ..
+            }
+        )),
         "static scenario makes rounds after the first warm-eligible"
     );
 
-    for (name, path) in [("warm_4", &warm_4), ("cold_1", &cold_1), ("cold_4", &cold_4)] {
+    for (name, path) in [
+        ("warm_4", &warm_4),
+        ("cold_1", &cold_1),
+        ("cold_4", &cold_4),
+    ] {
         assert_eq!(
             canonical_bytes(path),
             reference,

@@ -342,8 +342,8 @@ pub fn solve_unit_assignment(
 mod tests {
     use super::*;
     use crate::gap::{AssignmentProblem, CandidateOption};
-    use vdx_units::Kbps;
     use crate::milp::MilpConfig;
+    use vdx_units::Kbps;
 
     #[test]
     fn simple_flow() {
@@ -445,7 +445,8 @@ mod tests {
             }
             let mut buckets = Vec::new();
             let mut values = Vec::new();
-            let mut gap = AssignmentProblem::new(caps.iter().map(|&c| Kbps::new(c as f64)).collect());
+            let mut gap =
+                AssignmentProblem::new(caps.iter().map(|&c| Kbps::new(c as f64)).collect());
             for _ in 0..clients {
                 let bs: Vec<usize> = (0..nbuckets).collect();
                 let vs: Vec<f64> = bs

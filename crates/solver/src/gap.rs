@@ -421,8 +421,11 @@ mod tests {
         let mut total_gap = 0.0;
         for _ in 0..20 {
             let buckets = rng.gen_range(2..5);
-            let mut p =
-                AssignmentProblem::new((0..buckets).map(|_| Kbps::new(rng.gen_range(5.0..20.0))).collect());
+            let mut p = AssignmentProblem::new(
+                (0..buckets)
+                    .map(|_| Kbps::new(rng.gen_range(5.0..20.0)))
+                    .collect(),
+            );
             let clients = rng.gen_range(3..8);
             for _ in 0..clients {
                 let k = rng.gen_range(1..=buckets);

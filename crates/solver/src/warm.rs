@@ -323,8 +323,7 @@ impl SolverContext {
         for (c, &o) in prev_assignment.choice.iter().enumerate() {
             let chosen = prev_problem.options[c][o];
             let b = chosen.bucket;
-            let tight =
-                self.scratch_loads[b].as_f64() + EPS >= prev_problem.capacities[b].as_f64();
+            let tight = self.scratch_loads[b].as_f64() + EPS >= prev_problem.capacities[b].as_f64();
             if !tight {
                 continue;
             }

@@ -4,11 +4,11 @@
 
 use proptest::prelude::*;
 use vdx_solver::flow::solve_unit_assignment;
-use vdx_units::Kbps;
 use vdx_solver::{
     solve_lp, solve_milp, AssignmentProblem, CandidateOption, LinearProgram, LpOutcome, MilpConfig,
     MilpOutcome, ProblemDelta, Relation, SolverContext, WarmPolicy,
 };
+use vdx_units::Kbps;
 
 /// Brute-force optimum of a binary knapsack-ish MILP with ≤ 12 variables.
 fn brute_force_binary(lp: &LinearProgram) -> Option<f64> {

@@ -60,6 +60,32 @@ sed -e "$scrub" target/verify-warm/cold.jsonl > target/verify-warm/cold.scrubbed
 diff target/verify-warm/warm.scrubbed target/verify-warm/cold.scrubbed
 grep -q '"ev":"solver_resolve"' target/verify-warm/warm.jsonl
 
+echo "==> daemon smoke (vdx-exchanged + one agent, 3 rounds over loopback)"
+# Time-bounded end-to-end run of the second driver (ARCHITECTURE.md):
+# real TCP on a loopback port, one vdx-agent, clean shutdown, and the
+# journal must parse and show the daemon-only schema-v5 events.
+rm -rf target/verify-daemon && mkdir -p target/verify-daemon
+port=$((20000 + RANDOM % 20000))
+timeout 120 target/release/vdx-exchanged --small --addr "127.0.0.1:${port}" \
+  --rounds 3 --min-agents 1 --wait-ms 30000 \
+  --journal target/verify-daemon/exchanged.jsonl &
+daemon=$!
+# Wait for the listener before starting the agent (the probe connection
+# this opens carries no Hello and is dropped at the handshake, harmlessly).
+for _ in $(seq 1 100); do
+  if (exec 3<>"/dev/tcp/127.0.0.1/${port}") 2>/dev/null; then exec 3>&-; break; fi
+  sleep 0.1
+done
+timeout 120 target/release/vdx-agent --cdn 0 --small --connect "127.0.0.1:${port}" &
+agent=$!
+wait "$daemon"   # non-zero daemon exit fails the verify
+wait "$agent"
+grep -q '"ev":"conn_accepted"'   target/verify-daemon/exchanged.jsonl
+grep -q '"ev":"round_completed"' target/verify-daemon/exchanged.jsonl
+cargo run -p vdx-sim --bin repro --release -- obs-report \
+  target/verify-daemon/exchanged.jsonl > target/verify-daemon/report.txt
+grep -q "Daemon connections & health" target/verify-daemon/report.txt
+
 echo "==> cargo bench --no-run"
 cargo bench --no-run
 

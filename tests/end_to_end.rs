@@ -51,12 +51,24 @@ fn settlement_conserves_traffic_and_money_flows() {
             .iter()
             .map(|c| c.ledger.traffic_kbps.as_f64())
             .sum();
-        let country_traffic: f64 = settled.per_country.values().map(|l| l.traffic_kbps.as_f64()).sum();
+        let country_traffic: f64 = settled
+            .per_country
+            .values()
+            .map(|l| l.traffic_kbps.as_f64())
+            .sum();
         assert!((cdn_traffic - demand).abs() < 1e-6, "{design}");
         assert!((cdn_traffic - country_traffic).abs() < 1e-6, "{design}");
         // Revenue and cost also agree between the two aggregations.
-        let cdn_rev: f64 = settled.per_cdn.iter().map(|c| c.ledger.revenue.as_f64()).sum();
-        let country_rev: f64 = settled.per_country.values().map(|l| l.revenue.as_f64()).sum();
+        let cdn_rev: f64 = settled
+            .per_cdn
+            .iter()
+            .map(|c| c.ledger.revenue.as_f64())
+            .sum();
+        let country_rev: f64 = settled
+            .per_country
+            .values()
+            .map(|l| l.revenue.as_f64())
+            .sum();
         assert!((cdn_rev - country_rev).abs() < 1e-6, "{design}");
     }
 }
