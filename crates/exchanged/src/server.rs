@@ -232,8 +232,9 @@ impl ExchangeServer {
             let _ = h.join();
         }
         for (cdn, slot) in self.shared.slots.iter().enumerate() {
-            let mut slot = slot.lock().expect("slot lock poisoned");
-            if let Some(s) = slot.take() {
+            // Close outside the lock: shutdown() can block on the socket.
+            let taken = slot.lock().expect("slot lock poisoned").take();
+            if let Some(s) = taken {
                 let _ = s.writer.shutdown();
                 self.shared.emit(Event::ConnClosed {
                     at_ms: self.shared.clock.elapsed_ms(),
@@ -313,26 +314,40 @@ impl ExchangeDriver for ExchangeServer {
             if !self.breakers[cdn].allows_route() {
                 continue;
             }
-            let mut slot = self.shared.slots[cdn].lock().expect("slot lock poisoned");
+            // Take the connection out of its slot so the socket write
+            // happens with the lock released: a stalled agent must not
+            // block readers or the accept path on this slot.
+            let taken = self.shared.slots[cdn]
+                .lock()
+                .expect("slot lock poisoned")
+                .take();
+            let Some(mut s) = taken else { continue };
             let mut drop_reason: Option<&str> = None;
-            if let Some(s) = slot.as_mut() {
-                if !s.alive.load(Ordering::SeqCst) {
-                    // Reader already reported the close; just reap.
-                    drop_reason = Some("");
-                } else if s.writer.send(round, &share_msg).is_err() {
-                    drop_reason = Some("write error");
-                } else {
-                    routed[cdn] = true;
-                }
+            if !s.alive.load(Ordering::SeqCst) {
+                // Reader already reported the close; just reap.
+                drop_reason = Some("");
+            } else if s.writer.send(round, &share_msg).is_err() {
+                drop_reason = Some("write error");
+            } else {
+                routed[cdn] = true;
             }
-            if let Some(reason) = drop_reason {
-                *slot = None;
-                if !reason.is_empty() {
-                    self.shared.emit(Event::ConnClosed {
-                        at_ms: self.shared.clock.elapsed_ms(),
-                        cdn: cdn as u32,
-                        reason: reason.into(),
-                    });
+            match drop_reason {
+                None => {
+                    let mut slot = self.shared.slots[cdn].lock().expect("slot lock poisoned");
+                    if slot.is_none() {
+                        *slot = Some(s);
+                    }
+                    // Otherwise a reconnect won the empty slot while we
+                    // wrote; the fresh connection stays, ours is stale.
+                }
+                Some(reason) => {
+                    if !reason.is_empty() {
+                        self.shared.emit(Event::ConnClosed {
+                            at_ms: self.shared.clock.elapsed_ms(),
+                            cdn: cdn as u32,
+                            reason: reason.into(),
+                        });
+                    }
                 }
             }
         }
@@ -465,12 +480,20 @@ impl ExchangeDriver for ExchangeServer {
                     if entries.is_empty() {
                         continue;
                     }
-                    let mut slot = self.shared.slots[cdn].lock().expect("slot lock poisoned");
-                    if let Some(s) = slot.as_mut() {
+                    // As with Shares: write without the slot lock held.
+                    let taken = self.shared.slots[cdn]
+                        .lock()
+                        .expect("slot lock poisoned")
+                        .take();
+                    if let Some(mut s) = taken {
                         if s.alive.load(Ordering::SeqCst) {
                             // Accept delivery is best-effort: a failure
                             // here is next round's routing problem.
                             let _ = s.writer.send(round, &Message::Accept(entries));
+                        }
+                        let mut slot = self.shared.slots[cdn].lock().expect("slot lock poisoned");
+                        if slot.is_none() {
+                            *slot = Some(s);
                         }
                     }
                 }

@@ -1,0 +1,47 @@
+//! Seeded lock-discipline violations: a blocking channel send while a
+//! slot lock is held (through a helper, so the witness has a hop), an
+//! inconsistent acquisition order, and a double acquire. The
+//! `drop`-then-relock path must stay silent.
+//! (This file is never compiled; the lint parses it.)
+
+pub struct Channel;
+
+impl Channel {
+    pub fn push(&self, tx: &Sender<u32>) {
+        tx.send(1).unwrap();
+    }
+}
+
+pub struct Slots {
+    slots: Mutex<Vec<u32>>,
+    stats: Mutex<u32>,
+}
+
+impl Slots {
+    pub fn blocking_hold(&self, ch: &Channel, tx: &Sender<u32>) {
+        let g = self.slots.lock().unwrap();
+        ch.push(tx);
+        drop(g);
+    }
+
+    pub fn ordered_ab(&self) {
+        let a = self.slots.lock().unwrap();
+        let b = self.stats.lock().unwrap();
+    }
+
+    pub fn ordered_ba(&self) {
+        let b = self.stats.lock().unwrap();
+        let a = self.slots.lock().unwrap();
+    }
+
+    pub fn double(&self) {
+        let a = self.slots.lock().unwrap();
+        let b = self.slots.lock().unwrap();
+    }
+
+    pub fn relock_after_drop(&self) {
+        let a = self.slots.lock().unwrap();
+        drop(a);
+        let b = self.slots.lock().unwrap();
+    }
+}

@@ -1,0 +1,23 @@
+//! Seeded panic-path violations reachable from the `entry` root: a
+//! bare unwrap and an indexing site, one call hop down. The
+//! lock-poison `expect` is sanctioned, and the fn no root reaches
+//! must stay silent.
+//! (This file is never compiled; the lint parses it.)
+
+pub struct Registry {
+    inner: Mutex<u32>,
+}
+
+pub fn entry(r: &Registry, xs: &[u32]) {
+    step(r, xs);
+}
+
+fn step(r: &Registry, xs: &[u32]) {
+    let g = r.inner.lock().expect("lock poisoned: a holder panicked");
+    let v = maybe().unwrap();
+    let w = xs[0];
+}
+
+fn not_reached() {
+    let v = maybe().unwrap();
+}

@@ -1,0 +1,22 @@
+//! Seeded determinism-taint violation: a wall-clock read escapes
+//! through a helper chain into an `Event` construction site. The
+//! constant-timestamp path must stay silent.
+//! (This file is never compiled; the lint parses it.)
+
+pub fn stamp() -> u64 {
+    let t = SystemTime::now();
+    to_ms(t)
+}
+
+fn to_ms(t: u64) -> u64 {
+    t
+}
+
+pub fn emit(j: &mut Journal) {
+    let ts = stamp();
+    j.push(Event::Round { ts });
+}
+
+pub fn clean(j: &mut Journal) {
+    j.push(Event::Round { ts: 0 });
+}

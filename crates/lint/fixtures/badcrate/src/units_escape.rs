@@ -1,0 +1,19 @@
+//! Seeded unit-escape violations: raw f64 extracted from the `Price`
+//! newtype flowing into arithmetic, and a pub fn returning the raw
+//! inner value. The re-wrapped arithmetic must stay silent.
+//! (This file is never compiled; the lint parses it.)
+
+pub struct Price(pub f64);
+
+pub fn markup(p: Price) -> u64 {
+    let raw = p.0 * 2.0;
+    raw as u64
+}
+
+pub fn leak_price(p: Price) -> f64 {
+    p.0 + 1.0
+}
+
+pub fn rewrapped(p: Price) -> Price {
+    Price(p.0 * 2.0)
+}

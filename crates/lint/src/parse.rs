@@ -1,0 +1,1607 @@
+//! Recursive-descent parser for the Rust subset the workspace uses.
+//!
+//! Consumes the cooked token stream from [`crate::scan`] and produces
+//! the [`crate::ast`] tree. Deliberate lossiness (generic parameter
+//! lists, where clauses, turbofish) is documented in the ast module;
+//! everything analyses depend on — call/method/field structure, lock
+//! scopes, closures, macro token trees — is kept.
+//!
+//! Errors carry `file:line:col` context. The workspace must parse
+//! cleanly; a parse error is itself a lint failure.
+
+use crate::ast::*;
+use crate::scan::{SourceFile, Token};
+
+/// Parser result: `Err` carries a `file:line:col message` string.
+pub type PResult<T> = Result<T, String>;
+
+/// Parses a lexed file into an AST [`File`].
+pub fn parse_file(sf: &SourceFile, crate_name: &str, is_bin: bool) -> PResult<File> {
+    let mut p = Parser {
+        toks: &sf.tokens,
+        pos: 0,
+        path: &sf.rel_path,
+    };
+    let mut items = Vec::new();
+    while !p.eof() {
+        // Inner attributes (`#![...]`) are file metadata; skip them.
+        if p.at("#") && p.nth_text(1) == "!" {
+            p.bump();
+            p.bump();
+            p.expect("[")?;
+            p.skip_balanced("[", "]")?;
+            continue;
+        }
+        items.push(p.item()?);
+    }
+    Ok(File {
+        rel_path: sf.rel_path.clone(),
+        crate_name: crate_name.to_string(),
+        is_bin,
+        items,
+    })
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    path: &'a str,
+}
+
+/// Tokens that legally follow an omitted expression (`return;`, `&v[..]`).
+const EXPR_TERMINATORS: &[&str] = &[";", "}", ")", "]", ","];
+
+/// True for literal token texts: numbers, blanked string/char/byte
+/// literals, and the boolean keywords.
+fn is_lit_text(t: &str) -> bool {
+    t.starts_with(|c: char| c.is_ascii_digit())
+        || matches!(t, "\"\"" | "''" | "b\"\"" | "b''" | "true" | "false")
+}
+
+impl<'a> Parser<'a> {
+    // -- cursor helpers ------------------------------------------------
+
+    fn eof(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn text(&self) -> &'a str {
+        self.toks
+            .get(self.pos)
+            .map(|t| t.text.as_str())
+            .unwrap_or("")
+    }
+
+    fn nth_text(&self, n: usize) -> &'a str {
+        self.toks
+            .get(self.pos + n)
+            .map(|t| t.text.as_str())
+            .unwrap_or("")
+    }
+
+    fn at(&self, text: &str) -> bool {
+        self.text() == text
+    }
+
+    fn span(&self) -> Span {
+        self.peek()
+            .map(|t| Span {
+                line: t.line,
+                col: t.col,
+            })
+            .unwrap_or_else(Span::zero)
+    }
+
+    fn bump(&mut self) -> &'a Token {
+        let t = &self.toks[self.pos.min(self.toks.len() - 1)];
+        self.pos += 1;
+        t
+    }
+
+    fn eat(&mut self, text: &str) -> bool {
+        if self.at(text) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn err<T>(&self, msg: &str) -> PResult<T> {
+        let s = self.span();
+        Err(format!(
+            "{}:{}:{}: {msg} (found `{}`)",
+            self.path,
+            s.line,
+            s.col,
+            self.text()
+        ))
+    }
+
+    fn expect(&mut self, text: &str) -> PResult<&'a Token> {
+        if self.at(text) {
+            Ok(self.bump())
+        } else {
+            self.err(&format!("expected `{text}`"))
+        }
+    }
+
+    /// True when the current token is a plain (non-numeric) identifier.
+    fn at_name(&self) -> bool {
+        self.peek()
+            .is_some_and(|t| t.is_ident && !t.text.starts_with(|c: char| c.is_ascii_digit()))
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        if self.at_name() {
+            Ok(self.bump().text.clone())
+        } else {
+            self.err("expected identifier")
+        }
+    }
+
+    // -- token-run helpers --------------------------------------------
+
+    /// Skips tokens until the close delimiter matching the *already
+    /// consumed* `open` (one level deep on entry).
+    fn skip_balanced(&mut self, open: &str, close: &str) -> PResult<()> {
+        let mut depth = 1usize;
+        while depth > 0 {
+            if self.eof() {
+                return self.err("unbalanced delimiters");
+            }
+            let t = self.bump();
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips a generic parameter list when positioned on `<`.
+    fn skip_generics(&mut self) -> PResult<()> {
+        if !self.at("<") {
+            return Ok(());
+        }
+        self.bump();
+        let mut depth = 1i32;
+        while depth > 0 {
+            if self.eof() {
+                return self.err("unbalanced `<`");
+            }
+            match self.bump().text.as_str() {
+                "<" => depth += 1,
+                ">" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Skips a `where` clause up to (not including) `{` or `;`.
+    fn skip_where(&mut self) -> PResult<()> {
+        if !self.eat("where") {
+            return Ok(());
+        }
+        let mut depth = 0i32;
+        loop {
+            if self.eof() {
+                return self.err("unterminated where clause");
+            }
+            if depth == 0 && (self.at("{") || self.at(";")) {
+                return Ok(());
+            }
+            match self.bump().text.as_str() {
+                "<" | "(" | "[" => depth += 1,
+                ">" | ")" | "]" => depth -= 1,
+                "<<" => depth += 2,
+                ">>" => depth -= 2,
+                _ => {}
+            }
+        }
+    }
+
+    /// Collects a type as a raw token run. Stops at any of `stops` at
+    /// bracket/angle depth 0, or when a closer would go negative.
+    fn type_tokens(&mut self, stops: &[&str]) -> PResult<Vec<String>> {
+        let mut out = Vec::new();
+        let mut depth = 0i32;
+        loop {
+            if self.eof() {
+                return self.err("unterminated type");
+            }
+            let text = self.text();
+            if depth == 0 && stops.contains(&text) {
+                return Ok(out);
+            }
+            match text {
+                "<" | "(" | "[" => depth += 1,
+                "<<" => depth += 2,
+                ">" | ")" | "]" => {
+                    if depth == 0 {
+                        return Ok(out);
+                    }
+                    depth -= 1;
+                }
+                ">>" => {
+                    if depth <= 1 {
+                        // Splitting `>>` across the run boundary never
+                        // happens in this workspace's type positions.
+                        if depth == 0 {
+                            return Ok(out);
+                        }
+                        depth -= 2;
+                    } else {
+                        depth -= 2;
+                    }
+                }
+                _ => {}
+            }
+            out.push(self.bump().text.clone());
+        }
+    }
+
+    /// Captures one delimited token tree: on entry the cursor is at the
+    /// opening delimiter; returns `(delim, inner_tokens)`.
+    fn token_tree(&mut self) -> PResult<(char, Vec<String>)> {
+        let (open, close, delim) = match self.text() {
+            "(" => ("(", ")", '('),
+            "[" => ("[", "]", '['),
+            "{" => ("{", "}", '{'),
+            _ => return self.err("expected macro delimiter"),
+        };
+        self.bump();
+        let mut depth = 1usize;
+        let mut out = Vec::new();
+        loop {
+            if self.eof() {
+                return self.err("unbalanced macro delimiters");
+            }
+            let t = self.bump();
+            if t.text == open {
+                depth += 1;
+            } else if t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((delim, out));
+                }
+            }
+            out.push(t.text.clone());
+        }
+    }
+
+    // -- attributes & visibility --------------------------------------
+
+    fn attrs(&mut self) -> PResult<Vec<Attr>> {
+        let mut out = Vec::new();
+        while self.at("#") && self.nth_text(1) == "[" {
+            self.bump();
+            self.bump();
+            let mut depth = 1usize;
+            let mut tokens = Vec::new();
+            loop {
+                if self.eof() {
+                    return self.err("unbalanced attribute");
+                }
+                let t = self.bump();
+                if t.text == "[" {
+                    depth += 1;
+                } else if t.text == "]" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                tokens.push(t.text.clone());
+            }
+            out.push(Attr { tokens });
+        }
+        Ok(out)
+    }
+
+    fn vis(&mut self) -> PResult<Vis> {
+        if !self.eat("pub") {
+            return Ok(Vis::Private);
+        }
+        if self.at("(") {
+            self.bump();
+            let mut tokens = Vec::new();
+            let mut depth = 1usize;
+            loop {
+                if self.eof() {
+                    return self.err("unbalanced pub scope");
+                }
+                let t = self.bump();
+                if t.text == "(" {
+                    depth += 1;
+                } else if t.text == ")" {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                tokens.push(t.text.clone());
+            }
+            Ok(Vis::Scoped(tokens))
+        } else {
+            Ok(Vis::Pub)
+        }
+    }
+
+    // -- items --------------------------------------------------------
+
+    fn item(&mut self) -> PResult<Item> {
+        let attrs = self.attrs()?;
+        let vis = self.vis()?;
+        let span = self.span();
+        let kind = match self.text() {
+            "fn" => ItemKind::Fn(self.fn_def()?),
+            "struct" => self.struct_def()?,
+            "enum" => self.enum_def()?,
+            "impl" => self.impl_def()?,
+            "trait" => self.trait_def()?,
+            "mod" => self.mod_def()?,
+            "use" => {
+                self.bump();
+                let mut tokens = Vec::new();
+                let mut depth = 0usize;
+                loop {
+                    if self.eof() {
+                        return self.err("unterminated use");
+                    }
+                    if depth == 0 && self.at(";") {
+                        self.bump();
+                        break;
+                    }
+                    let t = self.bump();
+                    if t.text == "{" {
+                        depth += 1;
+                    } else if t.text == "}" {
+                        depth -= 1;
+                    }
+                    tokens.push(t.text.clone());
+                }
+                ItemKind::Use { tokens }
+            }
+            // `const fn` — constness is dropped (not analysis-relevant).
+            "const" if self.nth_text(1) == "fn" => {
+                self.bump();
+                ItemKind::Fn(self.fn_def()?)
+            }
+            "const" | "static" => {
+                let is_const = self.bump().text == "const";
+                let name = self.ident()?;
+                self.expect(":")?;
+                let ty = self.type_tokens(&["=", ";"])?;
+                self.expect("=")?;
+                let value = self.expr(true)?;
+                self.expect(";")?;
+                if is_const {
+                    ItemKind::Const { name, ty, value }
+                } else {
+                    ItemKind::Static { name, ty, value }
+                }
+            }
+            "type" => {
+                self.bump();
+                let name = self.ident()?;
+                self.skip_generics()?;
+                let ty = if self.eat("=") {
+                    self.type_tokens(&[";"])?
+                } else {
+                    Vec::new()
+                };
+                self.expect(";")?;
+                ItemKind::TypeAlias { name, ty }
+            }
+            _ if self.at_name() => self.macro_item()?,
+            _ => return self.err("expected item"),
+        };
+        Ok(Item {
+            attrs,
+            vis,
+            kind,
+            span,
+        })
+    }
+
+    /// `path ! <token tree> ;?` in item position (`macro_rules!`, ...).
+    fn macro_item(&mut self) -> PResult<ItemKind> {
+        let mut path = vec![self.ident()?];
+        while self.at("::") {
+            self.bump();
+            path.push(self.ident()?);
+        }
+        self.expect("!")?;
+        // `macro_rules! name { ... }` puts an identifier before the
+        // tree; fold it into the token run so print→reparse fixes.
+        let mut tokens = Vec::new();
+        if self.at_name() {
+            tokens.push(self.bump().text.clone());
+        }
+        let (_, inner) = self.token_tree()?;
+        if tokens.is_empty() {
+            tokens = inner;
+        } else {
+            tokens.push("{".to_string());
+            tokens.extend(inner);
+            tokens.push("}".to_string());
+        }
+        self.eat(";");
+        Ok(ItemKind::MacroItem { path, tokens })
+    }
+
+    fn fn_def(&mut self) -> PResult<FnDef> {
+        self.expect("fn")?;
+        let span = self.span();
+        let name = self.ident()?;
+        self.skip_generics()?;
+        self.expect("(")?;
+        let mut params = Vec::new();
+        while !self.at(")") {
+            params.push(self.param()?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")")?;
+        let ret = if self.eat("->") {
+            self.type_tokens(&["{", ";", "where"])?
+        } else {
+            Vec::new()
+        };
+        self.skip_where()?;
+        let body = if self.eat(";") {
+            None
+        } else {
+            Some(self.block()?)
+        };
+        Ok(FnDef {
+            name,
+            params,
+            ret,
+            body,
+            span,
+        })
+    }
+
+    fn param(&mut self) -> PResult<ParamDef> {
+        let span = self.span();
+        // Self receivers: `self`, `mut self`, `&self`, `&mut self`,
+        // `&'a self`.
+        let save = self.pos;
+        {
+            if self.eat("&") {
+                if self.at("'") {
+                    self.bump();
+                    self.bump();
+                }
+                self.eat("mut");
+            } else {
+                self.eat("mut");
+            }
+            if self.at("self") {
+                self.bump();
+                return Ok(ParamDef {
+                    pat: Pat::Ident {
+                        name: "self".to_string(),
+                        by_ref: false,
+                        is_mut: false,
+                        sub: None,
+                    },
+                    ty: Vec::new(),
+                    span,
+                });
+            }
+        }
+        self.pos = save;
+        let pat = self.pat()?;
+        let ty = if self.eat(":") {
+            self.type_tokens(&[",", ")"])?
+        } else {
+            Vec::new()
+        };
+        Ok(ParamDef { pat, ty, span })
+    }
+
+    fn struct_def(&mut self) -> PResult<ItemKind> {
+        self.expect("struct")?;
+        let name = self.ident()?;
+        self.skip_generics()?;
+        self.skip_where()?;
+        if self.eat(";") {
+            return Ok(ItemKind::Struct {
+                name,
+                fields: Vec::new(),
+                tuple: false,
+            });
+        }
+        if self.eat("(") {
+            let mut fields = Vec::new();
+            let mut idx = 0usize;
+            while !self.at(")") {
+                let span = self.span();
+                let vis = self.vis()?;
+                let ty = self.type_tokens(&[",", ")"])?;
+                fields.push(FieldDef {
+                    vis,
+                    name: idx.to_string(),
+                    ty,
+                    span,
+                });
+                idx += 1;
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect(")")?;
+            self.skip_where()?;
+            self.expect(";")?;
+            return Ok(ItemKind::Struct {
+                name,
+                fields,
+                tuple: true,
+            });
+        }
+        self.expect("{")?;
+        let mut fields = Vec::new();
+        while !self.at("}") {
+            // Field-level doc attrs.
+            self.attrs()?;
+            let vis = self.vis()?;
+            let span = self.span();
+            let fname = self.ident()?;
+            self.expect(":")?;
+            let ty = self.type_tokens(&[",", "}"])?;
+            fields.push(FieldDef {
+                vis,
+                name: fname,
+                ty,
+                span,
+            });
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect("}")?;
+        Ok(ItemKind::Struct {
+            name,
+            fields,
+            tuple: false,
+        })
+    }
+
+    fn enum_def(&mut self) -> PResult<ItemKind> {
+        self.expect("enum")?;
+        let name = self.ident()?;
+        self.skip_generics()?;
+        self.skip_where()?;
+        self.expect("{")?;
+        let mut variants = Vec::new();
+        while !self.at("}") {
+            self.attrs()?;
+            let span = self.span();
+            let vname = self.ident()?;
+            let mut fields = Vec::new();
+            let mut tuple = Vec::new();
+            if self.eat("{") {
+                while !self.at("}") {
+                    self.attrs()?;
+                    let fspan = self.span();
+                    let fname = self.ident()?;
+                    self.expect(":")?;
+                    let ty = self.type_tokens(&[",", "}"])?;
+                    fields.push(FieldDef {
+                        vis: Vis::Private,
+                        name: fname,
+                        ty,
+                        span: fspan,
+                    });
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("}")?;
+            } else if self.eat("(") {
+                while !self.at(")") {
+                    tuple.push(self.type_tokens(&[",", ")"])?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect(")")?;
+            }
+            variants.push(VariantDef {
+                name: vname,
+                fields,
+                tuple,
+                span,
+            });
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect("}")?;
+        Ok(ItemKind::Enum { name, variants })
+    }
+
+    fn impl_def(&mut self) -> PResult<ItemKind> {
+        self.expect("impl")?;
+        self.skip_generics()?;
+        let first = self.type_tokens(&["for", "{", "where"])?;
+        let (trait_tokens, self_ty) = if self.eat("for") {
+            let self_ty = self.type_tokens(&["{", "where"])?;
+            (Some(first), self_ty)
+        } else {
+            (None, first)
+        };
+        self.skip_where()?;
+        self.expect("{")?;
+        let mut items = Vec::new();
+        while !self.at("}") {
+            items.push(self.item()?);
+        }
+        self.expect("}")?;
+        Ok(ItemKind::Impl {
+            trait_tokens,
+            self_ty,
+            items,
+        })
+    }
+
+    fn trait_def(&mut self) -> PResult<ItemKind> {
+        self.expect("trait")?;
+        let name = self.ident()?;
+        self.skip_generics()?;
+        if self.eat(":") {
+            // Supertrait bounds — skip to the body.
+            let mut depth = 0i32;
+            while !(depth == 0 && (self.at("{") || self.at("where"))) {
+                if self.eof() {
+                    return self.err("unterminated trait bounds");
+                }
+                match self.bump().text.as_str() {
+                    "<" | "(" => depth += 1,
+                    ">" | ")" => depth -= 1,
+                    _ => {}
+                }
+            }
+        }
+        self.skip_where()?;
+        self.expect("{")?;
+        let mut items = Vec::new();
+        while !self.at("}") {
+            items.push(self.item()?);
+        }
+        self.expect("}")?;
+        Ok(ItemKind::Trait { name, items })
+    }
+
+    fn mod_def(&mut self) -> PResult<ItemKind> {
+        self.expect("mod")?;
+        let name = self.ident()?;
+        if self.eat(";") {
+            return Ok(ItemKind::Mod { name, items: None });
+        }
+        self.expect("{")?;
+        let mut items = Vec::new();
+        while !self.at("}") {
+            items.push(self.item()?);
+        }
+        self.expect("}")?;
+        Ok(ItemKind::Mod {
+            name,
+            items: Some(items),
+        })
+    }
+
+    // -- blocks & statements ------------------------------------------
+
+    fn block(&mut self) -> PResult<Block> {
+        let span = self.span();
+        self.expect("{")?;
+        let mut stmts = Vec::new();
+        while !self.at("}") {
+            stmts.push(self.stmt()?);
+        }
+        self.expect("}")?;
+        Ok(Block { stmts, span })
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        if self.eat(";") {
+            return Ok(Stmt::Empty);
+        }
+        let attrs = self.attrs()?;
+        if self.at("let") {
+            // Attrs on `let` statements don't occur in this workspace;
+            // dropping them keeps the printer canonical.
+            return self.let_stmt();
+        }
+        const ITEM_STARTS: &[&str] = &[
+            "fn", "struct", "enum", "impl", "trait", "mod", "use", "static", "pub",
+        ];
+        if ITEM_STARTS.contains(&self.text())
+            || (self.at("const") && self.nth_text(2) == ":")
+            || (self.at("type") && self.nth_text(2) == "=")
+        {
+            let mut item = self.item()?;
+            let mut all = attrs;
+            all.extend(item.attrs);
+            item.attrs = all;
+            return Ok(Stmt::Item(Box::new(item)));
+        }
+        // Rust's statement rule: an expression statement that starts
+        // with a block-like construct ends at its closing brace — no
+        // binary or call/index postfix continuation (`if c {} *p += 2`
+        // is two statements, `{ .. } (x)` likewise).
+        let expr = match self.text() {
+            "{" => Expr::Block(self.block()?),
+            "if" => self.if_expr()?,
+            "match" => self.match_expr()?,
+            "while" | "loop" | "for" => self.loop_expr(None)?,
+            "'" if self.nth_text(2) == ":" => {
+                self.bump();
+                let label = self.ident()?;
+                self.expect(":")?;
+                self.loop_expr(Some(label))?
+            }
+            _ => self.expr(true)?,
+        };
+        let semi = self.eat(";");
+        Ok(Stmt::Expr { attrs, expr, semi })
+    }
+
+    fn let_stmt(&mut self) -> PResult<Stmt> {
+        let span = self.span();
+        self.expect("let")?;
+        let pat = self.pat()?;
+        let ty = if self.eat(":") {
+            Some(self.type_tokens(&["=", ";", "else"])?)
+        } else {
+            None
+        };
+        let init = if self.eat("=") {
+            Some(self.expr(true)?)
+        } else {
+            None
+        };
+        let else_block = if self.eat("else") {
+            Some(self.block()?)
+        } else {
+            None
+        };
+        self.expect(";")?;
+        Ok(Stmt::Let {
+            pat,
+            ty,
+            init,
+            else_block,
+            span,
+        })
+    }
+
+    // -- patterns -----------------------------------------------------
+
+    fn pat(&mut self) -> PResult<Pat> {
+        self.eat("|");
+        let first = self.pat_one()?;
+        if !self.at("|") {
+            return Ok(first);
+        }
+        let mut pats = vec![first];
+        while self.eat("|") {
+            pats.push(self.pat_one()?);
+        }
+        Ok(Pat::Or(pats))
+    }
+
+    fn pat_one(&mut self) -> PResult<Pat> {
+        match self.text() {
+            "_" => {
+                self.bump();
+                Ok(Pat::Wild)
+            }
+            ".." => {
+                self.bump();
+                Ok(Pat::Rest)
+            }
+            "&" => {
+                self.bump();
+                let is_mut = self.eat("mut");
+                Ok(Pat::Ref {
+                    is_mut,
+                    pat: Box::new(self.pat_one()?),
+                })
+            }
+            // Cooked `&&` in pattern position is two reference layers
+            // (`|&&s| ...` over an `iter().copied()`-style double ref).
+            "&&" => {
+                self.bump();
+                let is_mut = self.eat("mut");
+                Ok(Pat::Ref {
+                    is_mut: false,
+                    pat: Box::new(Pat::Ref {
+                        is_mut,
+                        pat: Box::new(self.pat_one()?),
+                    }),
+                })
+            }
+            "(" => {
+                self.bump();
+                let mut elems = Vec::new();
+                let mut trailing = false;
+                while !self.at(")") {
+                    elems.push(self.pat()?);
+                    trailing = self.eat(",");
+                    if !trailing {
+                        break;
+                    }
+                }
+                self.expect(")")?;
+                if elems.len() == 1 && !trailing {
+                    Ok(elems.pop().expect("one element"))
+                } else {
+                    Ok(Pat::Tuple(elems))
+                }
+            }
+            "[" => {
+                self.bump();
+                let mut elems = Vec::new();
+                while !self.at("]") {
+                    elems.push(self.pat()?);
+                    if !self.eat(",") {
+                        break;
+                    }
+                }
+                self.expect("]")?;
+                Ok(Pat::Slice(elems))
+            }
+            "ref" | "mut" => {
+                let by_ref = self.eat("ref");
+                let is_mut = self.eat("mut");
+                let name = self.ident()?;
+                let sub = if self.eat("@") {
+                    Some(Box::new(self.pat_one()?))
+                } else {
+                    None
+                };
+                Ok(Pat::Ident {
+                    name,
+                    by_ref,
+                    is_mut,
+                    sub,
+                })
+            }
+            "-" => {
+                self.bump();
+                let lit = self.bump().text.clone();
+                self.lit_or_range_pat(format!("-{lit}"))
+            }
+            t if is_lit_text(t) => {
+                let lit = self.bump().text.clone();
+                self.lit_or_range_pat(lit)
+            }
+            _ if self.at_name() => self.path_pat(),
+            _ => self.err("expected pattern"),
+        }
+    }
+
+    fn lit_or_range_pat(&mut self, lo: String) -> PResult<Pat> {
+        if self.at("..=") || self.at("..") {
+            let inclusive = self.bump().text == "..=";
+            let hi = if self.at_name()
+                || self
+                    .text()
+                    .starts_with(|c: char| c.is_ascii_digit() || c == '-')
+            {
+                let neg = self.eat("-");
+                let t = self.bump().text.clone();
+                Some(if neg { format!("-{t}") } else { t })
+            } else {
+                None
+            };
+            Ok(Pat::Range {
+                lo: Some(lo),
+                hi,
+                inclusive,
+            })
+        } else {
+            Ok(Pat::Lit(lo))
+        }
+    }
+
+    fn path_pat(&mut self) -> PResult<Pat> {
+        let mut segs = vec![self.ident()?];
+        while self.at("::") {
+            self.bump();
+            segs.push(self.ident()?);
+        }
+        if self.eat("(") {
+            let mut elems = Vec::new();
+            while !self.at(")") {
+                elems.push(self.pat()?);
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect(")")?;
+            return Ok(Pat::TupleStruct { segs, elems });
+        }
+        if self.eat("{") {
+            let mut fields = Vec::new();
+            let mut rest = false;
+            while !self.at("}") {
+                if self.eat("..") {
+                    rest = true;
+                    break;
+                }
+                // Shorthand may carry `ref`/`mut`; normalize to a
+                // `name: pat` pair so printing is canonical.
+                if self.at("ref") || self.at("mut") {
+                    let by_ref = self.eat("ref");
+                    let is_mut = self.eat("mut");
+                    let name = self.ident()?;
+                    fields.push((
+                        name.clone(),
+                        Some(Pat::Ident {
+                            name,
+                            by_ref,
+                            is_mut,
+                            sub: None,
+                        }),
+                    ));
+                } else {
+                    let name = self.ident()?;
+                    let sub = if self.eat(":") {
+                        Some(self.pat()?)
+                    } else {
+                        None
+                    };
+                    fields.push((name, sub));
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("}")?;
+            return Ok(Pat::Struct { segs, fields, rest });
+        }
+        if segs.len() > 1 {
+            return Ok(Pat::Path { segs });
+        }
+        let name = segs.pop().expect("single segment");
+        // Heuristic shared with rustc style: capitalized single
+        // segments are unit variants/consts, lowercase are bindings.
+        if name.starts_with(|c: char| c.is_uppercase()) {
+            return Ok(Pat::Path { segs: vec![name] });
+        }
+        let sub = if self.eat("@") {
+            Some(Box::new(self.pat_one()?))
+        } else {
+            None
+        };
+        Ok(Pat::Ident {
+            name,
+            by_ref: false,
+            is_mut: false,
+            sub,
+        })
+    }
+
+    // -- expressions --------------------------------------------------
+
+    /// Full expression; `allow_struct` gates `Path { .. }` literals
+    /// (off inside `if`/`while`/`for`/`match` heads).
+    fn expr(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let lhs = self.range_expr(allow_struct)?;
+        const ASSIGN_OPS: &[&str] = &[
+            "=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=",
+        ];
+        if ASSIGN_OPS.contains(&self.text()) {
+            let op = self.bump().text.clone();
+            let rhs = self.expr(allow_struct)?;
+            return Ok(Expr::Assign {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            });
+        }
+        Ok(lhs)
+    }
+
+    /// Condition position: allows `let pat = expr`.
+    fn cond_expr(&mut self) -> PResult<Expr> {
+        if self.at("let") {
+            self.bump();
+            let pat = self.pat()?;
+            self.expect("=")?;
+            let expr = self.expr(false)?;
+            return Ok(Expr::LetCond {
+                pat,
+                expr: Box::new(expr),
+            });
+        }
+        self.expr(false)
+    }
+
+    fn range_expr(&mut self, allow_struct: bool) -> PResult<Expr> {
+        if self.at("..") || self.at("..=") {
+            let inclusive = self.bump().text == "..=";
+            let hi = if EXPR_TERMINATORS.contains(&self.text()) || self.at("{") {
+                None
+            } else {
+                Some(Box::new(self.binary_expr(0, allow_struct)?))
+            };
+            return Ok(Expr::Range {
+                lo: None,
+                hi,
+                inclusive,
+            });
+        }
+        let lo = self.binary_expr(0, allow_struct)?;
+        if self.at("..") || self.at("..=") {
+            let inclusive = self.bump().text == "..=";
+            let hi = if EXPR_TERMINATORS.contains(&self.text()) || self.at("{") {
+                None
+            } else {
+                Some(Box::new(self.binary_expr(0, allow_struct)?))
+            };
+            return Ok(Expr::Range {
+                lo: Some(Box::new(lo)),
+                hi,
+                inclusive,
+            });
+        }
+        Ok(lo)
+    }
+
+    /// Binary operator tiers, loosest first.
+    fn binary_expr(&mut self, tier: usize, allow_struct: bool) -> PResult<Expr> {
+        const TIERS: &[&[&str]] = &[
+            &["||"],
+            &["&&"],
+            &["==", "!=", "<", ">", "<=", ">="],
+            &["|"],
+            &["^"],
+            &["&"],
+            &["<<", ">>"],
+            &["+", "-"],
+            &["*", "/", "%"],
+        ];
+        if tier >= TIERS.len() {
+            return self.cast_expr(allow_struct);
+        }
+        let mut lhs = self.binary_expr(tier + 1, allow_struct)?;
+        while TIERS[tier].contains(&self.text()) {
+            let op = self.bump().text.clone();
+            let rhs = self.binary_expr(tier + 1, allow_struct)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cast_expr(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let mut e = self.unary_expr(allow_struct)?;
+        while self.eat("as") {
+            // Cast targets in this workspace are plain paths with
+            // optional generics — collect exactly that shape.
+            let mut ty = vec![self.ident()?];
+            while self.at("::") {
+                ty.push(self.bump().text.clone());
+                ty.push(self.ident()?);
+            }
+            if self.at("<") {
+                let start = self.pos;
+                self.skip_generics()?;
+                for t in &self.toks[start..self.pos] {
+                    ty.push(t.text.clone());
+                }
+            }
+            e = Expr::Cast {
+                expr: Box::new(e),
+                ty,
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary_expr(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let op = match self.text() {
+            "-" | "!" | "*" => Some(self.bump().text.clone()),
+            "&" => {
+                self.bump();
+                if self.eat("mut") {
+                    Some("&mut".to_string())
+                } else {
+                    Some("&".to_string())
+                }
+            }
+            _ => None,
+        };
+        match op {
+            Some(op) => Ok(Expr::Unary {
+                op,
+                expr: Box::new(self.unary_expr(allow_struct)?),
+            }),
+            None => self.postfix_expr(allow_struct),
+        }
+    }
+
+    fn postfix_expr(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let mut e = self.atom(allow_struct)?;
+        loop {
+            if self.at(".") {
+                self.bump();
+                let span = self.span();
+                let t = self.bump();
+                let name = t.text.clone();
+                // Method turbofish: `.collect::<Vec<_>>()`.
+                if self.at("::") && self.nth_text(1) == "<" {
+                    self.bump();
+                    self.skip_generics()?;
+                }
+                if self.at("(") {
+                    self.bump();
+                    let args = self.call_args()?;
+                    e = Expr::MethodCall {
+                        recv: Box::new(e),
+                        method: name,
+                        args,
+                        span,
+                    };
+                } else {
+                    e = Expr::Field {
+                        recv: Box::new(e),
+                        name,
+                        span,
+                    };
+                }
+            } else if self.at("(") {
+                let span = self.span();
+                self.bump();
+                let args = self.call_args()?;
+                e = Expr::Call {
+                    callee: Box::new(e),
+                    args,
+                    span,
+                };
+            } else if self.at("[") {
+                let span = self.span();
+                self.bump();
+                let index = self.expr(true)?;
+                self.expect("]")?;
+                e = Expr::Index {
+                    recv: Box::new(e),
+                    index: Box::new(index),
+                    span,
+                };
+            } else if self.at("?") {
+                self.bump();
+                e = Expr::Try { expr: Box::new(e) };
+            } else {
+                return Ok(e);
+            }
+        }
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        let mut args = Vec::new();
+        while !self.at(")") {
+            args.push(self.expr(true)?);
+            if !self.eat(",") {
+                break;
+            }
+        }
+        self.expect(")")?;
+        Ok(args)
+    }
+
+    fn atom(&mut self, allow_struct: bool) -> PResult<Expr> {
+        let span = self.span();
+        match self.text() {
+            "(" => {
+                self.bump();
+                let mut elems = Vec::new();
+                let mut trailing = false;
+                while !self.at(")") {
+                    elems.push(self.expr(true)?);
+                    trailing = self.eat(",");
+                    if !trailing {
+                        break;
+                    }
+                }
+                self.expect(")")?;
+                if elems.len() == 1 && !trailing {
+                    // Grouping parens are dropped: the printer re-adds
+                    // them defensively wherever precedence needs them.
+                    Ok(elems.pop().expect("one element"))
+                } else {
+                    Ok(Expr::Tuple(elems))
+                }
+            }
+            "[" => {
+                self.bump();
+                if self.eat("]") {
+                    return Ok(Expr::Array(Vec::new()));
+                }
+                let first = self.expr(true)?;
+                if self.eat(";") {
+                    let len = self.expr(true)?;
+                    self.expect("]")?;
+                    return Ok(Expr::ArrayRepeat {
+                        elem: Box::new(first),
+                        len: Box::new(len),
+                    });
+                }
+                let mut elems = vec![first];
+                while self.eat(",") {
+                    if self.at("]") {
+                        break;
+                    }
+                    elems.push(self.expr(true)?);
+                }
+                self.expect("]")?;
+                Ok(Expr::Array(elems))
+            }
+            "{" => Ok(Expr::Block(self.block()?)),
+            "if" => self.if_expr(),
+            "match" => self.match_expr(),
+            "while" | "loop" | "for" => self.loop_expr(None),
+            "'" if self.nth_text(2) == ":" => {
+                self.bump();
+                let label = self.ident()?;
+                self.expect(":")?;
+                self.loop_expr(Some(label))
+            }
+            "return" => {
+                self.bump();
+                let expr = if EXPR_TERMINATORS.contains(&self.text()) {
+                    None
+                } else {
+                    Some(Box::new(self.expr(allow_struct)?))
+                };
+                Ok(Expr::Return { expr })
+            }
+            "break" => {
+                self.bump();
+                let label = if self.at("'") {
+                    self.bump();
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                let expr = if EXPR_TERMINATORS.contains(&self.text()) {
+                    None
+                } else {
+                    Some(Box::new(self.expr(allow_struct)?))
+                };
+                Ok(Expr::Break { label, expr })
+            }
+            "continue" => {
+                self.bump();
+                let label = if self.at("'") {
+                    self.bump();
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                Ok(Expr::Continue { label })
+            }
+            "move" => {
+                self.bump();
+                self.closure(true, span)
+            }
+            "|" | "||" => self.closure(false, span),
+            t if is_lit_text(t) => Ok(Expr::Lit {
+                text: self.bump().text.clone(),
+                span,
+            }),
+            _ if self.at_name() => self.path_expr(allow_struct, span),
+            _ => self.err("expected expression"),
+        }
+    }
+
+    fn closure(&mut self, is_move: bool, span: Span) -> PResult<Expr> {
+        let mut params = Vec::new();
+        if !self.eat("||") {
+            self.expect("|")?;
+            while !self.at("|") {
+                // `pat_one`, not `pat`: a top-level `|` here is the
+                // closing delimiter, never an or-pattern separator.
+                params.push(self.pat_one()?);
+                if self.eat(":") {
+                    // Annotated closure param types are dropped.
+                    self.type_tokens(&[",", "|"])?;
+                }
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("|")?;
+        }
+        if self.eat("->") {
+            self.type_tokens(&["{"])?;
+            let body = Expr::Block(self.block()?);
+            return Ok(Expr::Closure {
+                is_move,
+                params,
+                body: Box::new(body),
+                span,
+            });
+        }
+        let body = self.expr(true)?;
+        Ok(Expr::Closure {
+            is_move,
+            params,
+            body: Box::new(body),
+            span,
+        })
+    }
+
+    fn if_expr(&mut self) -> PResult<Expr> {
+        self.expect("if")?;
+        let cond = self.cond_expr()?;
+        let then = self.block()?;
+        let else_ = if self.eat("else") {
+            if self.at("if") {
+                Some(Box::new(self.if_expr()?))
+            } else {
+                Some(Box::new(Expr::Block(self.block()?)))
+            }
+        } else {
+            None
+        };
+        Ok(Expr::If {
+            cond: Box::new(cond),
+            then,
+            else_,
+        })
+    }
+
+    fn match_expr(&mut self) -> PResult<Expr> {
+        let span = self.span();
+        self.expect("match")?;
+        let scrutinee = self.expr(false)?;
+        self.expect("{")?;
+        let mut arms = Vec::new();
+        while !self.at("}") {
+            self.attrs()?;
+            let pat = self.pat()?;
+            let guard = if self.eat("if") {
+                Some(self.expr(true)?)
+            } else {
+                None
+            };
+            self.expect("=>")?;
+            // A block arm body ends the arm — no postfix continuation
+            // (`{ .. }` followed by `(None, _)` is the next arm's pattern).
+            let body = if self.at("{") {
+                Expr::Block(self.block()?)
+            } else {
+                self.expr(true)?
+            };
+            self.eat(",");
+            arms.push(Arm { pat, guard, body });
+        }
+        self.expect("}")?;
+        Ok(Expr::Match {
+            scrutinee: Box::new(scrutinee),
+            arms,
+            span,
+        })
+    }
+
+    fn loop_expr(&mut self, label: Option<String>) -> PResult<Expr> {
+        match self.text() {
+            "while" => {
+                self.bump();
+                let cond = self.cond_expr()?;
+                let body = self.block()?;
+                Ok(Expr::While {
+                    label,
+                    cond: Box::new(cond),
+                    body,
+                })
+            }
+            "loop" => {
+                self.bump();
+                let body = self.block()?;
+                Ok(Expr::Loop { label, body })
+            }
+            "for" => {
+                self.bump();
+                let pat = self.pat()?;
+                self.expect("in")?;
+                let iter = self.expr(false)?;
+                let body = self.block()?;
+                Ok(Expr::For {
+                    label,
+                    pat,
+                    iter: Box::new(iter),
+                    body,
+                })
+            }
+            _ => self.err("expected loop"),
+        }
+    }
+
+    fn path_expr(&mut self, allow_struct: bool, span: Span) -> PResult<Expr> {
+        let mut segs = vec![self.ident()?];
+        loop {
+            if self.at("::") && self.nth_text(1) == "<" {
+                // Turbofish — dropped.
+                self.bump();
+                self.skip_generics()?;
+            } else if self.at("::") {
+                self.bump();
+                segs.push(self.ident()?);
+            } else {
+                break;
+            }
+        }
+        // Macro invocation.
+        if self.at("!") && matches!(self.nth_text(1), "(" | "[" | "{") {
+            self.bump();
+            let (delim, tokens) = self.token_tree()?;
+            return Ok(Expr::MacroCall {
+                segs,
+                delim,
+                tokens,
+                span,
+            });
+        }
+        // Struct literal.
+        if allow_struct && self.at("{") {
+            self.bump();
+            let mut fields = Vec::new();
+            let mut base = None;
+            while !self.at("}") {
+                if self.eat("..") {
+                    base = Some(Box::new(self.expr(true)?));
+                    break;
+                }
+                // Field-level attrs (`#[allow(...)] field: value`).
+                self.attrs()?;
+                let name = if self.at_name() {
+                    self.ident()?
+                } else {
+                    // Tuple-struct literal field (`Foo { 0: x }`) —
+                    // not used in this workspace, but cheap to accept.
+                    self.bump().text.clone()
+                };
+                let value = if self.eat(":") {
+                    Some(self.expr(true)?)
+                } else {
+                    None
+                };
+                fields.push((name, value));
+                if !self.eat(",") {
+                    break;
+                }
+            }
+            self.expect("}")?;
+            return Ok(Expr::StructLit {
+                segs,
+                fields,
+                base,
+                span,
+            });
+        }
+        Ok(Expr::Path { segs, span })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::print_file;
+
+    fn parse_src(src: &str) -> File {
+        let sf = SourceFile::parse("test.rs", src);
+        parse_file(&sf, "test", false).expect("parse")
+    }
+
+    /// parse → print → reparse must be a fixpoint. Trees are compared
+    /// via their printed forms: the printer ignores spans, so printed
+    /// equality is exactly structural-equality-modulo-spans.
+    fn fixpoint(src: &str) {
+        let a = parse_src(src);
+        let printed = print_file(&a);
+        let b_sf = SourceFile::parse("test.rs", &printed);
+        let b = parse_file(&b_sf, "test", false)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\nprinted: {printed}"));
+        assert_eq!(printed, print_file(&b), "first print: {printed}");
+    }
+
+    #[test]
+    fn parses_items_and_fns() {
+        let f = parse_src(
+            "pub struct S { pub a: u64, b: Vec<f64> }\n\
+             impl S { pub fn get(&self, i: usize) -> f64 { self.b[i] } }",
+        );
+        assert_eq!(f.items.len(), 2);
+        match &f.items[1].kind {
+            ItemKind::Impl { items, .. } => assert_eq!(items.len(), 1),
+            other => panic!("expected impl, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_spans_are_exact() {
+        let f = parse_src("fn f() {\n    x.lock().unwrap();\n}");
+        let ItemKind::Fn(fd) = &f.items[0].kind else {
+            panic!("expected fn");
+        };
+        let body = fd.body.as_ref().expect("body");
+        let Stmt::Expr { expr, .. } = &body.stmts[0] else {
+            panic!("expected expr stmt");
+        };
+        let Expr::MethodCall { method, span, .. } = expr else {
+            panic!("expected method call");
+        };
+        assert_eq!(method, "unwrap");
+        assert_eq!((span.line, span.col), (2, 14));
+    }
+
+    #[test]
+    fn fixpoint_core_constructs() {
+        fixpoint("fn f(a: u64, mut b: f64) -> f64 { if a > 1 { b += 2.0; } b * 3.0 }");
+        fixpoint("fn f() { let mut v = vec![1, 2]; for x in &v { println!(\"{}\", x); } }");
+        fixpoint(
+            "fn f(o: Option<u64>) -> u64 { match o { Some(x) if x > 0 => x, Some(_) | None => 0 } }",
+        );
+        fixpoint("fn f() { let c = move |x: u64| x + 1; c(1); }");
+        fixpoint("fn f() { while let Some(x) = it.next() { total += x; } }");
+        fixpoint("fn f() -> S { S { a: 1, ..Default::default() } }");
+        fixpoint("fn f() { 'outer: for i in 0..10 { if i == 3 { break 'outer; } } }");
+        fixpoint("const X: [u8; 4] = [0; 4]; static N: &str = \"\";");
+        fixpoint("fn f(x: f64) -> u64 { (x * 2.0) as u64 }");
+        fixpoint("fn f() { let (a, b): (u64, f64) = t; let _ = a as f64 + b; }");
+    }
+
+    #[test]
+    fn fixpoint_items() {
+        fixpoint("pub enum E { A, B(u64, f64), C { x: u64 } }");
+        fixpoint("pub trait T { fn m(&self) -> u64; fn d(&self) -> u64 { 0 } }");
+        fixpoint("impl T for S { fn m(&self) -> u64 { self.0 } }");
+        fixpoint("mod m { pub use super::*; pub fn f() {} }");
+        fixpoint("macro_rules! m { ($x:expr) => { $x + 1 }; }");
+        fixpoint("pub struct W(pub f64);");
+        fixpoint("type Pair = (u64, f64);");
+    }
+
+    #[test]
+    fn turbofish_and_generics_are_dropped() {
+        let f = parse_src("fn f() { let v = xs.iter().collect::<Vec<_>>(); Vec::<u64>::new(); }");
+        let printed = print_file(&f);
+        assert!(!printed.contains('<'), "printed: {printed}");
+        fixpoint("fn f() { let v = xs.iter().collect::<Vec<_>>(); }");
+    }
+
+    #[test]
+    fn let_else_and_nested_closures() {
+        fixpoint("fn f() { let Some(x) = o else { return; }; g(|| h(|y| y + x)); }");
+    }
+
+    #[test]
+    fn struct_lit_gating_in_conditions() {
+        // `x` then `{` in an if-head must be the block, not a struct lit.
+        let f = parse_src("fn f() { if x { g(); } }");
+        let printed = print_file(&f);
+        assert!(printed.contains("if x { g ( ) ; }"), "printed: {printed}");
+        fixpoint("fn f() { if x { g(); } else if let Some(v) = m.get(&k) { h(v); } }");
+    }
+}

@@ -1,4 +1,5 @@
-//! The four VDX domain rules (DESIGN.md §10).
+//! The four VDX domain rules (DESIGN.md §10), re-expressed over the
+//! parsed AST (the token-mask implementation predates the parser).
 //!
 //! 1. `raw-f64` — public APIs in money/bandwidth-bearing modules must not
 //!    pass raw `f64` under a money/bandwidth name; those quantities ride
@@ -9,9 +10,13 @@
 //!    non-test code; `expect("invariant message")` is the sanctioned form.
 //! 4. `event-schema` — every `obs::Event` variant appears in the
 //!    DESIGN.md §7 journal-schema table.
+//!
+//! The call-graph analyses (lock discipline, determinism taint,
+//! panic-path reachability, unit escape) live in [`crate::dataflow`].
 
+use crate::ast::{walk_block, Expr, File, Item, ItemKind, Span};
+use crate::callgraph::CallGraph;
 use crate::report::Finding;
-use crate::scan::{SourceFile, Token};
 
 /// Identifier fragments that mark a quantity as money or bandwidth.
 const QUANTITY_KEYWORDS: &[&str] = &[
@@ -38,6 +43,9 @@ const NONDETERMINISM_CALLS: &[&str] = &["thread_rng", "from_entropy"];
 
 /// `Type::now()` receivers forbidden by the determinism rule.
 const NONDETERMINISM_NOW_TYPES: &[&str] = &["SystemTime", "Instant"];
+
+/// `panic!`-family macro names forbidden by the no-panics rule.
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
 
 /// Rule configuration: which files each rule covers.
 #[derive(Debug)]
@@ -84,40 +92,32 @@ impl Config {
     }
 }
 
-/// A scanned source file plus the crate-level facts rules need.
-#[derive(Debug)]
-pub struct ScannedFile {
-    /// The lexed file.
-    pub source: SourceFile,
-    /// True when the file belongs to a binary target (`src/bin/` or a
-    /// package with no `src/lib.rs`); exempt from the no-panics rule.
-    pub is_bin: bool,
-}
-
-/// Runs every rule over `files` and returns all findings, sorted by
-/// (file, line).
-pub fn run_all(files: &[ScannedFile], cfg: &Config, design_md: Option<&str>) -> Vec<Finding> {
+/// Runs every rule over `files` (with `g` built from the same slice)
+/// and returns all findings, sorted by (file, line, col). Snippets are
+/// left empty; the driver fills them from the lexed sources.
+pub fn run_all(
+    files: &[File],
+    g: &CallGraph<'_>,
+    cfg: &Config,
+    design_md: Option<&str>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
     for f in files {
-        if cfg.api_enforced(&f.source.rel_path) {
-            check_raw_f64(&f.source, &mut findings);
-        }
-        if cfg.determinism_enforced(&f.source.rel_path) {
-            check_determinism(&f.source, &mut findings);
-        }
-        if !f.is_bin {
-            check_no_panics(&f.source, &mut findings);
+        if cfg.api_enforced(&f.rel_path) {
+            check_raw_f64(f, &mut findings);
         }
     }
+    check_determinism(g, cfg, &mut findings);
+    check_no_panics(g, &mut findings);
     if let Some(md) = design_md {
         if let Some(event_rs) = files
             .iter()
-            .find(|f| f.source.rel_path == "crates/obs/src/event.rs")
+            .find(|f| f.rel_path == "crates/obs/src/event.rs")
         {
-            check_event_schema(&event_rs.source, md, &mut findings);
+            check_event_schema(event_rs, md, &mut findings);
         }
     }
-    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    findings.sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
     findings
 }
 
@@ -129,289 +129,257 @@ fn keyword_of(ident: &str) -> Option<&'static str> {
         .copied()
 }
 
-/// Rule 1: raw `f64` under a money/bandwidth name in a public signature.
-pub fn check_raw_f64(f: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &f.tokens;
-    let mut i = 0;
-    while i < toks.len() {
-        if f.test_mask[i] || toks[i].text != "pub" {
-            i += 1;
-            continue;
-        }
-        // Skip a `pub(crate)`-style visibility qualifier.
-        let mut j = i + 1;
-        if toks.get(j).map(|t| t.text.as_str()) == Some("(") {
-            while j < toks.len() && toks[j].text != ")" {
-                j += 1;
-            }
-            j += 1;
-        }
-        match toks.get(j).map(|t| t.text.as_str()) {
-            Some("fn") => {
-                check_pub_fn(f, j, out);
-            }
-            Some("const") | Some("static") => {
-                // `pub const NAME: f64 = ...;`
-                if let (Some(name), Some(colon), Some(ty)) =
-                    (toks.get(j + 1), toks.get(j + 2), toks.get(j + 3))
-                {
-                    if name.is_ident && colon.text == ":" && ty.text == "f64" {
-                        if let Some(kw) = keyword_of(&name.text) {
-                            out.push(raw_f64_finding(f, name, kw, "constant"));
-                        }
-                    }
-                }
-            }
-            Some(_) if toks[j].is_ident => {
-                // A `pub name: Type` struct field (a lone `:`, not `::`).
-                if toks.get(j + 1).map(|t| t.text.as_str()) == Some(":")
-                    && toks.get(j + 2).map(|t| t.text.as_str()) != Some(":")
-                {
-                    let name = &toks[j];
-                    let ty_has_f64 = field_type_tokens(toks, j + 2)
-                        .iter()
-                        .any(|t| t.text == "f64");
-                    if ty_has_f64 {
-                        if let Some(kw) = keyword_of(&name.text) {
-                            out.push(raw_f64_finding(f, name, kw, "field"));
-                        }
-                    }
-                }
-            }
-            _ => {}
-        }
-        i = j + 1;
-    }
-}
-
-/// Tokens of a struct-field type: from `start` to the `,` or `}` that
-/// closes the field at nesting depth 0.
-fn field_type_tokens<'t>(toks: &'t [Token], start: usize) -> &'t [Token] {
-    let mut depth = 0i32;
-    for (n, t) in toks[start..].iter().enumerate() {
-        match t.text.as_str() {
-            "(" | "[" | "<" | "{" => depth += 1,
-            ")" | "]" | ">" | "}" if depth > 0 => depth -= 1,
-            "," | "}" | ";" if depth == 0 => return &toks[start..start + n],
-            _ => {}
-        }
-    }
-    &toks[start..]
-}
-
-/// Checks one `pub fn` signature starting at the `fn` token.
-fn check_pub_fn(f: &SourceFile, fn_idx: usize, out: &mut Vec<Finding>) {
-    let toks = &f.tokens;
-    let Some(name) = toks.get(fn_idx + 1).filter(|t| t.is_ident) else {
-        return;
-    };
-    // Signature tokens: up to the body `{` or trait-decl `;`.
-    let mut end = fn_idx;
-    while end < toks.len() && toks[end].text != "{" && toks[end].text != ";" {
-        end += 1;
-    }
-    let sig = &toks[fn_idx..end];
-    // Parameters: the span inside the outermost parens.
-    let Some(open) = sig.iter().position(|t| t.text == "(") else {
-        return;
-    };
-    let mut depth = 0i32;
-    let mut close = open;
-    for (n, t) in sig[open..].iter().enumerate() {
-        match t.text.as_str() {
-            "(" => depth += 1,
-            ")" => {
-                depth -= 1;
-                if depth == 0 {
-                    close = open + n;
-                    break;
-                }
-            }
-            _ => {}
-        }
-    }
-    // Split params at top-level commas; a param is `pattern: Type`.
-    let params = &sig[open + 1..close];
-    let mut depth = 0i32;
-    let mut start = 0usize;
-    let mut spans = Vec::new();
-    for (n, t) in params.iter().enumerate() {
-        match t.text.as_str() {
-            "(" | "[" | "<" => depth += 1,
-            ")" | "]" | ">" => depth -= 1,
-            "," if depth == 0 => {
-                spans.push(&params[start..n]);
-                start = n + 1;
-            }
-            _ => {}
-        }
-    }
-    if start < params.len() {
-        spans.push(&params[start..]);
-    }
-    for span in spans {
-        let Some(colon) = span.iter().position(|t| t.text == ":") else {
-            continue;
-        };
-        let Some(pname) = span[..colon].iter().rev().find(|t| t.is_ident) else {
-            continue;
-        };
-        if span[colon..].iter().any(|t| t.text == "f64") {
-            if let Some(kw) = keyword_of(&pname.text) {
-                out.push(Finding {
-                    rule: "raw-f64",
-                    file: f.rel_path.clone(),
-                    line: pname.line,
-                    context: name.text.clone(),
-                    message: format!(
-                        "parameter `{}` of pub fn `{}` passes a {}-like quantity as raw f64; \
-                         use a vdx-core::units newtype",
-                        pname.text, name.text, kw
-                    ),
-                    snippet: f.snippet(pname.line),
-                    allowed: false,
-                });
-            }
-        }
-    }
-    // Return type: after `->`, attributed to the fn name.
-    if let Some(arrow) = sig.iter().position(|t| t.text == "-") {
-        if sig.get(arrow + 1).map(|t| t.text.as_str()) == Some(">")
-            && sig[arrow..].iter().any(|t| t.text == "f64")
-        {
-            if let Some(kw) = keyword_of(&name.text) {
-                out.push(Finding {
-                    rule: "raw-f64",
-                    file: f.rel_path.clone(),
-                    line: name.line,
-                    context: name.text.clone(),
-                    message: format!(
-                        "pub fn `{}` returns a {}-like quantity as raw f64; \
-                         use a vdx-core::units newtype",
-                        name.text, kw
-                    ),
-                    snippet: f.snippet(name.line),
-                    allowed: false,
-                });
-            }
-        }
-    }
-}
-
-fn raw_f64_finding(f: &SourceFile, name: &Token, kw: &str, what: &str) -> Finding {
+fn finding(rule: &'static str, file: &str, span: Span, context: &str, message: String) -> Finding {
     Finding {
-        rule: "raw-f64",
-        file: f.rel_path.clone(),
-        line: name.line,
-        context: name.text.clone(),
-        message: format!(
-            "pub {what} `{}` stores a {kw}-like quantity as raw f64; \
-             use a vdx-core::units newtype",
-            name.text
-        ),
-        snippet: f.snippet(name.line),
+        rule,
+        kind: String::new(),
+        file: file.to_string(),
+        line: span.line,
+        col: span.col,
+        context: context.to_string(),
+        message,
+        snippet: String::new(),
+        chain: Vec::new(),
         allowed: false,
     }
 }
 
-/// Rule 2: unseeded RNG / wall-clock reads outside timing + test code.
-pub fn check_determinism(f: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &f.tokens;
-    for (i, t) in toks.iter().enumerate() {
-        if f.test_mask[i] || !t.is_ident {
+/// Pre-order walk over non-test items, descending into mods, impls,
+/// and traits.
+fn walk_items<'a>(items: &'a [Item], visit: &mut dyn FnMut(&'a Item)) {
+    for item in items {
+        if item.is_test_only() {
             continue;
         }
-        let call = if NONDETERMINISM_CALLS.contains(&t.text.as_str()) {
-            Some(t.text.clone())
-        } else if NONDETERMINISM_NOW_TYPES.contains(&t.text.as_str())
-            && toks.get(i + 1).map(|t| t.text.as_str()) == Some(":")
-            && toks.get(i + 2).map(|t| t.text.as_str()) == Some(":")
-            && toks.get(i + 3).map(|t| t.text.as_str()) == Some("now")
-        {
-            Some(format!("{}::now", t.text))
-        } else {
-            None
-        };
-        if let Some(call) = call {
-            out.push(Finding {
-                rule: "determinism",
-                file: f.rel_path.clone(),
-                line: t.line,
-                context: f.fn_context[i].clone(),
-                message: format!(
-                    "`{call}` is nondeterministic; use a seeded RNG or caller-passed SimTime \
-                     (vdx-obs timing and test code are exempt)"
-                ),
-                snippet: f.snippet(t.line),
-                allowed: false,
-            });
+        visit(item);
+        match &item.kind {
+            ItemKind::Impl { items, .. } | ItemKind::Trait { items, .. } => {
+                walk_items(items, visit);
+            }
+            ItemKind::Mod {
+                items: Some(items), ..
+            } => walk_items(items, visit),
+            _ => {}
         }
     }
 }
 
-/// Rule 3: `unwrap()` / `panic!`-family macros in library non-test code.
-pub fn check_no_panics(f: &SourceFile, out: &mut Vec<Finding>) {
-    let toks = &f.tokens;
-    for (i, t) in toks.iter().enumerate() {
-        if f.test_mask[i] || !t.is_ident {
+/// Rule 1: raw `f64` under a money/bandwidth name in a public signature.
+pub fn check_raw_f64(f: &File, out: &mut Vec<Finding>) {
+    walk_items(&f.items, &mut |item| match &item.kind {
+        ItemKind::Fn(def) if item.vis.is_pub() => {
+            for p in &def.params {
+                let Some(pname) = p.name() else { continue };
+                if p.ty.iter().any(|t| t == "f64") {
+                    if let Some(kw) = keyword_of(pname) {
+                        out.push(finding(
+                            "raw-f64",
+                            &f.rel_path,
+                            p.span,
+                            &def.name,
+                            format!(
+                                "parameter `{pname}` of pub fn `{}` passes a {kw}-like quantity \
+                                 as raw f64; use a vdx-core::units newtype",
+                                def.name
+                            ),
+                        ));
+                    }
+                }
+            }
+            if def.ret.iter().any(|t| t == "f64") {
+                if let Some(kw) = keyword_of(&def.name) {
+                    out.push(finding(
+                        "raw-f64",
+                        &f.rel_path,
+                        def.span,
+                        &def.name,
+                        format!(
+                            "pub fn `{}` returns a {kw}-like quantity as raw f64; \
+                             use a vdx-core::units newtype",
+                            def.name
+                        ),
+                    ));
+                }
+            }
+        }
+        ItemKind::Const { name, ty, .. } | ItemKind::Static { name, ty, .. }
+            if item.vis.is_pub() && ty.iter().any(|t| t == "f64") =>
+        {
+            if let Some(kw) = keyword_of(name) {
+                out.push(finding(
+                    "raw-f64",
+                    &f.rel_path,
+                    item.span,
+                    name,
+                    format!(
+                        "pub constant `{name}` stores a {kw}-like quantity as raw f64; \
+                         use a vdx-core::units newtype"
+                    ),
+                ));
+            }
+        }
+        ItemKind::Struct { fields, .. } => {
+            for fld in fields {
+                if fld.vis.is_pub() && fld.ty.iter().any(|t| t == "f64") {
+                    if let Some(kw) = keyword_of(&fld.name) {
+                        out.push(finding(
+                            "raw-f64",
+                            &f.rel_path,
+                            fld.span,
+                            &fld.name,
+                            format!(
+                                "pub field `{}` stores a {kw}-like quantity as raw f64; \
+                                 use a vdx-core::units newtype",
+                                fld.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        _ => {}
+    });
+}
+
+/// The nondeterministic call a path expression names, if any.
+fn nondet_path(segs: &[String]) -> Option<String> {
+    let last = segs.last()?;
+    if NONDETERMINISM_CALLS.contains(&last.as_str()) {
+        return Some(last.clone());
+    }
+    if last == "now" && segs.len() >= 2 {
+        let ty = &segs[segs.len() - 2];
+        if NONDETERMINISM_NOW_TYPES.contains(&ty.as_str()) {
+            return Some(format!("{ty}::now"));
+        }
+    }
+    None
+}
+
+/// Nondeterministic calls mentioned inside a macro token stream (macro
+/// arguments are kept as raw tokens, not parsed expressions).
+fn nondet_in_tokens(tokens: &[String]) -> Option<String> {
+    for t in tokens {
+        if NONDETERMINISM_CALLS.contains(&t.as_str()) {
+            return Some(t.clone());
+        }
+    }
+    tokens.windows(3).find_map(|w| {
+        (NONDETERMINISM_NOW_TYPES.contains(&w[0].as_str()) && w[1] == "::" && w[2] == "now")
+            .then(|| format!("{}::now", w[0]))
+    })
+}
+
+/// Rule 2: unseeded RNG / wall-clock reads outside timing + test code.
+pub fn check_determinism(g: &CallGraph<'_>, cfg: &Config, out: &mut Vec<Finding>) {
+    for node in &g.fns {
+        if node.is_test || !cfg.determinism_enforced(node.file) {
             continue;
         }
-        let hit = match t.text.as_str() {
-            "unwrap" => {
-                // `.unwrap()` — a method call with no arguments.
-                i > 0
-                    && toks[i - 1].text == "."
-                    && toks.get(i + 1).map(|t| t.text.as_str()) == Some("(")
-                    && toks.get(i + 2).map(|t| t.text.as_str()) == Some(")")
+        let Some(body) = &node.def.body else { continue };
+        walk_block(body, &mut |e| {
+            let hit = match e {
+                Expr::Path { segs, span } => nondet_path(segs).map(|c| (c, *span)),
+                Expr::MethodCall { method, span, .. }
+                    if NONDETERMINISM_CALLS.contains(&method.as_str()) =>
+                {
+                    Some((method.clone(), *span))
+                }
+                Expr::MacroCall { tokens, span, .. } => {
+                    nondet_in_tokens(tokens).map(|c| (c, *span))
+                }
+                _ => None,
+            };
+            if let Some((call, span)) = hit {
+                out.push(finding(
+                    "determinism",
+                    node.file,
+                    span,
+                    node.name,
+                    format!(
+                        "`{call}` is nondeterministic; use a seeded RNG or caller-passed SimTime \
+                         (vdx-obs timing and test code are exempt)"
+                    ),
+                ));
             }
-            "panic" | "todo" | "unimplemented" => {
-                toks.get(i + 1).map(|t| t.text.as_str()) == Some("!")
-            }
-            _ => false,
-        };
-        if hit {
-            out.push(Finding {
-                rule: "no-panics",
-                file: f.rel_path.clone(),
-                line: t.line,
-                context: f.fn_context[i].clone(),
-                message: format!(
-                    "`{}` in library non-test code; return a typed error or use \
-                     expect(\"<invariant>\") stating why this cannot fail",
-                    if t.text == "unwrap" {
-                        ".unwrap()".to_string()
-                    } else {
-                        format!("{}!", t.text)
-                    }
-                ),
-                snippet: f.snippet(t.line),
-                allowed: false,
-            });
+        });
+    }
+}
+
+/// The panic-family construct a macro token stream smuggles in, if any:
+/// a nested `.unwrap()` or `panic!`/`todo!`/`unimplemented!`.
+fn panic_in_tokens(tokens: &[String]) -> Option<String> {
+    let unwrap = tokens
+        .windows(4)
+        .any(|w| w[0] == "." && w[1] == "unwrap" && w[2] == "(" && w[3] == ")");
+    if unwrap {
+        return Some(".unwrap()".to_string());
+    }
+    tokens.windows(2).find_map(|w| {
+        (PANIC_MACROS.contains(&w[0].as_str()) && w[1] == "!").then(|| format!("{}!", w[0]))
+    })
+}
+
+/// Rule 3: `unwrap()` / `panic!`-family macros in library non-test code.
+pub fn check_no_panics(g: &CallGraph<'_>, out: &mut Vec<Finding>) {
+    for node in &g.fns {
+        if node.is_test || node.is_bin {
+            continue;
         }
+        let Some(body) = &node.def.body else { continue };
+        walk_block(body, &mut |e| {
+            let hit = match e {
+                Expr::MethodCall {
+                    method, args, span, ..
+                } if method == "unwrap" && args.is_empty() => {
+                    Some((".unwrap()".to_string(), *span))
+                }
+                Expr::MacroCall {
+                    segs, tokens, span, ..
+                } => {
+                    let own = segs
+                        .last()
+                        .filter(|s| PANIC_MACROS.contains(&s.as_str()))
+                        .map(|s| format!("{s}!"));
+                    own.or_else(|| panic_in_tokens(tokens)).map(|c| (c, *span))
+                }
+                _ => None,
+            };
+            if let Some((what, span)) = hit {
+                out.push(finding(
+                    "no-panics",
+                    node.file,
+                    span,
+                    node.name,
+                    format!(
+                        "`{what}` in library non-test code; return a typed error or use \
+                         expect(\"<invariant>\") stating why this cannot fail"
+                    ),
+                ));
+            }
+        });
     }
 }
 
 /// Rule 4, forward half: every `Event` variant appears in the DESIGN.md
 /// §7 table. Reverse half: every tag documented under a "journal schema"
 /// heading still has an `Event` variant behind it (stale docs).
-pub fn check_event_schema(event_rs: &SourceFile, design_md: &str, out: &mut Vec<Finding>) {
+pub fn check_event_schema(event_rs: &File, design_md: &str, out: &mut Vec<Finding>) {
     let variants = event_variants(event_rs);
     let documented = documented_tags(design_md);
-    for (name, line) in &variants {
+    for (name, span) in &variants {
         let tag = camel_to_snake(name);
         if !documented.contains(&tag) {
-            out.push(Finding {
-                rule: "event-schema",
-                file: event_rs.rel_path.clone(),
-                line: *line,
-                context: name.clone(),
-                message: format!(
+            out.push(finding(
+                "event-schema",
+                &event_rs.rel_path,
+                *span,
+                name,
+                format!(
                     "Event::{name} (journal tag `{tag}`) is missing from the DESIGN.md §7 \
                      journal-schema table"
                 ),
-                snippet: event_rs.snippet(*line),
-                allowed: false,
-            });
+            ));
         }
     }
     // Reverse: only tables under a heading that mentions "journal
@@ -426,98 +394,38 @@ pub fn check_event_schema(event_rs: &SourceFile, design_md: &str, out: &mut Vec<
     }
     for (tag, line) in journal_schema_tags(design_md) {
         if !variant_tags.contains(&tag) {
-            out.push(Finding {
-                rule: "event-schema",
-                file: "DESIGN.md".to_string(),
-                line,
-                context: tag.clone(),
-                message: format!(
+            let mut f = finding(
+                "event-schema",
+                "DESIGN.md",
+                Span { line, col: 1 },
+                &tag,
+                format!(
                     "journal tag `{tag}` is documented in a DESIGN.md journal-schema table \
                      but no Event variant serializes to it; drop the stale row or restore \
                      the variant"
                 ),
-                snippet: design_md
-                    .lines()
-                    .nth(line.saturating_sub(1))
-                    .map(|l| l.trim().to_string())
-                    .unwrap_or_default(),
-                allowed: false,
-            });
+            );
+            f.snippet = design_md
+                .lines()
+                .nth(line.saturating_sub(1))
+                .map(|l| l.trim().to_string())
+                .unwrap_or_default();
+            out.push(f);
         }
     }
 }
 
-/// Extracts `(variant name, line)` pairs from `pub enum Event { ... }`.
-fn event_variants(f: &SourceFile) -> Vec<(String, usize)> {
-    let toks = &f.tokens;
-    let Some(start) = toks
-        .windows(3)
-        .position(|w| w[0].text == "pub" && w[1].text == "enum" && w[2].text == "Event")
-    else {
-        return Vec::new();
-    };
-    let mut variants = Vec::new();
-    let mut depth = 0i32;
-    let mut i = start + 3;
-    while i < toks.len() {
-        match toks[i].text.as_str() {
-            "{" | "(" => depth += 1,
-            "}" | ")" => {
-                depth -= 1;
-                if depth == 0 {
-                    break;
-                }
+/// Extracts `(variant name, span)` pairs from `pub enum Event { ... }`.
+fn event_variants(f: &File) -> Vec<(String, Span)> {
+    let mut out = Vec::new();
+    walk_items(&f.items, &mut |item| {
+        if let ItemKind::Enum { name, variants } = &item.kind {
+            if name == "Event" && item.vis.is_pub() {
+                out.extend(variants.iter().map(|v| (v.name.clone(), v.span)));
             }
-            "#" if depth == 1 => {
-                // Skip `#[...]` attribute contents.
-                if toks.get(i + 1).map(|t| t.text.as_str()) == Some("[") {
-                    let mut adepth = 0i32;
-                    i += 1;
-                    while i < toks.len() {
-                        match toks[i].text.as_str() {
-                            "[" => adepth += 1,
-                            "]" => {
-                                adepth -= 1;
-                                if adepth == 0 {
-                                    break;
-                                }
-                            }
-                            _ => {}
-                        }
-                        i += 1;
-                    }
-                }
-            }
-            _ if depth == 1 && toks[i].is_ident => {
-                let next = toks.get(i + 1).map(|t| t.text.as_str());
-                if matches!(next, Some("{") | Some("(") | Some(",") | Some("}")) {
-                    variants.push((toks[i].text.clone(), toks[i].line));
-                    // Skip any payload block so field names are not
-                    // mistaken for variants.
-                    if matches!(next, Some("{") | Some("(")) {
-                        let mut vdepth = 0i32;
-                        i += 1;
-                        while i < toks.len() {
-                            match toks[i].text.as_str() {
-                                "{" | "(" => vdepth += 1,
-                                "}" | ")" => {
-                                    vdepth -= 1;
-                                    if vdepth == 0 {
-                                        break;
-                                    }
-                                }
-                                _ => {}
-                            }
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            _ => {}
         }
-        i += 1;
-    }
-    variants
+    });
+    out
 }
 
 /// Backtick-quoted tags from DESIGN.md table rows (`| `tag` | ... |`).
@@ -585,9 +493,24 @@ fn camel_to_snake(name: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::parse::parse_file;
+    use crate::scan::SourceFile;
 
-    fn scan(path: &str, src: &str) -> SourceFile {
-        SourceFile::parse(path, src)
+    fn parse(path: &str, src: &str) -> File {
+        let sf = SourceFile::parse(path, src);
+        parse_file(&sf, "vdx-test", false).expect("test fixture parses")
+    }
+
+    fn graph_findings(
+        path: &str,
+        src: &str,
+        check: fn(&CallGraph<'_>, &mut Vec<Finding>),
+    ) -> Vec<Finding> {
+        let files = [parse(path, src)];
+        let g = CallGraph::build(&files);
+        let mut out = Vec::new();
+        check(&g, &mut out);
+        out
     }
 
     #[test]
@@ -597,7 +520,7 @@ mod tests {
                    pub struct A { pub capacity_kbps: f64, pub score: f64 }\n\
                    pub const BASE_PRICE: f64 = 1.0;";
         let mut out = Vec::new();
-        check_raw_f64(&scan("crates/cdn/src/cost.rs", src), &mut out);
+        check_raw_f64(&parse("crates/cdn/src/cost.rs", src), &mut out);
         let contexts: Vec<&str> = out.iter().map(|f| f.context.as_str()).collect();
         // `charge` is flagged twice: once for the parameter, once for
         // the money-named return type.
@@ -616,33 +539,39 @@ mod tests {
 
     #[test]
     fn raw_f64_ignores_dimensionless_and_private_items() {
-        let src = "pub fn objective(&self) -> f64 { 0.0 }\n\
+        let src = "pub struct S;\n\
+                   impl S { pub fn objective(&self) -> f64 { 0.0 } }\n\
                    fn charge(price: f64) -> f64 { price }\n\
                    pub struct B { pub ratio: f64 }";
         let mut out = Vec::new();
-        check_raw_f64(&scan("crates/solver/src/gap.rs", src), &mut out);
+        check_raw_f64(&parse("crates/solver/src/gap.rs", src), &mut out);
         assert!(out.is_empty(), "{out:#?}");
     }
 
     #[test]
     fn determinism_flags_rng_and_clocks_outside_tests() {
-        let src = "fn a() { let r = rand::thread_rng(); }\n\
-                   fn b() { let t = std::time::SystemTime::now(); }\n\
-                   fn c() { let t = Instant::now(); }\n\
-                   fn d() { let r = StdRng::from_entropy(); }\n\
-                   #[cfg(test)]\nmod tests { fn t() { let r = rand::thread_rng(); } }";
-        let mut out = Vec::new();
-        check_determinism(&scan("crates/sim/src/x.rs", src), &mut out);
+        let src = "fn a() { let _r = rand::thread_rng(); }\n\
+                   fn b() { let _t = std::time::SystemTime::now(); }\n\
+                   fn c() { let _t = Instant::now(); }\n\
+                   fn d() { let _r = StdRng::from_entropy(); }\n\
+                   #[cfg(test)]\nmod tests { fn t() { let _r = rand::thread_rng(); } }";
+        let out = graph_findings("crates/sim/src/x.rs", src, |g, out| {
+            check_determinism(g, &Config::workspace(), out)
+        });
         let ctx: Vec<&str> = out.iter().map(|f| f.context.as_str()).collect();
         assert_eq!(ctx, vec!["a", "b", "c", "d"], "{out:#?}");
     }
 
     #[test]
-    fn determinism_ignores_comments_and_strings() {
-        let src = "// thread_rng in a comment\nfn a() { let s = \"Instant::now\"; }";
-        let mut out = Vec::new();
-        check_determinism(&scan("crates/sim/src/x.rs", src), &mut out);
-        assert!(out.is_empty(), "{out:#?}");
+    fn determinism_ignores_comments_strings_but_sees_macros() {
+        let src = "// thread_rng in a comment\n\
+                   fn a() { let _s = \"Instant::now\"; }\n\
+                   fn b() { log!(\"t={}\", Instant::now()); }";
+        let out = graph_findings("crates/sim/src/x.rs", src, |g, out| {
+            check_determinism(g, &Config::workspace(), out)
+        });
+        let ctx: Vec<&str> = out.iter().map(|f| f.context.as_str()).collect();
+        assert_eq!(ctx, vec!["b"], "{out:#?}");
     }
 
     #[test]
@@ -650,13 +579,13 @@ mod tests {
         let src = "fn a(x: Option<u32>) -> u32 { x.unwrap() }\n\
                    fn b() { panic!(\"boom\"); }\n\
                    fn c() { todo!() }\n\
+                   fn m() { assert!(X.lock().unwrap().is_empty()); }\n\
                    fn ok(x: Option<u32>) -> u32 { x.unwrap_or(0) }\n\
                    fn ok2(x: Option<u32>) -> u32 { x.expect(\"invariant: caller checked\") }\n\
                    #[cfg(test)]\nmod tests { fn t() { None::<u32>.unwrap(); } }";
-        let mut out = Vec::new();
-        check_no_panics(&scan("crates/cdn/src/y.rs", src), &mut out);
+        let out = graph_findings("crates/cdn/src/y.rs", src, check_no_panics);
         let ctx: Vec<&str> = out.iter().map(|f| f.context.as_str()).collect();
-        assert_eq!(ctx, vec!["a", "b", "c"], "{out:#?}");
+        assert_eq!(ctx, vec!["a", "b", "c", "m"], "{out:#?}");
     }
 
     #[test]
@@ -668,7 +597,7 @@ mod tests {
         let md = "| `ev` tag | Emitted by |\n|---|---|\n\
                   | `run_header` | repro |\n| `round_started` | core |\n";
         let mut out = Vec::new();
-        check_event_schema(&scan("crates/obs/src/event.rs", src), md, &mut out);
+        check_event_schema(&parse("crates/obs/src/event.rs", src), md, &mut out);
         assert_eq!(out.len(), 1, "{out:#?}");
         assert_eq!(out[0].context, "SecretEvent");
         assert!(out[0].message.contains("`secret_event`"));
@@ -689,7 +618,7 @@ mod tests {
                   ## 8. CLI flags\n\n\
                   | flag | meaning |\n|---|---|\n| `--seed` | master seed |\n";
         let mut out = Vec::new();
-        check_event_schema(&scan("crates/obs/src/event.rs", src), md, &mut out);
+        check_event_schema(&parse("crates/obs/src/event.rs", src), md, &mut out);
         assert_eq!(out.len(), 1, "{out:#?}");
         assert_eq!(out[0].file, "DESIGN.md");
         assert_eq!(out[0].context, "ghost_event");

@@ -2,11 +2,13 @@
 //! histograms with p50/p95/p99 summaries.
 //!
 //! The registry is `parking_lot`-guarded and cheap to hit from hot paths:
-//! a counter bump is one mutex acquisition and a `HashMap` probe. Names
-//! are dot-separated by convention (`core.decision_round`,
-//! `proto.retransmits`). [`Registry::drain`] snapshots everything as
-//! journal [`Event`]s and resets the registry, so one run's metrics do not
-//! leak into the next when the process hosts several experiments.
+//! a counter bump is one mutex acquisition and a `BTreeMap` probe (ordered
+//! maps keep every iteration deterministic, so drained events never depend
+//! on hash order). Names are dot-separated by convention
+//! (`core.decision_round`, `proto.retransmits`). [`Registry::drain`]
+//! snapshots everything as journal [`Event`]s and resets the registry, so
+//! one run's metrics do not leak into the next when the process hosts
+//! several experiments.
 //!
 //! Histograms use fixed 1-2-5 log-spaced bucket bounds over the
 //! microsecond range (1 µs … 1 × 10⁹ µs ≈ 17 min), so recording is O(log
@@ -15,7 +17,7 @@
 //! clamped to the observed min/max — coarse, but stable and cheap, which
 //! is the right trade for always-on probes.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use parking_lot::Mutex;
 
@@ -136,9 +138,9 @@ impl Histogram {
 
 #[derive(Debug, Default)]
 struct RegistryInner {
-    counters: HashMap<String, u64>,
-    gauges: HashMap<String, f64>,
-    histograms: HashMap<String, Histogram>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
 }
 
 /// A named-metrics registry. One process-wide instance lives behind
@@ -200,8 +202,9 @@ impl Registry {
         let mut inner = self.inner.lock();
         let mut events = Vec::new();
 
-        let mut counters: Vec<(String, u64)> = inner.counters.drain().collect();
-        for (name, value) in inner.gauges.drain() {
+        let mut counters: Vec<(String, u64)> =
+            std::mem::take(&mut inner.counters).into_iter().collect();
+        for (name, value) in std::mem::take(&mut inner.gauges) {
             counters.push((name, value.round().max(0.0) as u64));
         }
         counters.sort();
@@ -209,9 +212,7 @@ impl Registry {
             events.push(Event::CounterSnapshot { name, value });
         }
 
-        let mut histograms: Vec<(String, Histogram)> = inner.histograms.drain().collect();
-        histograms.sort_by(|a, b| a.0.cmp(&b.0));
-        for (name, histogram) in histograms {
+        for (name, histogram) in std::mem::take(&mut inner.histograms) {
             events.push(histogram.summary(&name));
         }
         events
@@ -253,7 +254,10 @@ mod tests {
             "p50 {p50} should land in the 10..20 bucket"
         );
         let p99 = h.quantile_us(0.99);
-        assert!(p99 <= 3_000.0 && p99 >= 2_000.0, "p99 {p99} clamped to max");
+        assert!(
+            (2_000.0..=3_000.0).contains(&p99),
+            "p99 {p99} clamped to max"
+        );
         assert!((h.mean_us() - 627.4).abs() < 0.1);
     }
 

@@ -122,6 +122,11 @@ impl JournalProbe {
     pub fn len(&self) -> u64 {
         self.journal.lock().len()
     }
+
+    /// True while no event has been written.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 impl Probe for JournalProbe {

@@ -10,8 +10,15 @@ cargo fmt --all --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> vdx-lint (unit-typed APIs, determinism, no-panics, event schema)"
+echo "==> vdx-lint (surface rules + call-graph dataflow + stale-allowlist gate)"
 cargo run -p vdx-lint --release
+# The schema-2 report must carry all four dataflow analyses, and --diff
+# against the report we just wrote must find nothing new.
+for rule in lock-discipline determinism-taint panic-path unit-escape; do
+  grep -q "\"rule\": \"${rule}\"" target/vdx-lint-report.json \
+    || { echo "verify: ${rule} analysis produced no findings entry" >&2; exit 1; }
+done
+cargo run -p vdx-lint --release -- --diff target/vdx-lint-report.json
 
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
